@@ -1,0 +1,60 @@
+"""Ablation: knowledge acquisition without BFS closure / conflict resolution.
+
+DESIGN.md calls out the two non-trivial ingredients of Algorithm 1 — the BFS
+transitive closure of the information network and reliability-based conflict
+resolution — as design choices worth ablating.  This bench re-runs knowledge
+acquisition with each ingredient disabled and compares the average PORatio of
+the resulting CRelations.  Expected shape: the full algorithm is at least as
+good as either ablation.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge import KnowledgeAcquisition
+from repro.evaluation import analyze_selection, format_table
+
+
+def _selection(pairs, performance):
+    return {
+        pair.instance: pair.algorithm
+        for pair in pairs
+        if pair.instance in performance.datasets
+    }
+
+
+def test_bench_ablation_knowledge_acquisition(benchmark, bench_corpus, knowledge_performance):
+    variants = {
+        "full (Algorithm 1)": KnowledgeAcquisition(min_algorithms=5),
+        "no BFS closure": KnowledgeAcquisition(min_algorithms=5, use_bfs_closure=False),
+        "no conflict resolution": KnowledgeAcquisition(min_algorithms=5, resolve_conflicts=False),
+    }
+
+    def run():
+        out = {}
+        for label, acquisition in variants.items():
+            pairs = acquisition.run(bench_corpus)
+            selection = _selection(pairs, knowledge_performance)
+            out[label] = analyze_selection(selection, knowledge_performance)
+        return out
+
+    analyses = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "variant": label,
+            "pairs": len(analysis.selection),
+            "average PORatio": analysis.average_poratio,
+            "average P": analysis.average_performance,
+        }
+        for label, analysis in analyses.items()
+    ]
+    print()
+    print(format_table(rows, title="Knowledge-acquisition ablation"))
+
+    full = analyses["full (Algorithm 1)"]
+    for label, analysis in analyses.items():
+        if label == "full (Algorithm 1)":
+            continue
+        assert full.average_poratio >= analysis.average_poratio - 0.05, (
+            f"full Algorithm 1 should not be clearly worse than the ablation {label!r}"
+        )

@@ -1,0 +1,45 @@
+"""Tables XII + XIII: SNA's average PORatio / performance on the test datasets.
+
+The paper aggregates the Tables VI/VII rows: the average PORatio of SNA over
+the 21 test datasets next to the top-3 single algorithms (Table XII), and the
+same for average performance P (Table XIII).  Expected shape: SNA's averages
+are at least competitive with the best single algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import analyze_selection, format_table
+
+
+def test_bench_table12_13_sna_averages(
+    benchmark, bench_automodel, bench_test_datasets, test_performance
+):
+    def run():
+        selection = {
+            dataset.name: bench_automodel.select_algorithm(dataset)
+            for dataset in bench_test_datasets
+        }
+        return analyze_selection(selection, test_performance)
+
+    analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    poratio_rows = [{"selection": "SNA", "average PORatio": analysis.average_poratio}]
+    for rank, (name, value) in enumerate(analysis.top_by_poratio, start=1):
+        poratio_rows.append({"selection": f"Top{rank}-{name}", "average PORatio": value})
+    performance_rows = [{"selection": "SNA(D)", "average P": analysis.average_performance}]
+    for rank, (name, value) in enumerate(analysis.top_by_score, start=1):
+        performance_rows.append({"selection": f"Top{rank}-{name}", "average P": value})
+
+    print()
+    print(format_table(poratio_rows, title="Table XII — average PORatio over test datasets"))
+    print()
+    print(format_table(performance_rows, title="Table XIII — average P over test datasets"))
+
+    # Paper shape: SNA ≈ 0.90 average PORatio vs 0.83 for the best single
+    # algorithm.  With a much smaller knowledge pool than the paper's 69 pairs
+    # we only require SNA to stay within a modest margin of the best single
+    # algorithm and clearly above the catalogue median; the measured gap is
+    # recorded in EXPERIMENTS.md.
+    assert analysis.average_poratio >= analysis.top_by_poratio[0][1] - 0.2
+    assert analysis.average_poratio >= 0.55
+    assert analysis.average_performance >= analysis.top_by_score[0][1] - 0.15

@@ -1,0 +1,39 @@
+"""Tables VI + VII: per-test-dataset quality of the decision model SNA.
+
+For every test dataset the paper reports the algorithm SNA selects, its
+PORatio, its performance P(SNA(D), D), and the per-dataset Pmax / Pavg.
+Expected shape: PORatio(SNA, D) is high on most datasets and
+P(SNA(D), D) >= Pavg(D) essentially everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import analyze_selection, format_table
+
+
+def test_bench_table6_7_sna_per_dataset(
+    benchmark, bench_automodel, bench_test_datasets, test_performance
+):
+    def run():
+        selection = {
+            dataset.name: bench_automodel.select_algorithm(dataset)
+            for dataset in bench_test_datasets
+        }
+        return analyze_selection(selection, test_performance)
+
+    analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = analysis.per_dataset_rows()
+    print()
+    print(format_table(rows, title="Tables VI/VII — SNA(D), PORatio, P, Pmax, Pavg per test dataset"))
+
+    poratios = np.array(list(analysis.poratios.values()))
+    performances = np.array(list(analysis.performances.values()))
+    p_avgs = np.array([analysis.p_avg[d] for d in analysis.poratios])
+
+    # Paper shape: PORatio(SNA, D) is "generally very high" and
+    # P(SNA(D), D) is "always superior to Pavg(D)".
+    assert poratios.mean() >= 0.55
+    assert np.mean(performances >= p_avgs - 0.03) >= 0.6

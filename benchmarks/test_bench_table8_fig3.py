@@ -1,0 +1,57 @@
+"""Table VIII + Fig. 3: quality of the acquired knowledge ``CRelations``.
+
+The paper reports (a) the average PORatio of ``CRelations(D)`` over all
+knowledge datasets together with the top-3 single algorithms by average
+PORatio (Table VIII), and (b) the distribution of those PORatios over five
+bins (Fig. 3).  Expected shape: the knowledge pairs sit overwhelmingly in the
+[0.8, 1.0] bin and their average PORatio beats every single algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge import acquire_knowledge
+from repro.evaluation import analyze_selection, format_histogram, format_table
+
+
+def _crelations_selection(bench_corpus, knowledge_performance):
+    pairs = acquire_knowledge(bench_corpus, min_algorithms=5)
+    return {
+        pair.instance: pair.algorithm
+        for pair in pairs
+        if pair.instance in knowledge_performance.datasets
+    }
+
+
+def test_bench_table8_crelations_poratio(benchmark, bench_corpus, knowledge_performance):
+    selection = _crelations_selection(bench_corpus, knowledge_performance)
+    assert len(selection) >= 5, "knowledge acquisition produced too few pairs to analyse"
+
+    analysis = benchmark.pedantic(
+        lambda: analyze_selection(selection, knowledge_performance),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [{"selection": "CRelations(D)", "average PORatio": analysis.average_poratio}]
+    for rank, (name, value) in enumerate(analysis.top_by_poratio, start=1):
+        rows.append({"selection": f"Top{rank}-{name}", "average PORatio": value})
+    print()
+    print(format_table(rows, title="Table VIII — average PORatio over knowledge datasets"))
+
+    # Paper shape: CRelations averages ~0.84 and beats the best single algorithm.
+    assert analysis.average_poratio >= 0.6
+    assert analysis.average_poratio >= analysis.top_by_poratio[0][1] - 0.05
+
+
+def test_bench_fig3_poratio_distribution(benchmark, bench_corpus, knowledge_performance):
+    selection = _crelations_selection(bench_corpus, knowledge_performance)
+    analysis = analyze_selection(selection, knowledge_performance)
+
+    histogram = benchmark.pedantic(analysis.histogram, rounds=1, iterations=1)
+    print()
+    print(format_histogram(histogram, title="Fig. 3 — PORatio distribution of CRelations(D)"))
+
+    # Paper shape: the [0.8, 1.0] bin dominates (≈80% in the paper).
+    top_bin = histogram["[0.8,1.0]"]
+    assert top_bin == max(histogram.values())
+    assert top_bin >= 40.0

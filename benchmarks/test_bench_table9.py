@@ -1,0 +1,37 @@
+"""Table IX: average performance score P of ``CRelations(D)`` vs single algorithms.
+
+The paper reports the average P(CRelations(D), D) over all knowledge datasets
+next to the top-3 single algorithms by average P.  Expected shape: the
+knowledge selection's average performance is at least as high as the best
+single algorithm's.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge import acquire_knowledge
+from repro.evaluation import analyze_selection, format_table
+
+
+def test_bench_table9_crelations_performance(benchmark, bench_corpus, knowledge_performance):
+    pairs = acquire_knowledge(bench_corpus, min_algorithms=5)
+    selection = {
+        pair.instance: pair.algorithm
+        for pair in pairs
+        if pair.instance in knowledge_performance.datasets
+    }
+    assert len(selection) >= 5
+
+    analysis = benchmark.pedantic(
+        lambda: analyze_selection(selection, knowledge_performance),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [{"selection": "CRelations(D)", "average P": analysis.average_performance}]
+    for rank, (name, value) in enumerate(analysis.top_by_score, start=1):
+        rows.append({"selection": f"Top{rank}-{name}", "average P": value})
+    print()
+    print(format_table(rows, title="Table IX — average performance P over knowledge datasets"))
+
+    best_single = analysis.top_by_score[0][1]
+    assert analysis.average_performance >= best_single - 0.05

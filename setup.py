@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package (pip then falls back to the
+legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

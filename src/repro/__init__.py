@@ -1,0 +1,44 @@
+"""repro — a reproduction of Auto-Model (Wang et al., ICDE 2020).
+
+Auto-Model solves the CASH problem (combined algorithm selection and
+hyperparameter optimization) by mining research-paper experiment reports into
+knowledge, training a neural decision model on dataset meta-features, and then
+tuning only the selected algorithm's hyperparameters with a GA or Bayesian
+optimizer.
+
+Top-level layout:
+
+* :mod:`repro.core` — Auto-Model itself (knowledge acquisition, DMD, UDR).
+* :mod:`repro.learners` — the classifier catalogue (Weka replacement).
+* :mod:`repro.hpo` — HPO techniques (GS, RS, GA, BO) and config spaces.
+* :mod:`repro.metafeatures` — the 23 Table III task-instance features.
+* :mod:`repro.corpus` — research-paper experiences and the simulated corpus.
+* :mod:`repro.datasets` — task-instance containers and synthetic suites.
+* :mod:`repro.baselines` — Auto-WEKA-style joint CASH baselines.
+* :mod:`repro.evaluation` — performance tables, PORatio, Table X comparisons.
+"""
+
+from . import baselines, core, corpus, datasets, evaluation, hpo, learners, metafeatures
+from .core.automodel import AutoModel
+from .core.dmd import DecisionMakingModelDesigner
+from .core.udr import CASHSolution, UserDemandResponser
+from .datasets.dataset import Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoModel",
+    "DecisionMakingModelDesigner",
+    "CASHSolution",
+    "UserDemandResponser",
+    "Dataset",
+    "baselines",
+    "core",
+    "corpus",
+    "datasets",
+    "evaluation",
+    "hpo",
+    "learners",
+    "metafeatures",
+    "__version__",
+]

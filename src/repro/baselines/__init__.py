@@ -1,0 +1,20 @@
+"""Baseline CASH solvers the paper compares against (Auto-WEKA and friends)."""
+
+from .autoweka import (
+    ALGORITHM_KEY,
+    AutoWekaBaseline,
+    CASHBaselineSolution,
+    joint_space,
+    split_joint_config,
+)
+from .random_cash import RandomCASH, SingleBestBaseline
+
+__all__ = [
+    "ALGORITHM_KEY",
+    "AutoWekaBaseline",
+    "CASHBaselineSolution",
+    "joint_space",
+    "split_joint_config",
+    "RandomCASH",
+    "SingleBestBaseline",
+]

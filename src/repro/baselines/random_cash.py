@@ -1,0 +1,107 @@
+"""Simpler CASH baselines: pure random joint search and single-best-algorithm."""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..evaluation.performance import PerformanceTable
+from ..hpo.base import Budget, HPOProblem
+from ..hpo.genetic import GeneticAlgorithm
+from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.validation import cross_val_accuracy
+from .autoweka import AutoWekaBaseline, CASHBaselineSolution
+
+__all__ = ["RandomCASH", "SingleBestBaseline"]
+
+
+class RandomCASH(AutoWekaBaseline):
+    """Random search over the joint algorithm+hyperparameter space.
+
+    The weakest reasonable CASH baseline: identical search space to Auto-WEKA,
+    no model guidance at all.
+    """
+
+    def __init__(
+        self,
+        registry: AlgorithmRegistry | None = None,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+    ) -> None:
+        super().__init__(
+            registry=registry,
+            strategy="random",
+            cv=cv,
+            tuning_max_records=tuning_max_records,
+            random_state=random_state,
+        )
+
+
+class SingleBestBaseline:
+    """Always pick the algorithm with the best *average* knowledge-pool performance.
+
+    This is the "Top1 single algorithm" column of Tables VIII/IX and XII/XIII:
+    no per-dataset selection, just the globally strongest catalogue member,
+    optionally tuned on the target dataset.
+    """
+
+    def __init__(
+        self,
+        performance: PerformanceTable,
+        registry: AlgorithmRegistry | None = None,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+    ) -> None:
+        self.performance = performance
+        self.registry = registry or default_registry()
+        self.cv = cv
+        self.tuning_max_records = tuning_max_records
+        self.random_state = random_state
+        self.algorithm = performance.top_algorithms(k=1, by="score")[0][0]
+
+    def run(
+        self,
+        dataset: Dataset,
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = 20,
+    ) -> CASHBaselineSolution:
+        """Tune the single globally-best algorithm on ``dataset``."""
+        start = time.monotonic()
+        spec = self.registry.get(self.algorithm)
+        data = (
+            dataset.subsample(self.tuning_max_records, random_state=self.random_state)
+            if self.tuning_max_records
+            else dataset
+        )
+        X, y = data.to_matrix()
+
+        def objective(config: dict[str, Any]) -> float:
+            estimator = spec.build(config)
+            return cross_val_accuracy(
+                estimator, X, y, cv=self.cv, random_state=self.random_state
+            )
+
+        problem = HPOProblem(spec.space, objective, name=f"single-best-{dataset.name}")
+        optimizer = GeneticAlgorithm(
+            population_size=10, n_generations=20, random_state=self.random_state
+        )
+        budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
+        result = optimizer.optimize(problem, budget)
+        config = (
+            result.best_config if np.isfinite(result.best_score) else spec.default_config()
+        )
+        score = float(result.best_score) if np.isfinite(result.best_score) else 0.0
+        return CASHBaselineSolution(
+            algorithm=self.algorithm,
+            config=config,
+            cv_score=score,
+            optimizer="single-best",
+            n_evaluations=result.n_evaluations,
+            elapsed=time.monotonic() - start,
+            history=result,
+        )

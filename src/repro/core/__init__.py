@@ -1,0 +1,38 @@
+"""Core Auto-Model components: knowledge acquisition, DMD, UDR and the facade."""
+
+from .architecture_search import (
+    ArchitectureSearch,
+    ArchitectureSearchResult,
+    DecisionModel,
+    mlp_architecture_space,
+    one_hot_prime,
+)
+from .automodel import AutoModel
+from .concepts import KnowledgeBase, KnowledgePair
+from .dmd import DecisionMakingModelDesigner, DMDResult
+from .feature_selection import FeatureSelectionResult, FeatureSelector
+from .knowledge import InformationNetwork, KnowledgeAcquisition, acquire_knowledge
+from .persistence import load_decision_model, save_decision_model
+from .udr import CASHSolution, UserDemandResponser
+
+__all__ = [
+    "ArchitectureSearch",
+    "ArchitectureSearchResult",
+    "DecisionModel",
+    "mlp_architecture_space",
+    "one_hot_prime",
+    "AutoModel",
+    "KnowledgeBase",
+    "KnowledgePair",
+    "DecisionMakingModelDesigner",
+    "DMDResult",
+    "FeatureSelectionResult",
+    "FeatureSelector",
+    "InformationNetwork",
+    "KnowledgeAcquisition",
+    "acquire_knowledge",
+    "CASHSolution",
+    "UserDemandResponser",
+    "load_decision_model",
+    "save_decision_model",
+]

@@ -1,0 +1,141 @@
+"""The Auto-Model facade: DMD (offline) + UDR (online) behind one object.
+
+Typical use::
+
+    from repro import AutoModel, datasets
+
+    knowledge_datasets = datasets.knowledge_suite(n_datasets=20)
+    auto_model = AutoModel.fit_from_datasets(knowledge_datasets)
+    solution = auto_model.recommend(my_dataset, time_limit=30.0)
+    print(solution.algorithm, solution.config, solution.cv_score)
+
+``fit_from_datasets`` simulates the research-paper corpus from measured
+performance (see :mod:`repro.corpus.generator`); ``fit`` accepts a ready-made
+corpus (e.g. one hand-extracted from real papers and loaded with
+:func:`repro.corpus.load_corpus`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..corpus.experience import ExperienceSet
+from ..corpus.generator import CorpusConfig, generate_corpus
+from ..datasets.dataset import Dataset
+from ..evaluation.performance import PerformanceTable
+from ..learners.registry import AlgorithmRegistry, default_registry
+from .dmd import DecisionMakingModelDesigner, DMDResult
+from .udr import CASHSolution, UserDemandResponser
+
+__all__ = ["AutoModel"]
+
+
+@dataclass
+class AutoModel:
+    """A fitted Auto-Model instance (trained decision model + online responder)."""
+
+    dmd_result: DMDResult
+    registry: AlgorithmRegistry
+    performance: PerformanceTable | None = None
+    corpus: ExperienceSet | None = None
+
+    # -- construction ---------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        corpus: ExperienceSet,
+        dataset_lookup: dict[str, Dataset],
+        registry: AlgorithmRegistry | None = None,
+        dmd: DecisionMakingModelDesigner | None = None,
+    ) -> "AutoModel":
+        """Run the DMD pipeline on an existing research-paper corpus."""
+        registry = registry or default_registry()
+        dmd = dmd or DecisionMakingModelDesigner()
+        result = dmd.run(corpus, dataset_lookup)
+        return cls(dmd_result=result, registry=registry, corpus=corpus)
+
+    @classmethod
+    def fit_from_datasets(
+        cls,
+        knowledge_datasets: list[Dataset],
+        registry: AlgorithmRegistry | None = None,
+        dmd: DecisionMakingModelDesigner | None = None,
+        corpus_config: CorpusConfig | None = None,
+        performance: PerformanceTable | None = None,
+        cv: int = 3,
+        max_records: int | None = 250,
+    ) -> "AutoModel":
+        """Simulate the paper corpus from ``knowledge_datasets`` and fit on it."""
+        registry = registry or default_registry()
+        corpus, table = generate_corpus(
+            knowledge_datasets,
+            registry=registry,
+            config=corpus_config,
+            performance=performance,
+            cv=cv,
+            max_records=max_records,
+        )
+        lookup = {dataset.name: dataset for dataset in knowledge_datasets}
+        dmd = dmd or DecisionMakingModelDesigner()
+        result = dmd.run(corpus, lookup)
+        model = cls(
+            dmd_result=result, registry=registry, performance=table, corpus=corpus
+        )
+        return model
+
+    # -- online use ------------------------------------------------------------------------
+    def responder(
+        self,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+    ) -> UserDemandResponser:
+        return UserDemandResponser(
+            model=self.dmd_result.model,
+            registry=self.registry,
+            cv=cv,
+            tuning_max_records=tuning_max_records,
+            random_state=random_state,
+        )
+
+    def select_algorithm(self, dataset: Dataset) -> str:
+        """Only the algorithm-selection half of the UDR (no tuning)."""
+        return self.responder().select_algorithm(dataset)
+
+    def recommend(
+        self,
+        dataset: Dataset,
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = None,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+    ) -> CASHSolution:
+        """Full CASH answer for ``dataset``: algorithm + tuned hyperparameters."""
+        responder = self.responder(
+            cv=cv, tuning_max_records=tuning_max_records, random_state=random_state
+        )
+        return responder.respond(
+            dataset, time_limit=time_limit, max_evaluations=max_evaluations
+        )
+
+    # -- introspection ------------------------------------------------------------------------
+    @property
+    def key_features(self) -> list[str]:
+        return self.dmd_result.key_features
+
+    @property
+    def knowledge_size(self) -> int:
+        return len(self.dmd_result.knowledge_base)
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable summary of the fitted system."""
+        return {
+            "knowledge_pairs": self.knowledge_size,
+            "key_features": self.key_features,
+            "architecture": self.dmd_result.architecture.config,
+            "architecture_mse": self.dmd_result.architecture.mse,
+            "algorithms_in_knowledge": self.dmd_result.knowledge_base.algorithm_labels,
+            "catalogue_size": len(self.registry),
+        }

@@ -1,0 +1,108 @@
+"""Core concepts of Auto-Model: knowledge pairs and the knowledge base.
+
+Section III-A defines *knowledge* as the set of pairs ``(I, OA_I)`` — a task
+instance together with the algorithm judged best for it.  The instance appears
+in two forms throughout the pipeline: as a *name* (what research-paper
+experiences refer to) and as an actual :class:`~repro.datasets.dataset.Dataset`
+(what feature extraction needs).  :class:`KnowledgePair` keeps the name-level
+pair; :class:`KnowledgeBase` resolves names to datasets and is the training
+collection consumed by feature selection and model training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+
+__all__ = ["KnowledgePair", "KnowledgeBase"]
+
+
+@dataclass(frozen=True)
+class KnowledgePair:
+    """One piece of knowledge ``(I, OA_I)`` plus provenance for auditability."""
+
+    instance: str
+    algorithm: str
+    # Number of algorithms the winner was shown to beat (the "comparison
+    # experience" used to break ties in Algorithm 1) — useful for reporting.
+    evidence: int = 0
+    candidates: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.instance or not self.algorithm:
+            raise ValueError("instance and algorithm must be non-empty")
+
+
+class KnowledgeBase:
+    """The resolved knowledge collection ``CRelations`` = {(dataset, algorithm)}."""
+
+    def __init__(self, pairs: list[tuple[Dataset, str]] | None = None) -> None:
+        self._datasets: list[Dataset] = []
+        self._algorithms: list[str] = []
+        for dataset, algorithm in pairs or []:
+            self.add(dataset, algorithm)
+
+    # -- construction -------------------------------------------------------------------
+    def add(self, dataset: Dataset, algorithm: str) -> None:
+        if not algorithm:
+            raise ValueError("algorithm must be non-empty")
+        self._datasets.append(dataset)
+        self._algorithms.append(algorithm)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: list[KnowledgePair], dataset_lookup: dict[str, Dataset]
+    ) -> "KnowledgeBase":
+        """Resolve name-level pairs against a dataset lookup table.
+
+        Pairs whose instance name has no corresponding dataset are skipped —
+        the corpus may mention datasets we do not have locally.
+        """
+        base = cls()
+        for pair in pairs:
+            dataset = dataset_lookup.get(pair.instance)
+            if dataset is not None:
+                base.add(dataset, pair.algorithm)
+        return base
+
+    # -- access ---------------------------------------------------------------------------
+    @property
+    def datasets(self) -> list[Dataset]:
+        return list(self._datasets)
+
+    @property
+    def algorithms(self) -> list[str]:
+        return list(self._algorithms)
+
+    @property
+    def algorithm_labels(self) -> list[str]:
+        """Distinct algorithm names, sorted (the label vocabulary of the SNA model)."""
+        return sorted(set(self._algorithms))
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[tuple[Dataset, str]]:
+        return iter(zip(self._datasets, self._algorithms))
+
+    def label_indices(self) -> np.ndarray:
+        """Algorithm labels encoded as indices into :attr:`algorithm_labels`."""
+        vocabulary = {name: i for i, name in enumerate(self.algorithm_labels)}
+        return np.array([vocabulary[a] for a in self._algorithms], dtype=np.int64)
+
+    def class_distribution(self) -> dict[str, int]:
+        """How many knowledge pairs point at each algorithm."""
+        out: dict[str, int] = {}
+        for algorithm in self._algorithms:
+            out[algorithm] = out.get(algorithm, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeBase(pairs={len(self)}, "
+            f"algorithms={len(self.algorithm_labels)})"
+        )

@@ -1,0 +1,155 @@
+"""Decision-Making Model Designer — Algorithm 4 (``AutoModelDMD``).
+
+DMD chains the three offline steps:
+
+1. Knowledge acquisition (Algorithm 1) over the research-paper corpus.
+2. Instance-feature selection (Algorithm 2) over the resulting knowledge base.
+3. Architecture search + final training of the decision model (Algorithm 3),
+   producing the ``SNA`` used online by the UDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus.experience import ExperienceSet
+from ..datasets.dataset import Dataset
+from ..metafeatures.features import FEATURE_NAMES
+from .architecture_search import ArchitectureSearch, ArchitectureSearchResult, DecisionModel
+from .concepts import KnowledgeBase, KnowledgePair
+from .feature_selection import FeatureSelectionResult, FeatureSelector
+from .knowledge import KnowledgeAcquisition
+
+__all__ = ["DMDResult", "DecisionMakingModelDesigner"]
+
+
+@dataclass
+class DMDResult:
+    """Everything Algorithm 4 produces, kept for inspection and evaluation."""
+
+    knowledge_pairs: list[KnowledgePair]
+    knowledge_base: KnowledgeBase
+    feature_selection: FeatureSelectionResult
+    architecture: ArchitectureSearchResult
+    model: DecisionModel
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def key_features(self) -> list[str]:
+        return self.feature_selection.selected
+
+
+class DecisionMakingModelDesigner:
+    """The DMD component of Auto-Model.
+
+    Parameters mirror the paper's defaults but expose the search budgets so the
+    full pipeline stays tractable in tests (GA group size 50 and 100 epochs are
+    the published values; ``precision=-0.0015`` is the published stop threshold
+    for architecture search).
+    """
+
+    def __init__(
+        self,
+        candidate_features: list[str] | None = None,
+        min_algorithms: int = 5,
+        precision: float = -0.0015,
+        feature_population: int = 50,
+        feature_generations: int = 100,
+        feature_max_evaluations: int | None = 200,
+        architecture_population: int = 50,
+        architecture_generations: int = 20,
+        architecture_max_evaluations: int | None = 80,
+        cv: int = 3,
+        random_state: int | None = 0,
+        skip_feature_selection: bool = False,
+    ) -> None:
+        self.candidate_features = list(candidate_features or FEATURE_NAMES)
+        self.min_algorithms = min_algorithms
+        self.precision = precision
+        self.feature_population = feature_population
+        self.feature_generations = feature_generations
+        self.feature_max_evaluations = feature_max_evaluations
+        self.architecture_population = architecture_population
+        self.architecture_generations = architecture_generations
+        self.architecture_max_evaluations = architecture_max_evaluations
+        self.cv = cv
+        self.random_state = random_state
+        self.skip_feature_selection = skip_feature_selection
+
+    # -- step 1: knowledge -----------------------------------------------------------------
+    def acquire_knowledge(self, corpus: ExperienceSet) -> list[KnowledgePair]:
+        acquisition = KnowledgeAcquisition(min_algorithms=self.min_algorithms)
+        return acquisition.run(corpus)
+
+    # -- step 2: feature selection --------------------------------------------------------------
+    def select_features(self, knowledge: KnowledgeBase) -> FeatureSelectionResult:
+        if self.skip_feature_selection:
+            return FeatureSelectionResult(
+                selected=list(self.candidate_features),
+                score=float("nan"),
+                all_features_score=float("nan"),
+                n_evaluations=0,
+            )
+        selector = FeatureSelector(
+            candidate_features=self.candidate_features,
+            population_size=self.feature_population,
+            n_generations=self.feature_generations,
+            max_evaluations=self.feature_max_evaluations,
+            cv=self.cv,
+            random_state=self.random_state,
+        )
+        return selector.select(knowledge)
+
+    # -- step 3: architecture search + training ----------------------------------------------------
+    def build_model(
+        self, knowledge: KnowledgeBase, key_features: list[str]
+    ) -> tuple[ArchitectureSearchResult, DecisionModel]:
+        from ..metafeatures.extractor import FeatureExtractor
+
+        extractor = FeatureExtractor(key_features).fit(knowledge.datasets)
+        search = ArchitectureSearch(
+            precision=self.precision,
+            population_size=self.architecture_population,
+            n_generations=self.architecture_generations,
+            max_evaluations=self.architecture_max_evaluations,
+            cv=self.cv,
+            random_state=self.random_state,
+        )
+        architecture = search.search(knowledge, extractor)
+        model = search.train_decision_model(knowledge, extractor, architecture.config)
+        return architecture, model
+
+    # -- Algorithm 4 ------------------------------------------------------------------------------------
+    def run(
+        self,
+        corpus: ExperienceSet,
+        dataset_lookup: dict[str, Dataset],
+    ) -> DMDResult:
+        """Run the full DMD pipeline.
+
+        ``dataset_lookup`` maps instance names (as they appear in the corpus)
+        to actual datasets so that instance features can be computed; corpus
+        instances without a local dataset are dropped from the knowledge base.
+        """
+        pairs = self.acquire_knowledge(corpus)
+        knowledge = KnowledgeBase.from_pairs(pairs, dataset_lookup)
+        if len(knowledge) < 4:
+            raise ValueError(
+                f"only {len(knowledge)} knowledge pairs could be resolved to datasets; "
+                "the decision model needs at least 4"
+            )
+        feature_selection = self.select_features(knowledge)
+        architecture, model = self.build_model(knowledge, feature_selection.selected)
+        return DMDResult(
+            knowledge_pairs=pairs,
+            knowledge_base=knowledge,
+            feature_selection=feature_selection,
+            architecture=architecture,
+            model=model,
+            diagnostics={
+                "n_corpus_instances": len(corpus.instances()),
+                "n_knowledge_pairs": len(pairs),
+                "n_resolved_pairs": len(knowledge),
+                "n_algorithms_in_knowledge": len(knowledge.algorithm_labels),
+            },
+        )

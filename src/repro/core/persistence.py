@@ -1,0 +1,100 @@
+"""Save / load a trained decision model (``SNA``).
+
+The DMD phase is by far the most expensive part of Auto-Model, so a fitted
+decision model is worth persisting: this module serialises the key features,
+the normalisation statistics, the label vocabulary, the searched architecture
+and the MLP weights into a single JSON file (weights included as nested
+lists), and restores a fully functional :class:`DecisionModel`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..learners.neural import MLPNetwork, MLPRegressor
+from ..metafeatures.extractor import FeatureExtractor
+from .architecture_search import DecisionModel
+
+__all__ = ["save_decision_model", "load_decision_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _extractor_to_dict(extractor: FeatureExtractor) -> dict:
+    return {
+        "feature_names": list(extractor.feature_names),
+        "normalize": extractor.normalize,
+        "mean": None if extractor._mean is None else extractor._mean.tolist(),
+        "scale": None if extractor._scale is None else extractor._scale.tolist(),
+    }
+
+
+def _extractor_from_dict(payload: dict) -> FeatureExtractor:
+    extractor = FeatureExtractor(payload["feature_names"], normalize=payload["normalize"])
+    if payload.get("mean") is not None:
+        extractor._mean = np.asarray(payload["mean"], dtype=np.float64)
+        extractor._scale = np.asarray(payload["scale"], dtype=np.float64)
+    return extractor
+
+
+def _regressor_to_dict(regressor: MLPRegressor) -> dict:
+    if regressor.network_ is None:
+        raise ValueError("cannot persist an unfitted decision model")
+    network = regressor.network_
+    return {
+        "params": regressor.get_params(),
+        "n_outputs": regressor.n_outputs_,
+        "input_mean": regressor._mean.tolist(),
+        "input_scale": regressor._scale.tolist(),
+        "layer_sizes": list(network.layer_sizes),
+        "weights": [w.tolist() for w in network.weights_],
+        "biases": [b.tolist() for b in network.biases_],
+    }
+
+
+def _regressor_from_dict(payload: dict) -> MLPRegressor:
+    regressor = MLPRegressor(**payload["params"])
+    regressor.n_outputs_ = int(payload["n_outputs"])
+    regressor._mean = np.asarray(payload["input_mean"], dtype=np.float64)
+    regressor._scale = np.asarray(payload["input_scale"], dtype=np.float64)
+    network = MLPNetwork(
+        layer_sizes=list(payload["layer_sizes"]),
+        task="regression",
+        activation=regressor.activation,
+        solver=regressor.solver,
+        learning_rate=regressor.learning_rate,
+        max_iter=regressor.max_iter,
+    )
+    network.weights_ = [np.asarray(w, dtype=np.float64) for w in payload["weights"]]
+    network.biases_ = [np.asarray(b, dtype=np.float64) for b in payload["biases"]]
+    regressor.network_ = network
+    return regressor
+
+
+def save_decision_model(model: DecisionModel, path: str | Path) -> None:
+    """Serialise a fitted :class:`DecisionModel` to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "labels": list(model.labels),
+        "architecture": dict(model.architecture),
+        "extractor": _extractor_to_dict(model.extractor),
+        "regressor": _regressor_to_dict(model.regressor),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_decision_model(path: str | Path) -> DecisionModel:
+    """Restore a :class:`DecisionModel` saved by :func:`save_decision_model`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported decision-model format version {version!r}")
+    return DecisionModel(
+        regressor=_regressor_from_dict(payload["regressor"]),
+        labels=list(payload["labels"]),
+        extractor=_extractor_from_dict(payload["extractor"]),
+        architecture=dict(payload["architecture"]),
+    )

@@ -1,0 +1,161 @@
+"""User Demand Responser — Algorithm 5 (``AutoModelUDR``).
+
+Given a user task instance, the UDR
+
+1. asks the trained decision model ``SNA`` for the suitable algorithm ``SA``
+   (pruning the CASH search space to a single algorithm),
+2. builds the HPO problem ``P = (I, SA, PN)`` over that algorithm's
+   hyperparameters, scored with k-fold cross-validation accuracy,
+3. picks GA or BO according to the cost of a single configuration evaluation
+   on a small sample (the paper's 10-minute rule), and
+4. optimises under the user's time/evaluation budget, returning the selected
+   algorithm with the best hyperparameter setting found so far.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from ..hpo.base import Budget, HPOProblem, OptimizationResult
+from ..hpo.selector import HPOTechniqueSelector
+from ..learners.base import BaseClassifier
+from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.validation import cross_val_accuracy
+from .architecture_search import DecisionModel
+
+__all__ = ["CASHSolution", "UserDemandResponser"]
+
+
+@dataclass
+class CASHSolution:
+    """The solution Auto-Model hands back to the user: ``(SA, OHS)`` plus context."""
+
+    algorithm: str
+    config: dict[str, Any]
+    cv_score: float
+    optimizer: str
+    n_evaluations: int
+    elapsed: float
+    estimator: BaseClassifier | None = None
+    history: OptimizationResult | None = field(default=None, repr=False)
+
+    def summary(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "config": self.config,
+            "cv_score": round(self.cv_score, 4),
+            "optimizer": self.optimizer,
+            "n_evaluations": self.n_evaluations,
+            "elapsed_seconds": round(self.elapsed, 3),
+        }
+
+
+class UserDemandResponser:
+    """The online half of Auto-Model."""
+
+    def __init__(
+        self,
+        model: DecisionModel,
+        registry: AlgorithmRegistry | None = None,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        probe_time_threshold: float = 2.0,
+        random_state: int | None = 0,
+    ) -> None:
+        self.model = model
+        self.registry = registry or default_registry()
+        self.cv = cv
+        self.tuning_max_records = tuning_max_records
+        self.probe_time_threshold = probe_time_threshold
+        self.random_state = random_state
+
+    # -- algorithm selection (Algorithm 5, line 1) --------------------------------------------
+    def select_algorithm(self, dataset: Dataset) -> str:
+        """``SA = SNA(KFs(I))``, constrained to algorithms present in the catalogue."""
+        ranking = self.model.rank(dataset)
+        for algorithm in ranking:
+            if algorithm in self.registry:
+                return algorithm
+        raise RuntimeError(
+            "the decision model only recommends algorithms outside the catalogue; "
+            "notify the user to implement the recommended algorithm "
+            f"({ranking[0]!r})"
+        )
+
+    # -- hyperparameter optimisation (lines 2-4) ------------------------------------------------
+    def _make_objective(self, dataset: Dataset, algorithm: str):
+        spec = self.registry.get(algorithm)
+        data = (
+            dataset.subsample(self.tuning_max_records, random_state=self.random_state)
+            if self.tuning_max_records
+            else dataset
+        )
+        X, y = data.to_matrix()
+
+        def objective(config: dict[str, Any]) -> float:
+            estimator = spec.build(config)
+            return cross_val_accuracy(
+                estimator, X, y, cv=self.cv, random_state=self.random_state
+            )
+
+        return spec, objective
+
+    def optimize_hyperparameters(
+        self,
+        dataset: Dataset,
+        algorithm: str,
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = None,
+    ) -> tuple[dict[str, Any], OptimizationResult, str]:
+        """Tune ``algorithm`` on ``dataset``; returns (best config, history, optimizer name)."""
+        spec, objective = self._make_objective(dataset, algorithm)
+        selector = HPOTechniqueSelector(
+            time_threshold=self.probe_time_threshold, random_state=self.random_state
+        )
+        optimizer = selector.select(spec.space, objective)
+        problem = HPOProblem(spec.space, objective, name=f"udr-{algorithm}-{dataset.name}")
+        budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
+        result = optimizer.optimize(problem, budget)
+        config = (
+            result.best_config if np.isfinite(result.best_score) else spec.default_config()
+        )
+        return config, result, optimizer.name
+
+    # -- Algorithm 5 -----------------------------------------------------------------------------------
+    def respond(
+        self,
+        dataset: Dataset,
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = None,
+        fit_final_estimator: bool = True,
+    ) -> CASHSolution:
+        """Full UDR run: select an algorithm, tune it, and return the solution."""
+        start = time.monotonic()
+        algorithm = self.select_algorithm(dataset)
+        config, history, optimizer_name = self.optimize_hyperparameters(
+            dataset, algorithm, time_limit=time_limit, max_evaluations=max_evaluations
+        )
+        estimator: BaseClassifier | None = None
+        if fit_final_estimator:
+            X, y = dataset.to_matrix()
+            estimator = self.registry.build(algorithm, config)
+            try:
+                estimator.fit(X, y)
+            except Exception:
+                estimator = None
+        cv_score = history.best_score if np.isfinite(history.best_score) else 0.0
+        return CASHSolution(
+            algorithm=algorithm,
+            config=config,
+            cv_score=float(cv_score),
+            optimizer=optimizer_name,
+            n_evaluations=history.n_evaluations,
+            elapsed=time.monotonic() - start,
+            estimator=estimator,
+            history=history,
+        )

@@ -1,0 +1,40 @@
+"""Research-paper corpus substrate: papers, experiences and the simulated corpus."""
+
+from .experience import Experience, ExperienceSet
+from .generator import CorpusConfig, CorpusGenerator, generate_corpus
+from .paper import PAPER_LEVELS, PAPER_TYPES, Paper, rank_papers, reliability_index
+from .parser import ParseError, parse_report, parse_report_file
+from .serialization import (
+    corpus_from_dict,
+    corpus_to_dict,
+    experience_from_dict,
+    experience_to_dict,
+    load_corpus,
+    paper_from_dict,
+    paper_to_dict,
+    save_corpus,
+)
+
+__all__ = [
+    "Experience",
+    "ExperienceSet",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "generate_corpus",
+    "PAPER_LEVELS",
+    "PAPER_TYPES",
+    "Paper",
+    "rank_papers",
+    "reliability_index",
+    "ParseError",
+    "parse_report",
+    "parse_report_file",
+    "corpus_from_dict",
+    "corpus_to_dict",
+    "experience_from_dict",
+    "experience_to_dict",
+    "load_corpus",
+    "paper_from_dict",
+    "paper_to_dict",
+    "save_corpus",
+]

@@ -1,0 +1,129 @@
+"""Experience records mined from research papers.
+
+The paper (Section III-A) defines an experience as the quadruple
+``(P, I, BestA_I^P, OtherAs_I^P)``: paper ``P`` reports that on task instance
+``I`` the algorithm ``BestA`` outperformed every algorithm in ``OtherAs``.
+``InfAll`` is simply the collection of all such quadruples over all papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .paper import Paper
+
+__all__ = ["Experience", "ExperienceSet"]
+
+
+@dataclass(frozen=True)
+class Experience:
+    """One quadruple ``(paper, instance, best algorithm, other algorithms)``."""
+
+    paper_id: str
+    instance: str
+    best_algorithm: str
+    other_algorithms: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.paper_id:
+            raise ValueError("paper_id must be non-empty")
+        if not self.instance:
+            raise ValueError("instance must be non-empty")
+        if not self.best_algorithm:
+            raise ValueError("best_algorithm must be non-empty")
+        if self.best_algorithm in self.other_algorithms:
+            raise ValueError(
+                f"{self.instance}: best algorithm {self.best_algorithm!r} also "
+                "listed among the inferior algorithms"
+            )
+
+    @property
+    def algorithms(self) -> tuple[str, ...]:
+        """All algorithms mentioned by this experience (best first)."""
+        return (self.best_algorithm, *self.other_algorithms)
+
+
+class ExperienceSet:
+    """The paper's ``InfAll``: experiences plus the metadata of their papers."""
+
+    def __init__(
+        self,
+        experiences: Iterable[Experience] = (),
+        papers: Iterable[Paper] = (),
+    ) -> None:
+        self._experiences: list[Experience] = []
+        self._papers: dict[str, Paper] = {}
+        for paper in papers:
+            self.add_paper(paper)
+        for experience in experiences:
+            self.add(experience)
+
+    # -- construction -------------------------------------------------------------------
+    def add_paper(self, paper: Paper) -> None:
+        if paper.paper_id in self._papers:
+            raise ValueError(f"duplicate paper id {paper.paper_id!r}")
+        self._papers[paper.paper_id] = paper
+
+    def add(self, experience: Experience) -> None:
+        if experience.paper_id not in self._papers:
+            raise ValueError(
+                f"experience references unknown paper {experience.paper_id!r}; "
+                "add the Paper first"
+            )
+        self._experiences.append(experience)
+
+    # -- access -------------------------------------------------------------------------
+    @property
+    def experiences(self) -> list[Experience]:
+        return list(self._experiences)
+
+    @property
+    def papers(self) -> list[Paper]:
+        return list(self._papers.values())
+
+    def paper(self, paper_id: str) -> Paper:
+        return self._papers[paper_id]
+
+    def __len__(self) -> int:
+        return len(self._experiences)
+
+    def __iter__(self) -> Iterator[Experience]:
+        return iter(self._experiences)
+
+    def instances(self) -> list[str]:
+        """All distinct task-instance names, in first-seen order (``IList``)."""
+        seen: dict[str, None] = {}
+        for experience in self._experiences:
+            seen.setdefault(experience.instance, None)
+        return list(seen)
+
+    def algorithms(self) -> list[str]:
+        """All distinct algorithm names mentioned anywhere in the experiences."""
+        seen: dict[str, None] = {}
+        for experience in self._experiences:
+            for algorithm in experience.algorithms:
+                seen.setdefault(algorithm, None)
+        return list(seen)
+
+    def related_to(self, instance: str) -> list[Experience]:
+        """The paper's ``RInf_I``: experiences about one task instance."""
+        return [e for e in self._experiences if e.instance == instance]
+
+    def merge(self, other: "ExperienceSet") -> "ExperienceSet":
+        """Return a new set combining this one with ``other`` (papers deduplicated)."""
+        merged = ExperienceSet()
+        for paper in self.papers:
+            merged.add_paper(paper)
+        for paper in other.papers:
+            if paper.paper_id not in merged._papers:
+                merged.add_paper(paper)
+        for experience in self._experiences + other._experiences:
+            merged.add(experience)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperienceSet(papers={len(self._papers)}, experiences={len(self._experiences)}, "
+            f"instances={len(self.instances())})"
+        )

@@ -1,0 +1,73 @@
+"""Research-paper metadata and the reliability ordering of Table I.
+
+Table I ranks papers by four fields, in priority order:
+
+1. ``Paper level`` — 'A' > 'B' > 'C' > 'D'
+2. ``Paper type`` — 'Journal' > 'Conference'
+3. ``Influence factor`` — larger is better
+4. ``Average annual citation number`` — larger is better
+
+The knowledge-acquisition algorithm (Algorithm 1) converts this ordering into
+per-paper reliability values by ranking all papers ascending and using each
+paper's rank index as its edge weight in the information network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Paper", "PAPER_LEVELS", "PAPER_TYPES", "rank_papers", "reliability_index"]
+
+PAPER_LEVELS = ("A", "B", "C", "D")
+PAPER_TYPES = ("Journal", "Conference")
+
+_LEVEL_ORDER = {level: i for i, level in enumerate(PAPER_LEVELS)}  # A=0 best
+_TYPE_ORDER = {"Journal": 0, "Conference": 1}  # Journal best
+
+
+@dataclass(frozen=True)
+class Paper:
+    """Metadata of one research paper contributing experiences."""
+
+    paper_id: str
+    title: str = ""
+    level: str = "C"
+    paper_type: str = "Conference"
+    influence_factor: float = 0.0
+    annual_citations: int = 0
+    year: int = 2015
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.level not in PAPER_LEVELS:
+            raise ValueError(f"{self.paper_id}: unknown paper level {self.level!r}")
+        if self.paper_type not in PAPER_TYPES:
+            raise ValueError(f"{self.paper_id}: unknown paper type {self.paper_type!r}")
+        if self.influence_factor < 0:
+            raise ValueError(f"{self.paper_id}: influence factor must be >= 0")
+        if self.annual_citations < 0:
+            raise ValueError(f"{self.paper_id}: annual citations must be >= 0")
+
+    def reliability_key(self) -> tuple:
+        """Sort key: *smaller* key means *more* reliable (Table I priorities)."""
+        return (
+            _LEVEL_ORDER[self.level],
+            _TYPE_ORDER[self.paper_type],
+            -self.influence_factor,
+            -self.annual_citations,
+            self.paper_id,  # deterministic tie-break
+        )
+
+
+def rank_papers(papers: list[Paper]) -> list[Paper]:
+    """Rank papers in *ascending* order of reliability (least reliable first).
+
+    Algorithm 1 ("PRank") uses the index of a paper in this list as its
+    reliability weight, so a larger index means a more trustworthy experience.
+    """
+    return sorted(papers, key=lambda p: p.reliability_key(), reverse=True)
+
+
+def reliability_index(papers: list[Paper]) -> dict[str, int]:
+    """Map paper_id -> reliability weight (index in the ascending ranking)."""
+    return {paper.paper_id: i for i, paper in enumerate(rank_papers(papers))}

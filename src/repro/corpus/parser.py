@@ -1,0 +1,155 @@
+"""Parser for hand-authored paper-report files.
+
+The paper lists "design an algorithm to accurately and automatically extract
+the information we need from the research papers" as future work; in practice
+the 20 papers of its evaluation were digested by hand.  This module provides
+the middle ground the reproduction needs: a small, line-oriented text format a
+human can fill in per paper in a minute, which parses into the same
+:class:`~repro.corpus.experience.ExperienceSet` the rest of the pipeline
+consumes.
+
+Format (``#`` starts a comment, blank lines separate papers)::
+
+    paper: zhang2017
+    title: An up-to-date comparison of state-of-the-art classification algorithms
+    level: A
+    type: Journal
+    influence_factor: 4.3
+    annual_citations: 60
+    year: 2017
+    instance: Wine | best: BayesNet | others: LDA, RandomForest, LibSVM
+    instance: Iris | best: RandomForest | others: J48, NaiveBayes
+
+Each ``instance:`` line is one experience quadruple; the metadata lines above
+it describe the paper (Table I reliability fields).  Several papers may appear
+in one file, separated by a ``paper:`` line or a blank line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .experience import Experience, ExperienceSet
+from .paper import Paper
+
+__all__ = ["ParseError", "parse_report", "parse_report_file"]
+
+
+class ParseError(ValueError):
+    """Raised when a report file does not follow the expected format."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        location = f" (line {line_number})" if line_number is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+
+
+_PAPER_FIELDS = {
+    "title": str,
+    "level": str,
+    "type": str,
+    "influence_factor": float,
+    "annual_citations": int,
+    "year": int,
+}
+
+
+def _finish_paper(
+    corpus: ExperienceSet,
+    paper_id: str | None,
+    fields: dict,
+    experiences: list[tuple[int, str, str, list[str]]],
+) -> None:
+    if paper_id is None:
+        if experiences:
+            line_number = experiences[0][0]
+            raise ParseError("experience lines appear before any 'paper:' line", line_number)
+        return
+    paper = Paper(
+        paper_id=paper_id,
+        title=fields.get("title", ""),
+        level=fields.get("level", "C"),
+        paper_type=fields.get("type", "Conference"),
+        influence_factor=fields.get("influence_factor", 0.0),
+        annual_citations=fields.get("annual_citations", 0),
+        year=fields.get("year", 2015),
+    )
+    corpus.add_paper(paper)
+    for line_number, instance, best, others in experiences:
+        try:
+            corpus.add(
+                Experience(
+                    paper_id=paper_id,
+                    instance=instance,
+                    best_algorithm=best,
+                    other_algorithms=tuple(others),
+                )
+            )
+        except ValueError as exc:
+            raise ParseError(str(exc), line_number) from exc
+
+
+def _parse_instance_line(line: str, line_number: int) -> tuple[str, str, list[str]]:
+    body = line.split(":", 1)[1].strip()
+    parts = [part.strip() for part in body.split("|")]
+    instance = parts[0]
+    best = ""
+    others: list[str] = []
+    for part in parts[1:]:
+        if part.lower().startswith("best:"):
+            best = part.split(":", 1)[1].strip()
+        elif part.lower().startswith("others:"):
+            raw = part.split(":", 1)[1].strip()
+            others = [name.strip() for name in raw.split(",") if name.strip()]
+        elif part:
+            raise ParseError(f"unrecognised instance clause {part!r}", line_number)
+    if not instance:
+        raise ParseError("instance line has an empty instance name", line_number)
+    if not best:
+        raise ParseError(f"instance {instance!r} has no 'best:' clause", line_number)
+    return instance, best, others
+
+
+def parse_report(text: str) -> ExperienceSet:
+    """Parse report text into an :class:`ExperienceSet`."""
+    corpus = ExperienceSet()
+    paper_id: str | None = None
+    fields: dict = {}
+    experiences: list[tuple[int, str, str, list[str]]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        key = line.split(":", 1)[0].strip().lower() if ":" in line else ""
+        if key == "paper":
+            _finish_paper(corpus, paper_id, fields, experiences)
+            paper_id = line.split(":", 1)[1].strip()
+            if not paper_id:
+                raise ParseError("'paper:' line has an empty identifier", line_number)
+            fields, experiences = {}, []
+        elif key == "instance":
+            experiences.append((line_number, *_parse_instance_line(line, line_number)))
+        elif key in _PAPER_FIELDS:
+            converter = _PAPER_FIELDS[key]
+            value = line.split(":", 1)[1].strip()
+            try:
+                fields[key] = converter(value)
+            except ValueError as exc:
+                raise ParseError(
+                    f"could not parse {key}={value!r} as {converter.__name__}", line_number
+                ) from exc
+        elif ":" in line:
+            raise ParseError(f"unknown field {key!r}", line_number)
+        else:
+            raise ParseError(f"unparseable line {line!r}", line_number)
+
+    _finish_paper(corpus, paper_id, fields, experiences)
+    if len(corpus.papers) == 0:
+        raise ParseError("report contains no papers")
+    return corpus
+
+
+def parse_report_file(path: str | Path) -> ExperienceSet:
+    """Parse a report file (see module docstring for the format)."""
+    return parse_report(Path(path).read_text())

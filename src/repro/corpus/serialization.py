@@ -1,0 +1,94 @@
+"""JSON serialisation of papers, experiences and corpora.
+
+A corpus can be saved to disk and reloaded so that knowledge acquisition can
+be run without re-measuring the performance table, and so that hand-curated
+corpora (actual extractions from real papers, the paper's intended input) can
+be dropped in using the same format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .experience import Experience, ExperienceSet
+from .paper import Paper
+
+__all__ = [
+    "paper_to_dict",
+    "paper_from_dict",
+    "experience_to_dict",
+    "experience_from_dict",
+    "corpus_to_dict",
+    "corpus_from_dict",
+    "save_corpus",
+    "load_corpus",
+]
+
+
+def paper_to_dict(paper: Paper) -> dict:
+    return {
+        "paper_id": paper.paper_id,
+        "title": paper.title,
+        "level": paper.level,
+        "paper_type": paper.paper_type,
+        "influence_factor": paper.influence_factor,
+        "annual_citations": paper.annual_citations,
+        "year": paper.year,
+        "extra": dict(paper.extra),
+    }
+
+
+def paper_from_dict(payload: dict) -> Paper:
+    return Paper(
+        paper_id=payload["paper_id"],
+        title=payload.get("title", ""),
+        level=payload.get("level", "C"),
+        paper_type=payload.get("paper_type", "Conference"),
+        influence_factor=float(payload.get("influence_factor", 0.0)),
+        annual_citations=int(payload.get("annual_citations", 0)),
+        year=int(payload.get("year", 2015)),
+        extra=dict(payload.get("extra", {})),
+    )
+
+
+def experience_to_dict(experience: Experience) -> dict:
+    return {
+        "paper_id": experience.paper_id,
+        "instance": experience.instance,
+        "best_algorithm": experience.best_algorithm,
+        "other_algorithms": list(experience.other_algorithms),
+    }
+
+
+def experience_from_dict(payload: dict) -> Experience:
+    return Experience(
+        paper_id=payload["paper_id"],
+        instance=payload["instance"],
+        best_algorithm=payload["best_algorithm"],
+        other_algorithms=tuple(payload.get("other_algorithms", [])),
+    )
+
+
+def corpus_to_dict(corpus: ExperienceSet) -> dict:
+    return {
+        "papers": [paper_to_dict(p) for p in corpus.papers],
+        "experiences": [experience_to_dict(e) for e in corpus.experiences],
+    }
+
+
+def corpus_from_dict(payload: dict) -> ExperienceSet:
+    corpus = ExperienceSet()
+    for paper_payload in payload.get("papers", []):
+        corpus.add_paper(paper_from_dict(paper_payload))
+    for experience_payload in payload.get("experiences", []):
+        corpus.add(experience_from_dict(experience_payload))
+    return corpus
+
+
+def save_corpus(corpus: ExperienceSet, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(corpus_to_dict(corpus), indent=2))
+
+
+def load_corpus(path: str | Path) -> ExperienceSet:
+    return corpus_from_dict(json.loads(Path(path).read_text()))

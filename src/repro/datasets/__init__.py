@@ -1,0 +1,29 @@
+"""Dataset substrate: task-instance container, synthetic generators and suites."""
+
+from .dataset import Dataset
+from .suite import TEST_SUITE_SPECS, knowledge_suite, test_suite
+from .synthetic import (
+    CONCEPT_FAMILIES,
+    make_categorical_rules,
+    make_dataset,
+    make_gaussian_clusters,
+    make_hypercube_rules,
+    make_noisy_linear,
+    make_nonlinear_manifold,
+    make_sparse_prototypes,
+)
+
+__all__ = [
+    "Dataset",
+    "TEST_SUITE_SPECS",
+    "knowledge_suite",
+    "test_suite",
+    "CONCEPT_FAMILIES",
+    "make_categorical_rules",
+    "make_dataset",
+    "make_gaussian_clusters",
+    "make_hypercube_rules",
+    "make_noisy_linear",
+    "make_nonlinear_manifold",
+    "make_sparse_prototypes",
+]

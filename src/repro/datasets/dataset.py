@@ -1,0 +1,174 @@
+"""Dataset container for classification task instances.
+
+A :class:`Dataset` is the paper's "task instance": a table with numeric
+attributes, categorical attributes and a categorical target.  It keeps the two
+attribute blocks separate because the meta-features of Table III treat them
+differently, and exposes an encoded dense matrix for the learners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..learners.preprocessing import LabelEncoder, OneHotEncoder, SimpleImputer
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A classification task instance.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used as the key in knowledge pairs).
+    numeric:
+        ``(n_records, n_numeric)`` float array; may be empty (``shape[1]==0``).
+    categorical:
+        ``(n_records, n_categorical)`` object array of category values; may be
+        empty.
+    target:
+        Length ``n_records`` array of class labels (any hashable values).
+    """
+
+    name: str
+    numeric: np.ndarray
+    categorical: np.ndarray
+    target: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.numeric = np.asarray(self.numeric, dtype=np.float64)
+        if self.numeric.ndim == 1:
+            self.numeric = self.numeric.reshape(-1, 1) if self.numeric.size else self.numeric.reshape(0, 0)
+        self.categorical = np.asarray(self.categorical, dtype=object)
+        if self.categorical.ndim == 1:
+            self.categorical = (
+                self.categorical.reshape(-1, 1) if self.categorical.size else self.categorical.reshape(0, 0)
+            )
+        self.target = np.asarray(self.target)
+        lengths = {
+            block.shape[0]
+            for block in (self.numeric, self.categorical)
+            if block.size
+        }
+        lengths.add(self.target.shape[0])
+        if len(lengths) > 1:
+            raise ValueError(f"{self.name}: inconsistent block lengths {lengths}")
+        if self.target.shape[0] == 0:
+            raise ValueError(f"{self.name}: empty dataset")
+        if self.n_numeric == 0 and self.n_categorical == 0:
+            raise ValueError(f"{self.name}: dataset has no attributes")
+
+    # -- basic shape ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return int(self.target.shape[0])
+
+    @property
+    def n_numeric(self) -> int:
+        return int(self.numeric.shape[1]) if self.numeric.size else 0
+
+    @property
+    def n_categorical(self) -> int:
+        return int(self.categorical.shape[1]) if self.categorical.size else 0
+
+    @property
+    def n_attributes(self) -> int:
+        return self.n_numeric + self.n_categorical
+
+    @property
+    def n_classes(self) -> int:
+        return int(len(np.unique(self.target)))
+
+    @property
+    def class_counts(self) -> np.ndarray:
+        _, counts = np.unique(self.target, return_counts=True)
+        return counts
+
+    # -- encoding ---------------------------------------------------------------------
+    def to_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)`` with categorical attributes one-hot encoded and the
+        target label-encoded into ``0..n_classes-1``."""
+        blocks: list[np.ndarray] = []
+        if self.n_numeric:
+            blocks.append(SimpleImputer().fit_transform(self.numeric))
+        if self.n_categorical:
+            blocks.append(OneHotEncoder().fit_transform(self.categorical))
+        X = np.hstack(blocks)
+        y = LabelEncoder().fit_transform(self.target)
+        return X, y
+
+    # -- resampling helpers --------------------------------------------------------------
+    def subsample(self, n: int, random_state: int | None = None) -> "Dataset":
+        """Return a stratified subsample of at most ``n`` records."""
+        if n >= self.n_records:
+            return self
+        rng = np.random.default_rng(random_state)
+        keep: list[int] = []
+        labels, counts = np.unique(self.target, return_counts=True)
+        fractions = counts / counts.sum()
+        for label, fraction in zip(labels, fractions):
+            members = np.flatnonzero(self.target == label)
+            take = max(1, int(round(fraction * n)))
+            take = min(take, len(members))
+            keep.extend(rng.choice(members, size=take, replace=False).tolist())
+        keep_arr = np.array(sorted(keep))
+        return self.take(keep_arr, name=f"{self.name}[sub{n}]")
+
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            name=name or self.name,
+            numeric=self.numeric[indices] if self.n_numeric else np.zeros((len(indices), 0)),
+            categorical=(
+                self.categorical[indices]
+                if self.n_categorical
+                else np.zeros((len(indices), 0), dtype=object)
+            ),
+            target=self.target[indices],
+            metadata=dict(self.metadata),
+        )
+
+    def train_test_split(
+        self, test_size: float = 0.3, random_state: int | None = None
+    ) -> tuple["Dataset", "Dataset"]:
+        """Stratified split into train/test datasets."""
+        rng = np.random.default_rng(random_state)
+        test_idx: list[int] = []
+        for label in np.unique(self.target):
+            members = rng.permutation(np.flatnonzero(self.target == label))
+            take = max(1, int(round(test_size * len(members)))) if len(members) > 1 else 0
+            test_idx.extend(members[:take].tolist())
+        test_mask = np.zeros(self.n_records, dtype=bool)
+        test_mask[test_idx] = True
+        if not test_mask.any() or test_mask.all():
+            split_point = max(1, int(round((1 - test_size) * self.n_records)))
+            order = rng.permutation(self.n_records)
+            test_mask = np.zeros(self.n_records, dtype=bool)
+            test_mask[order[split_point:]] = True
+        train = self.take(np.flatnonzero(~test_mask), name=f"{self.name}[train]")
+        test = self.take(np.flatnonzero(test_mask), name=f"{self.name}[test]")
+        return train, test
+
+    def summary(self) -> dict:
+        """Shape summary in the layout of the paper's Table XI."""
+        return {
+            "name": self.name,
+            "records": self.n_records,
+            "attributes": self.n_attributes,
+            "numeric_attributes": self.n_numeric,
+            "categorical_attributes": self.n_categorical,
+            "classes": self.n_classes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, records={self.n_records}, "
+            f"numeric={self.n_numeric}, categorical={self.n_categorical}, "
+            f"classes={self.n_classes})"
+        )

@@ -1,0 +1,141 @@
+"""Benchmark dataset suites.
+
+Two suites mirror the paper's data:
+
+* :func:`test_suite` — 21 datasets whose shapes (records, numeric/categorical
+  attribute counts, classes) follow Table XI.  The paper's datasets come from
+  UCI; without network access we generate synthetic datasets with the same
+  shapes, assigning each a concept family so the suite spans linearly
+  separable, rule-like, manifold and categorical-heavy problems.
+* :func:`knowledge_suite` — the pool of datasets that research-paper
+  experiences refer to (the paper ends up with 69 knowledge pairs); sizes and
+  shapes are drawn from ranges typical of the comparison papers it cites.
+
+Record counts can be capped (``max_records``) because several Table XI
+datasets have tens of thousands of rows, which is unnecessary for reproducing
+the *shape* of the results on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .synthetic import CONCEPT_FAMILIES, make_dataset
+
+__all__ = ["TEST_SUITE_SPECS", "test_suite", "knowledge_suite"]
+
+
+# (symbol, paper dataset name, records, numeric attrs, categorical attrs, classes, family)
+TEST_SUITE_SPECS: list[tuple[str, str, int, int, int, int, str]] = [
+    ("D1", "Pittsburgh Bridges (MATERIAL)", 108, 3, 10, 3, "categorical_rules"),
+    ("D2", "Pittsburgh Bridges (TYPE)", 108, 3, 10, 6, "categorical_rules"),
+    ("D3", "Flags", 194, 10, 20, 8, "categorical_rules"),
+    ("D4", "Liver Disorders", 345, 6, 1, 2, "noisy_linear"),
+    ("D5", "Vertebral Column", 310, 5, 1, 2, "gaussian_clusters"),
+    ("D6", "Planning Relax", 182, 12, 1, 2, "noisy_linear"),
+    ("D7", "Mammographic Mass", 961, 1, 5, 2, "categorical_rules"),
+    ("D8", "Teaching Assistant Evaluation", 151, 1, 5, 3, "categorical_rules"),
+    ("D9", "Hill-Valley", 606, 100, 1, 2, "nonlinear_manifold"),
+    ("D10", "Ozone Level Detection", 2536, 72, 1, 2, "noisy_linear"),
+    ("D11", "Breast Tissue", 106, 9, 1, 6, "sparse_prototypes"),
+    ("D12", "banknote authentication", 1372, 4, 1, 2, "nonlinear_manifold"),
+    ("D13", "Thoracic Surgery Data", 470, 3, 14, 2, "categorical_rules"),
+    ("D14", "Leaf", 340, 14, 2, 30, "sparse_prototypes"),
+    ("D15", "Climate Model Simulation Crashes", 540, 18, 1, 2, "noisy_linear"),
+    ("D16", "Nursery", 12960, 0, 8, 3, "categorical_rules"),
+    ("D17", "Avila", 20867, 9, 1, 12, "sparse_prototypes"),
+    ("D18", "Chronic Kidney Disease", 400, 14, 11, 2, "hypercube_rules"),
+    ("D19", "Crowdsourced Mapping", 10546, 28, 1, 6, "gaussian_clusters"),
+    ("D20", "default of credit card clients", 30000, 14, 10, 2, "noisy_linear"),
+    ("D21", "Mice Protein Expression", 1080, 78, 4, 8, "gaussian_clusters"),
+]
+
+
+def _scaled(records: int, max_records: int | None) -> int:
+    if max_records is None:
+        return records
+    return min(records, max_records)
+
+
+def test_suite(
+    max_records: int | None = 600,
+    max_numeric: int | None = 30,
+    random_state: int = 2020,
+    name_prefix: str = "",
+) -> list[Dataset]:
+    """Return the 21 Table XI-shaped test datasets.
+
+    ``max_records`` / ``max_numeric`` cap the generated size for tractability;
+    pass ``None`` to generate the full published shapes.  ``name_prefix``
+    lets callers generate *sibling* suites (same shapes, different data) for
+    use as a knowledge pool — in the paper both the knowledge datasets and the
+    test datasets are UCI-style tabular data, so sharing the shape
+    distribution mirrors that setup.
+    """
+    rng = np.random.default_rng(random_state)
+    datasets: list[Dataset] = []
+    for symbol, paper_name, records, n_numeric, n_categorical, n_classes, family in TEST_SUITE_SPECS:
+        n_records = _scaled(records, max_records)
+        numeric = n_numeric if max_numeric is None else min(n_numeric, max_numeric)
+        # Each dataset needs at least a handful of records per class.
+        n_records = max(n_records, n_classes * 8)
+        seed = int(rng.integers(0, 2**31 - 1))
+        kwargs = dict(
+            n_records=n_records,
+            n_numeric=numeric,
+            n_categorical=n_categorical,
+            n_classes=n_classes,
+            random_state=seed,
+        )
+        dataset = make_dataset(family, name=f"{name_prefix}{symbol}", **kwargs)
+        dataset.metadata.update(
+            {
+                "paper_name": paper_name,
+                "paper_records": records,
+                "paper_numeric": n_numeric,
+                "paper_categorical": n_categorical,
+                "paper_classes": n_classes,
+            }
+        )
+        datasets.append(dataset)
+    return datasets
+
+
+def knowledge_suite(
+    n_datasets: int = 30,
+    min_records: int = 80,
+    max_records: int = 500,
+    random_state: int = 7,
+) -> list[Dataset]:
+    """Return the pool of datasets referenced by the synthetic paper corpus.
+
+    The paper's knowledge-acquisition step yields 69 ``(dataset, best
+    algorithm)`` pairs mined from 20 papers; this pool plays the role of the
+    union of datasets those papers experimented on.  Shapes are drawn from
+    ranges typical of the cited comparison studies (UCI-scale tabular data).
+    """
+    if n_datasets < 1:
+        raise ValueError("n_datasets must be >= 1")
+    rng = np.random.default_rng(random_state)
+    families = list(CONCEPT_FAMILIES)
+    datasets: list[Dataset] = []
+    for i in range(n_datasets):
+        family = families[i % len(families)]
+        n_classes = int(rng.integers(2, 7))
+        n_records = int(rng.integers(min_records, max_records + 1))
+        n_numeric = int(rng.integers(2, 25))
+        n_categorical = int(rng.integers(0, 8))
+        if family == "categorical_rules":
+            n_categorical = max(2, n_categorical)
+        dataset = make_dataset(
+            family,
+            name=f"K{i + 1:02d}_{family}",
+            n_records=max(n_records, n_classes * 10),
+            n_numeric=n_numeric,
+            n_categorical=n_categorical,
+            n_classes=n_classes,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        datasets.append(dataset)
+    return datasets

@@ -1,0 +1,291 @@
+"""Synthetic classification dataset generators.
+
+The paper draws its 69 knowledge datasets and 21 test datasets (Table XI) from
+UCI/OpenML; this environment has no network access, so the generators below
+produce datasets whose *shape* (records, numeric/categorical attribute counts,
+class counts) can be pinned to the published values while their *difficulty
+profile* varies across several concept families.  Different families favour
+different classifier types, which is exactly the heterogeneity the algorithm-
+selection machinery needs to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "make_gaussian_clusters",
+    "make_hypercube_rules",
+    "make_nonlinear_manifold",
+    "make_sparse_prototypes",
+    "make_noisy_linear",
+    "make_categorical_rules",
+    "make_dataset",
+    "CONCEPT_FAMILIES",
+]
+
+
+def _attach_categorical(
+    rng: np.random.Generator,
+    latent: np.ndarray,
+    y: np.ndarray,
+    n_categorical: int,
+    n_classes: int,
+    informative_fraction: float = 0.6,
+) -> np.ndarray:
+    """Derive categorical attributes, some correlated with the label, some noise."""
+    n = latent.shape[0]
+    if n_categorical == 0:
+        return np.zeros((n, 0), dtype=object)
+    columns: list[np.ndarray] = []
+    for j in range(n_categorical):
+        cardinality = int(rng.integers(2, 7))
+        if rng.random() < informative_fraction:
+            # Bin an informative latent direction, then relabel with class-dependent shift.
+            direction = latent @ rng.normal(size=latent.shape[1])
+            ranks = np.argsort(np.argsort(direction))
+            base = (ranks * cardinality // n).astype(int)
+            shift = (y * int(rng.integers(0, 2))) % cardinality
+            values = (base + shift) % cardinality
+        else:
+            values = rng.integers(0, cardinality, size=n)
+        columns.append(np.array([f"c{j}_v{v}" for v in values], dtype=object))
+    return np.column_stack(columns)
+
+
+def _class_sizes(rng: np.random.Generator, n_records: int, n_classes: int, imbalance: float) -> np.ndarray:
+    """Split ``n_records`` into class sizes with a controllable imbalance."""
+    weights = rng.dirichlet(np.full(n_classes, max(0.2, 5.0 * (1.0 - imbalance))))
+    sizes = np.maximum(2, np.round(weights * n_records).astype(int))
+    while sizes.sum() > n_records:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < n_records:
+        sizes[np.argmin(sizes)] += 1
+    return sizes
+
+
+def make_gaussian_clusters(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 8,
+    n_categorical: int = 0,
+    n_classes: int = 3,
+    class_separation: float = 2.0,
+    noise: float = 1.0,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Gaussian blobs — favours LDA / naive Bayes / logistic models."""
+    rng = np.random.default_rng(random_state)
+    sizes = _class_sizes(rng, n_records, n_classes, imbalance)
+    latent_dim = max(2, n_numeric)
+    X_parts, y_parts = [], []
+    for k, size in enumerate(sizes):
+        center = rng.normal(scale=class_separation, size=latent_dim)
+        X_parts.append(center + rng.normal(scale=noise, size=(size, latent_dim)))
+        y_parts.append(np.full(size, k))
+    latent = np.vstack(X_parts)
+    y = np.concatenate(y_parts)
+    order = rng.permutation(len(y))
+    latent, y = latent[order], y[order]
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((len(y), 0))
+    categorical = _attach_categorical(rng, latent, y, n_categorical, n_classes)
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "gaussian_clusters"})
+
+
+def make_hypercube_rules(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 8,
+    n_categorical: int = 0,
+    n_classes: int = 3,
+    n_rule_features: int = 3,
+    noise: float = 0.1,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Axis-aligned threshold rules — favours trees, forests and rule learners."""
+    rng = np.random.default_rng(random_state)
+    latent_dim = max(n_numeric, n_rule_features, 2)
+    latent = rng.uniform(-1, 1, size=(n_records, latent_dim))
+    rule_features = rng.choice(latent_dim, size=min(n_rule_features, latent_dim), replace=False)
+    thresholds = rng.uniform(-0.4, 0.4, size=len(rule_features))
+    bits = (latent[:, rule_features] > thresholds).astype(int)
+    region = bits @ (2 ** np.arange(len(rule_features)))
+    region_to_class = rng.integers(0, n_classes, size=int(region.max()) + 1)
+    # Guarantee every class appears.
+    for k in range(n_classes):
+        if k not in region_to_class:
+            region_to_class[rng.integers(0, len(region_to_class))] = k
+    y = region_to_class[region]
+    flip = rng.random(n_records) < noise
+    y[flip] = rng.integers(0, n_classes, size=flip.sum())
+    for k in range(n_classes):
+        if not np.any(y == k):
+            y[rng.integers(0, n_records, size=2)] = k
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((n_records, 0))
+    categorical = _attach_categorical(rng, latent, y, n_categorical, n_classes)
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "hypercube_rules"})
+
+
+def make_nonlinear_manifold(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 6,
+    n_categorical: int = 0,
+    n_classes: int = 2,
+    noise: float = 0.15,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Concentric rings / interleaved spirals — favours kNN, SVM-RBF and MLPs."""
+    rng = np.random.default_rng(random_state)
+    sizes = _class_sizes(rng, n_records, n_classes, imbalance)
+    points, labels = [], []
+    for k, size in enumerate(sizes):
+        radius = 1.0 + 1.4 * k
+        angles = rng.uniform(0, 2 * np.pi, size=size)
+        ring = np.column_stack([radius * np.cos(angles), radius * np.sin(angles)])
+        ring += rng.normal(scale=noise * radius, size=ring.shape)
+        points.append(ring)
+        labels.append(np.full(size, k))
+    base = np.vstack(points)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    base, y = base[order], y[order]
+    extra_dim = max(0, n_numeric - 2)
+    projection = rng.normal(size=(2, extra_dim)) if extra_dim else np.zeros((2, 0))
+    extras = base @ projection + rng.normal(scale=0.3, size=(len(y), extra_dim))
+    latent = np.hstack([base, extras])
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((len(y), 0))
+    categorical = _attach_categorical(rng, latent, y, n_categorical, n_classes)
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "nonlinear_manifold"})
+
+
+def make_sparse_prototypes(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 20,
+    n_categorical: int = 0,
+    n_classes: int = 4,
+    n_prototypes_per_class: int = 3,
+    noise: float = 0.6,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Many prototypes per class in a high-dimensional space — favours instance-based learners."""
+    rng = np.random.default_rng(random_state)
+    sizes = _class_sizes(rng, n_records, n_classes, imbalance)
+    latent_dim = max(2, n_numeric)
+    points, labels = [], []
+    for k, size in enumerate(sizes):
+        prototypes = rng.normal(scale=3.0, size=(n_prototypes_per_class, latent_dim))
+        assignment = rng.integers(0, n_prototypes_per_class, size=size)
+        points.append(prototypes[assignment] + rng.normal(scale=noise, size=(size, latent_dim)))
+        labels.append(np.full(size, k))
+    latent = np.vstack(points)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    latent, y = latent[order], y[order]
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((len(y), 0))
+    categorical = _attach_categorical(rng, latent, y, n_categorical, n_classes)
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "sparse_prototypes"})
+
+
+def make_noisy_linear(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 10,
+    n_categorical: int = 0,
+    n_classes: int = 2,
+    informative: int = 4,
+    noise: float = 0.3,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Linear decision boundary buried in noise features — favours regularised linear models."""
+    rng = np.random.default_rng(random_state)
+    latent_dim = max(2, n_numeric)
+    latent = rng.normal(size=(n_records, latent_dim))
+    informative = min(informative, latent_dim)
+    weights = np.zeros((latent_dim, n_classes))
+    weights[:informative] = rng.normal(scale=2.0, size=(informative, n_classes))
+    scores = latent @ weights + rng.normal(scale=noise * 3.0, size=(n_records, n_classes))
+    if imbalance > 0:
+        scores[:, 0] += imbalance * 2.0
+    y = scores.argmax(axis=1)
+    for k in range(n_classes):
+        if not np.any(y == k):
+            y[rng.integers(0, n_records, size=2)] = k
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((n_records, 0))
+    categorical = _attach_categorical(rng, latent, y, n_categorical, n_classes)
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "noisy_linear"})
+
+
+def make_categorical_rules(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 2,
+    n_categorical: int = 8,
+    n_classes: int = 3,
+    noise: float = 0.1,
+    imbalance: float = 0.0,
+    random_state: int | None = None,
+) -> Dataset:
+    """Mostly-categorical data whose label depends on category combinations —
+    favours the discretising Bayes learners and rule/tree learners."""
+    rng = np.random.default_rng(random_state)
+    n_categorical = max(1, n_categorical)
+    cardinalities = rng.integers(2, 6, size=n_categorical)
+    codes = np.column_stack([rng.integers(0, c, size=n_records) for c in cardinalities])
+    key_columns = rng.choice(n_categorical, size=min(2, n_categorical), replace=False)
+    key = codes[:, key_columns].sum(axis=1)
+    mapping = rng.integers(0, n_classes, size=int(key.max()) + 1)
+    for k in range(n_classes):
+        if k not in mapping:
+            mapping[rng.integers(0, len(mapping))] = k
+    y = mapping[key]
+    flip = rng.random(n_records) < noise
+    y[flip] = rng.integers(0, n_classes, size=flip.sum())
+    for k in range(n_classes):
+        if not np.any(y == k):
+            y[rng.integers(0, n_records, size=2)] = k
+    categorical = np.column_stack(
+        [np.array([f"c{j}_v{v}" for v in codes[:, j]], dtype=object) for j in range(n_categorical)]
+    )
+    if n_numeric:
+        numeric = rng.normal(size=(n_records, n_numeric)) + y[:, None] * rng.normal(
+            scale=0.5, size=n_numeric
+        )
+    else:
+        numeric = np.zeros((n_records, 0))
+    return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
+                   metadata={"family": "categorical_rules"})
+
+
+CONCEPT_FAMILIES = {
+    "gaussian_clusters": make_gaussian_clusters,
+    "hypercube_rules": make_hypercube_rules,
+    "nonlinear_manifold": make_nonlinear_manifold,
+    "sparse_prototypes": make_sparse_prototypes,
+    "noisy_linear": make_noisy_linear,
+    "categorical_rules": make_categorical_rules,
+}
+
+
+def make_dataset(
+    family: str,
+    name: str,
+    **kwargs,
+) -> Dataset:
+    """Build a dataset from a named concept family (see :data:`CONCEPT_FAMILIES`)."""
+    if family not in CONCEPT_FAMILIES:
+        raise ValueError(f"unknown concept family {family!r}; known: {sorted(CONCEPT_FAMILIES)}")
+    return CONCEPT_FAMILIES[family](name=name, **kwargs)

@@ -1,0 +1,28 @@
+"""Evaluation substrate: performance tables, PORatio analysis, CASH comparisons."""
+
+from .cash_eval import (
+    CASHEvaluation,
+    ComparisonResult,
+    compare_tools,
+    evaluate_cash_tool,
+)
+from .performance import PerformanceTable, evaluate_algorithm, tune_algorithm
+from .poratio import HISTOGRAM_EDGES, PORatioAnalysis, analyze_selection, poratio_histogram
+from .reporting import format_histogram, format_key_values, format_table
+
+__all__ = [
+    "CASHEvaluation",
+    "ComparisonResult",
+    "compare_tools",
+    "evaluate_cash_tool",
+    "PerformanceTable",
+    "evaluate_algorithm",
+    "tune_algorithm",
+    "HISTOGRAM_EDGES",
+    "PORatioAnalysis",
+    "analyze_selection",
+    "poratio_histogram",
+    "format_histogram",
+    "format_key_values",
+    "format_table",
+]

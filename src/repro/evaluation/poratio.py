@@ -1,0 +1,122 @@
+"""PORatio analysis (Definition 1) and the summary statistics of Section IV-A.
+
+``PORatio(A, D)`` is the fraction of catalogue algorithms whose performance on
+``D`` does not exceed that of ``A`` — 1.0 means nothing in the catalogue beats
+``A`` on that dataset.  The module computes, on top of a
+:class:`~repro.evaluation.performance.PerformanceTable`:
+
+* the per-dataset PORatio of a selection map (CRelations or SNA picks),
+* its average and distribution histogram (Table VIII + Fig. 3, Table XII), and
+* the average-performance counterparts (Tables IX and XIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .performance import PerformanceTable
+
+__all__ = ["PORatioAnalysis", "poratio_histogram", "analyze_selection"]
+
+# Fig. 3's bin edges: [0, .2), [.2, .4), [.4, .6), [.6, .8), [.8, 1.0]
+HISTOGRAM_EDGES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def poratio_histogram(poratios: list[float]) -> dict[str, float]:
+    """Percentage of datasets whose PORatio falls in each Fig. 3 bin."""
+    values = np.asarray(poratios, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty PORatio list")
+    edges = np.asarray(HISTOGRAM_EDGES)
+    counts, _ = np.histogram(values, bins=edges)
+    # np.histogram makes the last bin closed on the right, matching [0.8, 1.0].
+    percentages = counts / values.size * 100.0
+    labels = [
+        f"[{low:.1f},{high:.1f})" if i < len(edges) - 2 else f"[{low:.1f},{high:.1f}]"
+        for i, (low, high) in enumerate(zip(edges[:-1], edges[1:]))
+    ]
+    return dict(zip(labels, percentages.tolist()))
+
+
+@dataclass
+class PORatioAnalysis:
+    """PORatio / performance statistics of one selection map over one table."""
+
+    selection: dict[str, str]
+    poratios: dict[str, float]
+    performances: dict[str, float]
+    p_max: dict[str, float]
+    p_avg: dict[str, float]
+    top_by_poratio: list[tuple[str, float]] = field(default_factory=list)
+    top_by_score: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def average_poratio(self) -> float:
+        return float(np.mean(list(self.poratios.values())))
+
+    @property
+    def average_performance(self) -> float:
+        return float(np.mean(list(self.performances.values())))
+
+    def histogram(self) -> dict[str, float]:
+        return poratio_histogram(list(self.poratios.values()))
+
+    def beats_single_algorithms(self) -> bool:
+        """True when the selection's average PORatio beats the best single algorithm."""
+        if not self.top_by_poratio:
+            return True
+        return self.average_poratio >= self.top_by_poratio[0][1]
+
+    def per_dataset_rows(self) -> list[dict]:
+        """Rows in the layout of Tables VI/VII."""
+        rows = []
+        for dataset in self.selection:
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "selected": self.selection[dataset],
+                    "poratio": round(self.poratios[dataset], 2),
+                    "performance": round(self.performances[dataset], 2),
+                    "p_max": round(self.p_max[dataset], 2),
+                    "p_avg": round(self.p_avg[dataset], 2),
+                }
+            )
+        return rows
+
+
+def analyze_selection(
+    selection: dict[str, str],
+    performance: PerformanceTable,
+    top_k: int = 3,
+) -> PORatioAnalysis:
+    """Analyse a dataset→algorithm selection map against a performance table.
+
+    ``selection`` may be the knowledge pairs (``CRelations``) or the decision
+    model's picks (``SNA(D)``); datasets missing from the performance table are
+    ignored.
+    """
+    known = {d: a for d, a in selection.items() if d in performance.datasets}
+    if not known:
+        raise ValueError("no dataset of the selection appears in the performance table")
+    poratios, performances, p_max, p_avg = {}, {}, {}, {}
+    for dataset, algorithm in known.items():
+        if algorithm not in performance.algorithms:
+            # Selection outside the catalogue: count it as a complete miss.
+            poratios[dataset] = 0.0
+            performances[dataset] = 0.0
+        else:
+            poratios[dataset] = performance.poratio(algorithm, dataset)
+            performances[dataset] = performance.score(algorithm, dataset)
+        p_max[dataset] = performance.p_max(dataset)
+        p_avg[dataset] = performance.p_avg(dataset)
+    return PORatioAnalysis(
+        selection=known,
+        poratios=poratios,
+        performances=performances,
+        p_max=p_max,
+        p_avg=p_avg,
+        top_by_poratio=performance.top_algorithms(k=top_k, by="poratio"),
+        top_by_score=performance.top_algorithms(k=top_k, by="score"),
+    )

@@ -1,0 +1,82 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format them without any plotting dependency (Fig. 3 is rendered as an
+ASCII bar chart).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_histogram", "format_key_values"]
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered)) for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    histogram: Mapping[str, float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Render a {bin label: percentage} mapping as an ASCII bar chart (Fig. 3)."""
+    if not histogram:
+        return (title + "\n" if title else "") + "(empty histogram)"
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(histogram.values()) or 1.0
+    label_width = max(len(label) for label in histogram)
+    for label, value in histogram.items():
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_key_values(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat mapping as aligned ``key : value`` lines."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    key_width = max(len(str(key)) for key in values)
+    for key, value in values.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        lines.append(f"{str(key).ljust(key_width)} : {value}")
+    return "\n".join(lines)

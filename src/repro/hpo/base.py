@@ -1,0 +1,172 @@
+"""Shared machinery for HPO optimizers: problems, trials, budgets, results.
+
+Section II-B of the paper defines an HPO problem ``P = (D, A, PN)`` whose goal
+is ``argmax f(λ, A, D)``.  Here the problem is abstracted one step further:
+an :class:`HPOProblem` wraps *any* objective ``f(config) -> float`` to be
+maximised over a :class:`~repro.hpo.space.ConfigSpace`, because the paper
+reuses the same machinery for feature selection (Algorithm 2), architecture
+search (Algorithm 3) and hyperparameter tuning (Algorithm 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .space import ConfigSpace
+
+__all__ = ["Trial", "HPOProblem", "OptimizationResult", "Budget", "BaseOptimizer"]
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    config: dict[str, Any]
+    score: float
+    elapsed: float = 0.0
+    iteration: int = 0
+
+
+@dataclass
+class Budget:
+    """Evaluation / wall-clock budget shared by all optimizers.
+
+    ``max_evaluations`` limits objective calls; ``time_limit`` (seconds) limits
+    wall-clock time (the paper's experiments use 30 s and 5 min limits).
+    Either may be ``None`` for "unlimited".
+    """
+
+    max_evaluations: int | None = None
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        self._start = time.monotonic()
+        self._evaluations = 0
+
+    def start(self) -> None:
+        self._start = time.monotonic()
+        self._evaluations = 0
+
+    def record_evaluation(self) -> None:
+        self._evaluations += 1
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def exhausted(self) -> bool:
+        if self.max_evaluations is not None and self._evaluations >= self.max_evaluations:
+            return True
+        if self.time_limit is not None and self.elapsed >= self.time_limit:
+            return True
+        return False
+
+
+class HPOProblem:
+    """A black-box maximisation problem over a configuration space."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        objective: Callable[[dict[str, Any]], float],
+        name: str = "hpo-problem",
+    ) -> None:
+        if len(space) == 0:
+            raise ValueError("configuration space is empty")
+        self.space = space
+        self.objective = objective
+        self.name = name
+
+    def evaluate(self, config: dict[str, Any]) -> float:
+        """Evaluate ``config``; crashes count as the worst possible score."""
+        try:
+            return float(self.objective(config))
+        except Exception:
+            return float("-inf")
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an optimizer run: best configuration plus the full history."""
+
+    best_config: dict[str, Any]
+    best_score: float
+    trials: list[Trial] = field(default_factory=list)
+    elapsed: float = 0.0
+    optimizer: str = ""
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.trials)
+
+    def history(self) -> np.ndarray:
+        """Running best score after each evaluation (for convergence plots)."""
+        best = -np.inf
+        out = []
+        for trial in self.trials:
+            best = max(best, trial.score)
+            out.append(best)
+        return np.array(out)
+
+    def top_k(self, k: int = 5) -> list[Trial]:
+        return sorted(self.trials, key=lambda t: t.score, reverse=True)[:k]
+
+
+class BaseOptimizer:
+    """Interface shared by GridSearch, RandomSearch, GeneticAlgorithm and BO."""
+
+    name = "base"
+
+    def __init__(self, random_state: int | None = None) -> None:
+        self.random_state = random_state
+
+    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        raise NotImplementedError
+
+    # -- helpers shared by subclasses ------------------------------------------------
+    def _evaluate(
+        self,
+        problem: HPOProblem,
+        config: dict[str, Any],
+        budget: Budget,
+        trials: list[Trial],
+        iteration: int,
+    ) -> float:
+        start = time.monotonic()
+        score = problem.evaluate(config)
+        budget.record_evaluation()
+        trials.append(
+            Trial(
+                config=dict(config),
+                score=score,
+                elapsed=time.monotonic() - start,
+                iteration=iteration,
+            )
+        )
+        return score
+
+    @staticmethod
+    def _finalize(
+        trials: list[Trial], budget: Budget, space: ConfigSpace, optimizer: str
+    ) -> OptimizationResult:
+        valid = [t for t in trials if np.isfinite(t.score)]
+        if valid:
+            best = max(valid, key=lambda t: t.score)
+            best_config, best_score = best.config, best.score
+        else:
+            best_config, best_score = space.default_configuration(), float("-inf")
+        return OptimizationResult(
+            best_config=best_config,
+            best_score=best_score,
+            trials=trials,
+            elapsed=budget.elapsed,
+            optimizer=optimizer,
+        )

@@ -1,0 +1,109 @@
+"""Gaussian-process surrogate model used by Bayesian optimization.
+
+A small, dependency-light GP regressor with a Matern-5/2 (or RBF) kernel over
+the unit hypercube encoding of configurations, with observation noise and a
+simple median-heuristic length scale.  This is the "probabilistic surrogate
+model" of Section II-A's description of BO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["GaussianProcess"]
+
+
+class GaussianProcess:
+    """GP regressor with constant mean and Matern-5/2 or RBF kernel."""
+
+    def __init__(
+        self,
+        kernel: str = "matern52",
+        length_scale: float | None = None,
+        noise: float = 1e-6,
+        signal_variance: float = 1.0,
+    ) -> None:
+        if kernel not in ("matern52", "rbf"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = kernel
+        self.length_scale = length_scale
+        self.noise = noise
+        self.signal_variance = signal_variance
+        self._fitted = False
+
+    # -- kernels ---------------------------------------------------------------------
+    def _distances(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        a2 = np.sum(A * A, axis=1)[:, None]
+        b2 = np.sum(B * B, axis=1)[None, :]
+        return np.sqrt(np.clip(a2 + b2 - 2.0 * (A @ B.T), 0.0, None))
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        d = self._distances(A, B) / self._length_scale
+        if self.kernel == "rbf":
+            return self.signal_variance * np.exp(-0.5 * d * d)
+        sqrt5 = np.sqrt(5.0)
+        return (
+            self.signal_variance
+            * (1.0 + sqrt5 * d + 5.0 / 3.0 * d * d)
+            * np.exp(-sqrt5 * d)
+        )
+
+    # -- fitting ---------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2-D and aligned with y")
+        self._X = X
+        self._y_mean = float(y.mean()) if y.size else 0.0
+        self._y_std = float(y.std()) if y.std() > 0 else 1.0
+        self._y = (y - self._y_mean) / self._y_std
+
+        if self.length_scale is not None:
+            self._length_scale = float(self.length_scale)
+        else:
+            distances = self._distances(X, X)
+            positive = distances[distances > 0]
+            self._length_scale = float(np.median(positive)) if positive.size else 1.0
+            self._length_scale = max(self._length_scale, 1e-3)
+
+        K = self._kernel_matrix(X, X) + (self.noise + 1e-8) * np.eye(X.shape[0])
+        try:
+            self._chol = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            K += 1e-4 * np.eye(X.shape[0])
+            self._chol = linalg.cholesky(K, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), self._y)
+        self._fitted = True
+        return self
+
+    # -- prediction -------------------------------------------------------------------
+    def predict(self, X: np.ndarray, return_std: bool = True):
+        """Return the posterior mean (and optionally standard deviation)."""
+        if not self._fitted:
+            raise RuntimeError("GaussianProcess is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        K_star = self._kernel_matrix(X, self._X)
+        mean = K_star @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = linalg.solve_triangular(self._chol, K_star.T, lower=True)
+        prior_var = np.full(X.shape[0], self.signal_variance)
+        var = np.clip(prior_var - np.sum(v * v, axis=0), 1e-12, None)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the (standardised) training targets."""
+        if not self._fitted:
+            raise RuntimeError("GaussianProcess is not fitted")
+        n = self._X.shape[0]
+        return float(
+            -0.5 * self._y @ self._alpha
+            - np.sum(np.log(np.diag(self._chol)))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )

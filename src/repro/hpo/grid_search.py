@@ -1,0 +1,35 @@
+"""Grid search (GS) — Section II-A's exhaustive Cartesian-product baseline."""
+
+from __future__ import annotations
+
+from .base import BaseOptimizer, Budget, HPOProblem, OptimizationResult, Trial
+
+__all__ = ["GridSearch"]
+
+
+class GridSearch(BaseOptimizer):
+    """Evaluate the Cartesian product of per-parameter grids.
+
+    The ``resolution`` parameter controls how many points each numeric
+    hyperparameter is discretised into; categorical parameters always
+    contribute all of their choices.
+    """
+
+    name = "grid-search"
+
+    def __init__(self, resolution: int = 3, max_configs: int = 2000) -> None:
+        super().__init__()
+        self.resolution = resolution
+        self.max_configs = max_configs
+
+    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        budget.start()
+        trials: list[Trial] = []
+        configs = problem.space.grid(resolution=self.resolution, max_configs=self.max_configs)
+        for iteration, config in enumerate(configs):
+            if budget.exhausted():
+                break
+            self._evaluate(problem, config, budget, trials, iteration)
+        if not trials:
+            self._evaluate(problem, problem.space.default_configuration(), budget, trials, 0)
+        return self._finalize(trials, budget, problem.space, self.name)

@@ -1,0 +1,33 @@
+"""Random search (RS) — Section II-A's history-free baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseOptimizer, Budget, HPOProblem, OptimizationResult, Trial
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(BaseOptimizer):
+    """Sample configurations uniformly at random until the budget is exhausted."""
+
+    name = "random-search"
+
+    def __init__(self, random_state: int | None = None) -> None:
+        super().__init__(random_state=random_state)
+
+    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        budget.start()
+        rng = np.random.default_rng(self.random_state)
+        trials: list[Trial] = []
+        iteration = 0
+        # Always evaluate the default configuration first: it is a cheap,
+        # sensible anchor and guarantees at least one trial even under a
+        # vanishingly small budget.
+        self._evaluate(problem, problem.space.default_configuration(), budget, trials, iteration)
+        while not budget.exhausted():
+            iteration += 1
+            config = problem.space.sample(rng)
+            self._evaluate(problem, config, budget, trials, iteration)
+        return self._finalize(trials, budget, problem.space, self.name)

@@ -1,0 +1,158 @@
+"""Successive halving and Hyperband.
+
+The paper's related-work section cites Hyperband (Li et al., ICLR 2017) among
+the modern HPO techniques; this module implements it (and its building block,
+successive halving) on top of the same :class:`~repro.hpo.space.ConfigSpace` /
+:class:`~repro.hpo.base.HPOProblem` abstractions, so it can be swapped into
+Auto-Model's UDR in place of GA/BO.
+
+Because :class:`HPOProblem` objectives take only a configuration, fidelity is
+passed through a reserved ``"__budget__"`` key when the objective declares
+support for it (``fidelity_key`` below); otherwise the optimizer degrades
+gracefully into plain successive halving on full-fidelity evaluations, which
+is still a useful racing strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import BaseOptimizer, Budget, HPOProblem, OptimizationResult, Trial
+
+__all__ = ["SuccessiveHalving", "Hyperband"]
+
+
+class SuccessiveHalving(BaseOptimizer):
+    """Race ``n_configurations`` configurations, keeping the top 1/eta each rung.
+
+    Parameters
+    ----------
+    n_configurations:
+        Number of configurations sampled for the first rung.
+    eta:
+        Elimination factor (keep ``1/eta`` of the survivors per rung).
+    min_fidelity / max_fidelity:
+        Range of the fidelity parameter passed to the objective via
+        ``fidelity_key``; the first rung runs at ``min_fidelity`` and the last
+        at ``max_fidelity``.
+    fidelity_key:
+        Name under which the fidelity is injected into the configuration dict
+        (``None`` disables fidelity injection entirely).
+    """
+
+    name = "successive-halving"
+
+    def __init__(
+        self,
+        n_configurations: int = 27,
+        eta: int = 3,
+        min_fidelity: float = 1.0,
+        max_fidelity: float = 27.0,
+        fidelity_key: str | None = "__budget__",
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(random_state=random_state)
+        if n_configurations < 2:
+            raise ValueError("n_configurations must be >= 2")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if not 0 < min_fidelity <= max_fidelity:
+            raise ValueError("require 0 < min_fidelity <= max_fidelity")
+        self.n_configurations = n_configurations
+        self.eta = eta
+        self.min_fidelity = min_fidelity
+        self.max_fidelity = max_fidelity
+        self.fidelity_key = fidelity_key
+
+    # -- internals ---------------------------------------------------------------------
+    def _n_rungs(self) -> int:
+        if self.max_fidelity == self.min_fidelity:
+            return 1
+        return int(np.floor(np.log(self.max_fidelity / self.min_fidelity) / np.log(self.eta))) + 1
+
+    def _with_fidelity(self, config: dict[str, Any], fidelity: float) -> dict[str, Any]:
+        if self.fidelity_key is None:
+            return dict(config)
+        enriched = dict(config)
+        enriched[self.fidelity_key] = fidelity
+        return enriched
+
+    def _run_bracket(
+        self,
+        problem: HPOProblem,
+        budget: Budget,
+        trials: list[Trial],
+        configs: list[dict[str, Any]],
+        start_rung: int,
+    ) -> None:
+        """Race ``configs`` through the rungs, mutating ``trials`` in place."""
+        n_rungs = self._n_rungs()
+        survivors = list(configs)
+        for rung in range(start_rung, n_rungs):
+            if not survivors or budget.exhausted():
+                return
+            fidelity = min(self.max_fidelity, self.min_fidelity * self.eta**rung)
+            scored: list[tuple[float, dict[str, Any]]] = []
+            for config in survivors:
+                if budget.exhausted():
+                    break
+                score = self._evaluate(
+                    problem, self._with_fidelity(config, fidelity), budget, trials, rung
+                )
+                scored.append((score, config))
+            if not scored:
+                return
+            scored.sort(key=lambda pair: pair[0], reverse=True)
+            keep = max(1, len(scored) // self.eta)
+            survivors = [config for _, config in scored[:keep]]
+
+    # -- public API ---------------------------------------------------------------------
+    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        budget.start()
+        rng = np.random.default_rng(self.random_state)
+        space = problem.space
+        trials: list[Trial] = []
+        configs = [space.default_configuration()]
+        configs += [space.sample(rng) for _ in range(self.n_configurations - 1)]
+        self._run_bracket(problem, budget, trials, configs, start_rung=0)
+        if not trials:
+            self._evaluate(problem, space.default_configuration(), budget, trials, 0)
+        result = self._finalize(trials, budget, space, self.name)
+        if self.fidelity_key is not None:
+            result.best_config = {
+                k: v for k, v in result.best_config.items() if k != self.fidelity_key
+            }
+        return result
+
+
+class Hyperband(SuccessiveHalving):
+    """Hyperband: several successive-halving brackets with different aggressiveness."""
+
+    name = "hyperband"
+
+    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        budget.start()
+        rng = np.random.default_rng(self.random_state)
+        space = problem.space
+        trials: list[Trial] = []
+        s_max = self._n_rungs() - 1
+        for s in range(s_max, -1, -1):
+            if budget.exhausted():
+                break
+            # Bracket s samples ~(s_max+1)/(s+1) * eta**s configs and starts them
+            # at fidelity max_fidelity * eta**(-s) (rung s_max - s).
+            n = max(2, int(np.ceil((s_max + 1) / (s + 1) * self.eta**s)))
+            configs = [space.sample(rng) for _ in range(n)]
+            if s == s_max:
+                configs[0] = space.default_configuration()
+            self._run_bracket(problem, budget, trials, configs, start_rung=s_max - s)
+        if not trials:
+            self._evaluate(problem, space.default_configuration(), budget, trials, 0)
+        result = self._finalize(trials, budget, space, self.name)
+        if self.fidelity_key is not None:
+            result.best_config = {
+                k: v for k, v in result.best_config.items() if k != self.fidelity_key
+            }
+        return result

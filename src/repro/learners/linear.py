@@ -1,0 +1,129 @@
+"""Linear / discriminant classifiers: Logistic, SimpleLogistic, LDA.
+
+``LogisticRegression`` is a multinomial softmax model trained with full-batch
+gradient descent + L2 regularisation; ``SimpleLogistic`` is the same model with
+stronger regularisation and fewer iterations (mirroring Weka's boosted simple
+regression being a lower-variance learner); ``LDA`` is classic linear
+discriminant analysis with shrinkage on the pooled covariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier
+
+__all__ = ["LogisticRegression", "SimpleLogistic", "LDA"]
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    scores = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(scores)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(BaseClassifier):
+    """Multinomial logistic regression with L2 regularisation."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        max_iter: int = 200,
+        learning_rate: float = 0.5,
+        tol: float = 1e-5,
+        fit_intercept: bool = True,
+    ) -> None:
+        super().__init__()
+        self.C = C
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+
+    def _prepare(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._mean = X.mean(axis=0)
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        if self.fit_intercept:
+            Xs = np.hstack([Xs, np.ones((Xs.shape[0], 1))])
+        return Xs
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        Xs = self._prepare(X, fit=True)
+        n_samples, n_features = Xs.shape
+        n_classes = len(self.classes_)
+        Y = np.zeros((n_samples, n_classes))
+        Y[np.arange(n_samples), y] = 1.0
+        W = np.zeros((n_features, n_classes))
+        l2 = 1.0 / (self.C * n_samples)
+        previous_loss = np.inf
+        for _ in range(int(self.max_iter)):
+            P = _softmax(Xs @ W)
+            gradient = Xs.T @ (P - Y) / n_samples + l2 * W
+            W -= self.learning_rate * gradient
+            loss = -np.mean(np.sum(Y * np.log(np.clip(P, 1e-12, None)), axis=1))
+            loss += 0.5 * l2 * np.sum(W * W)
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = W
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = self._prepare(X, fit=False)
+        return _softmax(Xs @ self.coef_)
+
+
+class SimpleLogistic(LogisticRegression):
+    """Heavily regularised, short-horizon logistic model (Weka SimpleLogistic)."""
+
+    def __init__(self, C: float = 0.1, max_iter: int = 80) -> None:
+        super().__init__(C=C, max_iter=max_iter, learning_rate=0.5)
+
+
+class LDA(BaseClassifier):
+    """Linear discriminant analysis with covariance shrinkage."""
+
+    def __init__(self, shrinkage: float = 0.1) -> None:
+        super().__init__()
+        self.shrinkage = shrinkage
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if not 0.0 <= self.shrinkage <= 1.0:
+            raise ValueError("shrinkage must be in [0, 1]")
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.means_ = np.zeros((n_classes, n_features))
+        self.priors_ = np.zeros(n_classes)
+        pooled = np.zeros((n_features, n_features))
+        for k in range(n_classes):
+            members = X[y == k]
+            if len(members) == 0:
+                members = X
+            self.means_[k] = members.mean(axis=0)
+            self.priors_[k] = (np.sum(y == k) + 1.0) / (len(y) + n_classes)
+            centered = members - self.means_[k]
+            pooled += centered.T @ centered
+        pooled /= max(len(y) - n_classes, 1)
+        trace_scaled = np.trace(pooled) / n_features if n_features else 1.0
+        pooled = (1 - self.shrinkage) * pooled + self.shrinkage * trace_scaled * np.eye(
+            n_features
+        )
+        pooled += 1e-8 * np.eye(n_features)
+        self.precision_ = np.linalg.pinv(pooled)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_classes = len(self.classes_)
+        scores = np.zeros((X.shape[0], n_classes))
+        for k in range(n_classes):
+            mean = self.means_[k]
+            scores[:, k] = (
+                X @ self.precision_ @ mean
+                - 0.5 * mean @ self.precision_ @ mean
+                + np.log(self.priors_[k])
+            )
+        return _softmax(scores)

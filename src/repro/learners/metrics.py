@@ -1,0 +1,149 @@
+"""Evaluation metrics used across the reproduction.
+
+The paper evaluates classifiers with k-fold cross-validation accuracy and the
+architecture-search step with mean squared error; the additional metrics here
+(F1, log-loss, confusion matrix, balanced accuracy) support the wider test and
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "error_rate",
+    "balanced_accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "log_loss",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+]
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred have different lengths: "
+            f"{y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true, y_pred) -> float:
+    """1 - accuracy."""
+    return 1.0 - accuracy_score(y_true, y_pred)
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Return the ``(n_labels, n_labels)`` confusion matrix (rows = truth)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Mean per-class recall; robust to class imbalance."""
+    matrix = confusion_matrix(y_true, y_pred)
+    support = matrix.sum(axis=1)
+    recalls = np.divide(
+        np.diag(matrix), support, out=np.zeros(len(matrix)), where=support > 0
+    )
+    present = support > 0
+    if not np.any(present):
+        return 0.0
+    return float(recalls[present].mean())
+
+
+def precision_recall_f1(y_true, y_pred, average: str = "macro") -> tuple[float, float, float]:
+    """Return (precision, recall, f1) aggregated with macro or micro averaging."""
+    if average not in ("macro", "micro"):
+        raise ValueError(f"unknown average {average!r}; use 'macro' or 'micro'")
+    matrix = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    if average == "micro":
+        tp_sum, fp_sum, fn_sum = tp.sum(), fp.sum(), fn.sum()
+        precision = tp_sum / (tp_sum + fp_sum) if tp_sum + fp_sum > 0 else 0.0
+        recall = tp_sum / (tp_sum + fn_sum) if tp_sum + fn_sum > 0 else 0.0
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_precision = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+            per_recall = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+        precision = float(per_precision.mean())
+        recall = float(per_recall.mean())
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    return float(precision), float(recall), float(f1)
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """Macro- or micro-averaged F1."""
+    return precision_recall_f1(y_true, y_pred, average=average)[2]
+
+
+def log_loss(y_true, proba, labels=None, eps: float = 1e-15) -> float:
+    """Cross-entropy between integer labels and a probability matrix."""
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    if labels is None:
+        labels = np.unique(y_true)
+    labels = np.asarray(labels)
+    if proba.ndim != 2 or proba.shape[1] != len(labels):
+        raise ValueError(
+            f"proba has shape {proba.shape}, expected (n_samples, {len(labels)})"
+        )
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    rows = np.array([index[label] for label in y_true.tolist()])
+    clipped = np.clip(proba, eps, 1.0)
+    clipped = clipped / clipped.sum(axis=1, keepdims=True)
+    return float(-np.mean(np.log(clipped[np.arange(len(rows)), rows])))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error; accepts 1-D or 2-D targets."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error; accepts 1-D or 2-D targets."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    residual = np.sum((y_true - y_pred) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total == 0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)

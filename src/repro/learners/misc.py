@@ -1,0 +1,165 @@
+"""Misc learners from Weka's ``misc`` and ``meta`` packages.
+
+``HyperPipes`` and ``VFI`` are the two ``weka.classifiers.misc`` entries of
+Table IV; ``ClassificationViaClustering`` and ``ClassificationViaRegression``
+are the corresponding ``meta`` wrappers that route classification through an
+unsupervised or regression model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier
+
+__all__ = [
+    "HyperPipes",
+    "VFI",
+    "ClassificationViaClustering",
+    "ClassificationViaRegression",
+]
+
+
+class HyperPipes(BaseClassifier):
+    """Per-class bounding boxes; score = fraction of attributes inside the box."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.lower_ = np.zeros((n_classes, n_features))
+        self.upper_ = np.zeros((n_classes, n_features))
+        for k in range(n_classes):
+            members = X[y == k]
+            if len(members) == 0:
+                members = X
+            self.lower_[k] = members.min(axis=0)
+            self.upper_[k] = members.max(axis=0)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_classes = len(self.classes_)
+        scores = np.zeros((X.shape[0], n_classes))
+        for k in range(n_classes):
+            inside = (X >= self.lower_[k]) & (X <= self.upper_[k])
+            scores[:, k] = inside.mean(axis=1)
+        scores += 1e-6
+        return scores / scores.sum(axis=1, keepdims=True)
+
+
+class VFI(BaseClassifier):
+    """Voting feature intervals: each attribute votes through per-class histograms."""
+
+    def __init__(self, n_bins: int = 10) -> None:
+        super().__init__()
+        self.n_bins = n_bins
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.edges_: list[np.ndarray] = []
+        self.votes_: list[np.ndarray] = []
+        class_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        class_counts[class_counts == 0] = 1.0
+        for j in range(n_features):
+            edges = np.unique(
+                np.percentile(X[:, j], np.linspace(0, 100, self.n_bins + 1)[1:-1])
+            )
+            bins = np.searchsorted(edges, X[:, j], side="right")
+            table = np.zeros((len(edges) + 1, n_classes))
+            for b, label in zip(bins, y):
+                table[b, label] += 1.0
+            # Normalise by class size so frequent classes do not dominate votes.
+            table = table / class_counts[None, :]
+            row_sums = table.sum(axis=1, keepdims=True)
+            row_sums[row_sums == 0] = 1.0
+            self.edges_.append(edges)
+            self.votes_.append(table / row_sums)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        n_classes = len(self.classes_)
+        scores = np.zeros((X.shape[0], n_classes))
+        for j, (edges, table) in enumerate(zip(self.edges_, self.votes_)):
+            bins = np.clip(np.searchsorted(edges, X[:, j], side="right"), 0, len(table) - 1)
+            scores += table[bins]
+        scores += 1e-6
+        return scores / scores.sum(axis=1, keepdims=True)
+
+
+class ClassificationViaClustering(BaseClassifier):
+    """k-means clustering with clusters mapped to their majority class."""
+
+    def __init__(self, n_clusters: int | None = None, random_state: int | None = None) -> None:
+        super().__init__()
+        self.n_clusters = n_clusters
+        self.random_state = random_state
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n_classes = len(self.classes_)
+        k = int(self.n_clusters) if self.n_clusters else max(n_classes, 2)
+        k = min(k, X.shape[0])
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        centers = Xs[rng.choice(Xs.shape[0], size=k, replace=False)]
+        for _ in range(25):
+            d2 = ((Xs[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            assignment = d2.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(k):
+                members = Xs[assignment == j]
+                if len(members):
+                    new_centers[j] = members.mean(axis=0)
+            if np.allclose(new_centers, centers):
+                break
+            centers = new_centers
+        self.centers_ = centers
+        self.cluster_distribution_ = np.zeros((k, n_classes))
+        global_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        for j in range(k):
+            members = y[assignment == j]
+            if len(members):
+                counts = np.bincount(members, minlength=n_classes).astype(np.float64)
+            else:
+                counts = global_counts
+            self.cluster_distribution_[j] = counts / counts.sum()
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._scale
+        d2 = ((Xs[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return self.cluster_distribution_[d2.argmin(axis=1)]
+
+
+class ClassificationViaRegression(BaseClassifier):
+    """One-vs-rest ridge regression on class indicators (Weka meta wrapper)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = np.hstack([(X - self._mean) / self._scale, np.ones((X.shape[0], 1))])
+        n_classes = len(self.classes_)
+        Y = np.zeros((X.shape[0], n_classes))
+        Y[np.arange(X.shape[0]), y] = 1.0
+        gram = Xs.T @ Xs + self.alpha * np.eye(Xs.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xs.T @ Y)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = np.hstack([(X - self._mean) / self._scale, np.ones((X.shape[0], 1))])
+        scores = Xs @ self.coef_
+        scores -= scores.max(axis=1, keepdims=True)
+        proba = np.exp(scores)
+        return proba / proba.sum(axis=1, keepdims=True)

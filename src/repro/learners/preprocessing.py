@@ -1,0 +1,225 @@
+"""Preprocessing utilities: scaling, encoding and imputation.
+
+Weka performs attribute normalisation and nominal-to-binary conversion inside
+many of its classifiers; here the equivalent transforms are explicit so that
+all learners in the catalogue receive a dense numeric matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "LabelEncoder",
+    "OneHotEncoder",
+    "SimpleImputer",
+    "encode_mixed_matrix",
+]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling with constant-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column to the [0, 1] interval."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to ``0..n_classes-1`` and back."""
+
+    def __init__(self) -> None:
+        self.classes_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        seen = sorted(set(np.asarray(y).tolist()), key=lambda v: (str(type(v)), str(v)))
+        self.classes_ = seen
+        self._index = {label: i for i, label in enumerate(seen)}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self._index is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        values = np.asarray(y).tolist()
+        missing = [v for v in values if v not in self._index]
+        if missing:
+            raise ValueError(f"unseen labels during transform: {sorted(set(map(str, missing)))}")
+        return np.array([self._index[v] for v in values], dtype=np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder is not fitted")
+        y = np.asarray(y, dtype=np.int64)
+        if np.any(y < 0) or np.any(y >= len(self.classes_)):
+            raise ValueError("encoded labels out of range")
+        return np.array([self.classes_[i] for i in y])
+
+
+class OneHotEncoder:
+    """One-hot encode a matrix of categorical columns (given as objects/ints).
+
+    Unknown categories at transform time map to an all-zero block, matching the
+    common "ignore unknown" behaviour.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list] | None = None
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = np.asarray(X, dtype=object)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        self.categories_ = [
+            sorted(set(X[:, j].tolist()), key=lambda v: (str(type(v)), str(v)))
+            for j in range(X.shape[1])
+        ]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        X = np.asarray(X, dtype=object)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[1] != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {X.shape[1]}"
+            )
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            index = {category: i for i, category in enumerate(categories)}
+            block = np.zeros((X.shape[0], len(categories)), dtype=np.float64)
+            for row, value in enumerate(X[:, j].tolist()):
+                position = index.get(value)
+                if position is not None:
+                    block[row, position] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((X.shape[0], 0))
+        return np.hstack(blocks)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_features_(self) -> int:
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        return sum(len(c) for c in self.categories_)
+
+
+class SimpleImputer:
+    """Replace NaNs column-wise with the mean, median or a constant."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0) -> None:
+        if strategy not in ("mean", "median", "constant"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: np.ndarray | None = None
+
+    def fit(self, X) -> "SimpleImputer":
+        X = np.asarray(X, dtype=np.float64)
+        if self.strategy == "constant":
+            self.statistics_ = np.full(X.shape[1], float(self.fill_value))
+            return self
+        reducer = np.nanmean if self.strategy == "mean" else np.nanmedian
+        with np.errstate(all="ignore"):
+            stats = reducer(X, axis=0)
+        stats = np.where(np.isnan(stats), self.fill_value, stats)
+        self.statistics_ = stats
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.statistics_ is None:
+            raise RuntimeError("SimpleImputer is not fitted")
+        X = np.asarray(X, dtype=np.float64).copy()
+        for j in range(X.shape[1]):
+            mask = np.isnan(X[:, j])
+            X[mask, j] = self.statistics_[j]
+        return X
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def encode_mixed_matrix(
+    numeric: np.ndarray | None, categorical: np.ndarray | None
+) -> tuple[np.ndarray, OneHotEncoder | None]:
+    """Build a dense numeric matrix from numeric + categorical attribute blocks.
+
+    Returns the encoded matrix and the fitted :class:`OneHotEncoder` (``None``
+    when there are no categorical attributes).  Numeric NaNs are mean-imputed.
+    """
+    blocks: list[np.ndarray] = []
+    encoder: OneHotEncoder | None = None
+    n_rows: int | None = None
+    if numeric is not None and numeric.size:
+        numeric = np.asarray(numeric, dtype=np.float64)
+        blocks.append(SimpleImputer().fit_transform(numeric))
+        n_rows = numeric.shape[0]
+    if categorical is not None and np.asarray(categorical).size:
+        categorical = np.asarray(categorical, dtype=object)
+        if categorical.ndim == 1:
+            categorical = categorical.reshape(-1, 1)
+        encoder = OneHotEncoder()
+        blocks.append(encoder.fit_transform(categorical))
+        n_rows = categorical.shape[0]
+    if not blocks:
+        raise ValueError("both numeric and categorical blocks are empty")
+    if n_rows is None:
+        raise ValueError("could not infer the number of rows")
+    return np.hstack(blocks), encoder

@@ -1,0 +1,203 @@
+"""Support vector machines: SMO (linear) and LibSVM-style kernel SVM.
+
+``SMO`` follows Weka's default (linear kernel, one-vs-one via one-vs-rest
+approximation here) trained with a simplified sequential-minimal-optimisation
+loop; ``LibSVMClassifier`` adds an RBF kernel.  Probabilities come from a
+softmax over decision values (a light-weight Platt-scaling stand-in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseClassifier
+
+__all__ = ["SMO", "LibSVMClassifier"]
+
+
+class _BinarySVM:
+    """Simplified SMO for a single binary problem with labels in {-1, +1}."""
+
+    def __init__(
+        self,
+        C: float,
+        kernel: str,
+        gamma: float,
+        max_passes: int,
+        tol: float,
+        random_state: int | None,
+    ) -> None:
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.max_passes = max_passes
+        self.tol = tol
+        self.random_state = random_state
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return A @ B.T
+        if self.kernel == "rbf":
+            a2 = np.sum(A * A, axis=1)[:, None]
+            b2 = np.sum(B * B, axis=1)[None, :]
+            d2 = np.clip(a2 + b2 - 2.0 * (A @ B.T), 0.0, None)
+            return np.exp(-self.gamma * d2)
+        raise ValueError(f"unknown kernel {self.kernel!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BinarySVM":
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        alpha = np.zeros(n)
+        b = 0.0
+        K = self._kernel_matrix(X, X)
+        passes = 0
+        while passes < self.max_passes:
+            changed = 0
+            for i in range(n):
+                Ei = np.sum(alpha * y * K[:, i]) + b - y[i]
+                if (y[i] * Ei < -self.tol and alpha[i] < self.C) or (
+                    y[i] * Ei > self.tol and alpha[i] > 0
+                ):
+                    j = int(rng.integers(0, n - 1))
+                    if j >= i:
+                        j += 1
+                    Ej = np.sum(alpha * y * K[:, j]) + b - y[j]
+                    alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                    if y[i] != y[j]:
+                        low = max(0.0, alpha[j] - alpha[i])
+                        high = min(self.C, self.C + alpha[j] - alpha[i])
+                    else:
+                        low = max(0.0, alpha[i] + alpha[j] - self.C)
+                        high = min(self.C, alpha[i] + alpha[j])
+                    if low >= high:
+                        continue
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+                    alpha[j] -= y[j] * (Ei - Ej) / eta
+                    alpha[j] = np.clip(alpha[j], low, high)
+                    if abs(alpha[j] - alpha_j_old) < 1e-5:
+                        continue
+                    alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j])
+                    b1 = (
+                        b
+                        - Ei
+                        - y[i] * (alpha[i] - alpha_i_old) * K[i, i]
+                        - y[j] * (alpha[j] - alpha_j_old) * K[i, j]
+                    )
+                    b2 = (
+                        b
+                        - Ej
+                        - y[i] * (alpha[i] - alpha_i_old) * K[i, j]
+                        - y[j] * (alpha[j] - alpha_j_old) * K[j, j]
+                    )
+                    if 0 < alpha[i] < self.C:
+                        b = b1
+                    elif 0 < alpha[j] < self.C:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        support = alpha > 1e-8
+        self.support_X_ = X[support]
+        self.support_alpha_y_ = (alpha * y)[support]
+        self.b_ = b
+        if not support.any():
+            self.support_X_ = X[:1]
+            self.support_alpha_y_ = np.zeros(1)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        K = self._kernel_matrix(X, self.support_X_)
+        return K @ self.support_alpha_y_ + self.b_
+
+
+class SMO(BaseClassifier):
+    """One-vs-rest linear SVM trained with simplified SMO (Weka SMO analogue)."""
+
+    kernel_name = "linear"
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        gamma: float = 0.1,
+        max_passes: int = 3,
+        tol: float = 1e-3,
+        max_train_samples: int = 400,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.C = C
+        self.gamma = gamma
+        self.max_passes = max_passes
+        self.tol = tol
+        self.max_train_samples = max_train_samples
+        self.random_state = random_state
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.C <= 0:
+            raise ValueError("C must be positive")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        rng = np.random.default_rng(self.random_state)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        # SMO is O(n^2); subsample very large training sets to keep HPO loops
+        # tractable, preserving class balance.
+        if Xs.shape[0] > int(self.max_train_samples):
+            keep: list[int] = []
+            per_class = max(2, int(self.max_train_samples) // len(self.classes_))
+            for k in range(len(self.classes_)):
+                members = np.flatnonzero(y == k)
+                take = min(per_class, len(members))
+                keep.extend(rng.choice(members, size=take, replace=False).tolist())
+            keep_arr = np.array(sorted(keep))
+            Xs, y = Xs[keep_arr], y[keep_arr]
+        self.models_: list[_BinarySVM] = []
+        for k in range(len(self.classes_)):
+            binary_y = np.where(y == k, 1.0, -1.0)
+            model = _BinarySVM(
+                C=self.C,
+                kernel=self.kernel_name,
+                gamma=self.gamma,
+                max_passes=self.max_passes,
+                tol=self.tol,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            model.fit(Xs, binary_y)
+            self.models_.append(model)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._scale
+        scores = np.column_stack([m.decision_function(Xs) for m in self.models_])
+        scores -= scores.max(axis=1, keepdims=True)
+        proba = np.exp(scores)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+class LibSVMClassifier(SMO):
+    """RBF-kernel SVM (LibSVM analogue)."""
+
+    kernel_name = "rbf"
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        gamma: float = 0.5,
+        max_passes: int = 3,
+        tol: float = 1e-3,
+        max_train_samples: int = 400,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            C=C,
+            gamma=gamma,
+            max_passes=max_passes,
+            tol=tol,
+            max_train_samples=max_train_samples,
+            random_state=random_state,
+        )

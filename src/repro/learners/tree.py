@@ -1,0 +1,354 @@
+"""Decision-tree learners.
+
+A single recursive tree engine (:class:`DecisionTreeClassifier`) supports the
+splitting criteria, feature subsampling and depth/size controls needed to
+express the Weka tree family referenced by the paper's catalogue (Table IV):
+``J48`` (C4.5, gain-ratio), ``SimpleCart`` (Gini), ``REPTree`` (reduced-error
+style: information gain + strong size limits), ``RandomTree`` (random feature
+subsets per split), ``BFTree`` (best-first expansion approximated by a node
+budget) and ``DecisionStump`` (depth 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import BaseClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "J48",
+    "SimpleCart",
+    "REPTree",
+    "RandomTree",
+    "BFTree",
+    "DecisionStump",
+]
+
+
+@dataclass
+class _Node:
+    """A node of the fitted tree; leaves carry a class distribution."""
+
+    prediction: np.ndarray
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+    depth: int = 0
+    impurity: float = 0.0
+    children: list = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _class_distribution(y: np.ndarray, n_classes: int) -> np.ndarray:
+    counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+    total = counts.sum()
+    return counts / total if total > 0 else np.full(n_classes, 1.0 / n_classes)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-np.sum(p * np.log2(p)))
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART/C4.5-style binary decision tree over numeric features.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"``, ``"entropy"`` (information gain) or ``"gain_ratio"``.
+    max_depth:
+        Maximum tree depth; ``None`` means unbounded.
+    min_samples_split / min_samples_leaf:
+        Pre-pruning size thresholds.
+    max_features:
+        ``None`` (all), ``"sqrt"``, ``"log2"`` or an int — the number of
+        candidate features examined at each split (RandomTree behaviour).
+    max_nodes:
+        Optional cap on the number of internal nodes (best-first style limit).
+    min_impurity_decrease:
+        Minimum impurity improvement required to accept a split.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        max_nodes: int | None = None,
+        min_impurity_decrease: float = 0.0,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_nodes = max_nodes
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    # -- fitting -----------------------------------------------------------------
+    def _impurity(self, counts: np.ndarray) -> float:
+        if self.criterion == "gini":
+            return _gini(counts)
+        return _entropy(counts)
+
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)) if n_features > 1 else 1)
+        return max(1, min(int(self.max_features), n_features))
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, float] | None:
+        """Return ``(feature, threshold, impurity_decrease)`` or ``None``."""
+        n_samples, n_features = X.shape
+        parent_counts = np.bincount(y, minlength=self._n_classes)
+        parent_impurity = self._impurity(parent_counts)
+        k = self._n_candidate_features(n_features)
+        candidates = (
+            np.arange(n_features)
+            if k >= n_features
+            else rng.choice(n_features, size=k, replace=False)
+        )
+        best: tuple[int, float, float] | None = None
+        best_score = -np.inf
+        for feature in candidates:
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = y[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = parent_counts.astype(np.float64).copy()
+            for i in range(n_samples - 1):
+                label = labels[i]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if values[i] == values[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                weighted = (
+                    n_left * self._impurity(left_counts)
+                    + n_right * self._impurity(right_counts)
+                ) / n_samples
+                decrease = parent_impurity - weighted
+                score = decrease
+                if self.criterion == "gain_ratio":
+                    split_counts = np.array([n_left, n_right], dtype=np.float64)
+                    split_info = _entropy(split_counts)
+                    score = decrease / split_info if split_info > 0 else 0.0
+                if score > best_score and decrease > self.min_impurity_decrease:
+                    best_score = score
+                    threshold = float((values[i] + values[i + 1]) / 2.0)
+                    best = (int(feature), threshold, float(decrease))
+        return best
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        distribution = _class_distribution(y, self._n_classes)
+        node = _Node(
+            prediction=distribution,
+            n_samples=len(y),
+            depth=depth,
+            impurity=self._impurity(np.bincount(y, minlength=self._n_classes)),
+        )
+        if (
+            len(np.unique(y)) <= 1
+            or len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or (self.max_nodes is not None and self._n_internal >= self.max_nodes)
+        ):
+            return node
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        self._n_internal += 1
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._n_classes = int(len(self.classes_))
+        self._n_internal = 0
+        rng = np.random.default_rng(self.random_state)
+        self.tree_ = self._build(X, y, depth=0, rng=rng)
+
+    # -- prediction ----------------------------------------------------------------
+    def _predict_row(self, node: _Node, row: np.ndarray) -> np.ndarray:
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return np.vstack([self._predict_row(self.tree_, row) for row in X])
+
+    # -- introspection ---------------------------------------------------------------
+    def depth(self) -> int:
+        """Return the depth of the fitted tree (0 for a single leaf)."""
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.tree_)
+
+    def n_leaves(self) -> int:
+        """Return the number of leaves of the fitted tree."""
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return _count(node.left) + _count(node.right)
+
+        return _count(self.tree_)
+
+
+class J48(DecisionTreeClassifier):
+    """C4.5-style tree: gain-ratio splits with a confidence-like leaf floor."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        min_impurity_decrease: float = 0.0,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            criterion="gain_ratio",
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            min_impurity_decrease=min_impurity_decrease,
+            random_state=random_state,
+        )
+
+
+class SimpleCart(DecisionTreeClassifier):
+    """CART-style tree: Gini splits, moderate pre-pruning."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        min_impurity_decrease: float = 0.0,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            criterion="gini",
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            min_impurity_decrease=min_impurity_decrease,
+            random_state=random_state,
+        )
+
+
+class REPTree(DecisionTreeClassifier):
+    """Reduced-error-pruning style tree: aggressive size limits for low variance."""
+
+    def __init__(
+        self,
+        max_depth: int | None = 8,
+        min_samples_leaf: int = 4,
+        min_samples_split: int = 8,
+        min_impurity_decrease: float = 1e-4,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            criterion="entropy",
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            min_impurity_decrease=min_impurity_decrease,
+            random_state=random_state,
+        )
+
+
+class RandomTree(DecisionTreeClassifier):
+    """Unpruned tree that examines a random feature subset at each split."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            criterion="entropy",
+            max_depth=max_depth,
+            min_samples_split=2,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            random_state=random_state,
+        )
+
+
+class BFTree(DecisionTreeClassifier):
+    """Best-first tree approximated with a cap on the number of internal nodes."""
+
+    def __init__(
+        self,
+        max_nodes: int = 32,
+        min_samples_leaf: int = 2,
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            criterion="gini",
+            max_nodes=max_nodes,
+            min_samples_split=4,
+            min_samples_leaf=min_samples_leaf,
+            random_state=random_state,
+        )
+
+
+class DecisionStump(DecisionTreeClassifier):
+    """Single-split decision stump (depth 1)."""
+
+    def __init__(self, criterion: str = "entropy", random_state: int | None = None) -> None:
+        super().__init__(
+            criterion=criterion,
+            max_depth=1,
+            min_samples_split=2,
+            min_samples_leaf=1,
+            random_state=random_state,
+        )

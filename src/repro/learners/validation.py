@@ -1,0 +1,166 @@
+"""Resampling helpers: train/test splits and (stratified) k-fold CV.
+
+The paper scores every configuration with k-fold cross-validation accuracy
+(10-fold in the evaluation, smaller k inside the GA loops), so the splitters
+here are the workhorse of both the HPO layer and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .base import BaseClassifier, clone
+from .metrics import accuracy_score
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "cross_val_accuracy",
+]
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.25,
+    random_state: int | None = None,
+    stratify: bool = False,
+):
+    """Split ``(X, y)`` into train and test partitions.
+
+    Returns ``X_train, X_test, y_train, y_test``.  With ``stratify=True`` the
+    class proportions of ``y`` are approximately preserved in both partitions.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have different lengths")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n = X.shape[0]
+    if stratify:
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            members = rng.permutation(members)
+            take = max(1, int(round(test_size * len(members)))) if len(members) > 1 else 0
+            test_idx.extend(members[:take].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+        if not test_mask.any() or test_mask.all():
+            # Degenerate stratification (e.g. every class a singleton): fall back.
+            return train_test_split(X, y, test_size, random_state, stratify=False)
+    else:
+        permutation = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        n_test = min(n_test, n - 1)
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[permutation[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Plain k-fold splitter yielding ``(train_idx, test_idx)`` pairs."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = np.random.default_rng(self.random_state).permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold splitter that preserves class proportions across folds."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n = y.shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        rng = np.random.default_rng(self.random_state)
+        fold_assignment = np.empty(n, dtype=np.int64)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                members = rng.permutation(members)
+            # Deal members round-robin across the folds so each fold gets an
+            # approximately equal share of every class.
+            fold_assignment[members] = np.arange(len(members)) % self.n_splits
+        for i in range(self.n_splits):
+            test_idx = np.flatnonzero(fold_assignment == i)
+            train_idx = np.flatnonzero(fold_assignment != i)
+            if len(test_idx) == 0 or len(train_idx) == 0:
+                continue
+            yield train_idx, test_idx
+
+
+def _effective_splits(y: np.ndarray, requested: int) -> int:
+    """Clamp the fold count so every training fold can contain every class."""
+    _, counts = np.unique(y, return_counts=True)
+    n = len(y)
+    return max(2, min(requested, int(counts.min()) if counts.min() >= 2 else 2, n // 2))
+
+
+def cross_val_score(
+    estimator: BaseClassifier,
+    X,
+    y,
+    cv: int = 5,
+    scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Return the per-fold scores of ``estimator`` under stratified k-fold CV.
+
+    Folds where the estimator raises are scored 0.0 — the HPO layer treats a
+    crashing configuration as a very bad one rather than aborting the search,
+    mirroring how Auto-WEKA handles failed runs.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    n_splits = _effective_splits(y, cv)
+    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=random_state)
+    scores: list[float] = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = clone(estimator)
+        try:
+            model.fit(X[train_idx], y[train_idx])
+            predictions = model.predict(X[test_idx])
+            scores.append(float(scoring(y[test_idx], predictions)))
+        except Exception:
+            scores.append(0.0)
+    if not scores:
+        return np.array([0.0])
+    return np.array(scores, dtype=np.float64)
+
+
+def cross_val_accuracy(
+    estimator: BaseClassifier, X, y, cv: int = 5, random_state: int | None = None
+) -> float:
+    """Mean k-fold cross-validation accuracy (the paper's ``f(λ, A, D)``)."""
+    return float(cross_val_score(estimator, X, y, cv=cv, random_state=random_state).mean())

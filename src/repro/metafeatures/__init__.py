@@ -1,0 +1,12 @@
+"""Task-instance meta-features (Table III of the paper)."""
+
+from .extractor import FeatureExtractor
+from .features import FEATURE_DESCRIPTIONS, FEATURE_FUNCTIONS, FEATURE_NAMES, compute_feature
+
+__all__ = [
+    "FeatureExtractor",
+    "FEATURE_DESCRIPTIONS",
+    "FEATURE_FUNCTIONS",
+    "FEATURE_NAMES",
+    "compute_feature",
+]

@@ -1,0 +1,96 @@
+"""Task-instance feature extraction (the ``Fs(I)`` / ``KFs(I)`` of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+from .features import FEATURE_FUNCTIONS, FEATURE_NAMES
+
+__all__ = ["FeatureExtractor"]
+
+
+class FeatureExtractor:
+    """Compute a fixed subset of the Table III features as a dense vector.
+
+    Parameters
+    ----------
+    feature_names:
+        Ordered list of feature names to extract; defaults to all 23.
+    normalize:
+        When ``True`` (the default for model training), features are scaled
+        with statistics learned from a reference collection via :meth:`fit`,
+        so that count-like features (f9 = number of records) do not dominate
+        proportion-like ones.
+    """
+
+    def __init__(self, feature_names: list[str] | None = None, normalize: bool = True) -> None:
+        names = list(feature_names) if feature_names is not None else list(FEATURE_NAMES)
+        unknown = [n for n in names if n not in FEATURE_FUNCTIONS]
+        if unknown:
+            raise ValueError(f"unknown features: {unknown}")
+        if not names:
+            raise ValueError("at least one feature is required")
+        self.feature_names = names
+        self.normalize = normalize
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    # -- raw extraction ---------------------------------------------------------------
+    def raw_vector(self, dataset: Dataset) -> np.ndarray:
+        """Un-normalised feature vector in the order of ``feature_names``."""
+        return np.array(
+            [FEATURE_FUNCTIONS[name](dataset) for name in self.feature_names],
+            dtype=np.float64,
+        )
+
+    def raw_matrix(self, datasets: list[Dataset]) -> np.ndarray:
+        if not datasets:
+            raise ValueError("empty dataset list")
+        return np.vstack([self.raw_vector(d) for d in datasets])
+
+    # -- normalisation ------------------------------------------------------------------
+    def fit(self, datasets: list[Dataset]) -> "FeatureExtractor":
+        """Learn normalisation statistics from a reference dataset collection."""
+        matrix = self.raw_matrix(datasets)
+        self._mean = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        return self
+
+    def transform(self, dataset: Dataset) -> np.ndarray:
+        """Feature vector for one dataset (normalised if :meth:`fit` was called)."""
+        vector = self.raw_vector(dataset)
+        if self.normalize and self._mean is not None:
+            vector = (vector - self._mean) / self._scale
+        return vector
+
+    def transform_many(self, datasets: list[Dataset]) -> np.ndarray:
+        return np.vstack([self.transform(d) for d in datasets])
+
+    def fit_transform(self, datasets: list[Dataset]) -> np.ndarray:
+        return self.fit(datasets).transform_many(datasets)
+
+    # -- subsetting ----------------------------------------------------------------------
+    def restrict(self, feature_names: list[str]) -> "FeatureExtractor":
+        """Return a new extractor over a subset of this one's features.
+
+        Normalisation statistics are carried over for the retained features so
+        a restriction of a fitted extractor is itself fitted.
+        """
+        missing = [n for n in feature_names if n not in self.feature_names]
+        if missing:
+            raise ValueError(f"features not present in this extractor: {missing}")
+        restricted = FeatureExtractor(feature_names, normalize=self.normalize)
+        if self._mean is not None:
+            indices = [self.feature_names.index(n) for n in feature_names]
+            restricted._mean = self._mean[indices]
+            restricted._scale = self._scale[indices]
+        return restricted
+
+    def __len__(self) -> int:
+        return len(self.feature_names)
+
+    def __repr__(self) -> str:
+        return f"FeatureExtractor({self.feature_names})"

@@ -1,0 +1,217 @@
+"""The 23 task-instance features of Table III (f1 … f23).
+
+Each feature is a function of a :class:`~repro.datasets.dataset.Dataset`.
+Notation from the paper:
+
+* ``AT`` — the target attribute; ``AT[n]`` its number of classes.
+* ``ANList`` / ``ACList`` — numeric / categorical common attributes.
+* ``A#`` — the categorical common attribute with the fewest classes,
+  ``A?`` — the one with the most classes.
+* ``H(·)`` — Shannon entropy of a categorical attribute's value distribution.
+
+Features that reference an empty attribute list (e.g. f10–f17 when there are
+no categorical attributes, f18–f23 when there are no numeric attributes) are
+defined as 0, so every dataset maps to a complete 23-dimensional vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..datasets.dataset import Dataset
+
+__all__ = ["FEATURE_NAMES", "FEATURE_FUNCTIONS", "FEATURE_DESCRIPTIONS", "compute_feature"]
+
+
+def _entropy_of_values(values: np.ndarray) -> float:
+    _, counts = np.unique(values, return_counts=True)
+    p = counts / counts.sum()
+    return float(-np.sum(p * np.log2(p)))
+
+
+def _target_proportions(dataset: Dataset) -> np.ndarray:
+    _, counts = np.unique(dataset.target, return_counts=True)
+    return counts / dataset.n_records
+
+
+def _categorical_cardinalities(dataset: Dataset) -> np.ndarray:
+    if dataset.n_categorical == 0:
+        return np.array([])
+    return np.array(
+        [len(np.unique(dataset.categorical[:, j])) for j in range(dataset.n_categorical)]
+    )
+
+
+def _extreme_categorical_column(dataset: Dataset, mode: str) -> np.ndarray | None:
+    """Return the values of A# (mode='min') or A? (mode='max'), or None."""
+    cardinalities = _categorical_cardinalities(dataset)
+    if cardinalities.size == 0:
+        return None
+    index = int(np.argmin(cardinalities)) if mode == "min" else int(np.argmax(cardinalities))
+    return dataset.categorical[:, index]
+
+
+def _column_proportions(values: np.ndarray) -> np.ndarray:
+    _, counts = np.unique(values, return_counts=True)
+    return counts / len(values)
+
+
+def _numeric_averages(dataset: Dataset) -> np.ndarray:
+    if dataset.n_numeric == 0:
+        return np.array([])
+    return dataset.numeric.mean(axis=0)
+
+
+def _numeric_variances(dataset: Dataset) -> np.ndarray:
+    if dataset.n_numeric == 0:
+        return np.array([])
+    return dataset.numeric.var(axis=0)
+
+
+# -- the 23 features -----------------------------------------------------------------
+
+def f1(d: Dataset) -> float:
+    """Number of classes in the target attribute."""
+    return float(d.n_classes)
+
+
+def f2(d: Dataset) -> float:
+    """Entropy of the target class distribution."""
+    return _entropy_of_values(d.target)
+
+
+def f3(d: Dataset) -> float:
+    """Proportion of the majority target class."""
+    return float(_target_proportions(d).max())
+
+
+def f4(d: Dataset) -> float:
+    """Proportion of the minority target class."""
+    return float(_target_proportions(d).min())
+
+
+def f5(d: Dataset) -> float:
+    """Number of numeric attributes."""
+    return float(d.n_numeric)
+
+
+def f6(d: Dataset) -> float:
+    """Number of categorical attributes."""
+    return float(d.n_categorical)
+
+
+def f7(d: Dataset) -> float:
+    """Proportion of numeric attributes among all common attributes."""
+    return float(d.n_numeric / d.n_attributes) if d.n_attributes else 0.0
+
+
+def f8(d: Dataset) -> float:
+    """Number of common attributes."""
+    return float(d.n_attributes)
+
+
+def f9(d: Dataset) -> float:
+    """Number of records."""
+    return float(d.n_records)
+
+
+def f10(d: Dataset) -> float:
+    """Cardinality of the categorical attribute with the fewest classes (A#)."""
+    cardinalities = _categorical_cardinalities(d)
+    return float(cardinalities.min()) if cardinalities.size else 0.0
+
+
+def f11(d: Dataset) -> float:
+    """Entropy of A#."""
+    column = _extreme_categorical_column(d, "min")
+    return _entropy_of_values(column) if column is not None else 0.0
+
+
+def f12(d: Dataset) -> float:
+    """Majority-value proportion of A#."""
+    column = _extreme_categorical_column(d, "min")
+    return float(_column_proportions(column).max()) if column is not None else 0.0
+
+
+def f13(d: Dataset) -> float:
+    """Minority-value proportion of A#."""
+    column = _extreme_categorical_column(d, "min")
+    return float(_column_proportions(column).min()) if column is not None else 0.0
+
+
+def f14(d: Dataset) -> float:
+    """Cardinality of the categorical attribute with the most classes (A?)."""
+    cardinalities = _categorical_cardinalities(d)
+    return float(cardinalities.max()) if cardinalities.size else 0.0
+
+
+def f15(d: Dataset) -> float:
+    """Entropy of A?."""
+    column = _extreme_categorical_column(d, "max")
+    return _entropy_of_values(column) if column is not None else 0.0
+
+
+def f16(d: Dataset) -> float:
+    """Majority-value proportion of A?."""
+    column = _extreme_categorical_column(d, "max")
+    return float(_column_proportions(column).max()) if column is not None else 0.0
+
+
+def f17(d: Dataset) -> float:
+    """Minority-value proportion of A?."""
+    column = _extreme_categorical_column(d, "max")
+    return float(_column_proportions(column).min()) if column is not None else 0.0
+
+
+def f18(d: Dataset) -> float:
+    """Minimum of the per-attribute averages of the numeric attributes."""
+    averages = _numeric_averages(d)
+    return float(averages.min()) if averages.size else 0.0
+
+
+def f19(d: Dataset) -> float:
+    """Maximum of the per-attribute averages of the numeric attributes."""
+    averages = _numeric_averages(d)
+    return float(averages.max()) if averages.size else 0.0
+
+
+def f20(d: Dataset) -> float:
+    """Minimum of the per-attribute variances of the numeric attributes."""
+    variances = _numeric_variances(d)
+    return float(variances.min()) if variances.size else 0.0
+
+
+def f21(d: Dataset) -> float:
+    """Maximum of the per-attribute variances of the numeric attributes."""
+    variances = _numeric_variances(d)
+    return float(variances.max()) if variances.size else 0.0
+
+
+def f22(d: Dataset) -> float:
+    """Variance of the per-attribute averages of the numeric attributes."""
+    averages = _numeric_averages(d)
+    return float(averages.var()) if averages.size else 0.0
+
+
+def f23(d: Dataset) -> float:
+    """Variance of the per-attribute variances of the numeric attributes."""
+    variances = _numeric_variances(d)
+    return float(variances.var()) if variances.size else 0.0
+
+
+FEATURE_FUNCTIONS: dict[str, Callable[[Dataset], float]] = {
+    f"f{i}": globals()[f"f{i}"] for i in range(1, 24)
+}
+FEATURE_NAMES: list[str] = list(FEATURE_FUNCTIONS)
+FEATURE_DESCRIPTIONS: dict[str, str] = {
+    name: (func.__doc__ or "").strip() for name, func in FEATURE_FUNCTIONS.items()
+}
+
+
+def compute_feature(name: str, dataset: Dataset) -> float:
+    """Compute a single named feature (``'f1'`` … ``'f23'``) for ``dataset``."""
+    if name not in FEATURE_FUNCTIONS:
+        raise KeyError(f"unknown feature {name!r}; known: {FEATURE_NAMES}")
+    return FEATURE_FUNCTIONS[name](dataset)

@@ -1,0 +1,149 @@
+"""Shared fixtures: small synthetic datasets and reduced registries.
+
+Everything here is deliberately tiny so the full test suite runs in minutes:
+the catalogue is restricted to its cheap members where a full catalogue is not
+the point of the test, and GA/BO budgets are expressed in evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.datasets import (
+    Dataset,
+    make_categorical_rules,
+    make_gaussian_clusters,
+    make_hypercube_rules,
+    make_nonlinear_manifold,
+)
+from repro.evaluation import PerformanceTable
+from repro.learners import default_registry
+
+# A small but heterogeneous algorithm subset used across integration tests.
+SMALL_CATALOGUE = [
+    "J48",
+    "SimpleCart",
+    "RandomTree",
+    "NaiveBayes",
+    "BayesNet",
+    "IBk",
+    "KStar",
+    "Logistic",
+    "LDA",
+    "OneR",
+    "ZeroR",
+    "HyperPipes",
+    "VFI",
+    "DecisionStump",
+]
+
+
+@pytest.fixture(scope="session")
+def small_registry():
+    return default_registry().subset(SMALL_CATALOGUE)
+
+
+@pytest.fixture(scope="session")
+def blobs_dataset() -> Dataset:
+    return make_gaussian_clusters(
+        "blobs", n_records=180, n_numeric=6, n_categorical=2, n_classes=3,
+        class_separation=2.5, random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def rules_dataset() -> Dataset:
+    return make_hypercube_rules(
+        "rules", n_records=200, n_numeric=6, n_categorical=0, n_classes=3, random_state=1
+    )
+
+
+@pytest.fixture(scope="session")
+def rings_dataset() -> Dataset:
+    return make_nonlinear_manifold(
+        "rings", n_records=180, n_numeric=4, n_categorical=0, n_classes=2, random_state=2
+    )
+
+
+@pytest.fixture(scope="session")
+def categorical_dataset() -> Dataset:
+    return make_categorical_rules(
+        "cats", n_records=180, n_numeric=2, n_categorical=6, n_classes=3, random_state=3
+    )
+
+
+@pytest.fixture(scope="session")
+def simple_xy(blobs_dataset) -> tuple[np.ndarray, np.ndarray]:
+    return blobs_dataset.to_matrix()
+
+
+@pytest.fixture(scope="session")
+def binary_xy() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(0)
+    n = 160
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def knowledge_datasets() -> list[Dataset]:
+    """Eight small, varied datasets playing the role of the knowledge pool."""
+    datasets = []
+    makers = [
+        make_gaussian_clusters,
+        make_hypercube_rules,
+        make_nonlinear_manifold,
+        make_categorical_rules,
+    ]
+    for i in range(8):
+        maker = makers[i % len(makers)]
+        datasets.append(
+            maker(
+                f"KD{i}",
+                n_records=120,
+                n_numeric=5,
+                n_categorical=2,
+                n_classes=2 + (i % 2),
+                random_state=100 + i,
+            )
+        )
+    return datasets
+
+
+@pytest.fixture(scope="session")
+def small_performance(knowledge_datasets, small_registry) -> PerformanceTable:
+    return PerformanceTable.compute(
+        knowledge_datasets,
+        registry=small_registry,
+        tune=False,
+        cv=3,
+        max_records=100,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus(knowledge_datasets, small_registry, small_performance):
+    config = CorpusConfig(
+        n_papers=12,
+        min_datasets_per_paper=3,
+        max_datasets_per_paper=6,
+        min_algorithms_per_paper=6,
+        max_algorithms_per_paper=10,
+        random_state=0,
+    )
+    corpus, table = generate_corpus(
+        knowledge_datasets,
+        registry=small_registry,
+        config=config,
+        performance=small_performance,
+    )
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def dataset_lookup(knowledge_datasets):
+    return {d.name: d for d in knowledge_datasets}

@@ -1,0 +1,191 @@
+"""Tests for Algorithm 2 (feature selection) and Algorithm 3 (architecture search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture_search import (
+    ArchitectureSearch,
+    mlp_architecture_space,
+    one_hot_prime,
+)
+from repro.core.concepts import KnowledgeBase, KnowledgePair
+from repro.core.feature_selection import FeatureSelector
+from repro.datasets import make_categorical_rules, make_gaussian_clusters
+from repro.metafeatures import FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def toy_knowledge() -> KnowledgeBase:
+    """A knowledge base whose label is recoverable from dataset shape features.
+
+    Gaussian datasets are labelled 'LDA', categorical-heavy ones 'BayesNet', so
+    features like f6/f7 (categorical attribute counts) are highly informative.
+    """
+    base = KnowledgeBase()
+    for i in range(8):
+        dataset = make_gaussian_clusters(
+            f"g{i}", n_records=80 + 10 * i, n_numeric=4 + i % 3, n_categorical=0,
+            n_classes=2 + i % 2, random_state=i,
+        )
+        base.add(dataset, "LDA")
+    for i in range(8):
+        dataset = make_categorical_rules(
+            f"c{i}", n_records=80 + 10 * i, n_numeric=1, n_categorical=4 + i % 3,
+            n_classes=2 + i % 2, random_state=100 + i,
+        )
+        base.add(dataset, "BayesNet")
+    return base
+
+
+class TestKnowledgeBase:
+    def test_label_vocabulary_sorted(self, toy_knowledge):
+        assert toy_knowledge.algorithm_labels == ["BayesNet", "LDA"]
+
+    def test_label_indices_align(self, toy_knowledge):
+        indices = toy_knowledge.label_indices()
+        assert len(indices) == len(toy_knowledge)
+        assert set(indices) == {0, 1}
+
+    def test_class_distribution(self, toy_knowledge):
+        assert toy_knowledge.class_distribution() == {"LDA": 8, "BayesNet": 8}
+
+    def test_from_pairs_skips_unknown_instances(self):
+        pairs = [KnowledgePair("known", "LDA"), KnowledgePair("missing", "J48")]
+        dataset = make_gaussian_clusters("known", n_records=50, random_state=0)
+        base = KnowledgeBase.from_pairs(pairs, {"known": dataset})
+        assert len(base) == 1
+
+    def test_empty_algorithm_rejected(self):
+        base = KnowledgeBase()
+        with pytest.raises(ValueError):
+            base.add(make_gaussian_clusters("x", n_records=30, random_state=0), "")
+
+    def test_pair_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgePair("", "LDA")
+
+
+class TestFeatureSelector:
+    def test_selects_informative_subset(self, toy_knowledge):
+        selector = FeatureSelector(
+            population_size=10,
+            n_generations=5,
+            max_evaluations=40,
+            cv=3,
+            mlp_max_iter=40,
+            random_state=0,
+        )
+        result = selector.select(toy_knowledge)
+        assert 1 <= result.n_selected <= 23
+        assert 0.0 <= result.score <= 1.0
+        # A subset driven by categorical/numeric structure should score well on
+        # this deliberately easy separation.
+        assert result.score >= 0.7
+
+    def test_requires_enough_pairs(self):
+        base = KnowledgeBase()
+        base.add(make_gaussian_clusters("only", n_records=40, random_state=0), "LDA")
+        with pytest.raises(ValueError):
+            FeatureSelector(max_evaluations=5).select(base)
+
+    def test_candidate_feature_restriction(self, toy_knowledge):
+        selector = FeatureSelector(
+            candidate_features=["f5", "f6", "f7"],
+            population_size=6,
+            n_generations=3,
+            max_evaluations=15,
+            random_state=0,
+        )
+        result = selector.select(toy_knowledge)
+        assert set(result.selected).issubset({"f5", "f6", "f7"})
+
+
+class TestOneHotPrime:
+    def test_plain_one_hot_without_applicability(self):
+        target = one_hot_prime("B", ["A", "B", "C"])
+        np.testing.assert_array_equal(target, [0.0, 1.0, 0.0])
+
+    def test_inapplicable_algorithms_get_minus_one(self):
+        dataset = make_gaussian_clusters("d", n_records=30, random_state=0)
+        target = one_hot_prime(
+            "B", ["A", "B", "C"], dataset, applicability=lambda name, d: name != "C"
+        )
+        np.testing.assert_array_equal(target, [0.0, 1.0, -1.0])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot_prime("Z", ["A", "B"])
+
+
+class TestArchitectureSpace:
+    def test_has_the_ten_table_ii_hyperparameters(self):
+        space = mlp_architecture_space()
+        expected = {
+            "hidden_layer", "hidden_layer_size", "activation", "solver",
+            "learning_rate", "max_iter", "momentum", "validation_fraction",
+            "beta_1", "beta_2",
+        }
+        assert set(space.names) == expected
+
+    def test_table_ii_ranges(self):
+        space = mlp_architecture_space()
+        assert space["hidden_layer"].low == 1 and space["hidden_layer"].high == 20
+        assert space["hidden_layer_size"].low == 5 and space["hidden_layer_size"].high == 100
+        assert space["max_iter"].low == 100 and space["max_iter"].high == 500
+        assert set(space["activation"].choices) == {"relu", "tanh", "logistic", "identity"}
+        assert set(space["solver"].choices) == {"lbfgs", "sgd", "adam"}
+
+    def test_sgd_conditionals(self):
+        space = mlp_architecture_space()
+        config = space.default_configuration()
+        config["solver"] = "adam"
+        assert not space.is_active("momentum", config)
+        config["solver"] = "sgd"
+        assert space.is_active("momentum", config)
+
+
+class TestArchitectureSearch:
+    def test_search_and_train_decision_model(self, toy_knowledge):
+        extractor = FeatureExtractor(["f5", "f6", "f7", "f9"]).fit(toy_knowledge.datasets)
+        search = ArchitectureSearch(
+            population_size=6,
+            n_generations=2,
+            max_evaluations=10,
+            cv=2,
+            max_hidden_layers=2,
+            max_layer_size=24,
+            max_iter_cap=60,
+            random_state=0,
+        )
+        result = search.search(toy_knowledge, extractor)
+        assert result.n_evaluations > 0
+        assert result.mse >= 0.0
+        model = search.train_decision_model(toy_knowledge, extractor, result.config)
+        # The trained SNA should recover the obvious mapping on training data.
+        correct = sum(
+            model.select(dataset) == algorithm for dataset, algorithm in toy_knowledge
+        )
+        assert correct / len(toy_knowledge) >= 0.7
+
+    def test_decision_model_rank_and_scores(self, toy_knowledge):
+        extractor = FeatureExtractor(["f6", "f7"]).fit(toy_knowledge.datasets)
+        search = ArchitectureSearch(
+            population_size=4, n_generations=1, max_evaluations=4,
+            max_hidden_layers=2, max_layer_size=16, max_iter_cap=40, random_state=0,
+        )
+        result = search.search(toy_knowledge, extractor)
+        model = search.train_decision_model(toy_knowledge, extractor, result.config)
+        dataset = toy_knowledge.datasets[0]
+        scores = model.scores(dataset)
+        assert set(scores) == set(model.labels)
+        ranking = model.rank(dataset)
+        assert ranking[0] == model.select(dataset)
+        assert model.key_features == ["f6", "f7"]
+
+    def test_requires_enough_pairs(self, toy_knowledge):
+        small = KnowledgeBase()
+        dataset, algorithm = next(iter(toy_knowledge))
+        small.add(dataset, algorithm)
+        extractor = FeatureExtractor(["f5"]).fit([dataset])
+        with pytest.raises(ValueError):
+            ArchitectureSearch(max_evaluations=2).search(small, extractor)

@@ -1,0 +1,183 @@
+"""Tests for Algorithm 1 (knowledge acquisition) and the information network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Experience, ExperienceSet, Paper
+from repro.core.knowledge import KnowledgeAcquisition, acquire_knowledge
+
+
+def build_corpus(experiences, papers=None) -> ExperienceSet:
+    """Helper: corpus with papers p1 (least reliable) .. pN (most reliable)."""
+    paper_ids = {e[0] for e in experiences}
+    if papers is None:
+        papers = [
+            Paper(
+                paper_id=pid,
+                level="D",
+                paper_type="Conference",
+                influence_factor=float(i),  # higher index = more reliable
+                annual_citations=i,
+            )
+            for i, pid in enumerate(sorted(paper_ids))
+        ]
+    corpus = ExperienceSet(papers=papers)
+    for paper_id, instance, best, others in experiences:
+        corpus.add(Experience(paper_id, instance, best, tuple(others)))
+    return corpus
+
+
+ALGORITHMS = ["A", "B", "C", "D", "E", "F"]
+
+
+class TestKnowledgeAcquisition:
+    def test_skips_instances_with_few_algorithms(self):
+        corpus = build_corpus([("p1", "tiny", "A", ["B"])])
+        pairs = KnowledgeAcquisition(min_algorithms=5).run(corpus)
+        assert pairs == []
+
+    def test_clear_winner_is_selected(self):
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "A", ["B", "C", "D"]),
+                ("p2", "wine", "A", ["E", "F"]),
+            ]
+        )
+        pairs = KnowledgeAcquisition(min_algorithms=5).run(corpus)
+        assert len(pairs) == 1
+        assert pairs[0].instance == "wine"
+        assert pairs[0].algorithm == "A"
+
+    def test_transitive_relation_via_bfs(self):
+        # A beats B (p1), B beats C (p2).  C also "wins" one experience so it
+        # becomes a candidate, but BFS proves A is above both.
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "A", ["B", "D", "E", "F"]),
+                ("p2", "wine", "B", ["C", "D", "E", "F"]),
+                ("p3", "wine", "C", ["D", "E", "F"]),
+            ]
+        )
+        acquisition = KnowledgeAcquisition(min_algorithms=5)
+        network = acquisition.analyze_instance("wine", corpus)
+        assert network is not None
+        assert network.resolved.has_edge("A", "B")
+        pair = acquisition.select_optimal(network)
+        assert pair.algorithm == "A"
+
+    def test_conflict_resolved_by_reliability(self):
+        # p1 (less reliable) says B beats A; p2 (more reliable) says A beats B.
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "B", ["A", "C", "D", "E", "F"]),
+                ("p2", "wine", "A", ["B", "C", "D", "E", "F"]),
+            ]
+        )
+        acquisition = KnowledgeAcquisition(min_algorithms=5)
+        network = acquisition.analyze_instance("wine", corpus)
+        assert network.resolved.has_edge("A", "B")
+        assert not network.resolved.has_edge("B", "A")
+        assert acquisition.select_optimal(network).algorithm == "A"
+
+    def test_conflict_kept_when_resolution_disabled(self):
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "B", ["A", "C", "D", "E", "F"]),
+                ("p2", "wine", "A", ["B", "C", "D", "E", "F"]),
+            ]
+        )
+        acquisition = KnowledgeAcquisition(min_algorithms=5, resolve_conflicts=False)
+        network = acquisition.analyze_instance("wine", corpus)
+        # Without resolution both directed edges survive.
+        assert network.resolved.has_edge("A", "B") and network.resolved.has_edge("B", "A")
+
+    def test_tie_broken_by_comparison_experience(self):
+        # A and B never compared against each other; A has beaten more algorithms.
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "A", ["C", "D", "E"]),
+                ("p2", "wine", "A", ["F"]),
+                ("p3", "wine", "B", ["C"]),
+            ]
+        )
+        acquisition = KnowledgeAcquisition(min_algorithms=5)
+        network = acquisition.analyze_instance("wine", corpus)
+        sources = set(network.sources())
+        assert {"A", "B"}.issubset(sources)
+        assert acquisition.select_optimal(network).algorithm == "A"
+
+    def test_multiple_instances_produce_multiple_pairs(self):
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "A", ["B", "C", "D", "E", "F"]),
+                ("p2", "iris", "B", ["A", "C", "D", "E", "F"]),
+            ]
+        )
+        pairs = acquire_knowledge(corpus, min_algorithms=5)
+        assert {p.instance: p.algorithm for p in pairs} == {"wine": "A", "iris": "B"}
+
+    def test_min_algorithms_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeAcquisition(min_algorithms=0)
+
+    def test_unknown_instance_returns_none(self):
+        corpus = build_corpus([("p1", "wine", "A", ["B", "C", "D", "E", "F"])])
+        assert KnowledgeAcquisition().analyze_instance("nope", corpus) is None
+
+    def test_bfs_closure_disabled_changes_graph(self):
+        corpus = build_corpus(
+            [
+                ("p1", "wine", "A", ["B", "D", "E", "F"]),
+                ("p2", "wine", "B", ["C", "D", "E", "F"]),
+                ("p3", "wine", "C", ["D", "E", "F"]),
+            ]
+        )
+        with_bfs = KnowledgeAcquisition(min_algorithms=5).analyze_instance("wine", corpus)
+        without_bfs = KnowledgeAcquisition(
+            min_algorithms=5, use_bfs_closure=False
+        ).analyze_instance("wine", corpus)
+        assert with_bfs.resolved.number_of_edges() >= without_bfs.resolved.number_of_edges()
+        assert with_bfs.resolved.has_edge("A", "C")
+        assert not without_bfs.resolved.has_edge("A", "C")
+
+
+class TestKnowledgeOnGeneratedCorpus:
+    def test_pairs_are_reasonable_on_simulated_corpus(self, small_corpus, small_performance):
+        pairs = acquire_knowledge(small_corpus, min_algorithms=5)
+        assert len(pairs) >= 3
+        # The selected algorithm should rank well on its dataset (PORatio ≥ 0.5
+        # on average) — the knowledge-quality claim of Section IV-A1.
+        poratios = [
+            small_performance.poratio(pair.algorithm, pair.instance) for pair in pairs
+        ]
+        assert sum(poratios) / len(poratios) > 0.5
+
+    def test_evidence_counts_recorded(self, small_corpus):
+        pairs = acquire_knowledge(small_corpus, min_algorithms=5)
+        assert all(pair.evidence >= 0 for pair in pairs)
+        assert all(len(pair.candidates) >= 1 for pair in pairs)
+
+
+class TestAcquisitionProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_selected_algorithm_is_always_a_candidate(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        experiences = []
+        for p in range(4):
+            pool = list(rng.permutation(ALGORITHMS))
+            best, others = pool[0], pool[1 : 1 + int(rng.integers(3, 5))]
+            experiences.append((f"p{p}", "data", best, others))
+        corpus = build_corpus(experiences)
+        acquisition = KnowledgeAcquisition(min_algorithms=4)
+        network = acquisition.analyze_instance("data", corpus)
+        if network is None:
+            return
+        pair = acquisition.select_optimal(network)
+        assert pair.algorithm in network.candidates
+        # The winner is never an algorithm that every experience ranks as inferior only.
+        winners = {e[2] for e in experiences}
+        assert pair.algorithm in winners

@@ -1,0 +1,84 @@
+"""Tests for saving and loading the trained decision model."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_decision_model, save_decision_model
+from repro.core.architecture_search import ArchitectureSearch
+from repro.core.concepts import KnowledgeBase
+from repro.datasets import make_categorical_rules, make_gaussian_clusters
+from repro.metafeatures import FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    knowledge = KnowledgeBase()
+    for i in range(6):
+        knowledge.add(
+            make_gaussian_clusters(f"g{i}", n_records=70, n_numeric=4, random_state=i), "LDA"
+        )
+        knowledge.add(
+            make_categorical_rules(
+                f"c{i}", n_records=70, n_numeric=1, n_categorical=4, random_state=50 + i
+            ),
+            "BayesNet",
+        )
+    extractor = FeatureExtractor(["f5", "f6", "f7"]).fit(knowledge.datasets)
+    search = ArchitectureSearch(
+        population_size=4, n_generations=1, max_evaluations=4,
+        max_hidden_layers=2, max_layer_size=16, max_iter_cap=40, random_state=0,
+    )
+    config = search.search(knowledge, extractor).config
+    model = search.train_decision_model(knowledge, extractor, config)
+    return model, knowledge
+
+
+class TestDecisionModelPersistence:
+    def test_roundtrip_preserves_predictions(self, trained_model, tmp_path):
+        model, knowledge = trained_model
+        path = tmp_path / "sna.json"
+        save_decision_model(model, path)
+        restored = load_decision_model(path)
+        assert restored.labels == model.labels
+        assert restored.key_features == model.key_features
+        assert restored.architecture == model.architecture
+        for dataset, _ in knowledge:
+            original_scores = model.scores(dataset)
+            restored_scores = restored.scores(dataset)
+            for label in model.labels:
+                assert restored_scores[label] == pytest.approx(original_scores[label], abs=1e-9)
+            assert restored.select(dataset) == model.select(dataset)
+
+    def test_restored_model_predicts_on_new_dataset(self, trained_model, tmp_path):
+        model, _ = trained_model
+        path = tmp_path / "sna.json"
+        save_decision_model(model, path)
+        restored = load_decision_model(path)
+        new_dataset = make_gaussian_clusters("new", n_records=60, n_numeric=5, random_state=99)
+        assert restored.select(new_dataset) in restored.labels
+
+    def test_unsupported_version_rejected(self, trained_model, tmp_path):
+        import json
+
+        model, _ = trained_model
+        path = tmp_path / "sna.json"
+        save_decision_model(model, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_decision_model(path)
+
+    def test_unfitted_regressor_rejected(self, trained_model, tmp_path):
+        from repro.core.architecture_search import DecisionModel
+        from repro.learners.neural import MLPRegressor
+
+        model, _ = trained_model
+        broken = DecisionModel(
+            regressor=MLPRegressor(),
+            labels=model.labels,
+            extractor=model.extractor,
+            architecture=model.architecture,
+        )
+        with pytest.raises(ValueError):
+            save_decision_model(broken, tmp_path / "broken.json")

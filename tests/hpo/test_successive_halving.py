@@ -1,0 +1,98 @@
+"""Tests for successive halving and Hyperband."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import Budget, HPOProblem, Hyperband, RandomSearch, SuccessiveHalving
+from repro.hpo.space import ConfigSpace, FloatParam
+
+
+def space() -> ConfigSpace:
+    return ConfigSpace([FloatParam("x", -5.0, 5.0), FloatParam("y", -5.0, 5.0)])
+
+
+def objective(config: dict) -> float:
+    """Maximum 0 at (2, -1); fidelity adds noise that shrinks as budget grows."""
+    base = -((config["x"] - 2.0) ** 2) - (config["y"] + 1.0) ** 2
+    fidelity = config.get("__budget__", None)
+    if fidelity is None:
+        return base
+    rng = np.random.default_rng(int(abs(hash((round(config["x"], 3), round(config["y"], 3))))) % 2**31)
+    noise = rng.normal(0.0, 1.0 / float(fidelity))
+    return base + noise
+
+
+class TestSuccessiveHalving:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(n_configurations=1)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(eta=1)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(min_fidelity=10.0, max_fidelity=1.0)
+
+    def test_finds_good_solution(self):
+        problem = HPOProblem(space(), objective)
+        optimizer = SuccessiveHalving(n_configurations=27, eta=3, random_state=0)
+        result = optimizer.optimize(problem, Budget(max_evaluations=100))
+        assert result.best_score > -2.0
+
+    def test_fidelity_key_stripped_from_best_config(self):
+        problem = HPOProblem(space(), objective)
+        result = SuccessiveHalving(n_configurations=9, random_state=0).optimize(
+            problem, Budget(max_evaluations=30)
+        )
+        assert "__budget__" not in result.best_config
+        assert set(result.best_config) == {"x", "y"}
+
+    def test_rungs_evaluate_fewer_configs(self):
+        problem = HPOProblem(space(), objective)
+        result = SuccessiveHalving(n_configurations=9, eta=3, random_state=0).optimize(
+            problem, Budget(max_evaluations=200)
+        )
+        by_rung = {}
+        for trial in result.trials:
+            by_rung.setdefault(trial.iteration, 0)
+            by_rung[trial.iteration] += 1
+        rungs = sorted(by_rung)
+        counts = [by_rung[r] for r in rungs]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_respects_budget(self):
+        problem = HPOProblem(space(), objective)
+        result = SuccessiveHalving(n_configurations=27, random_state=0).optimize(
+            problem, Budget(max_evaluations=10)
+        )
+        assert result.n_evaluations <= 10
+
+    def test_without_fidelity_key(self):
+        problem = HPOProblem(space(), lambda c: -abs(c["x"]))
+        optimizer = SuccessiveHalving(n_configurations=8, fidelity_key=None, random_state=0)
+        result = optimizer.optimize(problem, Budget(max_evaluations=40))
+        assert abs(result.best_config["x"]) < 3.0
+
+
+class TestHyperband:
+    def test_finds_good_solution(self):
+        problem = HPOProblem(space(), objective)
+        result = Hyperband(n_configurations=27, eta=3, random_state=0).optimize(
+            problem, Budget(max_evaluations=150)
+        )
+        assert result.best_score > -2.0
+
+    def test_competitive_with_random_search(self):
+        budget = 80
+        hb = Hyperband(n_configurations=27, eta=3, random_state=0).optimize(
+            HPOProblem(space(), objective), Budget(max_evaluations=budget)
+        )
+        rs = RandomSearch(random_state=0).optimize(
+            HPOProblem(space(), objective), Budget(max_evaluations=budget)
+        )
+        assert hb.best_score >= rs.best_score - 1.0
+
+    def test_respects_budget_and_strips_fidelity(self):
+        result = Hyperband(n_configurations=9, random_state=1).optimize(
+            HPOProblem(space(), objective), Budget(max_evaluations=25)
+        )
+        assert result.n_evaluations <= 25
+        assert "__budget__" not in result.best_config

@@ -1,0 +1,250 @@
+"""Tests for the Bayes, lazy, linear, SVM, neural, rule and misc learners."""
+
+import numpy as np
+import pytest
+
+from repro.learners.bayes import AODE, HNB, BayesNet, NaiveBayes, NaiveBayesMultinomial
+from repro.learners.lazy import IB1, IBk, KStar, LWL
+from repro.learners.linear import LDA, LogisticRegression, SimpleLogistic
+from repro.learners.misc import (
+    ClassificationViaClustering,
+    ClassificationViaRegression,
+    HyperPipes,
+    VFI,
+)
+from repro.learners.neural import MLPClassifier, MLPRegressor, MultilayerPerceptron, RBFNetwork
+from repro.learners.rules import JRip, OneR, PART, Ridor, ZeroR
+from repro.learners.svm import SMO, LibSVMClassifier
+
+
+class TestBayes:
+    def test_naive_bayes_separable_blobs(self, simple_xy):
+        X, y = simple_xy
+        assert NaiveBayes().fit(X, y).score(X, y) > 0.8
+
+    def test_naive_bayes_proba_calibrated_direction(self, binary_xy):
+        X, y = binary_xy
+        proba = NaiveBayes().fit(X, y).predict_proba(X)
+        # Average probability assigned to the true class should exceed 0.5.
+        assert np.mean(proba[np.arange(len(y)), y]) > 0.5
+
+    def test_multinomial_handles_negative_inputs(self, simple_xy):
+        X, y = simple_xy
+        model = NaiveBayesMultinomial().fit(X - X.mean(axis=0), y)
+        assert set(model.predict(X)).issubset(set(np.unique(y)))
+
+    def test_multinomial_invalid_alpha(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            NaiveBayesMultinomial(alpha=0.0).fit(X, y)
+
+    def test_bayesnet_on_categorical_data(self, categorical_dataset):
+        X, y = categorical_dataset.to_matrix()
+        assert BayesNet().fit(X, y).score(X, y) > 0.5
+
+    def test_aode_and_hnb_run(self, simple_xy):
+        X, y = simple_xy
+        assert AODE(max_parents=4).fit(X, y).score(X, y) > 0.5
+        assert HNB(max_parents=4).fit(X, y).score(X, y) > 0.5
+
+
+class TestLazy:
+    def test_ibk_perfect_on_training_with_k1(self, simple_xy):
+        X, y = simple_xy
+        assert IB1().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_ibk_k_larger_than_dataset_is_clamped(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.arange(10) % 2
+        model = IBk(n_neighbors=50).fit(X, y)
+        assert len(model.predict(X)) == 10
+
+    def test_ibk_distance_weighting(self, rings_dataset):
+        X, y = rings_dataset.to_matrix()
+        model = IBk(n_neighbors=7, weighting="distance").fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_ibk_invalid_params(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            IBk(n_neighbors=0).fit(X, y)
+        with pytest.raises(ValueError):
+            IBk(weighting="nope").fit(X, y)
+
+    def test_kstar_learns_rings(self, rings_dataset):
+        X, y = rings_dataset.to_matrix()
+        assert KStar().fit(X, y).score(X, y) > 0.8
+
+    def test_kstar_invalid_blend(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            KStar(blend=0.0).fit(X, y)
+
+    def test_lwl_runs_and_beats_chance(self, simple_xy):
+        X, y = simple_xy
+        chance = 1.0 / len(np.unique(y))
+        assert LWL(n_neighbors=20).fit(X, y).score(X, y) > chance
+
+
+class TestLinear:
+    def test_logistic_on_linear_problem(self, binary_xy):
+        X, y = binary_xy
+        assert LogisticRegression(max_iter=300).fit(X, y).score(X, y) > 0.85
+
+    def test_logistic_invalid_C(self, binary_xy):
+        X, y = binary_xy
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0).fit(X, y)
+
+    def test_simple_logistic_runs(self, binary_xy):
+        X, y = binary_xy
+        assert SimpleLogistic().fit(X, y).score(X, y) > 0.8
+
+    def test_lda_on_gaussian_blobs(self, simple_xy):
+        X, y = simple_xy
+        assert LDA().fit(X, y).score(X, y) > 0.85
+
+    def test_lda_invalid_shrinkage(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            LDA(shrinkage=2.0).fit(X, y)
+
+    def test_lda_handles_constant_feature(self):
+        rng = np.random.default_rng(0)
+        X = np.hstack([rng.normal(size=(80, 2)), np.ones((80, 1))])
+        y = (X[:, 0] > 0).astype(int)
+        assert LDA().fit(X, y).score(X, y) > 0.8
+
+
+class TestSVM:
+    def test_linear_smo_on_separable_data(self, binary_xy):
+        X, y = binary_xy
+        assert SMO(C=1.0, random_state=0).fit(X, y).score(X, y) > 0.85
+
+    def test_rbf_svm_on_rings(self, rings_dataset):
+        X, y = rings_dataset.to_matrix()
+        linear = SMO(random_state=0).fit(X, y).score(X, y)
+        rbf = LibSVMClassifier(gamma=1.0, random_state=0).fit(X, y).score(X, y)
+        assert rbf >= linear - 0.05  # the kernel should not hurt on the ring concept
+
+    def test_invalid_hyperparameters(self, binary_xy):
+        X, y = binary_xy
+        with pytest.raises(ValueError):
+            SMO(C=-1.0).fit(X, y)
+        with pytest.raises(ValueError):
+            LibSVMClassifier(gamma=0.0).fit(X, y)
+
+    def test_subsampling_keeps_classes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(900, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = SMO(max_train_samples=100, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+
+class TestNeural:
+    def test_mlp_classifier_learns_blobs(self, simple_xy):
+        X, y = simple_xy
+        model = MLPClassifier(hidden_layer_size=24, max_iter=150, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_mlp_rejects_unknown_activation(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            MLPClassifier(activation="swish").fit(X, y)
+
+    def test_mlp_sgd_solver_runs(self, binary_xy):
+        X, y = binary_xy
+        model = MLPClassifier(
+            solver="sgd", learning_rate="adaptive", max_iter=80, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_weka_style_multilayer_perceptron(self, binary_xy):
+        X, y = binary_xy
+        assert MultilayerPerceptron(max_iter=120, random_state=0).fit(X, y).score(X, y) > 0.7
+
+    def test_mlp_regressor_fits_linear_map(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        Y = X @ np.array([[1.0, -1.0], [0.5, 2.0], [0.0, 1.0]])
+        model = MLPRegressor(
+            hidden_layer=1, hidden_layer_size=32, max_iter=300, random_state=0
+        ).fit(X, Y)
+        predictions = model.predict(X)
+        assert predictions.shape == Y.shape
+        assert np.mean((predictions - Y) ** 2) < 0.5
+
+    def test_mlp_regressor_single_output_returns_1d(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] * 2.0
+        predictions = MLPRegressor(max_iter=200, random_state=0).fit(X, y).predict(X)
+        assert predictions.ndim == 1
+
+    def test_mlp_regressor_params_roundtrip(self):
+        model = MLPRegressor(hidden_layer=2)
+        assert model.get_params()["hidden_layer"] == 2
+        model.set_params(hidden_layer=3)
+        assert model.hidden_layer == 3
+        with pytest.raises(ValueError):
+            model.set_params(bogus=1)
+
+    def test_rbf_network_learns_rings(self, rings_dataset):
+        X, y = rings_dataset.to_matrix()
+        model = RBFNetwork(n_centers=15, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+
+class TestRules:
+    def test_zero_r_predicts_majority(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.array([1] * 40 + [0] * 10)
+        assert np.all(ZeroR().fit(X, y).predict(X) == 1)
+
+    def test_one_r_uses_single_feature(self, simple_xy):
+        X, y = simple_xy
+        model = OneR().fit(X, y)
+        assert 0 <= model.feature_ < X.shape[1]
+        assert model.score(X, y) > 1.0 / len(np.unique(y))
+
+    def test_one_r_invalid_bins(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            OneR(n_bins=1).fit(X, y)
+
+    @pytest.mark.parametrize("cls", [JRip, PART, Ridor])
+    def test_rule_learners_beat_chance_on_rules(self, cls, rules_dataset):
+        X, y = rules_dataset.to_matrix()
+        chance = np.bincount(y).max() / len(y)
+        assert cls(random_state=0).fit(X, y).score(X, y) >= chance - 0.05
+
+
+class TestMisc:
+    def test_hyperpipes_runs(self, simple_xy):
+        X, y = simple_xy
+        model = HyperPipes().fit(X, y)
+        assert model.score(X, y) > 1.0 / len(np.unique(y))
+
+    def test_vfi_runs(self, simple_xy):
+        X, y = simple_xy
+        assert VFI().fit(X, y).score(X, y) > 0.5
+
+    def test_vfi_invalid_bins(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            VFI(n_bins=1).fit(X, y)
+
+    def test_classification_via_clustering(self, simple_xy):
+        X, y = simple_xy
+        model = ClassificationViaClustering(random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_classification_via_regression(self, simple_xy):
+        X, y = simple_xy
+        assert ClassificationViaRegression().fit(X, y).score(X, y) > 0.7
+
+    def test_via_regression_invalid_alpha(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            ClassificationViaRegression(alpha=-1.0).fit(X, y)

@@ -1,0 +1,144 @@
+"""Tests for forest and meta-learner ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.learners.bayes import NaiveBayes
+from repro.learners.ensemble import (
+    AdaBoostM1,
+    Bagging,
+    LogitBoost,
+    MultiBoostAB,
+    RandomCommittee,
+    RandomSubSpace,
+    RotationForest,
+    StackingC,
+    VotingEnsemble,
+)
+from repro.learners.forest import ExtraTrees, RandomForest
+from repro.learners.rules import ZeroR
+from repro.learners.tree import DecisionStump, J48
+
+
+class TestRandomForest:
+    def test_beats_single_stump(self, simple_xy):
+        X, y = simple_xy
+        forest = RandomForest(n_estimators=20, random_state=0).fit(X, y)
+        stump = DecisionStump().fit(X, y)
+        assert forest.score(X, y) >= stump.score(X, y)
+
+    def test_number_of_members(self, simple_xy):
+        X, y = simple_xy
+        forest = RandomForest(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_invalid_n_estimators_raises(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            RandomForest(n_estimators=0).fit(X, y)
+
+    def test_proba_normalised(self, simple_xy):
+        X, y = simple_xy
+        proba = RandomForest(n_estimators=10, random_state=0).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_extratrees_fits(self, simple_xy):
+        X, y = simple_xy
+        assert ExtraTrees(n_estimators=10, random_state=0).fit(X, y).score(X, y) > 0.7
+
+    def test_deterministic_with_seed(self, simple_xy):
+        X, y = simple_xy
+        a = RandomForest(n_estimators=8, random_state=3).fit(X, y).predict(X)
+        b = RandomForest(n_estimators=8, random_state=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBoosting:
+    def test_adaboost_improves_over_stump(self, rings_dataset):
+        X, y = rings_dataset.to_matrix()
+        stump_accuracy = DecisionStump().fit(X, y).score(X, y)
+        boosted = AdaBoostM1(n_estimators=25, random_state=0).fit(X, y)
+        assert boosted.score(X, y) >= stump_accuracy
+
+    def test_adaboost_stores_weights(self, simple_xy):
+        X, y = simple_xy
+        model = AdaBoostM1(n_estimators=10, random_state=0).fit(X, y)
+        assert len(model.estimators_) == len(model.estimator_weights_)
+        assert len(model.estimators_) >= 1
+
+    def test_adaboost_invalid_learning_rate(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            AdaBoostM1(learning_rate=0.0).fit(X, y)
+
+    def test_logitboost_learns(self, simple_xy):
+        X, y = simple_xy
+        model = LogitBoost(n_estimators=20, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_multiboost_fits_and_predicts(self, simple_xy):
+        X, y = simple_xy
+        model = MultiBoostAB(n_estimators=12, n_committees=3, random_state=0).fit(X, y)
+        assert set(model.predict(X)).issubset(set(np.unique(y)))
+
+
+class TestBaggingStyle:
+    def test_bagging_default_base(self, simple_xy):
+        X, y = simple_xy
+        model = Bagging(n_estimators=8, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_bagging_with_custom_base(self, simple_xy):
+        X, y = simple_xy
+        model = Bagging(base_estimator=NaiveBayes(), n_estimators=5, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_bagging_invalid_max_samples(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            Bagging(max_samples=0.0).fit(X, y)
+
+    def test_random_subspace_members_see_fewer_features(self, simple_xy):
+        X, y = simple_xy
+        model = RandomSubSpace(n_estimators=6, subspace_fraction=0.5, random_state=0).fit(X, y)
+        assert all(len(features) <= X.shape[1] for features in model.subspaces_)
+        assert model.score(X, y) > 0.5
+
+    def test_random_subspace_invalid_fraction(self, simple_xy):
+        X, y = simple_xy
+        with pytest.raises(ValueError):
+            RandomSubSpace(subspace_fraction=1.5).fit(X, y)
+
+    def test_random_committee_diversity_across_seeds(self, simple_xy):
+        X, y = simple_xy
+        model = RandomCommittee(n_estimators=5, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 5
+        assert model.score(X, y) > 0.6
+
+
+class TestStackingAndVoting:
+    def test_rotation_forest_learns(self, simple_xy):
+        X, y = simple_xy
+        model = RotationForest(n_estimators=4, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_stacking_learns(self, simple_xy):
+        X, y = simple_xy
+        model = StackingC(cv=3, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_stacking_custom_bases(self, simple_xy):
+        X, y = simple_xy
+        model = StackingC(base_estimators=[J48(), ZeroR()], cv=2, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.4
+
+    def test_voting_combines_members(self, simple_xy):
+        X, y = simple_xy
+        model = VotingEnsemble(estimators=[J48(), NaiveBayes()]).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_voting_proba_is_average(self, simple_xy):
+        X, y = simple_xy
+        model = VotingEnsemble(estimators=[ZeroR(), ZeroR()]).fit(X, y)
+        proba = model.predict_proba(X[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)

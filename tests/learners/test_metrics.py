@@ -1,0 +1,150 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+    error_rate,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy_score([1, 1, 1], [0, 0, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_error_rate_complement(self):
+        y_true, y_pred = [1, 0, 1, 0], [1, 1, 0, 0]
+        assert error_rate(y_true, y_pred) == pytest.approx(1 - accuracy_score(y_true, y_pred))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix = confusion_matrix([0, 1, 2, 1], [0, 1, 2, 1])
+        assert np.trace(matrix) == 4
+        assert matrix.sum() == 4
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert matrix[0, 1] == 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_explicit_labels_order(self):
+        matrix = confusion_matrix([0, 1], [0, 1], labels=[1, 0])
+        assert matrix[0, 0] == 1  # label 1 predicted correctly
+        assert matrix[1, 1] == 1
+
+
+class TestBalancedAccuracy:
+    def test_equals_accuracy_when_balanced(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_insensitive_to_imbalance(self):
+        # Majority-class predictor on a 90/10 split: balanced accuracy is 0.5.
+        y_true = [0] * 90 + [1] * 10
+        y_pred = [0] * 100
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_macro(self):
+        p, r, f = precision_recall_f1([0, 1, 2], [0, 1, 2])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_micro_equals_accuracy_for_multiclass(self):
+        y_true = [0, 1, 2, 2, 1, 0]
+        y_pred = [0, 2, 1, 2, 1, 0]
+        _, _, f_micro = precision_recall_f1(y_true, y_pred, average="micro")
+        assert f_micro == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_invalid_average_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0], [0], average="weighted")
+
+    def test_f1_between_0_and_1(self):
+        assert 0.0 <= f1_score([0, 1, 1, 0], [1, 1, 0, 0]) <= 1.0
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert log_loss([0, 1], proba) < 0.1
+
+    def test_confident_wrong_is_large(self):
+        proba = np.array([[0.01, 0.99], [0.99, 0.01]])
+        assert log_loss([0, 1], proba) > 2.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            log_loss([0, 1], np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]), labels=[0, 1])
+
+
+class TestRegressionMetrics:
+    def test_mse_zero_for_equal(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mse_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_mae_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mse_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounds_and_permutation_symmetry(self, labels, rnd):
+        predictions = list(labels)
+        rnd.shuffle(predictions)
+        value = accuracy_score(labels, predictions)
+        assert 0.0 <= value <= 1.0
+        # Accuracy of identical arrays is 1 regardless of content.
+        assert accuracy_score(labels, labels) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_total_is_sample_count(self, labels):
+        predictions = labels[::-1]
+        matrix = confusion_matrix(labels, predictions)
+        assert matrix.sum() == len(labels)

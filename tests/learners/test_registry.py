@@ -1,0 +1,86 @@
+"""Tests for the algorithm catalogue (registry + per-algorithm spaces)."""
+
+import numpy as np
+import pytest
+
+from repro.learners import CAList, default_registry
+from repro.learners.base import BaseClassifier
+from repro.learners.registry import AlgorithmRegistry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestCatalogueContents:
+    def test_catalogue_is_large_and_heterogeneous(self, registry):
+        assert len(registry) >= 35
+        groups = registry.groups()
+        # The Weka groups of Table IV are all represented.
+        for group in ("trees", "meta", "bayes", "lazy", "functions", "rules", "misc"):
+            assert group in groups and len(groups[group]) >= 2
+
+    def test_calist_matches_registry(self, registry):
+        assert CAList() == registry.names
+
+    def test_no_duplicate_names(self, registry):
+        assert len(set(registry.names)) == len(registry.names)
+
+    def test_unknown_algorithm_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("NotAnAlgorithm")
+
+    def test_subset_preserves_order_and_content(self, registry):
+        names = ["NaiveBayes", "J48", "IBk"]
+        subset = registry.subset(names)
+        assert subset.names == names
+
+    def test_by_cost_filters(self, registry):
+        cheap = registry.by_cost("cheap")
+        assert 0 < len(cheap) < len(registry)
+        assert all(spec.cost == "cheap" for spec in cheap)
+
+
+class TestSpecBehaviour:
+    def test_every_spec_has_nonempty_space(self, registry):
+        for spec in registry:
+            assert len(spec.space) >= 1
+
+    def test_default_build_is_classifier(self, registry):
+        for spec in registry:
+            estimator = spec.build()
+            assert isinstance(estimator, BaseClassifier)
+
+    def test_build_rejects_unknown_hyperparameters(self, registry):
+        with pytest.raises(ValueError):
+            registry.get("J48").build({"definitely_not_a_param": 3})
+
+    def test_build_with_sampled_config_fits(self, registry, simple_xy):
+        """Every algorithm must accept a random configuration from its own space."""
+        X, y = simple_xy
+        X, y = X[:60], y[:60]
+        rng = np.random.default_rng(0)
+        for spec in registry:
+            config = spec.space.sample(rng)
+            estimator = spec.build(config)
+            estimator.fit(X, y)
+            predictions = estimator.predict(X[:10])
+            assert len(predictions) == 10
+
+    def test_default_config_is_valid(self, registry):
+        for spec in registry:
+            config = spec.default_config()
+            assert spec.space.validate(config)
+
+
+class TestRegistryConstruction:
+    def test_duplicate_names_rejected(self, registry):
+        spec = registry.get("J48")
+        with pytest.raises(ValueError):
+            AlgorithmRegistry([spec, spec])
+
+    def test_contains_and_iteration(self, registry):
+        assert "RandomForest" in registry
+        assert "Nope" not in registry
+        assert len(list(iter(registry))) == len(registry)

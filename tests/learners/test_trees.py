@@ -1,0 +1,103 @@
+"""Tests for the decision-tree family."""
+
+import numpy as np
+import pytest
+
+from repro.learners.tree import (
+    BFTree,
+    DecisionStump,
+    DecisionTreeClassifier,
+    J48,
+    RandomTree,
+    REPTree,
+    SimpleCart,
+)
+
+
+@pytest.fixture(scope="module")
+def axis_aligned():
+    """A dataset a depth-2 tree separates perfectly."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(300, 4))
+    y = ((X[:, 0] > 0).astype(int) * 2 + (X[:, 1] > 0).astype(int)) % 3
+    return X, y
+
+
+class TestDecisionTreeCore:
+    def test_fits_axis_aligned_concept(self, axis_aligned):
+        X, y = axis_aligned
+        model = DecisionTreeClassifier(criterion="entropy").fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_max_depth_limits_depth(self, axis_aligned):
+        X, y = axis_aligned
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.depth() <= 2
+
+    def test_stump_depth_is_one(self, axis_aligned):
+        X, y = axis_aligned
+        assert DecisionStump().fit(X, y).depth() <= 1
+
+    def test_min_samples_leaf_respected(self, axis_aligned):
+        X, y = axis_aligned
+        shallow = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        deep = DecisionTreeClassifier(min_samples_leaf=1).fit(X, y)
+        assert shallow.n_leaves() <= deep.n_leaves()
+
+    def test_single_class_yields_single_leaf(self):
+        X = np.random.default_rng(1).normal(size=(30, 3))
+        y = np.zeros(30, dtype=int)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.n_leaves() == 1
+        assert np.all(model.predict(X) == 0)
+
+    def test_constant_features_yield_majority_leaf(self):
+        X = np.ones((40, 3))
+        y = np.array([0] * 30 + [1] * 10)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert np.all(model.predict(X) == 0)
+
+    def test_max_nodes_caps_internal_nodes(self, axis_aligned):
+        X, y = axis_aligned
+        small = DecisionTreeClassifier(max_nodes=1).fit(X, y)
+        assert small.n_leaves() <= 3
+
+    def test_gain_ratio_criterion_runs(self, axis_aligned):
+        X, y = axis_aligned
+        model = DecisionTreeClassifier(criterion="gain_ratio").fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_proba_reflects_leaf_distribution(self):
+        # A single constant feature: one leaf with a 75/25 class split.
+        X = np.ones((40, 1))
+        y = np.array([0] * 30 + [1] * 10)
+        proba = DecisionTreeClassifier().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba[:, 0], 0.75)
+
+
+class TestTreeVariants:
+    @pytest.mark.parametrize("cls", [J48, SimpleCart, REPTree, RandomTree, BFTree])
+    def test_variant_learns_blobs(self, cls, simple_xy):
+        X, y = simple_xy
+        model = cls(random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_random_tree_uses_feature_subsets(self, axis_aligned):
+        X, y = axis_aligned
+        # With only 1 feature considered per split, two seeds should usually
+        # give different trees; at minimum both still beat chance.
+        a = RandomTree(max_features=1, random_state=0).fit(X, y)
+        b = RandomTree(max_features=1, random_state=1).fit(X, y)
+        assert a.score(X, y) > 0.4 and b.score(X, y) > 0.4
+
+    def test_reptree_is_smaller_than_unpruned_j48(self, axis_aligned):
+        X, y = axis_aligned
+        rep = REPTree().fit(X, y)
+        full = J48(min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert rep.n_leaves() <= full.n_leaves()
+
+    def test_deterministic_given_seed(self, simple_xy):
+        X, y = simple_xy
+        a = RandomTree(random_state=42).fit(X, y).predict(X)
+        b = RandomTree(random_state=42).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,159 @@
+"""Tests for paper metadata, experiences, the corpus generator and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    Experience,
+    ExperienceSet,
+    Paper,
+    corpus_from_dict,
+    corpus_to_dict,
+    load_corpus,
+    rank_papers,
+    reliability_index,
+    save_corpus,
+)
+
+
+def make_paper(pid="p1", **kwargs) -> Paper:
+    defaults = dict(level="B", paper_type="Journal", influence_factor=2.0, annual_citations=10)
+    defaults.update(kwargs)
+    return Paper(paper_id=pid, **defaults)
+
+
+class TestPaper:
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            make_paper(level="E")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_paper(paper_type="Workshop")
+
+    def test_negative_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            make_paper(influence_factor=-1.0)
+        with pytest.raises(ValueError):
+            make_paper(annual_citations=-1)
+
+    def test_reliability_ordering_follows_table_i(self):
+        # Level dominates type, which dominates influence factor, which
+        # dominates citations (Table I priorities).
+        level_a = make_paper("a", level="A", paper_type="Conference", influence_factor=0.0)
+        level_b = make_paper("b", level="B", paper_type="Journal", influence_factor=9.0)
+        journal = make_paper("c", level="C", paper_type="Journal", influence_factor=0.1)
+        conference = make_paper("d", level="C", paper_type="Conference", influence_factor=5.0)
+        high_if = make_paper("e", level="D", influence_factor=7.0, annual_citations=0)
+        low_if = make_paper("f", level="D", influence_factor=1.0, annual_citations=999)
+
+        ranked = rank_papers([level_b, low_if, conference, journal, high_if, level_a])
+        # Ascending reliability: the most reliable paper is last.
+        assert ranked[-1].paper_id == "a"
+        assert ranked[-2].paper_id == "b"
+        index = reliability_index([level_a, level_b, journal, conference, high_if, low_if])
+        assert index["a"] > index["b"] > index["c"] > index["d"] > index["e"] > index["f"]
+
+
+class TestExperience:
+    def test_best_cannot_be_among_others(self):
+        with pytest.raises(ValueError):
+            Experience("p1", "wine", "J48", ("J48", "NaiveBayes"))
+
+    def test_algorithms_property_puts_best_first(self):
+        experience = Experience("p1", "wine", "J48", ("NaiveBayes",))
+        assert experience.algorithms == ("J48", "NaiveBayes")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Experience("", "wine", "J48", ())
+        with pytest.raises(ValueError):
+            Experience("p1", "", "J48", ())
+
+
+class TestExperienceSet:
+    def test_requires_known_paper(self):
+        corpus = ExperienceSet()
+        with pytest.raises(ValueError):
+            corpus.add(Experience("ghost", "wine", "J48", ()))
+
+    def test_duplicate_paper_rejected(self):
+        corpus = ExperienceSet(papers=[make_paper("p1")])
+        with pytest.raises(ValueError):
+            corpus.add_paper(make_paper("p1"))
+
+    def test_instances_algorithms_and_related(self):
+        corpus = ExperienceSet(papers=[make_paper("p1"), make_paper("p2")])
+        corpus.add(Experience("p1", "wine", "J48", ("NaiveBayes", "IBk")))
+        corpus.add(Experience("p2", "wine", "NaiveBayes", ("J48",)))
+        corpus.add(Experience("p2", "iris", "IBk", ("ZeroR",)))
+        assert corpus.instances() == ["wine", "iris"]
+        assert set(corpus.algorithms()) == {"J48", "NaiveBayes", "IBk", "ZeroR"}
+        assert len(corpus.related_to("wine")) == 2
+        assert len(corpus) == 3
+
+    def test_merge_combines_without_duplicating_papers(self):
+        a = ExperienceSet(papers=[make_paper("p1")])
+        a.add(Experience("p1", "wine", "J48", ()))
+        b = ExperienceSet(papers=[make_paper("p1"), make_paper("p2")])
+        b.add(Experience("p2", "iris", "IBk", ()))
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert len(merged.papers) == 2
+
+
+class TestCorpusGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_papers=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(min_algorithms_per_paper=1)
+        with pytest.raises(ValueError):
+            CorpusConfig(min_datasets_per_paper=5, max_datasets_per_paper=3)
+
+    def test_generated_corpus_structure(self, small_performance):
+        config = CorpusConfig(n_papers=10, random_state=1)
+        corpus = CorpusGenerator(small_performance, config).generate()
+        assert len(corpus.papers) == 10
+        assert len(corpus) >= 10
+        # Every experience refers to datasets/algorithms of the performance table.
+        for experience in corpus:
+            assert experience.instance in small_performance.datasets
+            assert experience.best_algorithm in small_performance.algorithms
+
+    def test_reliable_papers_report_true_winners_more_often(self, small_performance):
+        config = CorpusConfig(n_papers=30, base_noise=0.0, unreliable_noise=0.5, random_state=2)
+        corpus = CorpusGenerator(small_performance, config).generate()
+        agreement = {True: [], False: []}
+        for experience in corpus:
+            paper = corpus.paper(experience.paper_id)
+            reliable = paper.extra["reliability"] > 0.5
+            observed_pool = experience.algorithms
+            true_best = max(observed_pool, key=lambda a: small_performance.score(a, experience.instance))
+            agreement[reliable].append(experience.best_algorithm == true_best)
+        if agreement[True] and agreement[False]:
+            assert np.mean(agreement[True]) >= np.mean(agreement[False]) - 0.05
+
+    def test_generation_deterministic(self, small_performance):
+        config = CorpusConfig(n_papers=5, random_state=3)
+        a = CorpusGenerator(small_performance, config).generate()
+        b = CorpusGenerator(small_performance, config).generate()
+        assert [e.instance for e in a] == [e.instance for e in b]
+        assert [e.best_algorithm for e in a] == [e.best_algorithm for e in b]
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self, small_corpus):
+        payload = corpus_to_dict(small_corpus)
+        restored = corpus_from_dict(payload)
+        assert len(restored) == len(small_corpus)
+        assert len(restored.papers) == len(small_corpus.papers)
+        assert restored.instances() == small_corpus.instances()
+
+    def test_roundtrip_file(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(small_corpus, path)
+        restored = load_corpus(path)
+        assert [e.best_algorithm for e in restored] == [e.best_algorithm for e in small_corpus]

@@ -1,0 +1,95 @@
+"""Tests for the hand-authored paper-report parser."""
+
+import pytest
+
+from repro.corpus import ParseError, parse_report, parse_report_file
+from repro.core.knowledge import acquire_knowledge
+
+VALID_REPORT = """
+# Two comparison papers digested by hand.
+paper: zhang2017
+title: An up-to-date comparison of state-of-the-art classification algorithms
+level: A
+type: Journal
+influence_factor: 4.3
+annual_citations: 60
+year: 2017
+instance: Wine | best: BayesNet | others: LDA, RandomForest, LibSVM, J48, IBk
+instance: Iris | best: RandomForest | others: J48, NaiveBayes
+
+paper: lee2008
+level: C
+type: Journal
+influence_factor: 1.1
+annual_citations: 12
+instance: Wine | best: LDA | others: BayesNet, J48, IBk, OneR, ZeroR
+"""
+
+
+class TestParseReport:
+    def test_parses_papers_and_experiences(self):
+        corpus = parse_report(VALID_REPORT)
+        assert len(corpus.papers) == 2
+        assert len(corpus) == 3
+        zhang = corpus.paper("zhang2017")
+        assert zhang.level == "A"
+        assert zhang.influence_factor == pytest.approx(4.3)
+        assert corpus.instances() == ["Wine", "Iris"]
+
+    def test_experience_contents(self):
+        corpus = parse_report(VALID_REPORT)
+        wine_experiences = corpus.related_to("Wine")
+        best_by_paper = {e.paper_id: e.best_algorithm for e in wine_experiences}
+        assert best_by_paper == {"zhang2017": "BayesNet", "lee2008": "LDA"}
+
+    def test_feeds_knowledge_acquisition(self):
+        corpus = parse_report(VALID_REPORT)
+        pairs = acquire_knowledge(corpus, min_algorithms=5)
+        wine = {pair.instance: pair.algorithm for pair in pairs}
+        # zhang2017 (level A, higher IF) outranks lee2008, so its winner stands.
+        assert wine["Wine"] == "BayesNet"
+
+    def test_comments_and_blank_lines_ignored(self):
+        corpus = parse_report("# leading comment\n\npaper: p1\nlevel: B\ninstance: D | best: A | others: B\n")
+        assert len(corpus.papers) == 1 and len(corpus) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "report.txt"
+        path.write_text(VALID_REPORT)
+        corpus = parse_report_file(path)
+        assert len(corpus.papers) == 2
+
+
+class TestParseErrors:
+    def test_experience_before_paper(self):
+        with pytest.raises(ParseError):
+            parse_report("instance: Wine | best: A | others: B\n")
+
+    def test_empty_report(self):
+        with pytest.raises(ParseError):
+            parse_report("# nothing here\n")
+
+    def test_missing_best_clause(self):
+        with pytest.raises(ParseError):
+            parse_report("paper: p1\ninstance: Wine | others: A, B\n")
+
+    def test_unknown_field(self):
+        with pytest.raises(ParseError):
+            parse_report("paper: p1\nvenue: ICDE\n")
+
+    def test_bad_numeric_field(self):
+        with pytest.raises(ParseError):
+            parse_report("paper: p1\ninfluence_factor: high\n")
+
+    def test_best_also_in_others(self):
+        with pytest.raises(ParseError):
+            parse_report("paper: p1\ninstance: Wine | best: A | others: A, B\n")
+
+    def test_empty_paper_id(self):
+        with pytest.raises(ParseError):
+            parse_report("paper:\nlevel: A\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_report("paper: p1\nlevel: A\nvenue: ICDE\n")
+        assert excinfo.value.line_number == 3

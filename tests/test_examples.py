@@ -1,0 +1,41 @@
+"""Sanity checks for the example scripts.
+
+The heavier examples (quickstart, cash_comparison) are exercised end-to-end by
+the benchmark harness's fixtures; here we check that every example compiles
+and that the fast, deterministic one (the Fig. 2 knowledge-acquisition demo)
+runs to completion and derives the expected piece of knowledge.
+"""
+
+import importlib.util
+import py_compile
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_knowledge_acquisition_demo_runs(self, capsys):
+        path = EXAMPLES_DIR / "knowledge_acquisition_demo.py"
+        spec = importlib.util.spec_from_file_location("knowledge_acquisition_demo", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "knowledge acquired" in output
+        # The most reliable papers (zhang2017, morente2017) both back BayesNet.
+        assert "(Wine, BayesNet)" in output

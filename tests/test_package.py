@@ -1,0 +1,46 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_facade_symbols_exported(self):
+        assert hasattr(repro, "AutoModel")
+        assert hasattr(repro, "DecisionMakingModelDesigner")
+        assert hasattr(repro, "UserDemandResponser")
+        assert hasattr(repro, "Dataset")
+
+    def test_subpackages_importable(self):
+        for name in (
+            "baselines",
+            "core",
+            "corpus",
+            "datasets",
+            "evaluation",
+            "hpo",
+            "learners",
+            "metafeatures",
+        ):
+            assert hasattr(repro, name)
+
+    def test_all_entries_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None
+
+    def test_subpackage_all_entries_resolve(self):
+        for module in (
+            repro.learners,
+            repro.hpo,
+            repro.datasets,
+            repro.corpus,
+            repro.core,
+            repro.baselines,
+            repro.evaluation,
+            repro.metafeatures,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, f"{module.__name__}.{name}"
