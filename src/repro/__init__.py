@@ -9,6 +9,8 @@ optimizer.
 Top-level layout:
 
 * :mod:`repro.core` — Auto-Model itself (knowledge acquisition, DMD, UDR).
+* :mod:`repro.execution` — the unified trial-execution engine (cache, folds,
+  parallel batches, budgets) every evaluation runs through.
 * :mod:`repro.learners` — the classifier catalogue (Weka replacement).
 * :mod:`repro.hpo` — HPO techniques (GS, RS, GA, BO) and config spaces.
 * :mod:`repro.metafeatures` — the 23 Table III task-instance features.
@@ -18,11 +20,22 @@ Top-level layout:
 * :mod:`repro.evaluation` — performance tables, PORatio, Table X comparisons.
 """
 
-from . import baselines, core, corpus, datasets, evaluation, hpo, learners, metafeatures
+from . import (
+    baselines,
+    core,
+    corpus,
+    datasets,
+    evaluation,
+    execution,
+    hpo,
+    learners,
+    metafeatures,
+)
 from .core.automodel import AutoModel
 from .core.dmd import DecisionMakingModelDesigner
 from .core.udr import CASHSolution, UserDemandResponser
 from .datasets.dataset import Dataset
+from .execution import Budget, EvaluationEngine
 
 __version__ = "1.0.0"
 
@@ -32,11 +45,14 @@ __all__ = [
     "CASHSolution",
     "UserDemandResponser",
     "Dataset",
+    "Budget",
+    "EvaluationEngine",
     "baselines",
     "core",
     "corpus",
     "datasets",
     "evaluation",
+    "execution",
     "hpo",
     "learners",
     "metafeatures",

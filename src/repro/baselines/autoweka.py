@@ -17,19 +17,19 @@ hyperparameters.  This module reproduces that formulation over our catalogue:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..execution import EvaluationEngine, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.bayesian import BayesianOptimization
 from ..hpo.random_search import RandomSearch
 from ..hpo.space import CategoricalParam, Condition, ConfigSpace
 from ..learners.base import BaseClassifier
 from ..learners.registry import AlgorithmRegistry, default_registry
-from ..learners.validation import cross_val_accuracy
 
 __all__ = ["joint_space", "split_joint_config", "AutoWekaBaseline", "CASHBaselineSolution"]
 
@@ -73,9 +73,10 @@ class CASHBaselineSolution:
     elapsed: float
     estimator: BaseClassifier | None = None
     history: OptimizationResult | None = None
+    engine_stats: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "algorithm": self.algorithm,
             "config": self.config,
             "cv_score": round(self.cv_score, 4),
@@ -83,6 +84,10 @@ class CASHBaselineSolution:
             "n_evaluations": self.n_evaluations,
             "elapsed_seconds": round(self.elapsed, 3),
         }
+        if self.engine_stats:
+            out["cache_hit_rate"] = self.engine_stats.get("cache_hit_rate")
+            out["evals_per_second"] = self.engine_stats.get("evals_per_second")
+        return out
 
 
 class AutoWekaBaseline:
@@ -108,6 +113,8 @@ class AutoWekaBaseline:
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
+        n_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         if strategy not in ("smac", "random"):
             raise ValueError("strategy must be 'smac' or 'random'")
@@ -116,8 +123,16 @@ class AutoWekaBaseline:
         self.cv = cv
         self.tuning_max_records = tuning_max_records
         self.random_state = random_state
+        self.n_workers = n_workers
+        self.backend = backend
 
-    def _make_objective(self, dataset: Dataset):
+    def _make_engine(self, dataset: Dataset) -> EvaluationEngine:
+        """Auto-WEKA's shared evaluator: one engine for the whole joint space.
+
+        The CV fold plan is computed once for the dataset and reused by every
+        (algorithm, hyperparameter) candidate, and duplicate candidates across
+        the search are served from the score cache.
+        """
         data = (
             dataset.subsample(self.tuning_max_records, random_state=self.random_state)
             if self.tuning_max_records
@@ -125,14 +140,20 @@ class AutoWekaBaseline:
         )
         X, y = data.to_matrix()
 
-        def objective(config: dict[str, Any]) -> float:
+        def build(config: dict[str, Any]):
             algorithm, params = split_joint_config(config)
-            estimator = self.registry.build(algorithm, params)
-            return cross_val_accuracy(
-                estimator, X, y, cv=self.cv, random_state=self.random_state
-            )
+            return self.registry.build(algorithm, params)
 
-        return objective
+        return estimator_engine(
+            build,
+            X,
+            y,
+            cv=self.cv,
+            random_state=self.random_state,
+            n_workers=self.n_workers,
+            backend=self.backend,
+            name=f"autoweka-{dataset.name}",
+        )
 
     def run(
         self,
@@ -144,8 +165,8 @@ class AutoWekaBaseline:
         """Search the joint space on ``dataset`` under the given budget."""
         start = time.monotonic()
         space = joint_space(self.registry)
-        objective = self._make_objective(dataset)
-        problem = HPOProblem(space, objective, name=f"autoweka-{dataset.name}")
+        engine = self._make_engine(dataset)
+        problem = HPOProblem(space, name=f"autoweka-{dataset.name}", engine=engine)
         if self.strategy == "random":
             optimizer = RandomSearch(random_state=self.random_state)
         else:
@@ -178,4 +199,5 @@ class AutoWekaBaseline:
             elapsed=time.monotonic() - start,
             estimator=estimator,
             history=result,
+            engine_stats=result.engine_stats,
         )

@@ -3,16 +3,15 @@
 from __future__ import annotations
 
 import time
-from typing import Any
 
 import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
+from ..execution import estimator_engine
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
 from ..learners.registry import AlgorithmRegistry, default_registry
-from ..learners.validation import cross_val_accuracy
 from .autoweka import AutoWekaBaseline, CASHBaselineSolution
 
 __all__ = ["RandomCASH", "SingleBestBaseline"]
@@ -31,6 +30,8 @@ class RandomCASH(AutoWekaBaseline):
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
+        n_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         super().__init__(
             registry=registry,
@@ -38,6 +39,8 @@ class RandomCASH(AutoWekaBaseline):
             cv=cv,
             tuning_max_records=tuning_max_records,
             random_state=random_state,
+            n_workers=n_workers,
+            backend=backend,
         )
 
 
@@ -56,12 +59,16 @@ class SingleBestBaseline:
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
+        n_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         self.performance = performance
         self.registry = registry or default_registry()
         self.cv = cv
         self.tuning_max_records = tuning_max_records
         self.random_state = random_state
+        self.n_workers = n_workers
+        self.backend = backend
         self.algorithm = performance.top_algorithms(k=1, by="score")[0][0]
 
     def run(
@@ -79,14 +86,17 @@ class SingleBestBaseline:
             else dataset
         )
         X, y = data.to_matrix()
-
-        def objective(config: dict[str, Any]) -> float:
-            estimator = spec.build(config)
-            return cross_val_accuracy(
-                estimator, X, y, cv=self.cv, random_state=self.random_state
-            )
-
-        problem = HPOProblem(spec.space, objective, name=f"single-best-{dataset.name}")
+        engine = estimator_engine(
+            spec.build,
+            X,
+            y,
+            cv=self.cv,
+            random_state=self.random_state,
+            n_workers=self.n_workers,
+            backend=self.backend,
+            name=f"single-best-{dataset.name}",
+        )
+        problem = HPOProblem(spec.space, name=f"single-best-{dataset.name}", engine=engine)
         optimizer = GeneticAlgorithm(
             population_size=10, n_generations=20, random_state=self.random_state
         )
@@ -104,4 +114,5 @@ class SingleBestBaseline:
             n_evaluations=result.n_evaluations,
             elapsed=time.monotonic() - start,
             history=result,
+            engine_stats=result.engine_stats,
         )

@@ -90,6 +90,7 @@ class AutoModel:
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
+        n_workers: int = 1,
     ) -> UserDemandResponser:
         return UserDemandResponser(
             model=self.dmd_result.model,
@@ -97,6 +98,7 @@ class AutoModel:
             cv=cv,
             tuning_max_records=tuning_max_records,
             random_state=random_state,
+            n_workers=n_workers,
         )
 
     def select_algorithm(self, dataset: Dataset) -> str:
@@ -111,10 +113,14 @@ class AutoModel:
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
+        n_workers: int = 1,
     ) -> CASHSolution:
         """Full CASH answer for ``dataset``: algorithm + tuned hyperparameters."""
         responder = self.responder(
-            cv=cv, tuning_max_records=tuning_max_records, random_state=random_state
+            cv=cv,
+            tuning_max_records=tuning_max_records,
+            random_state=random_state,
+            n_workers=n_workers,
         )
         return responder.respond(
             dataset, time_limit=time_limit, max_evaluations=max_evaluations

@@ -4,10 +4,12 @@ Given a user task instance, the UDR
 
 1. asks the trained decision model ``SNA`` for the suitable algorithm ``SA``
    (pruning the CASH search space to a single algorithm),
-2. builds the HPO problem ``P = (I, SA, PN)`` over that algorithm's
-   hyperparameters, scored with k-fold cross-validation accuracy,
+2. builds one :class:`~repro.execution.engine.EvaluationEngine` for
+   ``(SA, I)`` — precomputed CV folds, score cache, optional parallel
+   workers — that every subsequent evaluation runs through,
 3. picks GA or BO according to the cost of a single configuration evaluation
-   on a small sample (the paper's 10-minute rule), and
+   on a small sample (the paper's 10-minute rule); the probes are charged
+   against the user's budget and their results seed the engine cache, and
 4. optimises under the user's time/evaluation budget, returning the selected
    algorithm with the best hyperparameter setting found so far.
 """
@@ -21,11 +23,11 @@ from typing import Any
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..execution import EvaluationEngine, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.selector import HPOTechniqueSelector
 from ..learners.base import BaseClassifier
 from ..learners.registry import AlgorithmRegistry, default_registry
-from ..learners.validation import cross_val_accuracy
 from .architecture_search import DecisionModel
 
 __all__ = ["CASHSolution", "UserDemandResponser"]
@@ -43,9 +45,10 @@ class CASHSolution:
     elapsed: float
     estimator: BaseClassifier | None = None
     history: OptimizationResult | None = field(default=None, repr=False)
+    engine_stats: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "algorithm": self.algorithm,
             "config": self.config,
             "cv_score": round(self.cv_score, 4),
@@ -53,10 +56,19 @@ class CASHSolution:
             "n_evaluations": self.n_evaluations,
             "elapsed_seconds": round(self.elapsed, 3),
         }
+        if self.engine_stats:
+            out["cache_hit_rate"] = self.engine_stats.get("cache_hit_rate")
+            out["evals_per_second"] = self.engine_stats.get("evals_per_second")
+        return out
 
 
 class UserDemandResponser:
-    """The online half of Auto-Model."""
+    """The online half of Auto-Model.
+
+    ``n_workers``/``backend`` configure the evaluation engine: with more than
+    one worker the GA populations and BO initial designs of the tuning step
+    are evaluated concurrently (deterministic trajectories either way).
+    """
 
     def __init__(
         self,
@@ -66,6 +78,8 @@ class UserDemandResponser:
         tuning_max_records: int | None = 400,
         probe_time_threshold: float = 2.0,
         random_state: int | None = 0,
+        n_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         self.model = model
         self.registry = registry or default_registry()
@@ -73,6 +87,8 @@ class UserDemandResponser:
         self.tuning_max_records = tuning_max_records
         self.probe_time_threshold = probe_time_threshold
         self.random_state = random_state
+        self.n_workers = n_workers
+        self.backend = backend
 
     # -- algorithm selection (Algorithm 5, line 1) --------------------------------------------
     def select_algorithm(self, dataset: Dataset) -> str:
@@ -88,7 +104,8 @@ class UserDemandResponser:
         )
 
     # -- hyperparameter optimisation (lines 2-4) ------------------------------------------------
-    def _make_objective(self, dataset: Dataset, algorithm: str):
+    def _make_engine(self, dataset: Dataset, algorithm: str):
+        """One shared engine per (algorithm, dataset): folds, cache, workers."""
         spec = self.registry.get(algorithm)
         data = (
             dataset.subsample(self.tuning_max_records, random_state=self.random_state)
@@ -96,14 +113,17 @@ class UserDemandResponser:
             else dataset
         )
         X, y = data.to_matrix()
-
-        def objective(config: dict[str, Any]) -> float:
-            estimator = spec.build(config)
-            return cross_val_accuracy(
-                estimator, X, y, cv=self.cv, random_state=self.random_state
-            )
-
-        return spec, objective
+        engine = estimator_engine(
+            spec.build,
+            X,
+            y,
+            cv=self.cv,
+            random_state=self.random_state,
+            n_workers=self.n_workers,
+            backend=self.backend,
+            name=f"udr-{algorithm}-{dataset.name}",
+        )
+        return spec, engine
 
     def optimize_hyperparameters(
         self,
@@ -111,15 +131,24 @@ class UserDemandResponser:
         algorithm: str,
         time_limit: float | None = 30.0,
         max_evaluations: int | None = None,
+        engine: EvaluationEngine | None = None,
     ) -> tuple[dict[str, Any], OptimizationResult, str]:
         """Tune ``algorithm`` on ``dataset``; returns (best config, history, optimizer name)."""
-        spec, objective = self._make_objective(dataset, algorithm)
+        if engine is None:
+            spec, engine = self._make_engine(dataset, algorithm)
+        else:
+            spec = self.registry.get(algorithm)
+        budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
+        budget.start()
         selector = HPOTechniqueSelector(
             time_threshold=self.probe_time_threshold, random_state=self.random_state
         )
-        optimizer = selector.select(spec.space, objective)
-        problem = HPOProblem(spec.space, objective, name=f"udr-{algorithm}-{dataset.name}")
-        budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
+        # Probes run through the engine: charged to the budget, cached for
+        # reuse as the optimizer's default-configuration anchor trial.
+        optimizer = selector.select(spec.space, engine=engine, budget=budget)
+        problem = HPOProblem(
+            spec.space, name=f"udr-{algorithm}-{dataset.name}", engine=engine
+        )
         result = optimizer.optimize(problem, budget)
         config = (
             result.best_config if np.isfinite(result.best_score) else spec.default_config()
@@ -158,4 +187,5 @@ class UserDemandResponser:
             elapsed=time.monotonic() - start,
             estimator=estimator,
             history=history,
+            engine_stats=history.engine_stats,
         )

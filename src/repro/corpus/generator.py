@@ -156,12 +156,16 @@ def generate_corpus(
     performance: PerformanceTable | None = None,
     cv: int = 3,
     max_records: int | None = 250,
+    n_workers: int = 1,
 ) -> tuple[ExperienceSet, PerformanceTable]:
     """End-to-end corpus generation from raw datasets.
 
     Measures (or reuses) a :class:`PerformanceTable` on ``datasets`` and then
     simulates the paper corpus on top of it.  Returns the corpus together with
     the underlying table so callers can audit the ground truth behind it.
+    The measurement runs through the execution engine; ``n_workers > 1``
+    evaluates the (algorithm, dataset) cells concurrently without adding any
+    nondeterminism (per-cell seeds are fixed up front).
     """
     registry = registry or default_registry()
     config = config or CorpusConfig()
@@ -173,6 +177,7 @@ def generate_corpus(
             cv=cv,
             max_records=max_records,
             random_state=config.random_state,
+            n_workers=n_workers,
         )
     generator = CorpusGenerator(performance, config)
     return generator.generate(), performance

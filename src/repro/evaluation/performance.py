@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..execution import EvaluationEngine, estimator_engine
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
 from ..learners.registry import AlgorithmRegistry, default_registry
@@ -70,12 +71,17 @@ def tune_algorithm(
     spec = registry.get(algorithm)
     data = dataset.subsample(max_records, random_state=random_state) if max_records else dataset
     X, y = data.to_matrix()
-
-    def objective(config: dict) -> float:
-        estimator = spec.build(config)
-        return cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
-
-    problem = HPOProblem(spec.space, objective, name=f"tune-{algorithm}-{dataset.name}")
+    # One engine per (algorithm, dataset) cell: the CV folds are computed once
+    # and shared by every configuration the GA proposes.
+    engine = estimator_engine(
+        spec.build,
+        X,
+        y,
+        cv=cv,
+        random_state=random_state,
+        name=f"tune-{algorithm}-{dataset.name}",
+    )
+    problem = HPOProblem(spec.space, name=f"tune-{algorithm}-{dataset.name}", engine=engine)
     optimizer = GeneticAlgorithm(
         population_size=min(8, max(4, max_evaluations // 2)),
         n_generations=max(1, max_evaluations // 4),
@@ -116,6 +122,7 @@ class PerformanceTable:
         max_records: int | None = 300,
         max_evaluations: int = 8,
         random_state: int = 0,
+        n_workers: int = 1,
     ) -> "PerformanceTable":
         """Evaluate every catalogue algorithm on every dataset.
 
@@ -123,39 +130,66 @@ class PerformanceTable:
         configuration — far cheaper and sufficient for corpus generation and
         relative comparisons.  With ``tune=True`` each entry is GA-tuned first,
         matching the paper's ``P(A, D)`` definition more closely.
+
+        The (algorithm, dataset) cells are independent, so they run through
+        one :class:`EvaluationEngine` batch: ``n_workers > 1`` evaluates cells
+        concurrently.  Per-cell seeds are drawn from one generator in a fixed
+        order, so parallelism adds no nondeterminism of its own (learners that
+        default to an unseeded ``random_state``, e.g. ``RandomTree``, vary
+        between runs at any worker count, exactly as they always have).
         """
         registry = registry or default_registry()
         rng = np.random.default_rng(random_state)
         names = registry.names
-        scores = np.zeros((len(datasets), len(names)))
+        cells = []
         for i, dataset in enumerate(datasets):
             for j, algorithm in enumerate(names):
                 seed = int(rng.integers(0, 2**31 - 1))
-                if tune:
-                    _, score = tune_algorithm(
-                        registry,
-                        algorithm,
-                        dataset,
-                        max_evaluations=max_evaluations,
-                        cv=cv,
-                        max_records=max_records,
-                        random_state=seed,
-                    )
-                else:
-                    score = evaluate_algorithm(
-                        registry,
-                        algorithm,
-                        dataset,
-                        cv=cv,
-                        max_records=max_records,
-                        random_state=seed,
-                    )
-                scores[i, j] = score
+                cells.append({"dataset": i, "algorithm": algorithm, "seed": seed})
+
+        def cell_objective(cell: dict) -> float:
+            dataset = datasets[cell["dataset"]]
+            if tune:
+                _, score = tune_algorithm(
+                    registry,
+                    cell["algorithm"],
+                    dataset,
+                    max_evaluations=max_evaluations,
+                    cv=cv,
+                    max_records=max_records,
+                    random_state=cell["seed"],
+                )
+                return score
+            return evaluate_algorithm(
+                registry,
+                cell["algorithm"],
+                dataset,
+                cv=cv,
+                max_records=max_records,
+                random_state=cell["seed"],
+            )
+
+        engine = EvaluationEngine(
+            cell_objective,
+            n_workers=n_workers,
+            crash_score=0.0,
+            name="performance-table",
+        )
+        outcomes = engine.evaluate_many(cells)
+        scores = np.zeros((len(datasets), len(names)))
+        for cell, outcome in zip(cells, outcomes):
+            j = names.index(cell["algorithm"])
+            scores[cell["dataset"], j] = outcome.score
         return cls(
             algorithms=list(names),
             datasets=[d.name for d in datasets],
             scores=scores,
-            metadata={"tuned": tune, "cv": cv, "max_records": max_records},
+            metadata={
+                "tuned": tune,
+                "cv": cv,
+                "max_records": max_records,
+                "engine": engine.stats.as_dict(),
+            },
         )
 
     # -- lookups --------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Unified trial-execution subsystem.
+
+Every configuration evaluation in the reproduction — HPO optimizers, the
+online UDR, the offline corpus/performance layer and the CASH baselines —
+runs through one :class:`EvaluationEngine`: a cached, optionally parallel,
+budget-aware executor with crash accounting.  See :mod:`repro.execution.engine`
+for the design notes.
+"""
+
+from .budget import Budget
+from .cache import EvaluationCache, config_fingerprint
+from .engine import EngineStats, EvalOutcome, EvaluationEngine
+from .folds import FoldPlan
+from .objectives import cross_val_objective, estimator_engine
+
+__all__ = [
+    "Budget",
+    "EvaluationCache",
+    "config_fingerprint",
+    "EngineStats",
+    "EvalOutcome",
+    "EvaluationEngine",
+    "FoldPlan",
+    "cross_val_objective",
+    "estimator_engine",
+]

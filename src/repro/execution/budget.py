@@ -1,0 +1,91 @@
+"""Evaluation and wall-clock budgets for configuration search.
+
+The paper's experiments bound every CASH run by a time limit (30 s and 5 min
+in Table X) and the reproduction additionally supports deterministic
+evaluation-count limits.  :class:`Budget` is the single budget object shared
+by the HPO optimizers, the UDR, the corpus generator and the baselines; the
+:class:`~repro.execution.engine.EvaluationEngine` records every evaluation
+against it, so budget accounting lives in exactly one place.
+
+The clock is *lazy*: it does not start at construction but at the first
+:meth:`start` call (the engine and ``BaseOptimizer.optimize`` both issue one),
+so ``OptimizationResult.elapsed`` never silently includes setup work done
+between constructing a budget and actually searching.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Budget"]
+
+
+@dataclass
+class Budget:
+    """Evaluation / wall-clock budget shared by all optimizers.
+
+    ``max_evaluations`` limits objective calls; ``time_limit`` (seconds) limits
+    wall-clock time (the paper's experiments use 30 s and 5 min limits).
+    Either may be ``None`` for "unlimited".
+    """
+
+    max_evaluations: int | None = None
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        self._start: float | None = None
+        self._evaluations = 0
+
+    def start(self) -> None:
+        """Start the clock if it is not already running (idempotent).
+
+        Evaluations recorded before ``start`` — e.g. the UDR's probe
+        evaluations — are kept: they were real objective calls and must count
+        against ``max_evaluations``.  Use :meth:`restart` for a full reset.
+        """
+        if self._start is None:
+            self._start = time.monotonic()
+
+    def restart(self) -> None:
+        """Reset both the clock and the evaluation count (budget reuse)."""
+        self._start = time.monotonic()
+        self._evaluations = 0
+
+    def record_evaluation(self) -> None:
+        self.start()
+        self._evaluations += 1
+
+    @property
+    def started(self) -> bool:
+        return self._start is not None
+
+    @property
+    def evaluations(self) -> int:
+        return self._evaluations
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start`; 0.0 while the clock has not started."""
+        if self._start is None:
+            return 0.0
+        return time.monotonic() - self._start
+
+    def remaining_evaluations(self) -> int | None:
+        """Evaluations left under ``max_evaluations`` (``None`` = unlimited)."""
+        if self.max_evaluations is None:
+            return None
+        return max(0, self.max_evaluations - self._evaluations)
+
+    def remaining_time(self) -> float | None:
+        """Seconds left under ``time_limit`` (``None`` = unlimited)."""
+        if self.time_limit is None:
+            return None
+        return max(0.0, self.time_limit - self.elapsed)
+
+    def exhausted(self) -> bool:
+        if self.max_evaluations is not None and self._evaluations >= self.max_evaluations:
+            return True
+        if self.time_limit is not None and self.elapsed >= self.time_limit:
+            return True
+        return False

@@ -1,0 +1,86 @@
+"""Configuration fingerprinting and score memoization.
+
+The search algorithms of the paper re-visit configurations constantly: GA
+elites are copied unchanged into every next generation, BO re-proposes the
+incumbent's neighbourhood, and the UDR's cost probe evaluates the default
+configuration that GA/BO then evaluate again as their anchor.  Each of those
+repeats a full k-fold cross-validation run.  :class:`EvaluationCache` keys
+scores by a canonical fingerprint of the configuration dict so every repeat
+is a dictionary lookup instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+__all__ = ["config_fingerprint", "EvaluationCache"]
+
+
+def _normalize(value: Any) -> Any:
+    """Reduce a config value to a canonical, hashable form."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips floats exactly, so distinct values never collide.
+        return repr(value)
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _normalize(v)) for k, v in value.items()))
+    return repr(value)
+
+
+def config_fingerprint(config: dict[str, Any]) -> tuple:
+    """Canonical hashable fingerprint of a configuration dict.
+
+    Key order does not matter; numerically identical values produce identical
+    fingerprints regardless of numpy/python scalar types.
+    """
+    return tuple(sorted((str(key), _normalize(value)) for key, value in config.items()))
+
+
+class EvaluationCache:
+    """Thread-safe fingerprint → score memo with hit/miss counters."""
+
+    def __init__(self) -> None:
+        self._scores: dict[tuple, float] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, fingerprint: tuple) -> bool:
+        return fingerprint in self._scores
+
+    def lookup(self, fingerprint: tuple) -> float | None:
+        """Return the cached score (counting a hit) or ``None`` (a miss)."""
+        with self._lock:
+            if fingerprint in self._scores:
+                self.hits += 1
+                return self._scores[fingerprint]
+            self.misses += 1
+            return None
+
+    def store(self, fingerprint: tuple, score: float) -> None:
+        with self._lock:
+            self._scores[fingerprint] = score
+
+    def peek(self, fingerprint: tuple) -> float | None:
+        """Lookup without touching the hit/miss counters."""
+        return self._scores.get(fingerprint)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._scores.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,394 @@
+"""The unified trial-execution engine.
+
+Every configuration score in this reproduction — the paper's ``f(λ, A, D)``
+— used to be computed through ad-hoc closures calling cross-validation
+serially.  :class:`EvaluationEngine` is the single execution path shared by
+the HPO optimizers, the UDR, the corpus generator and the CASH baselines.
+It provides
+
+* **memoization** — a config-fingerprint cache with hit/miss statistics, so
+  GA elites, BO incumbent perturbations and selector probes are never paid
+  for twice (:mod:`repro.execution.cache`);
+* **batch evaluation** — :meth:`EvaluationEngine.evaluate_many` evaluates a
+  list of configurations with optional thread/process parallelism via
+  :mod:`concurrent.futures`, returning outcomes in deterministic input
+  order regardless of completion order;
+* **centralized budget enforcement** — every evaluation (including cache
+  hits, which are still logical evaluations) is recorded against the
+  :class:`~repro.execution.budget.Budget`; batches stop scheduling work the
+  moment the budget is exhausted, and skipped items come back as ``None``;
+* **crash accounting** — objectives that raise score ``crash_score`` (the
+  HPO convention is ``-inf``, the table-building convention is ``0.0``)
+  instead of aborting the search, and the engine counts them.
+
+Parallel batches are *replay-equivalent* to serial ones: a batch is always
+fully scheduled before its scores are consumed, so GA generations, BO
+initial designs and successive-halving rungs produce identical trajectories
+at any worker count (given a fixed ``random_state``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from .budget import Budget
+from .cache import EvaluationCache, config_fingerprint
+
+__all__ = ["EvalOutcome", "EngineStats", "EvaluationEngine"]
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def _timed_call(objective: Callable[[dict], float], config: dict) -> tuple[float | None, float, str | None]:
+    """Run one objective call, returning ``(score, elapsed, error)``.
+
+    Module-level so the process backend can pickle it; exceptions are
+    converted to an error string because the engine treats crashes as data.
+    """
+    start = time.monotonic()
+    try:
+        score = float(objective(config))
+        return score, time.monotonic() - start, None
+    except Exception as exc:  # noqa: BLE001 — crash accounting, not control flow
+        return None, time.monotonic() - start, repr(exc)
+
+
+@dataclass
+class EvalOutcome:
+    """Result of evaluating one configuration through the engine."""
+
+    config: dict[str, Any]
+    score: float
+    elapsed: float = 0.0
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine accumulates across its lifetime."""
+
+    n_executions: int = 0  # real objective calls
+    n_cache_hits: int = 0
+    n_crashes: int = 0
+    n_batches: int = 0
+    largest_batch: int = 0
+    objective_time: float = 0.0  # summed per-evaluation wall time
+    wall_time: float = 0.0  # engine-side wall time spent evaluating
+    last_error: str | None = None
+    backend: str = "serial"
+    requested_backend: str = "serial"
+    n_workers: int = 1
+
+    @property
+    def n_evaluations(self) -> int:
+        """Logical evaluations served (executions + cache hits)."""
+        return self.n_executions + self.n_cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.n_evaluations
+        return self.n_cache_hits / total if total else 0.0
+
+    @property
+    def evals_per_second(self) -> float:
+        return self.n_evaluations / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Summed objective time over engine wall time (>1 ⇒ parallel/cached win)."""
+        return self.objective_time / self.wall_time if self.wall_time > 0 else 1.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "n_evaluations": self.n_evaluations,
+            "n_executions": self.n_executions,
+            "n_cache_hits": self.n_cache_hits,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "n_crashes": self.n_crashes,
+            "n_batches": self.n_batches,
+            "largest_batch": self.largest_batch,
+            "objective_time": round(self.objective_time, 4),
+            "wall_time": round(self.wall_time, 4),
+            "evals_per_second": round(self.evals_per_second, 2),
+            "parallel_speedup": round(self.parallel_speedup, 2),
+        }
+        if self.backend != self.requested_backend:
+            out["backend_fallback_from"] = self.requested_backend
+        return out
+
+
+class EvaluationEngine:
+    """Cached, parallel, budget-aware executor for one objective function.
+
+    Parameters
+    ----------
+    objective:
+        The black-box ``f(config) -> float`` being maximised.
+    cache:
+        Memoize scores by configuration fingerprint (default on).  Cache hits
+        still count as evaluations against the budget, so search trajectories
+        are identical with and without the cache — only cheaper.
+    n_workers / backend:
+        ``backend="thread"``/``"process"`` with ``n_workers > 1`` evaluates
+        batches concurrently; ``"serial"`` (or ``n_workers=1``) runs inline.
+        The process backend requires a picklable objective and falls back to
+        threads otherwise.
+    crash_score:
+        Score assigned to configurations whose evaluation raises.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[dict[str, Any]], float],
+        *,
+        cache: bool = True,
+        n_workers: int = 1,
+        backend: str = "thread",
+        crash_score: float = float("-inf"),
+        name: str = "engine",
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.objective = objective
+        self.use_cache = cache
+        self.n_workers = n_workers
+        self.requested_backend = backend
+        self.backend = self._resolve_backend(backend, n_workers, objective)
+        self.crash_score = float(crash_score)
+        self.name = name
+        self.cache = EvaluationCache()
+        self._stats = EngineStats(
+            backend=self.backend,
+            requested_backend=backend if n_workers > 1 else self.backend,
+            n_workers=self.n_workers,
+        )
+        self._executor: Executor | None = None
+
+    @staticmethod
+    def _resolve_backend(backend: str, n_workers: int, objective: Callable) -> str:
+        if n_workers == 1:
+            return "serial"
+        if backend == "process":
+            try:
+                pickle.dumps(objective)
+            except Exception:
+                # Closures over datasets are not picklable; threads still help
+                # because numpy releases the GIL during the heavy linear algebra.
+                return "thread"
+        return backend
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        return self._stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvaluationEngine(name={self.name!r}, backend={self.backend!r}, "
+            f"n_workers={self.n_workers}, evaluations={self._stats.n_evaluations})"
+        )
+
+    # -- seeding -----------------------------------------------------------------------
+    def seed(self, config: dict[str, Any], score: float) -> None:
+        """Pre-populate the cache with an externally obtained score."""
+        self.cache.store(config_fingerprint(config), float(score))
+
+    def cached_score(self, config: dict[str, Any]) -> float | None:
+        """Peek at the cached score for ``config`` without counting a hit."""
+        return self.cache.peek(config_fingerprint(config))
+
+    # -- single evaluation ----------------------------------------------------------------
+    def evaluate(
+        self,
+        config: dict[str, Any],
+        *,
+        budget: Budget | None = None,
+        use_cache: bool | None = None,
+    ) -> EvalOutcome:
+        """Evaluate one configuration, recording it against ``budget``.
+
+        ``use_cache=False`` forces a real objective call (the selector's cost
+        probe needs genuine timings) but still stores the result for reuse.
+        """
+        read_cache = self.use_cache if use_cache is None else use_cache
+        fingerprint = config_fingerprint(config)
+        t0 = time.monotonic()
+        if budget is not None:
+            budget.record_evaluation()
+        if read_cache:
+            hit = self.cache.lookup(fingerprint)
+            if hit is not None:
+                self._stats.n_cache_hits += 1
+                self._stats.wall_time += time.monotonic() - t0
+                return EvalOutcome(config=dict(config), score=hit, cached=True)
+        outcome = self._execute(config, fingerprint)
+        self._stats.wall_time += time.monotonic() - t0
+        return outcome
+
+    def _execute(self, config: dict[str, Any], fingerprint: tuple) -> EvalOutcome:
+        score, elapsed, error = _timed_call(self.objective, config)
+        return self._record_execution(config, fingerprint, score, elapsed, error)
+
+    def _record_execution(
+        self,
+        config: dict[str, Any],
+        fingerprint: tuple,
+        score: float | None,
+        elapsed: float,
+        error: str | None,
+    ) -> EvalOutcome:
+        self._stats.n_executions += 1
+        self._stats.objective_time += elapsed
+        if error is not None:
+            self._stats.n_crashes += 1
+            self._stats.last_error = error
+            score = self.crash_score
+        # Crashes are cached too: re-proposing a known-bad configuration
+        # should not pay for the crash twice.
+        self.cache.store(fingerprint, float(score))
+        return EvalOutcome(
+            config=dict(config), score=float(score), elapsed=elapsed, error=error
+        )
+
+    # -- batch evaluation ----------------------------------------------------------------
+    def evaluate_many(
+        self,
+        configs: Iterable[dict[str, Any]],
+        *,
+        budget: Budget | None = None,
+        use_cache: bool | None = None,
+    ) -> list[EvalOutcome | None]:
+        """Evaluate a batch; returns outcomes aligned with the input order.
+
+        Configurations the budget cannot afford are skipped and come back as
+        ``None`` (always a suffix of the batch, since items are scheduled in
+        order).  Duplicate configurations within a batch execute once and
+        share the result.  With ``n_workers > 1`` the distinct configurations
+        of each scheduling wave run concurrently.
+        """
+        read_cache = self.use_cache if use_cache is None else use_cache
+        configs = [dict(config) for config in configs]
+        outcomes: list[EvalOutcome | None] = [None] * len(configs)
+        t0 = time.monotonic()
+        executor = self._get_executor(len(configs))
+        index = 0
+        while index < len(configs):
+            if budget is not None and budget.exhausted():
+                break
+            index = self._run_wave(
+                configs, outcomes, index, budget, read_cache, executor
+            )
+        self._stats.n_batches += 1
+        self._stats.largest_batch = max(self._stats.largest_batch, len(configs))
+        self._stats.wall_time += time.monotonic() - t0
+        return outcomes
+
+    def _get_executor(self, batch_size: int) -> Executor | None:
+        """Lazily created, reused across batches — pool startup (worker spawn,
+        objective pickling) is paid once per engine, not once per GA generation
+        or halving rung.  :meth:`close` releases it."""
+        if self.backend == "serial" or self.n_workers == 1 or batch_size <= 1:
+            return None
+        if self._executor is None:
+            if self.backend == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial engines)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _run_wave(
+        self,
+        configs: list[dict[str, Any]],
+        outcomes: list[EvalOutcome | None],
+        start: int,
+        budget: Budget | None,
+        read_cache: bool,
+        executor: Executor | None,
+    ) -> int:
+        """Schedule up to ``n_workers`` distinct pending configs from ``start``.
+
+        Cache hits and in-batch duplicates are resolved inline (they cost no
+        worker); the budget is charged per scheduled item, in input order, so
+        exhaustion cuts the batch at a deterministic point.  Returns the index
+        of the first unscheduled configuration.
+        """
+        wave: list[tuple[int, tuple]] = []
+        wave_by_fp: dict[tuple, int] = {}
+        duplicates: list[tuple[int, tuple]] = []
+        index = start
+        while index < len(configs) and len(wave) < self.n_workers:
+            if budget is not None and budget.exhausted():
+                break
+            config = configs[index]
+            fingerprint = config_fingerprint(config)
+            if budget is not None:
+                budget.record_evaluation()
+            if read_cache:
+                hit = self.cache.lookup(fingerprint)
+                if hit is not None:
+                    self._stats.n_cache_hits += 1
+                    outcomes[index] = EvalOutcome(config=config, score=hit, cached=True)
+                    index += 1
+                    continue
+            if fingerprint in wave_by_fp:
+                duplicates.append((index, fingerprint))
+                self._stats.n_cache_hits += 1
+                index += 1
+                continue
+            wave.append((index, fingerprint))
+            wave_by_fp[fingerprint] = index
+            index += 1
+
+        if executor is None:
+            executed = [
+                _timed_call(self.objective, configs[i]) for i, _ in wave
+            ]
+        else:
+            futures = [
+                executor.submit(_timed_call, self.objective, configs[i]) for i, _ in wave
+            ]
+            executed = [future.result() for future in futures]
+        for (i, fingerprint), (score, elapsed, error) in zip(wave, executed):
+            outcomes[i] = self._record_execution(
+                configs[i], fingerprint, score, elapsed, error
+            )
+        for i, fingerprint in duplicates:
+            score = self.cache.peek(fingerprint)
+            outcomes[i] = EvalOutcome(
+                config=configs[i],
+                score=self.crash_score if score is None else score,
+                cached=True,
+            )
+        return index

@@ -1,0 +1,65 @@
+"""Precomputed cross-validation fold plans.
+
+The paper scores every configuration ``f(λ, A, D)`` with stratified k-fold
+cross-validation on the same dataset, yet the seed implementation re-derived
+the folds inside every single evaluation.  A :class:`FoldPlan` materialises
+the split once per ``(dataset, cv, random_state)`` and is shared by every
+configuration the engine evaluates on that dataset — the folds are identical
+to what :func:`repro.learners.validation.cross_val_score` would produce, so
+scores are bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..learners.metrics import accuracy_score
+from ..learners.validation import cross_val_score_folds, stratified_folds
+
+__all__ = ["FoldPlan"]
+
+
+@dataclass
+class FoldPlan:
+    """A reusable list of ``(train_idx, test_idx)`` pairs for one dataset."""
+
+    folds: list[tuple[np.ndarray, np.ndarray]]
+    cv: int
+    random_state: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def stratified(cls, y, cv: int = 5, random_state: int | None = None) -> "FoldPlan":
+        """Build the plan :func:`cross_val_score` would use for ``(y, cv, seed)``."""
+        return cls(
+            folds=stratified_folds(y, cv=cv, random_state=random_state),
+            cv=cv,
+            random_state=random_state,
+        )
+
+    @property
+    def n_splits(self) -> int:
+        return len(self.folds)
+
+    def scores(
+        self,
+        estimator,
+        X,
+        y,
+        scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+    ) -> np.ndarray:
+        """Per-fold scores of ``estimator`` (crashing folds score 0.0)."""
+        return cross_val_score_folds(estimator, X, y, self.folds, scoring)
+
+    def score(
+        self,
+        estimator,
+        X,
+        y,
+        scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+    ) -> float:
+        """Mean CV score — the paper's ``f(λ, A, D)`` on precomputed folds."""
+        return float(self.scores(estimator, X, y, scoring).mean())

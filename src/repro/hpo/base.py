@@ -6,16 +6,25 @@ an :class:`HPOProblem` wraps *any* objective ``f(config) -> float`` to be
 maximised over a :class:`~repro.hpo.space.ConfigSpace`, because the paper
 reuses the same machinery for feature selection (Algorithm 2), architecture
 search (Algorithm 3) and hyperparameter tuning (Algorithm 5).
+
+Every evaluation is executed by a
+:class:`~repro.execution.engine.EvaluationEngine` (one is created implicitly
+when a plain objective is given), which provides memoization, batch/parallel
+evaluation and centralized budget + crash accounting.  Optimizers implement
+``_optimize``; the public :meth:`BaseOptimizer.optimize` entry always starts
+the budget clock, so elapsed times never include setup work done before the
+search began.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..execution.budget import Budget
+from ..execution.engine import EvaluationEngine
 from .space import ConfigSpace
 
 __all__ = ["Trial", "HPOProblem", "OptimizationResult", "Budget", "BaseOptimizer"]
@@ -29,68 +38,49 @@ class Trial:
     score: float
     elapsed: float = 0.0
     iteration: int = 0
-
-
-@dataclass
-class Budget:
-    """Evaluation / wall-clock budget shared by all optimizers.
-
-    ``max_evaluations`` limits objective calls; ``time_limit`` (seconds) limits
-    wall-clock time (the paper's experiments use 30 s and 5 min limits).
-    Either may be ``None`` for "unlimited".
-    """
-
-    max_evaluations: int | None = None
-    time_limit: float | None = None
-
-    def __post_init__(self) -> None:
-        self._start = time.monotonic()
-        self._evaluations = 0
-
-    def start(self) -> None:
-        self._start = time.monotonic()
-        self._evaluations = 0
-
-    def record_evaluation(self) -> None:
-        self._evaluations += 1
-
-    @property
-    def evaluations(self) -> int:
-        return self._evaluations
-
-    @property
-    def elapsed(self) -> float:
-        return time.monotonic() - self._start
-
-    def exhausted(self) -> bool:
-        if self.max_evaluations is not None and self._evaluations >= self.max_evaluations:
-            return True
-        if self.time_limit is not None and self.elapsed >= self.time_limit:
-            return True
-        return False
+    cached: bool = False
 
 
 class HPOProblem:
-    """A black-box maximisation problem over a configuration space."""
+    """A black-box maximisation problem over a configuration space.
+
+    Either a plain ``objective`` callable or a pre-built ``engine`` may be
+    given; with a plain objective the problem constructs a serial, cached
+    :class:`EvaluationEngine` around it.  Passing an engine lets callers share
+    one cache/fold-plan/worker pool across probes, seeding and optimization
+    (the UDR and the baselines do exactly that).
+    """
 
     def __init__(
         self,
         space: ConfigSpace,
-        objective: Callable[[dict[str, Any]], float],
+        objective: Callable[[dict[str, Any]], float] | None = None,
         name: str = "hpo-problem",
+        engine: EvaluationEngine | None = None,
     ) -> None:
         if len(space) == 0:
             raise ValueError("configuration space is empty")
+        if engine is None:
+            if objective is None:
+                raise ValueError("either objective or engine must be given")
+            engine = EvaluationEngine(objective, name=name)
         self.space = space
-        self.objective = objective
+        self.engine = engine
         self.name = name
+
+    @property
+    def objective(self) -> Callable[[dict[str, Any]], float]:
+        return self.engine.objective
 
     def evaluate(self, config: dict[str, Any]) -> float:
         """Evaluate ``config``; crashes count as the worst possible score."""
-        try:
-            return float(self.objective(config))
-        except Exception:
-            return float("-inf")
+        return self.engine.evaluate(config).score
+
+    def evaluate_many(
+        self, configs: Sequence[dict[str, Any]], budget: Budget | None = None
+    ):
+        """Batch-evaluate ``configs`` (see :meth:`EvaluationEngine.evaluate_many`)."""
+        return self.engine.evaluate_many(configs, budget=budget)
 
 
 @dataclass
@@ -102,6 +92,7 @@ class OptimizationResult:
     trials: list[Trial] = field(default_factory=list)
     elapsed: float = 0.0
     optimizer: str = ""
+    engine_stats: dict = field(default_factory=dict)
 
     @property
     def n_evaluations(self) -> int:
@@ -129,6 +120,15 @@ class BaseOptimizer:
         self.random_state = random_state
 
     def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
+        """Run the search; the budget clock always starts here.
+
+        ``Budget.start`` is idempotent, so evaluations already recorded against
+        the budget (e.g. the UDR's probe evaluations) keep counting.
+        """
+        budget.start()
+        return self._optimize(problem, budget)
+
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         raise NotImplementedError
 
     # -- helpers shared by subclasses ------------------------------------------------
@@ -140,33 +140,70 @@ class BaseOptimizer:
         trials: list[Trial],
         iteration: int,
     ) -> float:
-        start = time.monotonic()
-        score = problem.evaluate(config)
-        budget.record_evaluation()
+        outcome = problem.engine.evaluate(config, budget=budget)
         trials.append(
             Trial(
                 config=dict(config),
-                score=score,
-                elapsed=time.monotonic() - start,
+                score=outcome.score,
+                elapsed=outcome.elapsed,
                 iteration=iteration,
+                cached=outcome.cached,
             )
         )
-        return score
+        return outcome.score
+
+    def _evaluate_many(
+        self,
+        problem: HPOProblem,
+        configs: Sequence[dict[str, Any]],
+        budget: Budget,
+        trials: list[Trial],
+        iteration: int | Sequence[int] = 0,
+    ) -> list[float | None]:
+        """Batch-evaluate ``configs``, appending trials for evaluated ones.
+
+        Returns one score per input configuration; entries skipped because the
+        budget ran out mid-batch are ``None`` (always a suffix).  ``iteration``
+        may be a single number or a per-config sequence.
+        """
+        iterations = (
+            list(iteration)
+            if isinstance(iteration, Sequence)
+            else [iteration] * len(configs)
+        )
+        outcomes = problem.engine.evaluate_many(configs, budget=budget)
+        scores: list[float | None] = []
+        for config, outcome, it in zip(configs, outcomes, iterations):
+            if outcome is None:
+                scores.append(None)
+                continue
+            trials.append(
+                Trial(
+                    config=dict(config),
+                    score=outcome.score,
+                    elapsed=outcome.elapsed,
+                    iteration=it,
+                    cached=outcome.cached,
+                )
+            )
+            scores.append(outcome.score)
+        return scores
 
     @staticmethod
     def _finalize(
-        trials: list[Trial], budget: Budget, space: ConfigSpace, optimizer: str
+        trials: list[Trial], budget: Budget, problem: HPOProblem, optimizer: str
     ) -> OptimizationResult:
         valid = [t for t in trials if np.isfinite(t.score)]
         if valid:
             best = max(valid, key=lambda t: t.score)
             best_config, best_score = best.config, best.score
         else:
-            best_config, best_score = space.default_configuration(), float("-inf")
+            best_config, best_score = problem.space.default_configuration(), float("-inf")
         return OptimizationResult(
             best_config=best_config,
             best_score=best_score,
             trials=trials,
             elapsed=budget.elapsed,
             optimizer=optimizer,
+            engine_stats=problem.engine.stats.as_dict(),
         )

@@ -101,23 +101,26 @@ class BayesianOptimization(BaseOptimizer):
         acquisition = expected_improvement(mean, std, best=float(np.max(y)), xi=self.xi)
         return candidates[int(np.argmax(acquisition))]
 
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
         space = problem.space
         trials: list[Trial] = []
         observed_X: list[np.ndarray] = []
         observed_y: list[float] = []
 
+        # The initial design is model-free, so it is one engine batch and
+        # runs in parallel when the engine has workers.
         initial = [space.default_configuration()]
         initial += [space.sample(rng) for _ in range(self.n_initial - 1)]
-        iteration = 0
-        for config in initial:
-            if budget.exhausted():
+        scores = self._evaluate_many(problem, initial, budget, trials, iteration=0)
+        for config, score in zip(initial, scores):
+            if score is None:
                 break
-            score = self._evaluate(problem, config, budget, trials, iteration)
             observed_X.append(space.to_vector(config))
             observed_y.append(score)
+        # The surrogate-guided phase is inherently sequential: each proposal
+        # conditions on every observation made so far.
+        iteration = 0
         while not budget.exhausted():
             iteration += 1
             config = self._suggest(problem, observed_X, observed_y, rng)
@@ -126,4 +129,4 @@ class BayesianOptimization(BaseOptimizer):
             observed_y.append(score)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)
-        return self._finalize(trials, budget, space, self.name)
+        return self._finalize(trials, budget, problem, self.name)

@@ -110,8 +110,7 @@ class GeneticAlgorithm(BaseOptimizer):
         return next_population
 
     # -- main loop --------------------------------------------------------------------
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
         space = problem.space
         trials: list[Trial] = []
@@ -119,24 +118,40 @@ class GeneticAlgorithm(BaseOptimizer):
         population = [space.default_configuration()]
         population += [space.sample(rng) for _ in range(self.population_size - 1)]
 
+        # Generations are evaluated in waves of the engine's worker count so a
+        # parallel engine fills its workers while target_score/budget checks
+        # keep the seed's per-evaluation granularity on a serial engine (at
+        # most n_workers - 1 evaluations overshoot the early-stop otherwise).
+        wave = max(1, problem.engine.n_workers)
         stop = False
         for generation in range(self.n_generations):
+            if stop or budget.exhausted():
+                break
             fitness: list[float] = []
-            for config in population:
+            for start in range(0, len(population), wave):
                 if budget.exhausted():
                     stop = True
                     break
-                score = self._evaluate(problem, config, budget, trials, generation)
-                fitness.append(score)
-                if self.target_score is not None and score >= self.target_score:
+                scores = self._evaluate_many(
+                    problem,
+                    population[start : start + wave],
+                    budget,
+                    trials,
+                    iteration=generation,
+                )
+                evaluated = [s for s in scores if s is not None]
+                fitness.extend(s if s is not None else float("-inf") for s in scores)
+                if self.target_score is not None and evaluated and (
+                    max(evaluated) >= self.target_score
+                ):
+                    stop = True
+                    break
+                if any(s is None for s in scores):
                     stop = True
                     break
             if stop or budget.exhausted():
                 break
-            # Individuals skipped by an exhausted budget get the worst fitness.
-            while len(fitness) < len(population):
-                fitness.append(float("-inf"))
             population = self._next_generation(population, fitness, problem, rng)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)
-        return self._finalize(trials, budget, space, self.name)
+        return self._finalize(trials, budget, problem, self.name)

@@ -12,7 +12,8 @@ class GridSearch(BaseOptimizer):
 
     The ``resolution`` parameter controls how many points each numeric
     hyperparameter is discretised into; categorical parameters always
-    contribute all of their choices.
+    contribute all of their choices.  The whole grid is handed to the engine
+    as one batch, so it is evaluated in parallel when the engine has workers.
     """
 
     name = "grid-search"
@@ -22,14 +23,12 @@ class GridSearch(BaseOptimizer):
         self.resolution = resolution
         self.max_configs = max_configs
 
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         trials: list[Trial] = []
         configs = problem.space.grid(resolution=self.resolution, max_configs=self.max_configs)
-        for iteration, config in enumerate(configs):
-            if budget.exhausted():
-                break
-            self._evaluate(problem, config, budget, trials, iteration)
+        self._evaluate_many(
+            problem, configs, budget, trials, iteration=range(len(configs))
+        )
         if not trials:
             self._evaluate(problem, problem.space.default_configuration(), budget, trials, 0)
-        return self._finalize(trials, budget, problem.space, self.name)
+        return self._finalize(trials, budget, problem, self.name)

@@ -10,15 +10,19 @@ __all__ = ["RandomSearch"]
 
 
 class RandomSearch(BaseOptimizer):
-    """Sample configurations uniformly at random until the budget is exhausted."""
+    """Sample configurations uniformly at random until the budget is exhausted.
+
+    Samples are drawn in rounds of the engine's worker count, so a parallel
+    engine evaluates them concurrently; the sampling sequence (and therefore
+    the search trajectory) is identical at any worker count.
+    """
 
     name = "random-search"
 
     def __init__(self, random_state: int | None = None) -> None:
         super().__init__(random_state=random_state)
 
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
         trials: list[Trial] = []
         iteration = 0
@@ -26,8 +30,10 @@ class RandomSearch(BaseOptimizer):
         # sensible anchor and guarantees at least one trial even under a
         # vanishingly small budget.
         self._evaluate(problem, problem.space.default_configuration(), budget, trials, iteration)
+        batch = max(1, problem.engine.n_workers)
         while not budget.exhausted():
-            iteration += 1
-            config = problem.space.sample(rng)
-            self._evaluate(problem, config, budget, trials, iteration)
-        return self._finalize(trials, budget, problem.space, self.name)
+            configs = [problem.space.sample(rng) for _ in range(batch)]
+            iterations = range(iteration + 1, iteration + 1 + batch)
+            self._evaluate_many(problem, configs, budget, trials, iteration=iterations)
+            iteration += batch
+        return self._finalize(trials, budget, problem, self.name)

@@ -10,6 +10,13 @@ The 10-minute threshold of the paper is a parameter here (the reproduction's
 datasets are much smaller, so the default threshold is scaled down), and the
 probe measures the wall-clock time of a small number of default-configuration
 evaluations.
+
+When the caller supplies an :class:`~repro.execution.engine.EvaluationEngine`
+(the UDR does), the probes run through it: their results land in the engine's
+cache — so the optimizer's own evaluation of the default configuration is a
+free cache hit instead of a repeated cross-validation run — and, if a
+:class:`~repro.execution.budget.Budget` is also given, the probes are charged
+against it rather than being free off-the-books evaluations.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from ..execution.budget import Budget
+from ..execution.engine import EvaluationEngine
 from .bayesian import BayesianOptimization
 from .base import BaseOptimizer
 from .genetic import GeneticAlgorithm
@@ -54,10 +63,29 @@ class HPOTechniqueSelector:
         self.random_state = random_state
 
     def probe_evaluation_time(
-        self, space: ConfigSpace, objective: Callable[[dict[str, Any]], float]
+        self,
+        space: ConfigSpace,
+        objective: Callable[[dict[str, Any]], float] | None = None,
+        *,
+        engine: EvaluationEngine | None = None,
+        budget: Budget | None = None,
     ) -> float:
-        """Average wall-clock seconds of ``n_probes`` default-config evaluations."""
+        """Average wall-clock seconds of ``n_probes`` default-config evaluations.
+
+        With an ``engine``, probes bypass the cache for *reading* (a cached
+        score would make the timing meaningless) but still write their result
+        to it, seeding the subsequent optimization; a ``budget`` charges the
+        probes as real evaluations.  Without an engine the raw objective is
+        timed directly (crashes tolerated), as before.
+        """
         config = space.default_configuration()
+        if engine is not None:
+            total = 0.0
+            for _ in range(self.n_probes):
+                total += engine.evaluate(config, budget=budget, use_cache=False).elapsed
+            return total / self.n_probes
+        if objective is None:
+            raise ValueError("either objective or engine must be given")
         total = 0.0
         for _ in range(self.n_probes):
             start = time.monotonic()
@@ -69,10 +97,17 @@ class HPOTechniqueSelector:
         return total / self.n_probes
 
     def select(
-        self, space: ConfigSpace, objective: Callable[[dict[str, Any]], float]
+        self,
+        space: ConfigSpace,
+        objective: Callable[[dict[str, Any]], float] | None = None,
+        *,
+        engine: EvaluationEngine | None = None,
+        budget: Budget | None = None,
     ) -> BaseOptimizer:
         """Return a GA when evaluations are cheap and a BO optimizer otherwise."""
-        mean_time = self.probe_evaluation_time(space, objective)
+        mean_time = self.probe_evaluation_time(
+            space, objective, engine=engine, budget=budget
+        )
         if mean_time < self.time_threshold:
             return GeneticAlgorithm(
                 population_size=self.ga_population,
@@ -86,12 +121,15 @@ class HPOTechniqueSelector:
 
 def choose_hpo_technique(
     space: ConfigSpace,
-    objective: Callable[[dict[str, Any]], float],
+    objective: Callable[[dict[str, Any]], float] | None = None,
     time_threshold: float = DEFAULT_EVALUATION_TIME_THRESHOLD,
     random_state: int | None = None,
+    *,
+    engine: EvaluationEngine | None = None,
+    budget: Budget | None = None,
 ) -> BaseOptimizer:
     """Convenience wrapper around :class:`HPOTechniqueSelector`."""
     selector = HPOTechniqueSelector(
         time_threshold=time_threshold, random_state=random_state
     )
-    return selector.select(space, objective)
+    return selector.select(space, objective, engine=engine, budget=budget)

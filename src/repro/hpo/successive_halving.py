@@ -94,14 +94,20 @@ class SuccessiveHalving(BaseOptimizer):
             if not survivors or budget.exhausted():
                 return
             fidelity = min(self.max_fidelity, self.min_fidelity * self.eta**rung)
-            scored: list[tuple[float, dict[str, Any]]] = []
-            for config in survivors:
-                if budget.exhausted():
-                    break
-                score = self._evaluate(
-                    problem, self._with_fidelity(config, fidelity), budget, trials, rung
-                )
-                scored.append((score, config))
+            # Each rung races its survivors as one engine batch (parallel when
+            # the engine has workers); configs cut off by the budget are None.
+            scores = self._evaluate_many(
+                problem,
+                [self._with_fidelity(config, fidelity) for config in survivors],
+                budget,
+                trials,
+                iteration=rung,
+            )
+            scored = [
+                (score, config)
+                for score, config in zip(scores, survivors)
+                if score is not None
+            ]
             if not scored:
                 return
             scored.sort(key=lambda pair: pair[0], reverse=True)
@@ -109,8 +115,7 @@ class SuccessiveHalving(BaseOptimizer):
             survivors = [config for _, config in scored[:keep]]
 
     # -- public API ---------------------------------------------------------------------
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
         space = problem.space
         trials: list[Trial] = []
@@ -119,7 +124,7 @@ class SuccessiveHalving(BaseOptimizer):
         self._run_bracket(problem, budget, trials, configs, start_rung=0)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)
-        result = self._finalize(trials, budget, space, self.name)
+        result = self._finalize(trials, budget, problem, self.name)
         if self.fidelity_key is not None:
             result.best_config = {
                 k: v for k, v in result.best_config.items() if k != self.fidelity_key
@@ -132,8 +137,7 @@ class Hyperband(SuccessiveHalving):
 
     name = "hyperband"
 
-    def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
-        budget.start()
+    def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
         space = problem.space
         trials: list[Trial] = []
@@ -150,7 +154,7 @@ class Hyperband(SuccessiveHalving):
             self._run_bracket(problem, budget, trials, configs, start_rung=s_max - s)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)
-        result = self._finalize(trials, budget, space, self.name)
+        result = self._finalize(trials, budget, problem, self.name)
         if self.fidelity_key is not None:
             result.best_config = {
                 k: v for k, v in result.best_config.items() if k != self.fidelity_key

@@ -53,6 +53,8 @@ from .validation import (
     StratifiedKFold,
     cross_val_accuracy,
     cross_val_score,
+    cross_val_score_folds,
+    stratified_folds,
     train_test_split,
 )
 
@@ -90,5 +92,6 @@ __all__ = [
     "BFTree", "DecisionStump", "DecisionTreeClassifier", "J48", "RandomTree",
     "REPTree", "SimpleCart",
     # validation
-    "KFold", "StratifiedKFold", "cross_val_accuracy", "cross_val_score", "train_test_split",
+    "KFold", "StratifiedKFold", "cross_val_accuracy", "cross_val_score",
+    "cross_val_score_folds", "stratified_folds", "train_test_split",
 ]

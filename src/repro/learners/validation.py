@@ -18,7 +18,9 @@ __all__ = [
     "train_test_split",
     "KFold",
     "StratifiedKFold",
+    "stratified_folds",
     "cross_val_score",
+    "cross_val_score_folds",
     "cross_val_accuracy",
 ]
 
@@ -127,15 +129,30 @@ def _effective_splits(y: np.ndarray, requested: int) -> int:
     return max(2, min(requested, int(counts.min()) if counts.min() >= 2 else 2, n // 2))
 
 
-def cross_val_score(
+def stratified_folds(
+    y, cv: int = 5, random_state: int | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Materialise the stratified CV folds :func:`cross_val_score` would use.
+
+    Fold computation depends only on ``(y, cv, random_state)``, never on the
+    configuration being scored, so the execution engine precomputes the folds
+    once per dataset and reuses them for every configuration instead of
+    re-splitting inside each evaluation.
+    """
+    y = np.asarray(y)
+    n_splits = _effective_splits(y, cv)
+    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=random_state)
+    return list(splitter.split(np.empty((len(y), 0)), y))
+
+
+def cross_val_score_folds(
     estimator: BaseClassifier,
     X,
     y,
-    cv: int = 5,
+    folds: Sequence[tuple[np.ndarray, np.ndarray]],
     scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
-    random_state: int | None = None,
 ) -> np.ndarray:
-    """Return the per-fold scores of ``estimator`` under stratified k-fold CV.
+    """Per-fold scores of ``estimator`` over precomputed ``folds``.
 
     Folds where the estimator raises are scored 0.0 — the HPO layer treats a
     crashing configuration as a very bad one rather than aborting the search,
@@ -143,10 +160,8 @@ def cross_val_score(
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    n_splits = _effective_splits(y, cv)
-    splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=random_state)
     scores: list[float] = []
-    for train_idx, test_idx in splitter.split(X, y):
+    for train_idx, test_idx in folds:
         model = clone(estimator)
         try:
             model.fit(X[train_idx], y[train_idx])
@@ -157,6 +172,20 @@ def cross_val_score(
     if not scores:
         return np.array([0.0])
     return np.array(scores, dtype=np.float64)
+
+
+def cross_val_score(
+    estimator: BaseClassifier,
+    X,
+    y,
+    cv: int = 5,
+    scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Return the per-fold scores of ``estimator`` under stratified k-fold CV."""
+    return cross_val_score_folds(
+        estimator, X, y, stratified_folds(y, cv=cv, random_state=random_state), scoring
+    )
 
 
 def cross_val_accuracy(
