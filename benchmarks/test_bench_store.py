@@ -1,0 +1,144 @@
+"""Benchmark: the persistent result store on the corpus/performance-table path.
+
+The corpus generator's dominant cost is measuring the ``P(A, D)`` performance
+table — one cross-validation run per (algorithm, dataset) cell.  With a
+:class:`~repro.execution.ResultStore` attached, every finished cell is
+persisted, so a second run of the same measurement (a restarted process, a
+re-built corpus, an extended dataset list) replays scores from disk instead
+of re-running cross-validation.
+
+This bench runs the identical corpus build twice against one store directory
+— a *cold* run that pays for every cell, then a *warm* run backed by a fresh
+store instance over the same files — and asserts the acceptance criteria of
+the subsystem: **bit-identical scores and corpus, at a ≥5x wall-clock
+speedup** (in practice the warm run is orders of magnitude faster, because it
+only reads one JSONL shard).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.corpus.serialization import corpus_to_dict
+from repro.datasets import knowledge_suite
+from repro.evaluation import format_table
+from repro.execution import ResultStore
+
+N_DATASETS = 8
+MAX_RECORDS = 150
+SPEEDUP_FLOOR = 5.0
+
+
+def test_bench_store_warm_corpus_rebuild(benchmark, bench_registry, tmp_path):
+    datasets = knowledge_suite(
+        n_datasets=N_DATASETS, max_records=MAX_RECORDS, random_state=42
+    )
+    config = CorpusConfig(n_papers=12, random_state=0)
+    store_dir = tmp_path / "results"
+
+    def build(label: str):
+        # A fresh ResultStore per run mirrors a restarted process: nothing is
+        # shared in memory, only the shard files on disk.
+        store = ResultStore(store_dir)
+        start = time.monotonic()
+        corpus, table = generate_corpus(
+            datasets, registry=bench_registry, config=config, cv=3,
+            max_records=120, store=store,
+        )
+        elapsed = time.monotonic() - start
+        return {
+            "run": label,
+            "corpus": corpus,
+            "table": table,
+            "seconds": elapsed,
+            "engine": table.metadata["engine"],
+            "store": store.stats.as_dict(),
+        }
+
+    def run():
+        return build("cold"), build("warm")
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "run": result["run"],
+            "seconds": result["seconds"],
+            "objective calls": result["engine"]["n_executions"],
+            "store hits": result["engine"]["n_store_hits"],
+            "store writes": result["store"]["writes"],
+        }
+        for result in (cold, warm)
+    ]
+    speedup = cold["seconds"] / max(warm["seconds"], 1e-9)
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Warm corpus rebuild from the result store "
+                f"({N_DATASETS} datasets x {len(bench_registry)} algorithms, "
+                f"{speedup:.0f}x speedup)"
+            ),
+        )
+    )
+
+    # Identical outputs: the store replays, it never changes a score.
+    np.testing.assert_array_equal(cold["table"].scores, warm["table"].scores)
+    assert corpus_to_dict(cold["corpus"]) == corpus_to_dict(warm["corpus"])
+    # The warm run never touched the objective ...
+    assert warm["engine"]["n_executions"] == 0
+    assert warm["engine"]["n_store_hits"] == cold["table"].scores.size
+    # ... and the acceptance floor: a warm second run is >= 5x faster.
+    assert cold["seconds"] >= SPEEDUP_FLOOR * warm["seconds"], (
+        f"warm rebuild only {speedup:.1f}x faster "
+        f"(cold {cold['seconds']:.2f}s, warm {warm['seconds']:.2f}s)"
+    )
+
+
+def test_bench_store_partial_resume(benchmark, bench_registry, tmp_path):
+    """An interrupted/extended table build only pays for the missing cells."""
+    datasets = knowledge_suite(
+        n_datasets=N_DATASETS, max_records=MAX_RECORDS, random_state=42
+    )
+    store_dir = tmp_path / "results"
+
+    from repro.evaluation import PerformanceTable
+
+    kwargs = dict(registry=bench_registry, tune=False, cv=3, max_records=120, random_state=0)
+
+    def run():
+        half = PerformanceTable.compute(
+            datasets[: N_DATASETS // 2], store=ResultStore(store_dir), **kwargs
+        )
+        start = time.monotonic()
+        full = PerformanceTable.compute(
+            datasets, store=ResultStore(store_dir), **kwargs
+        )
+        resume_seconds = time.monotonic() - start
+        return half, full, resume_seconds
+
+    half, full, resume_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    n_reused = half.scores.size
+    n_new = full.scores.size - n_reused
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "phase": "resume (half the cells on disk)",
+                    "seconds": resume_seconds,
+                    "cells reused": n_reused,
+                    "cells computed": full.metadata["engine"]["n_executions"],
+                }
+            ],
+            title="Partial performance-table resume",
+        )
+    )
+    np.testing.assert_array_equal(full.scores[: N_DATASETS // 2], half.scores)
+    assert full.metadata["engine"]["n_executions"] == n_new
+    assert full.metadata["engine"]["n_store_hits"] == n_reused

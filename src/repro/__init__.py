@@ -35,7 +35,7 @@ from .core.automodel import AutoModel
 from .core.dmd import DecisionMakingModelDesigner
 from .core.udr import CASHSolution, UserDemandResponser
 from .datasets.dataset import Dataset
-from .execution import Budget, EvaluationEngine
+from .execution import Budget, EvaluationEngine, ResultStore
 
 __version__ = "1.0.0"
 
@@ -47,6 +47,7 @@ __all__ = [
     "Dataset",
     "Budget",
     "EvaluationEngine",
+    "ResultStore",
     "baselines",
     "core",
     "corpus",

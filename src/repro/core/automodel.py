@@ -13,32 +13,87 @@ Typical use::
 performance (see :mod:`repro.corpus.generator`); ``fit`` accepts a ready-made
 corpus (e.g. one hand-extracted from real papers and loaded with
 :func:`repro.corpus.load_corpus`).
+
+Persistent caching
+------------------
+Passing ``cache_dir`` composes every durable artefact behind one directory:
+
+* ``results/`` — a :class:`~repro.execution.ResultStore` that persists raw
+  configuration scores (performance-table cells, UDR tuning evaluations), so
+  interrupted or repeated runs resume instead of recomputing;
+* ``decision_model.json`` — the trained ``SNA`` via
+  :mod:`repro.core.persistence`;
+* ``performance_table.json`` / ``corpus.json`` — the measured table and the
+  simulated corpus it fed.
+
+``AutoModel.fit_from_datasets(..., cache_dir=path)`` is therefore a one-call
+warm-startable workflow: the first invocation measures, fits and saves; any
+later invocation (even mid-crash) reuses whatever the directory already
+holds, down to individual cross-validation scores.  A fully-populated cache
+restores without touching the datasets at all — ``AutoModel(cache_dir=path)``
+alone rebuilds a working recommender.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from ..corpus.experience import ExperienceSet
 from ..corpus.generator import CorpusConfig, generate_corpus
+from ..corpus.serialization import load_corpus, save_corpus
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
+from ..execution import ResultStore
 from ..learners.registry import AlgorithmRegistry, default_registry
+from .architecture_search import DecisionModel
 from .dmd import DecisionMakingModelDesigner, DMDResult
+from .persistence import load_decision_model, save_decision_model
 from .udr import CASHSolution, UserDemandResponser
 
 __all__ = ["AutoModel"]
 
+_MODEL_FILE = "decision_model.json"
+_TABLE_FILE = "performance_table.json"
+_CORPUS_FILE = "corpus.json"
+_STORE_DIR = "results"
+
 
 @dataclass
 class AutoModel:
-    """A fitted Auto-Model instance (trained decision model + online responder)."""
+    """A fitted Auto-Model instance (trained decision model + online responder).
 
-    dmd_result: DMDResult
-    registry: AlgorithmRegistry
+    Either ``dmd_result`` (a full in-process DMD run) or ``model`` (a decision
+    model restored from disk) supplies the ``SNA``; ``AutoModel(cache_dir=p)``
+    with neither restores everything from a previously saved cache directory.
+    """
+
+    dmd_result: DMDResult | None = None
+    registry: AlgorithmRegistry | None = None
     performance: PerformanceTable | None = None
     corpus: ExperienceSet | None = None
+    model: DecisionModel | None = field(default=None, repr=False)
+    store: ResultStore | None = field(default=None, repr=False)
+    cache_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+        if self.registry is None:
+            self.registry = default_registry()
+        if self.dmd_result is None and self.model is None:
+            if self.cache_dir is None:
+                raise ValueError(
+                    "AutoModel needs a dmd_result, a model, or a cache_dir "
+                    "holding a saved decision model (see fit_from_datasets)"
+                )
+            restored = AutoModel.load(self.cache_dir, registry=self.registry)
+            self.model = restored.model
+            self.performance = self.performance or restored.performance
+            self.corpus = self.corpus or restored.corpus
+        if self.store is None and self.cache_dir is not None:
+            self.store = ResultStore(self.cache_dir / _STORE_DIR)
 
     # -- construction ---------------------------------------------------------------------
     @classmethod
@@ -48,12 +103,18 @@ class AutoModel:
         dataset_lookup: dict[str, Dataset],
         registry: AlgorithmRegistry | None = None,
         dmd: DecisionMakingModelDesigner | None = None,
+        cache_dir: str | Path | None = None,
     ) -> "AutoModel":
         """Run the DMD pipeline on an existing research-paper corpus."""
         registry = registry or default_registry()
         dmd = dmd or DecisionMakingModelDesigner()
         result = dmd.run(corpus, dataset_lookup)
-        return cls(dmd_result=result, registry=registry, corpus=corpus)
+        model = cls(
+            dmd_result=result, registry=registry, corpus=corpus, cache_dir=cache_dir
+        )
+        if cache_dir is not None:
+            model.save(cache_dir)
+        return model
 
     @classmethod
     def fit_from_datasets(
@@ -65,9 +126,25 @@ class AutoModel:
         performance: PerformanceTable | None = None,
         cv: int = 3,
         max_records: int | None = 250,
+        cache_dir: str | Path | None = None,
+        n_workers: int = 1,
     ) -> "AutoModel":
-        """Simulate the paper corpus from ``knowledge_datasets`` and fit on it."""
+        """Simulate the paper corpus from ``knowledge_datasets`` and fit on it.
+
+        With ``cache_dir``: a directory holding a previously saved decision
+        model short-circuits the whole pipeline (restore instead of refit);
+        otherwise the performance measurement runs through the directory's
+        :class:`~repro.execution.ResultStore` — resuming any cells a prior
+        (possibly interrupted) run already paid for — and the fitted
+        artefacts are saved back for the next caller.
+        """
         registry = registry or default_registry()
+        store: ResultStore | None = None
+        if cache_dir is not None:
+            cache_dir = Path(cache_dir)
+            if (cache_dir / _MODEL_FILE).exists():
+                return cls.load(cache_dir, registry=registry)
+            store = ResultStore(cache_dir / _STORE_DIR)
         corpus, table = generate_corpus(
             knowledge_datasets,
             registry=registry,
@@ -75,30 +152,84 @@ class AutoModel:
             performance=performance,
             cv=cv,
             max_records=max_records,
+            n_workers=n_workers,
+            store=store,
         )
         lookup = {dataset.name: dataset for dataset in knowledge_datasets}
         dmd = dmd or DecisionMakingModelDesigner()
         result = dmd.run(corpus, lookup)
         model = cls(
-            dmd_result=result, registry=registry, performance=table, corpus=corpus
+            dmd_result=result,
+            registry=registry,
+            performance=table,
+            corpus=corpus,
+            store=store,
+            cache_dir=cache_dir,
         )
+        if cache_dir is not None:
+            model.save(cache_dir)
         return model
 
+    # -- persistence ------------------------------------------------------------------------
+    def save(self, cache_dir: str | Path | None = None) -> Path:
+        """Persist the decision model (+ table and corpus when present)."""
+        cache_dir = Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if cache_dir is None:
+            raise ValueError("no cache_dir given and none set on this AutoModel")
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        save_decision_model(self.decision_model, cache_dir / _MODEL_FILE)
+        if self.performance is not None:
+            self.performance.save(cache_dir / _TABLE_FILE)
+        if self.corpus is not None:
+            save_corpus(self.corpus, cache_dir / _CORPUS_FILE)
+        return cache_dir
+
+    @classmethod
+    def load(
+        cls, cache_dir: str | Path, registry: AlgorithmRegistry | None = None
+    ) -> "AutoModel":
+        """Restore an AutoModel saved by :meth:`save` (or ``fit*(cache_dir=)``)."""
+        cache_dir = Path(cache_dir)
+        model_path = cache_dir / _MODEL_FILE
+        if not model_path.exists():
+            raise FileNotFoundError(f"no saved decision model under {cache_dir}")
+        decision_model = load_decision_model(model_path)
+        table_path = cache_dir / _TABLE_FILE
+        corpus_path = cache_dir / _CORPUS_FILE
+        return cls(
+            model=decision_model,
+            registry=registry or default_registry(),
+            performance=PerformanceTable.load(table_path) if table_path.exists() else None,
+            corpus=load_corpus(corpus_path) if corpus_path.exists() else None,
+            store=ResultStore(cache_dir / _STORE_DIR),
+            cache_dir=cache_dir,
+        )
+
     # -- online use ------------------------------------------------------------------------
+    @property
+    def decision_model(self) -> DecisionModel:
+        """The trained ``SNA``, whether fitted in-process or restored from disk."""
+        if self.model is not None:
+            return self.model
+        return self.dmd_result.model
+
     def responder(
         self,
         cv: int = 5,
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
         n_workers: int = 1,
+        warm_start: bool = True,
     ) -> UserDemandResponser:
         return UserDemandResponser(
-            model=self.dmd_result.model,
+            model=self.decision_model,
             registry=self.registry,
             cv=cv,
             tuning_max_records=tuning_max_records,
             random_state=random_state,
             n_workers=n_workers,
+            store=self.store,
+            warm_start=warm_start,
         )
 
     def select_algorithm(self, dataset: Dataset) -> str:
@@ -115,7 +246,11 @@ class AutoModel:
         random_state: int | None = 0,
         n_workers: int = 1,
     ) -> CASHSolution:
-        """Full CASH answer for ``dataset``: algorithm + tuned hyperparameters."""
+        """Full CASH answer for ``dataset``: algorithm + tuned hyperparameters.
+
+        On a cache-backed AutoModel, repeat recommendations for the same
+        dataset replay their tuning evaluations from the result store.
+        """
         responder = self.responder(
             cv=cv,
             tuning_max_records=tuning_max_records,
@@ -129,19 +264,27 @@ class AutoModel:
     # -- introspection ------------------------------------------------------------------------
     @property
     def key_features(self) -> list[str]:
-        return self.dmd_result.key_features
+        if self.dmd_result is not None:
+            return self.dmd_result.key_features
+        return self.decision_model.key_features
 
     @property
     def knowledge_size(self) -> int:
-        return len(self.dmd_result.knowledge_base)
+        return len(self.dmd_result.knowledge_base) if self.dmd_result is not None else 0
 
     def describe(self) -> dict[str, Any]:
         """Human-readable summary of the fitted system."""
-        return {
+        out = {
             "knowledge_pairs": self.knowledge_size,
             "key_features": self.key_features,
-            "architecture": self.dmd_result.architecture.config,
-            "architecture_mse": self.dmd_result.architecture.mse,
-            "algorithms_in_knowledge": self.dmd_result.knowledge_base.algorithm_labels,
             "catalogue_size": len(self.registry),
+            "restored_from_cache": self.dmd_result is None,
         }
+        if self.dmd_result is not None:
+            out["architecture"] = self.dmd_result.architecture.config
+            out["architecture_mse"] = self.dmd_result.architecture.mse
+            out["algorithms_in_knowledge"] = self.dmd_result.knowledge_base.algorithm_labels
+        else:
+            out["architecture"] = dict(self.decision_model.architecture)
+            out["algorithms_in_knowledge"] = list(self.decision_model.labels)
+        return out

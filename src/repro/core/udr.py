@@ -23,7 +23,7 @@ from typing import Any
 import numpy as np
 
 from ..datasets.dataset import Dataset
-from ..execution import EvaluationEngine, estimator_engine
+from ..execution import EvaluationEngine, ResultStore, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.selector import HPOTechniqueSelector
 from ..learners.base import BaseClassifier
@@ -68,6 +68,13 @@ class UserDemandResponser:
     ``n_workers``/``backend`` configure the evaluation engine: with more than
     one worker the GA populations and BO initial designs of the tuning step
     are evaluated concurrently (deterministic trajectories either way).
+
+    With a ``store`` (a :class:`~repro.execution.ResultStore`), every tuning
+    evaluation is persisted and, when ``warm_start`` is on, repeat requests
+    for the same (algorithm, dataset, CV protocol) replay prior scores from
+    disk instead of re-running cross-validation; ``warm_start_top_k`` prior
+    bests additionally seed the GA population / BO initial design (re-ranked
+    before fresh sampling).
     """
 
     def __init__(
@@ -80,6 +87,9 @@ class UserDemandResponser:
         random_state: int | None = 0,
         n_workers: int = 1,
         backend: str = "thread",
+        store: ResultStore | None = None,
+        warm_start: bool = True,
+        warm_start_top_k: int = 3,
     ) -> None:
         self.model = model
         self.registry = registry or default_registry()
@@ -89,6 +99,9 @@ class UserDemandResponser:
         self.random_state = random_state
         self.n_workers = n_workers
         self.backend = backend
+        self.store = store
+        self.warm_start = warm_start
+        self.warm_start_top_k = int(warm_start_top_k)
 
     # -- algorithm selection (Algorithm 5, line 1) --------------------------------------------
     def select_algorithm(self, dataset: Dataset) -> str:
@@ -104,8 +117,20 @@ class UserDemandResponser:
         )
 
     # -- hyperparameter optimisation (lines 2-4) ------------------------------------------------
+    def _store_context(self, dataset: Dataset, algorithm: str) -> str:
+        """Shard key fingerprinting the tuning objective.
+
+        Everything that changes ``f(λ, SA, I)`` is folded in — dataset
+        identity/shape, the subsample cap, the CV protocol and the seed — so
+        a persistent store never replays scores across distinct objectives.
+        """
+        return (
+            f"udr-{algorithm}-{dataset.name}-{dataset.n_records}x{dataset.n_attributes}"
+            f"-sub{self.tuning_max_records}-cv{self.cv}-rs{self.random_state}"
+        )
+
     def _make_engine(self, dataset: Dataset, algorithm: str):
-        """One shared engine per (algorithm, dataset): folds, cache, workers."""
+        """One shared engine per (algorithm, dataset): folds, cache, workers, store."""
         spec = self.registry.get(algorithm)
         data = (
             dataset.subsample(self.tuning_max_records, random_state=self.random_state)
@@ -122,6 +147,9 @@ class UserDemandResponser:
             n_workers=self.n_workers,
             backend=self.backend,
             name=f"udr-{algorithm}-{dataset.name}",
+            store=self.store,
+            store_context=self._store_context(dataset, algorithm),
+            warm_start=self.warm_start,
         )
         return spec, engine
 
@@ -140,8 +168,15 @@ class UserDemandResponser:
             spec = self.registry.get(algorithm)
         budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
         budget.start()
+        # Warm-start seeding only kicks in when the engine actually reads its
+        # store (a store attached with warm_start=False is record-only), so
+        # trajectories without warm starts stay bit-identical to earlier
+        # releases.
+        warm_k = self.warm_start_top_k if engine.warm_start else 0
         selector = HPOTechniqueSelector(
-            time_threshold=self.probe_time_threshold, random_state=self.random_state
+            time_threshold=self.probe_time_threshold,
+            random_state=self.random_state,
+            warm_start=warm_k,
         )
         # Probes run through the engine: charged to the budget, cached for
         # reuse as the optimizer's default-configuration anchor trial.

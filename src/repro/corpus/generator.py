@@ -27,6 +27,7 @@ import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
+from ..execution import ResultStore
 from ..learners.registry import AlgorithmRegistry, default_registry
 from .experience import Experience, ExperienceSet
 from .paper import PAPER_LEVELS, Paper
@@ -157,6 +158,8 @@ def generate_corpus(
     cv: int = 3,
     max_records: int | None = 250,
     n_workers: int = 1,
+    store: ResultStore | None = None,
+    warm_start: bool = True,
 ) -> tuple[ExperienceSet, PerformanceTable]:
     """End-to-end corpus generation from raw datasets.
 
@@ -165,7 +168,11 @@ def generate_corpus(
     the underlying table so callers can audit the ground truth behind it.
     The measurement runs through the execution engine; ``n_workers > 1``
     evaluates the (algorithm, dataset) cells concurrently without adding any
-    nondeterminism (per-cell seeds are fixed up front).
+    nondeterminism (per-cell seeds are fixed up front).  A ``store`` persists
+    the measured cells so a repeat or interrupted corpus build resumes from
+    disk (see :meth:`PerformanceTable.compute`); the simulation itself is
+    deterministic given the table and config, so resuming the measurement
+    reproduces the identical corpus.
     """
     registry = registry or default_registry()
     config = config or CorpusConfig()
@@ -178,6 +185,8 @@ def generate_corpus(
             max_records=max_records,
             random_state=config.random_state,
             n_workers=n_workers,
+            store=store,
+            warm_start=warm_start,
         )
     generator = CorpusGenerator(performance, config)
     return generator.generate(), performance

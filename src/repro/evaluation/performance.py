@@ -20,7 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ..datasets.dataset import Dataset
-from ..execution import EvaluationEngine, estimator_engine
+from ..execution import EvaluationEngine, ResultStore, estimator_engine
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
 from ..learners.registry import AlgorithmRegistry, default_registry
@@ -123,6 +123,8 @@ class PerformanceTable:
         max_evaluations: int = 8,
         random_state: int = 0,
         n_workers: int = 1,
+        store: ResultStore | None = None,
+        warm_start: bool = True,
     ) -> "PerformanceTable":
         """Evaluate every catalogue algorithm on every dataset.
 
@@ -137,18 +139,43 @@ class PerformanceTable:
         order, so parallelism adds no nondeterminism of its own (learners that
         default to an unseeded ``random_state``, e.g. ``RandomTree``, vary
         between runs at any worker count, exactly as they always have).
+
+        With a ``store``, every finished cell is persisted and (under
+        ``warm_start``, the default) reloaded on the next call, so a repeat —
+        or a run interrupted midway, or one extended with more datasets
+        appended to the list — resumes from the cells already on disk instead
+        of recomputing the whole table.  Cells are keyed by dataset name,
+        algorithm and per-cell seed, and the shard context fingerprints the
+        measurement protocol, so a store can never leak scores between
+        incompatible tables.
         """
         registry = registry or default_registry()
         rng = np.random.default_rng(random_state)
         names = registry.names
+        dataset_by_name = {dataset.name: dataset for dataset in datasets}
+        if len(dataset_by_name) != len(datasets):
+            # Cells (and table rows) are keyed by name; silently collapsing
+            # duplicates would score the wrong data.
+            raise ValueError("dataset names must be unique to compute a table")
         cells = []
-        for i, dataset in enumerate(datasets):
-            for j, algorithm in enumerate(names):
+        for dataset in datasets:
+            # The cell fingerprint carries the dataset's shape so a store
+            # never replays scores for a same-named dataset whose contents
+            # changed (e.g. the suite was regenerated with more records).
+            shape = f"{dataset.n_records}x{dataset.n_attributes}x{dataset.n_classes}"
+            for algorithm in names:
                 seed = int(rng.integers(0, 2**31 - 1))
-                cells.append({"dataset": i, "algorithm": algorithm, "seed": seed})
+                cells.append(
+                    {
+                        "dataset": dataset.name,
+                        "shape": shape,
+                        "algorithm": algorithm,
+                        "seed": seed,
+                    }
+                )
 
         def cell_objective(cell: dict) -> float:
-            dataset = datasets[cell["dataset"]]
+            dataset = dataset_by_name[cell["dataset"]]
             if tune:
                 _, score = tune_algorithm(
                     registry,
@@ -169,17 +196,25 @@ class PerformanceTable:
                 random_state=cell["seed"],
             )
 
+        context = (
+            f"performance-table-tune{tune}-cv{cv}-sub{max_records}"
+            f"-evals{max_evaluations if tune else 0}-rs{random_state}"
+        )
         engine = EvaluationEngine(
             cell_objective,
             n_workers=n_workers,
             crash_score=0.0,
             name="performance-table",
+            store=store,
+            store_context=context,
+            warm_start=warm_start,
         )
         outcomes = engine.evaluate_many(cells)
+        dataset_index = {dataset.name: i for i, dataset in enumerate(datasets)}
         scores = np.zeros((len(datasets), len(names)))
         for cell, outcome in zip(cells, outcomes):
             j = names.index(cell["algorithm"])
-            scores[cell["dataset"], j] = outcome.score
+            scores[dataset_index[cell["dataset"]], j] = outcome.score
         return cls(
             algorithms=list(names),
             datasets=[d.name for d in datasets],

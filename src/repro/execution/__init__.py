@@ -12,6 +12,7 @@ from .cache import EvaluationCache, config_fingerprint
 from .engine import EngineStats, EvalOutcome, EvaluationEngine
 from .folds import FoldPlan
 from .objectives import cross_val_objective, estimator_engine
+from .store import ResultStore, StoreStats, fingerprint_key
 
 __all__ = [
     "Budget",
@@ -23,4 +24,7 @@ __all__ = [
     "FoldPlan",
     "cross_val_objective",
     "estimator_engine",
+    "ResultStore",
+    "StoreStats",
+    "fingerprint_key",
 ]

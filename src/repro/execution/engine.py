@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
+from .store import ResultStore
 
 __all__ = ["EvalOutcome", "EngineStats", "EvaluationEngine"]
 
@@ -78,6 +79,7 @@ class EngineStats:
 
     n_executions: int = 0  # real objective calls
     n_cache_hits: int = 0
+    n_store_hits: int = 0  # subset of cache hits served from the result store
     n_crashes: int = 0
     n_batches: int = 0
     largest_batch: int = 0
@@ -114,6 +116,7 @@ class EngineStats:
             "n_evaluations": self.n_evaluations,
             "n_executions": self.n_executions,
             "n_cache_hits": self.n_cache_hits,
+            "n_store_hits": self.n_store_hits,
             "cache_hit_rate": round(self.hit_rate, 4),
             "n_crashes": self.n_crashes,
             "n_batches": self.n_batches,
@@ -146,6 +149,16 @@ class EvaluationEngine:
         threads otherwise.
     crash_score:
         Score assigned to configurations whose evaluation raises.
+    store / store_context / warm_start:
+        An optional :class:`~repro.execution.store.ResultStore` makes results
+        durable across runs.  With a store, every real execution is persisted
+        (write-through, exactly one line per fingerprint); ``store_context``
+        names the shard (defaults to ``name`` — callers should fold the
+        dataset/objective identity into it).  ``warm_start=True`` additionally
+        serves memory-cache misses from the store, so a repeat run replays a
+        prior run's scores without paying for the objective.  Store hits
+        count as cache hits (and against the budget), which keeps search
+        trajectories identical to a cold run — only faster.
     """
 
     def __init__(
@@ -157,6 +170,9 @@ class EvaluationEngine:
         backend: str = "thread",
         crash_score: float = float("-inf"),
         name: str = "engine",
+        store: ResultStore | None = None,
+        store_context: str | None = None,
+        warm_start: bool = False,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -169,6 +185,9 @@ class EvaluationEngine:
         self.backend = self._resolve_backend(backend, n_workers, objective)
         self.crash_score = float(crash_score)
         self.name = name
+        self.store = store
+        self.store_context = store_context if store_context is not None else name
+        self.warm_start = bool(warm_start) and store is not None
         self.cache = EvaluationCache()
         self._stats = EngineStats(
             backend=self.backend,
@@ -210,6 +229,34 @@ class EvaluationEngine:
         """Peek at the cached score for ``config`` without counting a hit."""
         return self.cache.peek(config_fingerprint(config))
 
+    def warm_start_configs(self, k: int = 5) -> list[dict[str, Any]]:
+        """The k best prior-run configurations stored for this engine's context.
+
+        Empty without a store; optimizers use this to seed their initial
+        designs (see ``BaseOptimizer``).
+        """
+        if self.store is None:
+            return []
+        return [config for config, _ in self.store.top_k(self.store_context, k)]
+
+    def _lookup(self, fingerprint: tuple) -> float | None:
+        """Two-tier lookup: memory cache first, then (if warm-start) the store.
+
+        A store hit is promoted into the memory cache so subsequent repeats
+        stay in-process; callers count the returned hit against
+        ``n_cache_hits`` exactly like a memory hit.
+        """
+        hit = self.cache.lookup(fingerprint)
+        if hit is not None:
+            return hit
+        if self.warm_start and self.store is not None:
+            score = self.store.get(self.store_context, fingerprint)
+            if score is not None:
+                self.cache.store(fingerprint, score)
+                self._stats.n_store_hits += 1
+                return score
+        return None
+
     # -- single evaluation ----------------------------------------------------------------
     def evaluate(
         self,
@@ -229,7 +276,7 @@ class EvaluationEngine:
         if budget is not None:
             budget.record_evaluation()
         if read_cache:
-            hit = self.cache.lookup(fingerprint)
+            hit = self._lookup(fingerprint)
             if hit is not None:
                 self._stats.n_cache_hits += 1
                 self._stats.wall_time += time.monotonic() - t0
@@ -259,6 +306,12 @@ class EvaluationEngine:
         # Crashes are cached too: re-proposing a known-bad configuration
         # should not pay for the crash twice.
         self.cache.store(fingerprint, float(score))
+        if self.store is not None:
+            # Write-through; ResultStore.put is idempotent and swallows I/O
+            # errors, so persistence can never break or duplicate a search.
+            self.store.put(
+                self.store_context, fingerprint, float(score), config=config
+            )
         return EvalOutcome(
             config=dict(config), score=float(score), elapsed=elapsed, error=error
         )
@@ -356,7 +409,7 @@ class EvaluationEngine:
             if budget is not None:
                 budget.record_evaluation()
             if read_cache:
-                hit = self.cache.lookup(fingerprint)
+                hit = self._lookup(fingerprint)
                 if hit is not None:
                     self._stats.n_cache_hits += 1
                     outcomes[index] = EvalOutcome(config=config, score=hit, cached=True)

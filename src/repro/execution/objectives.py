@@ -17,6 +17,7 @@ import numpy as np
 
 from .engine import EvaluationEngine
 from .folds import FoldPlan
+from .store import ResultStore
 
 __all__ = ["cross_val_objective", "estimator_engine"]
 
@@ -59,8 +60,16 @@ def estimator_engine(
     backend: str = "thread",
     crash_score: float = float("-inf"),
     name: str = "cv-engine",
+    store: ResultStore | None = None,
+    store_context: str | None = None,
+    warm_start: bool = False,
 ) -> EvaluationEngine:
-    """An :class:`EvaluationEngine` over the standard CV objective."""
+    """An :class:`EvaluationEngine` over the standard CV objective.
+
+    ``store``/``store_context``/``warm_start`` are forwarded to the engine;
+    the context should fingerprint the dataset and CV protocol so a
+    persistent store never mixes scores across objectives.
+    """
     objective = cross_val_objective(build, X, y, cv=cv, random_state=random_state)
     return EvaluationEngine(
         objective,
@@ -69,4 +78,7 @@ def estimator_engine(
         backend=backend,
         crash_score=crash_score,
         name=name,
+        store=store,
+        store_context=store_context,
+        warm_start=warm_start,
     )

@@ -1,0 +1,371 @@
+"""Persistent cross-run result store — the disk tier behind the score cache.
+
+PR 1's :class:`~repro.execution.cache.EvaluationCache` proved that memoizing
+``f(λ, A, D)`` pays (GA elites alone are ~60% of a tuning run), but the memo
+died with the process: every new run of the corpus generator, the performance
+tables, the UDR or a baseline re-paid every cross-validation from scratch.
+:class:`ResultStore` makes those scores durable, the same way
+:mod:`repro.core.persistence` already makes the trained decision model
+durable.
+
+Design
+------
+* **Sharded JSONL.**  Results are grouped by a *context* string — the
+  dataset/objective fingerprint, e.g. ``"udr-J48-blobs-200x8-cv5-rs0"`` —
+  and each context owns one append-only JSONL shard under the store root.
+  A shard starts with a header record carrying ``format_version`` and the
+  context name; data records map a canonical configuration-fingerprint key to
+  a score (and, when JSON-serialisable, the configuration itself, which is
+  what powers warm-start seeding).
+* **Corruption tolerance.**  Loading never raises on bad data: truncated
+  lines, interleaved half-writes from concurrent processes, garbage bytes and
+  unreadable files all degrade to cache misses and are counted in
+  :class:`StoreStats`.  A shard whose header carries the wrong format version
+  is ignored wholesale (counted, never deleted).
+* **Idempotent appends.**  ``put`` skips the append when the key is already
+  present with an equal score, so N threads racing to record the same
+  evaluation produce exactly one line on disk.
+* **Compaction.**  Shards are append-only (re-puts with a different score
+  append a superseding line; the latest line wins on load), so a long-lived
+  store accumulates dead lines.  :meth:`compact` atomically rewrites shards
+  to one line per live key.
+
+The engine uses the store as a *write-through second tier*: every real
+execution is appended, and — when ``warm_start`` is enabled — memory-cache
+misses fall back to the store before paying for the objective.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from hashlib import blake2s
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["FORMAT_VERSION", "StoreStats", "ResultStore", "fingerprint_key"]
+
+FORMAT_VERSION = 1
+
+_KEY_FIELD = "k"
+_SCORE_FIELD = "s"
+_CONFIG_FIELD = "c"
+
+
+def fingerprint_key(fingerprint: tuple) -> str:
+    """Serialise a :func:`~repro.execution.cache.config_fingerprint` to a stable string.
+
+    Fingerprints contain only JSON-safe scalars (floats are already ``repr``
+    strings), so the compact JSON encoding is canonical: equal fingerprints
+    produce equal keys across processes and platforms.
+    """
+    return json.dumps(fingerprint, separators=(",", ":"), ensure_ascii=True)
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort conversion of config values to JSON-native types."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+@dataclass
+class StoreStats:
+    """Counters a :class:`ResultStore` accumulates across its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    duplicate_writes: int = 0  # idempotent re-puts that skipped the append
+    write_errors: int = 0
+    corrupt_records: int = 0  # unparseable / truncated lines skipped on load
+    version_skips: int = 0  # shards ignored for a format-version mismatch
+    contexts_loaded: int = 0
+    compactions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "writes": self.writes,
+            "duplicate_writes": self.duplicate_writes,
+            "write_errors": self.write_errors,
+            "corrupt_records": self.corrupt_records,
+            "version_skips": self.version_skips,
+            "contexts_loaded": self.contexts_loaded,
+            "compactions": self.compactions,
+        }
+
+
+class _Context:
+    """In-memory image of one shard: key → (score, config), plus file state."""
+
+    __slots__ = ("scores", "configs", "header_on_disk", "live_lines")
+
+    def __init__(self) -> None:
+        self.scores: dict[str, float] = {}
+        self.configs: dict[str, dict | None] = {}
+        self.header_on_disk = False
+        self.live_lines = 0  # data lines currently in the file (incl. superseded)
+
+
+class ResultStore:
+    """Disk-backed, sharded, versioned store of configuration scores.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shards (created if missing).
+    format_version:
+        Version stamped into shard headers; shards written with a different
+        version are ignored on load (counted in ``stats.version_skips``).
+    """
+
+    def __init__(self, root: str | Path, *, format_version: int = FORMAT_VERSION) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.format_version = int(format_version)
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        self._contexts: dict[str, _Context] = {}
+
+    # -- shard layout ----------------------------------------------------------------
+    def shard_path(self, context: str) -> Path:
+        """Shard file for ``context``: readable slug + collision-proof digest."""
+        digest = blake2s(context.encode("utf-8"), digest_size=8).hexdigest()
+        slug = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in context)[:48]
+        return self.root / f"{slug or 'shard'}.{digest}.jsonl"
+
+    def _header(self, context: str) -> dict:
+        return {"format_version": self.format_version, "context": context}
+
+    # -- loading ----------------------------------------------------------------------
+    def _load(self, context: str) -> _Context:
+        """Load (once) the shard for ``context``; never raises on bad data."""
+        ctx = self._contexts.get(context)
+        if ctx is not None:
+            return ctx
+        ctx = _Context()
+        self._contexts[context] = ctx
+        path = self.shard_path(context)
+        try:
+            raw = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return ctx
+        self.stats.contexts_loaded += 1
+        header_seen = False
+        version_ok = True
+        records: list[tuple[str, float, dict | None]] = []
+        n_data_lines = 0
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.stats.corrupt_records += 1
+                continue
+            if not isinstance(record, dict):
+                self.stats.corrupt_records += 1
+                continue
+            if "format_version" in record:
+                header_seen = True
+                if record.get("format_version") != self.format_version:
+                    version_ok = False
+                continue
+            key = record.get(_KEY_FIELD)
+            score = record.get(_SCORE_FIELD)
+            if not isinstance(key, str) or not isinstance(score, (int, float)):
+                self.stats.corrupt_records += 1
+                continue
+            config = record.get(_CONFIG_FIELD)
+            records.append((key, float(score), config if isinstance(config, dict) else None))
+            n_data_lines += 1
+        if not header_seen or not version_ok:
+            # Unversioned (header lost to truncation) or foreign-version shards
+            # contribute nothing — every lookup is a miss, never a crash.
+            if n_data_lines:
+                self.stats.version_skips += 1
+            return ctx
+        for key, score, config in records:  # later lines supersede earlier ones
+            ctx.scores[key] = score
+            if config is not None or key not in ctx.configs:
+                ctx.configs[key] = config
+        ctx.header_on_disk = True
+        ctx.live_lines = n_data_lines
+        return ctx
+
+    # -- core API ----------------------------------------------------------------------
+    def get(self, context: str, fingerprint: tuple) -> float | None:
+        """Stored score for ``fingerprint`` under ``context``, or ``None``."""
+        key = fingerprint_key(fingerprint)
+        with self._lock:
+            ctx = self._load(context)
+            if key in ctx.scores:
+                self.stats.hits += 1
+                return ctx.scores[key]
+            self.stats.misses += 1
+            return None
+
+    def put(
+        self,
+        context: str,
+        fingerprint: tuple,
+        score: float,
+        config: dict[str, Any] | None = None,
+    ) -> bool:
+        """Record one result; returns True when a line was appended.
+
+        Idempotent: a key already stored with an equal score is skipped, so
+        concurrent evaluators of the same configuration write exactly once.
+        A key re-put with a *different* score appends a superseding line
+        (latest wins on load; :meth:`compact` reclaims the dead one).
+        Write failures are counted, never raised — persistence must not be
+        able to break a search.
+        """
+        key = fingerprint_key(fingerprint)
+        score = float(score)
+        with self._lock:
+            ctx = self._load(context)
+            existing = ctx.scores.get(key)
+            if existing is not None and (
+                existing == score or (np.isnan(existing) and np.isnan(score))
+            ):
+                self.stats.duplicate_writes += 1
+                return False
+            record = {_KEY_FIELD: key, _SCORE_FIELD: score}
+            stored_config: dict | None = None
+            if config is not None:
+                try:
+                    stored_config = _jsonify(dict(config))
+                    json.dumps(stored_config)  # reject non-serialisable values
+                except (TypeError, ValueError):
+                    stored_config = None
+                else:
+                    record[_CONFIG_FIELD] = stored_config
+            try:
+                self._append(context, ctx, record)
+            except OSError:
+                self.stats.write_errors += 1
+                return False
+            ctx.scores[key] = score
+            ctx.configs[key] = stored_config
+            ctx.live_lines += 1
+            self.stats.writes += 1
+            return True
+
+    def _append(self, context: str, ctx: _Context, record: dict) -> None:
+        path = self.shard_path(context)
+        with path.open("a", encoding="utf-8") as handle:
+            if not ctx.header_on_disk:
+                handle.write(json.dumps(self._header(context)) + "\n")
+                ctx.header_on_disk = True
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    # -- warm-start support ------------------------------------------------------------
+    def top_k(self, context: str, k: int = 5) -> list[tuple[dict[str, Any], float]]:
+        """The k best stored ``(config, score)`` pairs for ``context``.
+
+        Only entries with a finite score *and* a stored configuration qualify
+        (a score alone cannot seed a search).  Ties break by key for
+        determinism across runs.
+        """
+        with self._lock:
+            ctx = self._load(context)
+            ranked = sorted(
+                (
+                    (key, score)
+                    for key, score in ctx.scores.items()
+                    if np.isfinite(score) and ctx.configs.get(key) is not None
+                ),
+                key=lambda pair: (-pair[1], pair[0]),
+            )
+            return [(dict(ctx.configs[key]), score) for key, score in ranked[: max(0, k)]]
+
+    def size(self, context: str) -> int:
+        """Number of distinct stored results for ``context``."""
+        with self._lock:
+            return len(self._load(context).scores)
+
+    def contexts(self) -> list[str]:
+        """Every context present on disk (plus any loaded in memory)."""
+        found = set(self._contexts)
+        for path in sorted(self.root.glob("*.jsonl")):
+            try:
+                with path.open("r", encoding="utf-8", errors="replace") as handle:
+                    first = handle.readline().strip()
+                record = json.loads(first) if first else None
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict) and isinstance(record.get("context"), str):
+                found.add(record["context"])
+        return sorted(found)
+
+    # -- maintenance -------------------------------------------------------------------
+    def compact(self, context: str | None = None) -> int:
+        """Rewrite shards to one line per live key; returns lines reclaimed.
+
+        The rewrite goes through a temp file + ``os.replace`` so a crash
+        mid-compaction leaves either the old or the new shard, never a
+        half-written one.
+        """
+        with self._lock:
+            targets = [context] if context is not None else self.contexts()
+            reclaimed = 0
+            for name in targets:
+                ctx = self._load(name)
+                if not ctx.scores:
+                    continue
+                path = self.shard_path(name)
+                tmp = path.with_name(path.name + ".tmp")  # matches *.jsonl.tmp ignores
+                lines = [json.dumps(self._header(name))]
+                for key in sorted(ctx.scores):
+                    record = {_KEY_FIELD: key, _SCORE_FIELD: ctx.scores[key]}
+                    if ctx.configs.get(key) is not None:
+                        record[_CONFIG_FIELD] = ctx.configs[key]
+                    lines.append(json.dumps(record))
+                try:
+                    tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+                    os.replace(tmp, path)
+                except OSError:
+                    self.stats.write_errors += 1
+                    continue
+                reclaimed += max(0, ctx.live_lines - len(ctx.scores))
+                ctx.live_lines = len(ctx.scores)
+                ctx.header_on_disk = True
+                self.stats.compactions += 1
+            return reclaimed
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory images (next access re-reads the disk)."""
+        with self._lock:
+            self._contexts.clear()
+
+    # -- introspection -----------------------------------------------------------------
+    def __contains__(self, context: str) -> bool:
+        with self._lock:
+            return self.size(context) > 0
+
+    def items(self, context: str) -> Iterator[tuple[str, float]]:
+        """Snapshot of ``(key, score)`` pairs for ``context``."""
+        with self._lock:
+            return iter(list(self._load(context).scores.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r}, contexts={len(self._contexts)})"

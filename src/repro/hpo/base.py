@@ -24,6 +24,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..execution.budget import Budget
+from ..execution.cache import config_fingerprint
 from ..execution.engine import EvaluationEngine
 from .space import ConfigSpace
 
@@ -112,12 +113,25 @@ class OptimizationResult:
 
 
 class BaseOptimizer:
-    """Interface shared by GridSearch, RandomSearch, GeneticAlgorithm and BO."""
+    """Interface shared by GridSearch, RandomSearch, GeneticAlgorithm and BO.
+
+    ``warm_start`` asks the optimizer to seed its search with up to that many
+    of the best configurations a prior run left in the engine's
+    :class:`~repro.execution.store.ResultStore` (0, the default, disables
+    seeding and keeps trajectories identical to earlier releases).  Seeded
+    configurations are re-evaluated through the engine — on a warm-started
+    engine that re-ranking costs only store lookups — before fresh sampling
+    begins, so a repeat run starts from the previous run's frontier instead
+    of from scratch.
+    """
 
     name = "base"
 
-    def __init__(self, random_state: int | None = None) -> None:
+    def __init__(self, random_state: int | None = None, warm_start: int = 0) -> None:
+        if warm_start < 0:
+            raise ValueError("warm_start must be >= 0")
         self.random_state = random_state
+        self.warm_start = int(warm_start)
 
     def optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         """Run the search; the budget clock always starts here.
@@ -132,6 +146,28 @@ class BaseOptimizer:
         raise NotImplementedError
 
     # -- helpers shared by subclasses ------------------------------------------------
+    def _warm_start_configs(self, problem: HPOProblem) -> list[dict[str, Any]]:
+        """Valid, deduplicated prior-run bests to seed the search with.
+
+        Keys outside the problem's space (e.g. the successive-halving fidelity
+        key) are stripped before validation; anything that no longer fits the
+        space — the store may predate a space change — is silently dropped.
+        """
+        if not self.warm_start:
+            return []
+        seeds: list[dict[str, Any]] = []
+        seen: set[tuple] = set()
+        for config in problem.engine.warm_start_configs(self.warm_start):
+            config = {k: v for k, v in config.items() if k in problem.space}
+            if not problem.space.validate(config):
+                continue
+            fingerprint = config_fingerprint(config)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            seeds.append(config)
+        return seeds
+
     def _evaluate(
         self,
         problem: HPOProblem,

@@ -58,8 +58,9 @@ class BayesianOptimization(BaseOptimizer):
         kernel: str = "matern52",
         max_model_size: int = 200,
         random_state: int | None = None,
+        warm_start: int = 0,
     ) -> None:
-        super().__init__(random_state=random_state)
+        super().__init__(random_state=random_state, warm_start=warm_start)
         if n_initial < 2:
             raise ValueError("n_initial must be >= 2")
         if n_candidates < 8:
@@ -109,9 +110,14 @@ class BayesianOptimization(BaseOptimizer):
         observed_y: list[float] = []
 
         # The initial design is model-free, so it is one engine batch and
-        # runs in parallel when the engine has workers.
+        # runs in parallel when the engine has workers.  Prior-run bests are
+        # folded in ahead of random samples: the surrogate then conditions on
+        # the previous run's frontier from its very first proposal.
         initial = [space.default_configuration()]
-        initial += [space.sample(rng) for _ in range(self.n_initial - 1)]
+        initial += self._warm_start_configs(problem)
+        initial += [
+            space.sample(rng) for _ in range(self.n_initial - len(initial))
+        ]
         scores = self._evaluate_many(problem, initial, budget, trials, iteration=0)
         for config, score in zip(initial, scores):
             if score is None:

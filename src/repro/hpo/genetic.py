@@ -57,8 +57,9 @@ class GeneticAlgorithm(BaseOptimizer):
         tournament_size: int = 3,
         target_score: float | None = None,
         random_state: int | None = None,
+        warm_start: int = 0,
     ) -> None:
-        super().__init__(random_state=random_state)
+        super().__init__(random_state=random_state, warm_start=warm_start)
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
         if n_generations < 1:
@@ -116,7 +117,12 @@ class GeneticAlgorithm(BaseOptimizer):
         trials: list[Trial] = []
 
         population = [space.default_configuration()]
-        population += [space.sample(rng) for _ in range(self.population_size - 1)]
+        # Prior-run bests join the initial population (displacing random
+        # samples, never the default anchor or the population size).
+        population += self._warm_start_configs(problem)[: self.population_size - 1]
+        population += [
+            space.sample(rng) for _ in range(self.population_size - len(population))
+        ]
 
         # Generations are evaluated in waves of the engine's worker count so a
         # parallel engine fills its workers while target_score/budget checks

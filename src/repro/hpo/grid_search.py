@@ -18,14 +18,19 @@ class GridSearch(BaseOptimizer):
 
     name = "grid-search"
 
-    def __init__(self, resolution: int = 3, max_configs: int = 2000) -> None:
-        super().__init__()
+    def __init__(
+        self, resolution: int = 3, max_configs: int = 2000, warm_start: int = 0
+    ) -> None:
+        super().__init__(warm_start=warm_start)
         self.resolution = resolution
         self.max_configs = max_configs
 
     def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         trials: list[Trial] = []
-        configs = problem.space.grid(resolution=self.resolution, max_configs=self.max_configs)
+        # Prior-run bests go first so a budget that cannot afford the full
+        # grid still re-ranks the known frontier before sweeping.
+        configs = self._warm_start_configs(problem)
+        configs += problem.space.grid(resolution=self.resolution, max_configs=self.max_configs)
         self._evaluate_many(
             problem, configs, budget, trials, iteration=range(len(configs))
         )

@@ -19,8 +19,8 @@ class RandomSearch(BaseOptimizer):
 
     name = "random-search"
 
-    def __init__(self, random_state: int | None = None) -> None:
-        super().__init__(random_state=random_state)
+    def __init__(self, random_state: int | None = None, warm_start: int = 0) -> None:
+        super().__init__(random_state=random_state, warm_start=warm_start)
 
     def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         rng = np.random.default_rng(self.random_state)
@@ -30,6 +30,10 @@ class RandomSearch(BaseOptimizer):
         # sensible anchor and guarantees at least one trial even under a
         # vanishingly small budget.
         self._evaluate(problem, problem.space.default_configuration(), budget, trials, iteration)
+        seeds = self._warm_start_configs(problem)
+        if seeds and not budget.exhausted():
+            # Prior-run bests are re-ranked (one batch) before fresh sampling.
+            self._evaluate_many(problem, seeds, budget, trials, iteration=iteration)
         batch = max(1, problem.engine.n_workers)
         while not budget.exhausted():
             configs = [problem.space.sample(rng) for _ in range(batch)]

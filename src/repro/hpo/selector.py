@@ -50,6 +50,7 @@ class HPOTechniqueSelector:
         ga_generations: int = 50,
         bo_initial: int = 8,
         random_state: int | None = None,
+        warm_start: int = 0,
     ) -> None:
         if time_threshold <= 0:
             raise ValueError("time_threshold must be positive")
@@ -61,6 +62,7 @@ class HPOTechniqueSelector:
         self.ga_generations = ga_generations
         self.bo_initial = bo_initial
         self.random_state = random_state
+        self.warm_start = int(warm_start)
 
     def probe_evaluation_time(
         self,
@@ -113,9 +115,12 @@ class HPOTechniqueSelector:
                 population_size=self.ga_population,
                 n_generations=self.ga_generations,
                 random_state=self.random_state,
+                warm_start=self.warm_start,
             )
         return BayesianOptimization(
-            n_initial=self.bo_initial, random_state=self.random_state
+            n_initial=self.bo_initial,
+            random_state=self.random_state,
+            warm_start=self.warm_start,
         )
 
 

@@ -94,17 +94,25 @@ class FloatParam(Hyperparameter):
         return [self.from_unit(u) for u in np.linspace(0.0, 1.0, max(2, resolution))]
 
     def to_unit(self, value: float) -> float:
+        # Clamp on both sides: the unit encoding must be a monotone bijection
+        # between [low, high] and [0, 1] even at the floating-point edges
+        # (e.g. exp(log(high)) can land one ulp above high).
+        value = float(np.clip(value, self.low, self.high))
         if self.log:
-            return float(
-                (np.log(value) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
-            )
-        return float((value - self.low) / (self.high - self.low))
+            u = (np.log(value) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
+        else:
+            u = (value - self.low) / (self.high - self.low)
+        return float(np.clip(u, 0.0, 1.0))
 
     def from_unit(self, u: float) -> float:
         u = float(np.clip(u, 0.0, 1.0))
         if self.log:
-            return float(np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low))))
-        return float(self.low + u * (self.high - self.low))
+            value = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            value = self.low + u * (self.high - self.low)
+        # Clipping is monotone, so the encoding stays order-preserving while
+        # never escaping the declared domain through rounding.
+        return float(np.clip(value, self.low, self.high))
 
     def validate(self, value: Any) -> bool:
         return isinstance(value, (int, float)) and self.low <= float(value) <= self.high

@@ -52,8 +52,9 @@ class SuccessiveHalving(BaseOptimizer):
         max_fidelity: float = 27.0,
         fidelity_key: str | None = "__budget__",
         random_state: int | None = None,
+        warm_start: int = 0,
     ) -> None:
-        super().__init__(random_state=random_state)
+        super().__init__(random_state=random_state, warm_start=warm_start)
         if n_configurations < 2:
             raise ValueError("n_configurations must be >= 2")
         if eta < 2:
@@ -120,7 +121,12 @@ class SuccessiveHalving(BaseOptimizer):
         space = problem.space
         trials: list[Trial] = []
         configs = [space.default_configuration()]
-        configs += [space.sample(rng) for _ in range(self.n_configurations - 1)]
+        # Prior-run bests enter the race alongside fresh samples; the rungs
+        # re-rank them under the current objective like any other contender.
+        configs += self._warm_start_configs(problem)[: self.n_configurations - 1]
+        configs += [
+            space.sample(rng) for _ in range(self.n_configurations - len(configs))
+        ]
         self._run_bracket(problem, budget, trials, configs, start_rung=0)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)
@@ -151,6 +157,10 @@ class Hyperband(SuccessiveHalving):
             configs = [space.sample(rng) for _ in range(n)]
             if s == s_max:
                 configs[0] = space.default_configuration()
+                # Prior-run bests race in the widest (first) bracket only, so
+                # the remaining brackets keep their exploratory character.
+                seeds = self._warm_start_configs(problem)[: max(0, n - 1)]
+                configs[1 : 1 + len(seeds)] = seeds
             self._run_bracket(problem, budget, trials, configs, start_rung=s_max - s)
         if not trials:
             self._evaluate(problem, space.default_configuration(), budget, trials, 0)

@@ -7,6 +7,7 @@ under a fixed ``random_state``, and budget exhaustion mid-batch.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro.execution import (
     Budget,
     EvaluationEngine,
     FoldPlan,
+    ResultStore,
     config_fingerprint,
     estimator_engine,
 )
@@ -312,6 +314,159 @@ class TestSelectorSeeding:
         # GA evaluates the default configuration first: it must be a cache hit.
         assert result.trials[0].cached
         assert len(result.trials) + 1 <= 9  # probe counted against the budget
+
+
+class TestStoreIntegration:
+    """The engine's write-through persistence tier (satellite hardening sweep)."""
+
+    def test_write_through_persists_every_execution(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        engine = EvaluationEngine(quadratic, store=store, name="wt")
+        configs = [{"x": float(i), "y": 0.0} for i in range(5)]
+        engine.evaluate_many(configs)
+        assert store.stats.writes == 5
+        reopened = ResultStore(tmp_path / "s")
+        for config in configs:
+            assert reopened.get("wt", config_fingerprint(config)) == quadratic(config)
+
+    def test_thread_parallel_duplicates_write_once_in_order(self, tmp_path):
+        """Satellite acceptance: thread-parallel evaluate_many over duplicate
+        configs → exactly one store write per fingerprint, deterministic
+        input-aligned ordering."""
+        store = ResultStore(tmp_path / "s")
+        objective = CountingObjective()
+        engine = EvaluationEngine(objective, n_workers=4, store=store, name="dup")
+        distinct = [{"x": float(i), "y": float(-i)} for i in range(4)]
+        batch = [dict(distinct[i % 4]) for i in range(20)]  # 5 copies each
+        outcomes = engine.evaluate_many(batch)
+        assert [o.score for o in outcomes] == [quadratic(c) for c in batch]
+        assert objective.calls == 4
+        assert store.stats.writes == 4  # one line per fingerprint
+        assert store.stats.duplicate_writes == 0
+        # Deterministic ordering: a repeat run returns the same aligned scores.
+        repeat = engine.evaluate_many(batch)
+        assert [o.score for o in repeat] == [o.score for o in outcomes]
+        assert store.stats.writes == 4  # still nothing new on disk
+
+    def test_racing_engine_threads_write_each_fingerprint_once(self, tmp_path):
+        """Concurrent evaluate_many calls (no shared wave) still produce one
+        store line per fingerprint thanks to idempotent puts."""
+        store = ResultStore(tmp_path / "s")
+        engine = EvaluationEngine(quadratic, store=store, name="race")
+        configs = [{"x": float(i % 3), "y": 1.0} for i in range(9)]
+        barrier = threading.Barrier(4)
+        results: list[list] = [[] for _ in range(4)]
+
+        def run(slot: int) -> None:
+            barrier.wait()
+            results[slot] = engine.evaluate_many(configs)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = [quadratic(c) for c in configs]
+        for outcome_list in results:
+            assert [o.score for o in outcome_list] == expected
+        assert store.stats.writes == 3  # three distinct fingerprints, ever
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.size("race") == 3
+        assert reopened.stats.corrupt_records == 0
+
+    def test_warm_start_replays_prior_run(self, tmp_path):
+        objective = CountingObjective()
+        cold = EvaluationEngine(objective, store=ResultStore(tmp_path / "s"), name="e")
+        configs = [{"x": float(i), "y": 2.0} for i in range(6)]
+        cold_scores = [o.score for o in cold.evaluate_many(configs)]
+        warm_objective = CountingObjective()
+        warm = EvaluationEngine(
+            warm_objective,
+            store=ResultStore(tmp_path / "s"),
+            warm_start=True,
+            name="e",
+        )
+        warm_scores = [o.score for o in warm.evaluate_many(configs)]
+        assert warm_scores == cold_scores
+        assert warm_objective.calls == 0
+        assert warm.stats.n_store_hits == 6
+        assert warm.stats.n_executions == 0
+        assert warm.stats.as_dict()["n_store_hits"] == 6
+
+    def test_warm_start_off_by_default_even_with_store(self, tmp_path):
+        EvaluationEngine(quadratic, store=ResultStore(tmp_path / "s"), name="e").evaluate(
+            {"x": 1.0, "y": 1.0}
+        )
+        objective = CountingObjective()
+        second = EvaluationEngine(objective, store=ResultStore(tmp_path / "s"), name="e")
+        second.evaluate({"x": 1.0, "y": 1.0})
+        assert objective.calls == 1  # store present but not read
+        assert second.stats.n_store_hits == 0
+
+    def test_store_contexts_do_not_leak_across_engines(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        EvaluationEngine(quadratic, store=store, name="a").evaluate({"x": 0.0, "y": 0.0})
+        objective = CountingObjective()
+        other = EvaluationEngine(objective, store=store, warm_start=True, name="b")
+        other.evaluate({"x": 0.0, "y": 0.0})
+        assert objective.calls == 1  # context "b" never saw context "a"'s score
+
+
+class TestWarmStartEquivalence:
+    """Satellite acceptance: with a pre-populated store the optimizer result
+    is score-identical to the cold run under the same seed — just cheaper."""
+
+    def _run_ga(self, store, warm: bool):
+        objective = CountingObjective()
+        engine = EvaluationEngine(
+            objective, store=store, warm_start=warm, name="ga-ws"
+        )
+        problem = HPOProblem(quadratic_space(), engine=engine)
+        optimizer = GeneticAlgorithm(population_size=8, n_generations=5, random_state=11)
+        result = optimizer.optimize(problem, HPOBudget(max_evaluations=40))
+        return result, engine, objective
+
+    def test_ga_warm_run_is_score_identical_and_free(self, tmp_path):
+        cold, cold_engine, cold_objective = self._run_ga(
+            ResultStore(tmp_path / "s"), warm=False
+        )
+        warm, warm_engine, warm_objective = self._run_ga(
+            ResultStore(tmp_path / "s"), warm=True
+        )
+        assert [t.score for t in warm.trials] == [t.score for t in cold.trials]
+        assert warm.best_config == cold.best_config
+        assert warm.best_score == cold.best_score
+        # Same logical trajectory, zero objective calls the second time round.
+        assert warm_objective.calls == 0
+        assert warm_engine.stats.n_executions == 0
+        assert warm_engine.stats.n_store_hits > 0
+        assert warm_engine.stats.n_evaluations == cold_engine.stats.n_evaluations
+        assert cold_objective.calls == cold_engine.stats.n_executions
+
+    def test_warm_start_seeding_promotes_prior_best(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        best = {"x": 1.0, "y": -2.0}  # the quadratic's optimum
+        store.put("rs", config_fingerprint(best), quadratic(best), config=best)
+        engine = EvaluationEngine(quadratic, store=store, warm_start=True, name="rs")
+        problem = HPOProblem(quadratic_space(), engine=engine)
+        optimizer = RandomSearch(random_state=0, warm_start=3)
+        result = optimizer.optimize(problem, HPOBudget(max_evaluations=10))
+        # Trial 0 is the default anchor; trial 1 re-ranks the stored best.
+        assert result.trials[1].config == best
+        assert result.trials[1].cached
+        assert result.best_score == quadratic(best)
+
+    def test_seeding_strips_foreign_keys_and_invalid_configs(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        good = {"x": 0.5, "y": 0.5, "__budget__": 27.0}  # fidelity key rides along
+        bad = {"x": 99.0, "y": 0.0}  # out of the space's domain
+        store.put("sel", config_fingerprint(good), 1.0, config=good)
+        store.put("sel", config_fingerprint(bad), 2.0, config=bad)
+        engine = EvaluationEngine(quadratic, store=store, warm_start=True, name="sel")
+        problem = HPOProblem(quadratic_space(), engine=engine)
+        optimizer = RandomSearch(random_state=0, warm_start=5)
+        seeds = optimizer._warm_start_configs(problem)
+        assert seeds == [{"x": 0.5, "y": 0.5}]
 
 
 class TestFoldPlan:

@@ -1,0 +1,268 @@
+"""Tests for the persistent result store.
+
+The acceptance property of the subsystem is *graceful degradation*: whatever
+happens to the shard files — truncation, garbage, format-version drift,
+concurrent writers — loading must degrade to cache misses, never crash, and
+round-trips of healthy data must be exact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.execution import ResultStore, config_fingerprint, fingerprint_key
+from repro.execution.store import FORMAT_VERSION
+
+
+def fp(**config):
+    return config_fingerprint(config)
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "results")
+
+
+class TestRoundTrip:
+    def test_put_get_within_instance(self, store):
+        assert store.put("ctx", fp(x=1.5), 0.75, config={"x": 1.5})
+        assert store.get("ctx", fp(x=1.5)) == 0.75
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ResultStore(tmp_path / "s")
+        configs = [{"x": 0.1 * i, "kind": f"k{i}"} for i in range(10)]
+        for i, config in enumerate(configs):
+            first.put("ctx", config_fingerprint(config), i / 10.0, config=config)
+        second = ResultStore(tmp_path / "s")
+        for i, config in enumerate(configs):
+            assert second.get("ctx", config_fingerprint(config)) == i / 10.0
+        assert second.size("ctx") == 10
+
+    def test_float_keys_are_exact(self, tmp_path):
+        """repr-based fingerprints survive the disk round trip bit-for-bit."""
+        first = ResultStore(tmp_path / "s")
+        first.put("ctx", fp(x=0.1), 1.0)
+        second = ResultStore(tmp_path / "s")
+        assert second.get("ctx", fp(x=0.1)) == 1.0
+        assert second.get("ctx", fp(x=0.1 + 1e-12)) is None
+
+    def test_nonfinite_scores_round_trip(self, tmp_path):
+        first = ResultStore(tmp_path / "s")
+        first.put("ctx", fp(a=1), float("-inf"))
+        first.put("ctx", fp(a=2), float("nan"))
+        second = ResultStore(tmp_path / "s")
+        assert second.get("ctx", fp(a=1)) == float("-inf")
+        assert np.isnan(second.get("ctx", fp(a=2)))
+
+    def test_contexts_are_isolated(self, store):
+        store.put("ctx-a", fp(x=1), 1.0)
+        assert store.get("ctx-b", fp(x=1)) is None
+
+    def test_idempotent_put_writes_once(self, store):
+        assert store.put("ctx", fp(x=1), 0.5)
+        assert not store.put("ctx", fp(x=1), 0.5)
+        assert store.stats.writes == 1
+        assert store.stats.duplicate_writes == 1
+
+    def test_superseding_put_latest_wins(self, tmp_path):
+        first = ResultStore(tmp_path / "s")
+        first.put("ctx", fp(x=1), 0.5)
+        first.put("ctx", fp(x=1), 0.9)  # different score appends
+        assert first.get("ctx", fp(x=1)) == 0.9
+        second = ResultStore(tmp_path / "s")
+        assert second.get("ctx", fp(x=1)) == 0.9
+
+    def test_non_json_config_degrades_to_scoreless_config(self, store):
+        store.put("ctx", fp(x=1), 0.5, config={"x": object()})
+        assert store.get("ctx", fp(x=1)) == 0.5  # score still stored
+        assert store.top_k("ctx") == []  # but it cannot seed a warm start
+
+    def test_numpy_config_values_are_jsonified(self, tmp_path):
+        first = ResultStore(tmp_path / "s")
+        config = {"n": np.int64(3), "lr": np.float64(0.25), "flag": np.bool_(True)}
+        first.put("ctx", config_fingerprint(config), 0.8, config=config)
+        second = ResultStore(tmp_path / "s")
+        (loaded, score), = second.top_k("ctx", 1)
+        assert score == 0.8
+        assert config_fingerprint(loaded) == config_fingerprint(config)
+
+    def test_fingerprint_key_is_canonical(self):
+        assert fingerprint_key(fp(a=1, b=2.5)) == fingerprint_key(fp(b=2.5, a=1))
+
+
+class TestTopK:
+    def test_best_first_finite_only(self, store):
+        for i, score in enumerate([0.2, 0.9, float("-inf"), 0.5, float("nan")]):
+            store.put("ctx", fp(i=i), score, config={"i": i})
+        ranked = store.top_k("ctx", 3)
+        assert [score for _, score in ranked] == [0.9, 0.5, 0.2]
+        assert [config["i"] for config, _ in ranked] == [1, 3, 0]
+
+    def test_k_larger_than_store(self, store):
+        store.put("ctx", fp(i=0), 0.1, config={"i": 0})
+        assert len(store.top_k("ctx", 99)) == 1
+        assert store.top_k("missing", 5) == []
+
+
+class TestFaultInjection:
+    def _populated(self, tmp_path, n=6) -> ResultStore:
+        store = ResultStore(tmp_path / "s")
+        for i in range(n):
+            store.put("ctx", fp(i=i), i / 10.0, config={"i": i})
+        return store
+
+    def test_truncated_tail_degrades_to_miss(self, tmp_path):
+        store = self._populated(tmp_path)
+        path = store.shard_path("ctx")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])  # chop mid-way through the last record
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get("ctx", fp(i=5)) is None  # the mangled record
+        assert reopened.get("ctx", fp(i=0)) == 0.0  # healthy prefix intact
+        assert reopened.stats.corrupt_records >= 1
+
+    def test_garbage_file_degrades_to_all_misses(self, tmp_path):
+        store = self._populated(tmp_path)
+        store.shard_path("ctx").write_bytes(b"\x00\xffnot json at all\n{half")
+        reopened = ResultStore(tmp_path / "s")
+        for i in range(6):
+            assert reopened.get("ctx", fp(i=i)) is None
+        assert reopened.stats.corrupt_records > 0
+
+    def test_interleaved_garbage_lines_are_skipped(self, tmp_path):
+        store = self._populated(tmp_path, n=3)
+        path = store.shard_path("ctx")
+        lines = path.read_text().splitlines()
+        lines.insert(2, '{"k": 42, "s": "not-a-score"}')  # wrong field types
+        lines.insert(3, "%%%% torn write %%%%")
+        path.write_text("\n".join(lines) + "\n")
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get("ctx", fp(i=0)) == 0.0
+        assert reopened.get("ctx", fp(i=2)) == 0.2
+        assert reopened.stats.corrupt_records == 2
+
+    def test_format_version_mismatch_ignores_shard(self, tmp_path):
+        old = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        old.put("ctx", fp(i=0), 0.5, config={"i": 0})
+        current = ResultStore(tmp_path / "s")
+        assert current.get("ctx", fp(i=0)) is None  # miss, not a crash
+        assert current.stats.version_skips == 1
+        # ... and the foreign shard file is left untouched on disk.
+        assert old.shard_path("ctx").exists()
+
+    def test_headerless_shard_is_ignored(self, tmp_path):
+        store = self._populated(tmp_path, n=2)
+        path = store.shard_path("ctx")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")  # drop the header
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get("ctx", fp(i=0)) is None
+        assert reopened.stats.version_skips == 1
+
+    def test_missing_root_is_created(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "dir")
+        store.put("ctx", fp(i=0), 1.0)
+        assert store.get("ctx", fp(i=0)) == 1.0
+
+    def test_empty_file_is_fine(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.shard_path("ctx").touch()
+        assert store.get("ctx", fp(i=0)) is None
+
+
+class TestConcurrentWriters:
+    def test_parallel_disjoint_writers_all_land(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        errors: list[Exception] = []
+
+        def writer(base: int) -> None:
+            try:
+                for i in range(25):
+                    key = base * 100 + i
+                    store.put("ctx", fp(i=key), key / 1000.0, config={"i": key})
+            except Exception as exc:  # pragma: no cover - the test's point
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(b,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.stats.writes == 100
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.size("ctx") == 100
+        assert reopened.stats.corrupt_records == 0
+
+    def test_racing_same_key_writes_once(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        barrier = threading.Barrier(8)
+
+        def writer() -> None:
+            barrier.wait()
+            store.put("ctx", fp(i=7), 0.7, config={"i": 7})
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.stats.writes == 1
+        assert store.stats.duplicate_writes == 7
+        path = store.shard_path("ctx")
+        data_lines = [l for l in path.read_text().splitlines() if '"k"' in l]
+        assert len(data_lines) == 1
+
+
+class TestCompaction:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for round_ in range(5):
+            for i in range(4):
+                store.put("ctx", fp(i=i), round_ + i / 10.0, config={"i": i})
+        path = store.shard_path("ctx")
+        lines_before = len(path.read_text().splitlines())
+        reclaimed = store.compact("ctx")
+        lines_after = len(path.read_text().splitlines())
+        assert reclaimed == 16  # 20 appends, 4 live keys
+        assert lines_after == 1 + 4  # header + live records
+        assert lines_before > lines_after
+        reopened = ResultStore(tmp_path / "s")
+        for i in range(4):
+            assert reopened.get("ctx", fp(i=i)) == 4 + i / 10.0
+
+    def test_compact_all_contexts_via_disk_discovery(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("a", fp(i=0), 0.1, config={"i": 0})
+        store.put("a", fp(i=0), 0.2)
+        store.put("b", fp(i=1), 0.3)
+        fresh = ResultStore(tmp_path / "s")  # nothing loaded in memory yet
+        assert set(fresh.contexts()) == {"a", "b"}
+        assert fresh.compact() == 1
+        assert fresh.get("a", fp(i=0)) == 0.2
+
+    def test_compacted_shard_keeps_configs(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=3), 0.9, config={"i": 3})
+        store.compact("ctx")
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.top_k("ctx", 1) == [({"i": 3}, 0.9)]
+
+
+class TestShardLayout:
+    def test_one_shard_per_context(self, store):
+        store.put("ctx one/with:odd chars", fp(i=0), 0.1)
+        store.put("ctx two", fp(i=0), 0.2)
+        shards = list(store.root.glob("*.jsonl"))
+        assert len(shards) == 2
+
+    def test_header_carries_version_and_context(self, store):
+        store.put("my-ctx", fp(i=0), 0.1)
+        header = json.loads(store.shard_path("my-ctx").read_text().splitlines()[0])
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["context"] == "my-ctx"

@@ -209,3 +209,60 @@ class TestResultObject:
         scores = [t.score for t in top]
         assert scores == sorted(scores, reverse=True)
         assert result.best_score == scores[0]
+
+
+class TestWarmStartSeeding:
+    """All six optimizers accept warm_start=k and evaluate prior bests early."""
+
+    @staticmethod
+    def _optimizers():
+        from repro.hpo import Hyperband, SuccessiveHalving
+
+        return [
+            GridSearch(resolution=3, warm_start=2),
+            RandomSearch(random_state=0, warm_start=2),
+            GeneticAlgorithm(
+                population_size=6, n_generations=2, random_state=0, warm_start=2
+            ),
+            BayesianOptimization(n_initial=4, random_state=0, warm_start=2),
+            SuccessiveHalving(
+                n_configurations=6, fidelity_key=None, random_state=0, warm_start=2
+            ),
+            Hyperband(
+                n_configurations=6, fidelity_key=None, random_state=0, warm_start=2
+            ),
+        ]
+
+    @pytest.mark.parametrize(
+        "optimizer", _optimizers.__func__(), ids=lambda o: o.name
+    )
+    def test_seeded_best_is_recovered(self, optimizer, tmp_path):
+        from repro.execution import EvaluationEngine, ResultStore
+        from repro.execution.cache import config_fingerprint
+
+        store = ResultStore(tmp_path / "s")
+        best = {"x": 1.0, "y": -2.0}  # the analytic optimum
+        store.put(
+            "seeded", config_fingerprint(best), quadratic_objective(best), config=best
+        )
+        engine = EvaluationEngine(
+            quadratic_objective, store=store, warm_start=True, name="seeded"
+        )
+        problem = HPOProblem(quadratic_space(), engine=engine)
+        result = optimizer.optimize(problem, Budget(max_evaluations=30))
+        # The stored optimum is re-evaluated (a store replay) and wins.
+        assert result.best_score == pytest.approx(0.0)
+        assert any(t.config == best for t in result.trials)
+
+    def test_negative_warm_start_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSearch(warm_start=-1)
+
+    def test_warm_start_is_noop_without_store(self):
+        problem = HPOProblem(quadratic_space(), quadratic_objective)
+        seeded = RandomSearch(random_state=0, warm_start=5)
+        plain = RandomSearch(random_state=0)
+        a = seeded.optimize(problem, Budget(max_evaluations=10))
+        problem2 = HPOProblem(quadratic_space(), quadratic_objective)
+        b = plain.optimize(problem2, Budget(max_evaluations=10))
+        assert [t.score for t in a.trials] == [t.score for t in b.trials]

@@ -78,6 +78,69 @@ class TestPerformanceTable:
             PerformanceTable(algorithms=["a"], datasets=["d1", "d2"], scores=np.zeros((1, 1)))
 
 
+class TestPerformanceTableResume:
+    def test_warm_rerun_is_identical_and_execution_free(
+        self, knowledge_datasets, small_registry, tmp_path
+    ):
+        from repro.execution import ResultStore
+
+        kwargs = dict(
+            registry=small_registry, tune=False, cv=3, max_records=80, random_state=0
+        )
+        cold = PerformanceTable.compute(
+            knowledge_datasets[:3], store=ResultStore(tmp_path / "s"), **kwargs
+        )
+        warm = PerformanceTable.compute(
+            knowledge_datasets[:3], store=ResultStore(tmp_path / "s"), **kwargs
+        )
+        np.testing.assert_array_equal(cold.scores, warm.scores)
+        assert warm.metadata["engine"]["n_executions"] == 0
+        assert warm.metadata["engine"]["n_store_hits"] == cold.scores.size
+
+    def test_partial_table_resumes_from_store(
+        self, knowledge_datasets, small_registry, tmp_path
+    ):
+        """A table extended with more datasets only pays for the new cells."""
+        from repro.execution import ResultStore
+
+        kwargs = dict(
+            registry=small_registry, tune=False, cv=3, max_records=80, random_state=0
+        )
+        partial = PerformanceTable.compute(
+            knowledge_datasets[:2], store=ResultStore(tmp_path / "s"), **kwargs
+        )
+        full = PerformanceTable.compute(
+            knowledge_datasets[:4], store=ResultStore(tmp_path / "s"), **kwargs
+        )
+        np.testing.assert_array_equal(full.scores[:2], partial.scores)
+        n_new_cells = 2 * len(small_registry)
+        assert full.metadata["engine"]["n_executions"] == n_new_cells
+
+    def test_incompatible_protocol_never_reuses_scores(
+        self, knowledge_datasets, small_registry, tmp_path
+    ):
+        from repro.execution import ResultStore
+
+        store_dir = tmp_path / "s"
+        PerformanceTable.compute(
+            knowledge_datasets[:2],
+            registry=small_registry,
+            cv=3,
+            max_records=80,
+            random_state=0,
+            store=ResultStore(store_dir),
+        )
+        other = PerformanceTable.compute(
+            knowledge_datasets[:2],
+            registry=small_registry,
+            cv=2,  # different CV protocol → different shard context
+            max_records=80,
+            random_state=0,
+            store=ResultStore(store_dir),
+        )
+        assert other.metadata["engine"]["n_store_hits"] == 0
+
+
 class TestEvaluateAndTune:
     def test_evaluate_algorithm_in_unit_interval(self, small_registry, blobs_dataset):
         score = evaluate_algorithm(small_registry, "NaiveBayes", blobs_dataset, cv=3)
