@@ -16,6 +16,23 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_collection_modifyitems(items):
+    """Every bench is marked ``bench`` and ``slow`` so ``-m "not slow"`` (the
+    CI unit-job default) skips the whole harness without path filtering.
+
+    The hook fires for the whole session's items (pytest passes every
+    collected item to every conftest), so it must filter to this directory —
+    otherwise a root-level run would mark the unit tests slow too.
+    """
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)
+
 from repro.core import AutoModel, DecisionMakingModelDesigner
 from repro.corpus import CorpusConfig, generate_corpus
 from repro.datasets import knowledge_suite, test_suite

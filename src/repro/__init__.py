@@ -11,11 +11,13 @@ Top-level layout:
 * :mod:`repro.core` — Auto-Model itself (knowledge acquisition, DMD, UDR).
 * :mod:`repro.execution` — the unified trial-execution engine (cache, folds,
   parallel batches, budgets) every evaluation runs through.
-* :mod:`repro.learners` — the classifier catalogue (Weka replacement).
+* :mod:`repro.learners` — the classifier and regressor catalogues (Weka
+  replacement); :func:`repro.learners.registry_for_task` switches per task.
 * :mod:`repro.hpo` — HPO techniques (GS, RS, GA, BO) and config spaces.
 * :mod:`repro.metafeatures` — the 23 Table III task-instance features.
 * :mod:`repro.corpus` — research-paper experiences and the simulated corpus.
-* :mod:`repro.datasets` — task-instance containers and synthetic suites.
+* :mod:`repro.datasets` — task-instance containers (classification and
+  regression, see :class:`repro.TaskType`) and synthetic suites.
 * :mod:`repro.baselines` — Auto-WEKA-style joint CASH baselines.
 * :mod:`repro.evaluation` — performance tables, PORatio, Table X comparisons.
 """
@@ -35,6 +37,7 @@ from .core.automodel import AutoModel
 from .core.dmd import DecisionMakingModelDesigner
 from .core.udr import CASHSolution, UserDemandResponser
 from .datasets.dataset import Dataset
+from .datasets.task import TaskType
 from .execution import Budget, EvaluationEngine, ResultStore
 
 __version__ = "1.0.0"
@@ -45,6 +48,7 @@ __all__ = [
     "CASHSolution",
     "UserDemandResponser",
     "Dataset",
+    "TaskType",
     "Budget",
     "EvaluationEngine",
     "ResultStore",

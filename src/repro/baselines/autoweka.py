@@ -23,13 +23,16 @@ from typing import Any
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
 from ..execution import EvaluationEngine, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.bayesian import BayesianOptimization
 from ..hpo.random_search import RandomSearch
 from ..hpo.space import CategoricalParam, Condition, ConfigSpace
 from ..learners.base import BaseClassifier
-from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.metrics import resolve_scorer
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
 
 __all__ = ["joint_space", "split_joint_config", "AutoWekaBaseline", "CASHBaselineSolution"]
 
@@ -115,10 +118,14 @@ class AutoWekaBaseline:
         random_state: int | None = 0,
         n_workers: int = 1,
         backend: str = "thread",
+        task: str = "classification",
+        metric: str | None = None,
     ) -> None:
         if strategy not in ("smac", "random"):
             raise ValueError("strategy must be 'smac' or 'random'")
-        self.registry = registry or default_registry()
+        self.task = resolve_task(task).value
+        self.metric = metric
+        self.registry = registry if registry is not None else registry_for_task(self.task)
         self.strategy = strategy
         self.cv = cv
         self.tuning_max_records = tuning_max_records
@@ -153,6 +160,8 @@ class AutoWekaBaseline:
             n_workers=self.n_workers,
             backend=self.backend,
             name=f"autoweka-{dataset.name}",
+            task=self.task,
+            metric=self.metric,
         )
 
     def run(
@@ -180,7 +189,8 @@ class AutoWekaBaseline:
             best_score = float(result.best_score)
         else:
             best_joint = space.default_configuration()
-            best_score = 0.0
+            error = resolve_scorer(self.metric, self.task).error_score
+            best_score = error if np.isfinite(error) else 0.0
         algorithm, params = split_joint_config(best_joint)
         estimator: BaseClassifier | None = None
         if fit_final_estimator:

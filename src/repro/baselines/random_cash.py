@@ -7,11 +7,13 @@ import time
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
 from ..evaluation.performance import PerformanceTable
 from ..execution import estimator_engine
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
-from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
 from .autoweka import AutoWekaBaseline, CASHBaselineSolution
 
 __all__ = ["RandomCASH", "SingleBestBaseline"]
@@ -32,6 +34,8 @@ class RandomCASH(AutoWekaBaseline):
         random_state: int | None = 0,
         n_workers: int = 1,
         backend: str = "thread",
+        task: str = "classification",
+        metric: str | None = None,
     ) -> None:
         super().__init__(
             registry=registry,
@@ -41,6 +45,8 @@ class RandomCASH(AutoWekaBaseline):
             random_state=random_state,
             n_workers=n_workers,
             backend=backend,
+            task=task,
+            metric=metric,
         )
 
 
@@ -61,9 +67,13 @@ class SingleBestBaseline:
         random_state: int | None = 0,
         n_workers: int = 1,
         backend: str = "thread",
+        task: str = "classification",
+        metric: str | None = None,
     ) -> None:
+        self.task = resolve_task(task).value
+        self.metric = metric
         self.performance = performance
-        self.registry = registry or default_registry()
+        self.registry = registry if registry is not None else registry_for_task(self.task)
         self.cv = cv
         self.tuning_max_records = tuning_max_records
         self.random_state = random_state
@@ -95,6 +105,8 @@ class SingleBestBaseline:
             n_workers=self.n_workers,
             backend=self.backend,
             name=f"single-best-{dataset.name}",
+            task=self.task,
+            metric=self.metric,
         )
         problem = HPOProblem(spec.space, name=f"single-best-{dataset.name}", engine=engine)
         optimizer = GeneticAlgorithm(

@@ -36,6 +36,7 @@ alone rebuilds a working recommender.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -44,12 +45,18 @@ from ..corpus.experience import ExperienceSet
 from ..corpus.generator import CorpusConfig, generate_corpus
 from ..corpus.serialization import load_corpus, save_corpus
 from ..datasets.dataset import Dataset
+from ..datasets.task import TaskType, resolve_task
 from ..evaluation.performance import PerformanceTable
 from ..execution import ResultStore
-from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
 from .architecture_search import DecisionModel
 from .dmd import DecisionMakingModelDesigner, DMDResult
-from .persistence import load_decision_model, save_decision_model
+from .persistence import (
+    load_decision_model,
+    save_decision_model,
+    saved_decision_model_task,
+)
 from .udr import CASHSolution, UserDemandResponser
 
 __all__ = ["AutoModel"]
@@ -58,6 +65,31 @@ _MODEL_FILE = "decision_model.json"
 _TABLE_FILE = "performance_table.json"
 _CORPUS_FILE = "corpus.json"
 _STORE_DIR = "results"
+
+
+class _task_aware_classmethod:
+    """A classmethod that, called through an instance, inherits its ``task``.
+
+    Lets ``AutoModel(task="regression").fit_from_datasets(...)`` behave
+    naturally: the unfitted shell's task (and cache_dir, when set) become the
+    defaults of the underlying classmethod, which still returns a new fitted
+    AutoModel.  Called on the class, it is an ordinary classmethod.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        functools.update_wrapper(self, func)
+
+    def __get__(self, obj, cls):
+        @functools.wraps(self.func)
+        def bound(*args, **kwargs):
+            if obj is not None:
+                kwargs.setdefault("task", obj.task)
+                if obj.cache_dir is not None:
+                    kwargs.setdefault("cache_dir", obj.cache_dir)
+            return self.func(cls, *args, **kwargs)
+
+        return bound
 
 
 @dataclass
@@ -76,27 +108,50 @@ class AutoModel:
     model: DecisionModel | None = field(default=None, repr=False)
     store: ResultStore | None = field(default=None, repr=False)
     cache_dir: Path | None = None
+    task: TaskType | str | None = None
 
     def __post_init__(self) -> None:
+        explicit_task = self.task is not None
+        self.task = resolve_task(self.task)
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
-        if self.registry is None:
-            self.registry = default_registry()
         if self.dmd_result is None and self.model is None:
-            if self.cache_dir is None:
+            # With an explicit task, a missing saved model leaves an unfitted
+            # shell — AutoModel(task=..., cache_dir=...).fit_from_datasets(...)
+            # populates the (possibly empty) cache on its first run; online
+            # use before fitting raises (see decision_model).  Without an
+            # explicit task the historical strict behaviour is kept: a
+            # cache_dir must hold a saved model, anything else is an error.
+            has_saved_model = (
+                self.cache_dir is not None and (self.cache_dir / _MODEL_FILE).exists()
+            )
+            if has_saved_model or (self.cache_dir is not None and not explicit_task):
+                restored = AutoModel.load(
+                    self.cache_dir,
+                    registry=self.registry,
+                    task=self.task if explicit_task else None,
+                )
+                # A bare restore inherits the task the model was saved with
+                # (so a regression cache never pairs with the classifier
+                # registry); an explicit task was validated by load().
+                self.task = restored.task
+                self.model = restored.model
+                self.performance = self.performance or restored.performance
+                self.corpus = self.corpus or restored.corpus
+                if self.registry is None:
+                    self.registry = restored.registry
+            elif self.cache_dir is None and not explicit_task:
                 raise ValueError(
                     "AutoModel needs a dmd_result, a model, or a cache_dir "
                     "holding a saved decision model (see fit_from_datasets)"
                 )
-            restored = AutoModel.load(self.cache_dir, registry=self.registry)
-            self.model = restored.model
-            self.performance = self.performance or restored.performance
-            self.corpus = self.corpus or restored.corpus
+        if self.registry is None:
+            self.registry = registry_for_task(self.task)
         if self.store is None and self.cache_dir is not None:
             self.store = ResultStore(self.cache_dir / _STORE_DIR)
 
     # -- construction ---------------------------------------------------------------------
-    @classmethod
+    @_task_aware_classmethod
     def fit(
         cls,
         corpus: ExperienceSet,
@@ -104,19 +159,27 @@ class AutoModel:
         registry: AlgorithmRegistry | None = None,
         dmd: DecisionMakingModelDesigner | None = None,
         cache_dir: str | Path | None = None,
+        task: TaskType | str | None = None,
     ) -> "AutoModel":
         """Run the DMD pipeline on an existing research-paper corpus."""
-        registry = registry or default_registry()
-        dmd = dmd or DecisionMakingModelDesigner()
+        task = resolve_task(task)
+        registry = registry if registry is not None else registry_for_task(task)
+        # The default DMD carries the task so its knowledge-base guard can
+        # reject a corpus/lookup of the wrong task type.
+        dmd = dmd or DecisionMakingModelDesigner(task=task.value)
         result = dmd.run(corpus, dataset_lookup)
         model = cls(
-            dmd_result=result, registry=registry, corpus=corpus, cache_dir=cache_dir
+            dmd_result=result,
+            registry=registry,
+            corpus=corpus,
+            cache_dir=cache_dir,
+            task=task,
         )
         if cache_dir is not None:
             model.save(cache_dir)
         return model
 
-    @classmethod
+    @_task_aware_classmethod
     def fit_from_datasets(
         cls,
         knowledge_datasets: list[Dataset],
@@ -128,6 +191,8 @@ class AutoModel:
         max_records: int | None = 250,
         cache_dir: str | Path | None = None,
         n_workers: int = 1,
+        task: TaskType | str | None = None,
+        metric: str | None = None,
     ) -> "AutoModel":
         """Simulate the paper corpus from ``knowledge_datasets`` and fit on it.
 
@@ -137,13 +202,19 @@ class AutoModel:
         :class:`~repro.execution.ResultStore` — resuming any cells a prior
         (possibly interrupted) run already paid for — and the fitted
         artefacts are saved back for the next caller.
+
+        ``task="regression"`` (or calling through an unfitted
+        ``AutoModel(task="regression")`` shell) runs the identical pipeline
+        over the regressor catalogue with CV R² scores; the knowledge
+        datasets must carry the matching task type.
         """
-        registry = registry or default_registry()
+        task = resolve_task(task)
+        registry = registry if registry is not None else registry_for_task(task)
         store: ResultStore | None = None
         if cache_dir is not None:
             cache_dir = Path(cache_dir)
             if (cache_dir / _MODEL_FILE).exists():
-                return cls.load(cache_dir, registry=registry)
+                return cls.load(cache_dir, registry=registry, task=task)
             store = ResultStore(cache_dir / _STORE_DIR)
         corpus, table = generate_corpus(
             knowledge_datasets,
@@ -154,9 +225,11 @@ class AutoModel:
             max_records=max_records,
             n_workers=n_workers,
             store=store,
+            task=task,
+            metric=metric,
         )
         lookup = {dataset.name: dataset for dataset in knowledge_datasets}
-        dmd = dmd or DecisionMakingModelDesigner()
+        dmd = dmd or DecisionMakingModelDesigner(task=task.value)
         result = dmd.run(corpus, lookup)
         model = cls(
             dmd_result=result,
@@ -165,6 +238,7 @@ class AutoModel:
             corpus=corpus,
             store=store,
             cache_dir=cache_dir,
+            task=task,
         )
         if cache_dir is not None:
             model.save(cache_dir)
@@ -177,7 +251,9 @@ class AutoModel:
         if cache_dir is None:
             raise ValueError("no cache_dir given and none set on this AutoModel")
         cache_dir.mkdir(parents=True, exist_ok=True)
-        save_decision_model(self.decision_model, cache_dir / _MODEL_FILE)
+        save_decision_model(
+            self.decision_model, cache_dir / _MODEL_FILE, task=self.task.value
+        )
         if self.performance is not None:
             self.performance.save(cache_dir / _TABLE_FILE)
         if self.corpus is not None:
@@ -186,23 +262,42 @@ class AutoModel:
 
     @classmethod
     def load(
-        cls, cache_dir: str | Path, registry: AlgorithmRegistry | None = None
+        cls,
+        cache_dir: str | Path,
+        registry: AlgorithmRegistry | None = None,
+        task: TaskType | str | None = None,
     ) -> "AutoModel":
-        """Restore an AutoModel saved by :meth:`save` (or ``fit*(cache_dir=)``)."""
+        """Restore an AutoModel saved by :meth:`save` (or ``fit*(cache_dir=)``).
+
+        ``task=None`` adopts the task the model was saved with; an explicit
+        task that disagrees with the saved one raises instead of silently
+        pairing the model's labels with the wrong catalogue.
+        """
         cache_dir = Path(cache_dir)
         model_path = cache_dir / _MODEL_FILE
         if not model_path.exists():
             raise FileNotFoundError(f"no saved decision model under {cache_dir}")
+        saved_task = saved_decision_model_task(model_path)
+        if task is None:
+            task = resolve_task(saved_task)
+        else:
+            task = resolve_task(task)
+            if task.value != saved_task:
+                raise ValueError(
+                    f"cache under {cache_dir} holds a {saved_task} decision "
+                    f"model; cannot load it as task={task.value!r}"
+                )
         decision_model = load_decision_model(model_path)
         table_path = cache_dir / _TABLE_FILE
         corpus_path = cache_dir / _CORPUS_FILE
         return cls(
             model=decision_model,
-            registry=registry or default_registry(),
+            registry=registry if registry is not None else registry_for_task(task),
             performance=PerformanceTable.load(table_path) if table_path.exists() else None,
             corpus=load_corpus(corpus_path) if corpus_path.exists() else None,
             store=ResultStore(cache_dir / _STORE_DIR),
             cache_dir=cache_dir,
+            task=task,
         )
 
     # -- online use ------------------------------------------------------------------------
@@ -211,6 +306,11 @@ class AutoModel:
         """The trained ``SNA``, whether fitted in-process or restored from disk."""
         if self.model is not None:
             return self.model
+        if self.dmd_result is None:
+            raise ValueError(
+                "this AutoModel is an unfitted shell; call fit_from_datasets "
+                "(or fit) first, or construct with a model/cache_dir"
+            )
         return self.dmd_result.model
 
     def responder(
@@ -220,6 +320,7 @@ class AutoModel:
         random_state: int | None = 0,
         n_workers: int = 1,
         warm_start: bool = True,
+        metric: str | None = None,
     ) -> UserDemandResponser:
         return UserDemandResponser(
             model=self.decision_model,
@@ -230,6 +331,8 @@ class AutoModel:
             n_workers=n_workers,
             store=self.store,
             warm_start=warm_start,
+            task=self.task,
+            metric=metric,
         )
 
     def select_algorithm(self, dataset: Dataset) -> str:
@@ -245,6 +348,7 @@ class AutoModel:
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
         n_workers: int = 1,
+        metric: str | None = None,
     ) -> CASHSolution:
         """Full CASH answer for ``dataset``: algorithm + tuned hyperparameters.
 
@@ -256,6 +360,7 @@ class AutoModel:
             tuning_max_records=tuning_max_records,
             random_state=random_state,
             n_workers=n_workers,
+            metric=metric,
         )
         return responder.respond(
             dataset, time_limit=time_limit, max_evaluations=max_evaluations
@@ -275,6 +380,7 @@ class AutoModel:
     def describe(self) -> dict[str, Any]:
         """Human-readable summary of the fitted system."""
         out = {
+            "task": self.task.value,
             "knowledge_pairs": self.knowledge_size,
             "key_features": self.key_features,
             "catalogue_size": len(self.registry),

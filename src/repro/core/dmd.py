@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..corpus.experience import ExperienceSet
 from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
 from ..metafeatures.features import FEATURE_NAMES
 from .architecture_search import ArchitectureSearch, ArchitectureSearchResult, DecisionModel
 from .concepts import KnowledgeBase, KnowledgePair
@@ -62,6 +63,7 @@ class DecisionMakingModelDesigner:
         cv: int = 3,
         random_state: int | None = 0,
         skip_feature_selection: bool = False,
+        task: str | None = None,
     ) -> None:
         self.candidate_features = list(candidate_features or FEATURE_NAMES)
         self.min_algorithms = min_algorithms
@@ -75,6 +77,10 @@ class DecisionMakingModelDesigner:
         self.cv = cv
         self.random_state = random_state
         self.skip_feature_selection = skip_feature_selection
+        # The DMD pipeline itself is task-agnostic (it sees meta-features and
+        # algorithm names, never scores); an explicit task only guards against
+        # accidentally mixing task types in one knowledge base.
+        self.task = None if task is None else resolve_task(task).value
 
     # -- step 1: knowledge -----------------------------------------------------------------
     def acquire_knowledge(self, corpus: ExperienceSet) -> list[KnowledgePair]:
@@ -133,6 +139,15 @@ class DecisionMakingModelDesigner:
         """
         pairs = self.acquire_knowledge(corpus)
         knowledge = KnowledgeBase.from_pairs(pairs, dataset_lookup)
+        if self.task is not None:
+            mismatched = [
+                d.name for d in knowledge.datasets
+                if getattr(d.task, "value", d.task) != self.task
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"knowledge datasets {mismatched} do not carry task={self.task!r}"
+                )
         if len(knowledge) < 4:
             raise ValueError(
                 f"only {len(knowledge)} knowledge pairs could be resolved to datasets; "

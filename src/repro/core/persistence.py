@@ -18,7 +18,7 @@ from ..learners.neural import MLPNetwork, MLPRegressor
 from ..metafeatures.extractor import FeatureExtractor
 from .architecture_search import DecisionModel
 
-__all__ = ["save_decision_model", "load_decision_model"]
+__all__ = ["save_decision_model", "load_decision_model", "saved_decision_model_task"]
 
 _FORMAT_VERSION = 1
 
@@ -74,16 +74,35 @@ def _regressor_from_dict(payload: dict) -> MLPRegressor:
     return regressor
 
 
-def save_decision_model(model: DecisionModel, path: str | Path) -> None:
-    """Serialise a fitted :class:`DecisionModel` to a JSON file."""
+def save_decision_model(
+    model: DecisionModel, path: str | Path, task: str = "classification"
+) -> None:
+    """Serialise a fitted :class:`DecisionModel` to a JSON file.
+
+    ``task`` records which catalogue the model's labels belong to, so a
+    restore can pick the matching registry (and reject a mismatched one)
+    instead of silently pairing regressor labels with the classifier
+    catalogue.
+    """
     payload = {
         "format_version": _FORMAT_VERSION,
+        "task": str(getattr(task, "value", task)),
         "labels": list(model.labels),
         "architecture": dict(model.architecture),
         "extractor": _extractor_to_dict(model.extractor),
         "regressor": _regressor_to_dict(model.regressor),
     }
     Path(path).write_text(json.dumps(payload))
+
+
+def saved_decision_model_task(path: str | Path) -> str:
+    """The task type a saved decision model was fitted for.
+
+    Files written before task types existed carry no ``task`` key and are
+    classification models by definition.
+    """
+    payload = json.loads(Path(path).read_text())
+    return str(payload.get("task", "classification"))
 
 
 def load_decision_model(path: str | Path) -> DecisionModel:

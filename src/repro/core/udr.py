@@ -23,11 +23,14 @@ from typing import Any
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
 from ..execution import EvaluationEngine, ResultStore, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.selector import HPOTechniqueSelector
 from ..learners.base import BaseClassifier
-from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.metrics import resolve_scorer
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
 from .architecture_search import DecisionModel
 
 __all__ = ["CASHSolution", "UserDemandResponser"]
@@ -90,9 +93,13 @@ class UserDemandResponser:
         store: ResultStore | None = None,
         warm_start: bool = True,
         warm_start_top_k: int = 3,
+        task: str = "classification",
+        metric: str | None = None,
     ) -> None:
+        self.task = resolve_task(task).value
+        self.metric = metric
         self.model = model
-        self.registry = registry or default_registry()
+        self.registry = registry if registry is not None else registry_for_task(self.task)
         self.cv = cv
         self.tuning_max_records = tuning_max_records
         self.probe_time_threshold = probe_time_threshold
@@ -138,6 +145,9 @@ class UserDemandResponser:
             else dataset
         )
         X, y = data.to_matrix()
+        # estimator_engine folds the task/metric identity into the store
+        # context when it differs from the classification-accuracy default,
+        # so classification shard names stay byte-identical to prior releases.
         engine = estimator_engine(
             spec.build,
             X,
@@ -150,6 +160,8 @@ class UserDemandResponser:
             store=self.store,
             store_context=self._store_context(dataset, algorithm),
             warm_start=self.warm_start,
+            task=self.task,
+            metric=self.metric,
         )
         return spec, engine
 
@@ -212,7 +224,11 @@ class UserDemandResponser:
                 estimator.fit(X, y)
             except Exception:
                 estimator = None
-        cv_score = history.best_score if np.isfinite(history.best_score) else 0.0
+        if np.isfinite(history.best_score):
+            cv_score = history.best_score
+        else:
+            error = resolve_scorer(self.metric, self.task).error_score
+            cv_score = error if np.isfinite(error) else 0.0
         return CASHSolution(
             algorithm=algorithm,
             config=config,

@@ -28,7 +28,8 @@ import numpy as np
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
 from ..execution import ResultStore
-from ..learners.registry import AlgorithmRegistry, default_registry
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
 from .experience import Experience, ExperienceSet
 from .paper import PAPER_LEVELS, Paper
 
@@ -108,15 +109,15 @@ class CorpusGenerator:
         cfg = self.config
         dataset_names = self.performance.datasets
         algorithm_names = self.performance.algorithms
-        n_datasets = int(
-            rng.integers(cfg.min_datasets_per_paper, min(cfg.max_datasets_per_paper, len(dataset_names)) + 1)
-        )
-        n_algorithms = int(
-            rng.integers(
-                cfg.min_algorithms_per_paper,
-                min(cfg.max_algorithms_per_paper, len(algorithm_names)) + 1,
-            )
-        )
+        # Clamp the per-paper ranges to what the table actually holds: a
+        # catalogue (or dataset pool) smaller than the configured minimum
+        # means every paper simply covers all of it, instead of crashing.
+        dataset_low = min(cfg.min_datasets_per_paper, len(dataset_names))
+        dataset_high = min(cfg.max_datasets_per_paper, len(dataset_names))
+        algorithm_low = min(cfg.min_algorithms_per_paper, len(algorithm_names))
+        algorithm_high = min(cfg.max_algorithms_per_paper, len(algorithm_names))
+        n_datasets = int(rng.integers(dataset_low, dataset_high + 1))
+        n_algorithms = int(rng.integers(algorithm_low, algorithm_high + 1))
         chosen_datasets = rng.choice(dataset_names, size=n_datasets, replace=False)
         chosen_algorithms = rng.choice(algorithm_names, size=n_algorithms, replace=False)
         experiences: list[Experience] = []
@@ -160,6 +161,8 @@ def generate_corpus(
     n_workers: int = 1,
     store: ResultStore | None = None,
     warm_start: bool = True,
+    task: str = "classification",
+    metric: str | None = None,
 ) -> tuple[ExperienceSet, PerformanceTable]:
     """End-to-end corpus generation from raw datasets.
 
@@ -173,8 +176,12 @@ def generate_corpus(
     disk (see :meth:`PerformanceTable.compute`); the simulation itself is
     deterministic given the table and config, so resuming the measurement
     reproduces the identical corpus.
+
+    ``task="regression"`` measures a regressor catalogue with CV R² cells;
+    papers then "report" noisy R² observations, and the knowledge pipeline
+    consumes the resulting experiences exactly as for classification.
     """
-    registry = registry or default_registry()
+    registry = registry if registry is not None else registry_for_task(task)
     config = config or CorpusConfig()
     if performance is None:
         performance = PerformanceTable.compute(
@@ -187,6 +194,8 @@ def generate_corpus(
             n_workers=n_workers,
             store=store,
             warm_start=warm_start,
+            task=task,
+            metric=metric,
         )
     generator = CorpusGenerator(performance, config)
     return generator.generate(), performance

@@ -1,29 +1,43 @@
 """Dataset substrate: task-instance container, synthetic generators and suites."""
 
 from .dataset import Dataset
-from .suite import TEST_SUITE_SPECS, knowledge_suite, test_suite
+from .suite import TEST_SUITE_SPECS, knowledge_suite, regression_suite, test_suite
 from .synthetic import (
     CONCEPT_FAMILIES,
+    REGRESSION_FAMILIES,
     make_categorical_rules,
     make_dataset,
+    make_friedman,
     make_gaussian_clusters,
     make_hypercube_rules,
+    make_linear_response,
     make_noisy_linear,
     make_nonlinear_manifold,
+    make_piecewise_response,
+    make_regression_dataset,
     make_sparse_prototypes,
 )
+from .task import TaskType, resolve_task
 
 __all__ = [
     "Dataset",
+    "TaskType",
+    "resolve_task",
     "TEST_SUITE_SPECS",
     "knowledge_suite",
+    "regression_suite",
     "test_suite",
     "CONCEPT_FAMILIES",
+    "REGRESSION_FAMILIES",
     "make_categorical_rules",
     "make_dataset",
+    "make_friedman",
     "make_gaussian_clusters",
     "make_hypercube_rules",
+    "make_linear_response",
     "make_noisy_linear",
     "make_nonlinear_manifold",
+    "make_piecewise_response",
+    "make_regression_dataset",
     "make_sparse_prototypes",
 ]

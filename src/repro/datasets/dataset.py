@@ -1,9 +1,14 @@
-"""Dataset container for classification task instances.
+"""Dataset container for supervised task instances.
 
 A :class:`Dataset` is the paper's "task instance": a table with numeric
-attributes, categorical attributes and a categorical target.  It keeps the two
-attribute blocks separate because the meta-features of Table III treat them
-differently, and exposes an encoded dense matrix for the learners.
+attributes, categorical attributes and a target.  It keeps the two attribute
+blocks separate because the meta-features of Table III treat them differently,
+and exposes an encoded dense matrix for the learners.
+
+The paper studies classification only; this container carries a
+:class:`~repro.datasets.task.TaskType` so the same machinery also serves
+regression instances (continuous targets, plain — unstratified — resampling).
+Classification remains the default and behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -13,13 +18,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..learners.preprocessing import LabelEncoder, OneHotEncoder, SimpleImputer
+from .task import TaskType, resolve_task
 
 __all__ = ["Dataset"]
 
 
 @dataclass
 class Dataset:
-    """A classification task instance.
+    """A supervised task instance.
 
     Parameters
     ----------
@@ -31,7 +37,11 @@ class Dataset:
         ``(n_records, n_categorical)`` object array of category values; may be
         empty.
     target:
-        Length ``n_records`` array of class labels (any hashable values).
+        Length ``n_records`` array: class labels (any hashable values) for
+        classification, real values for regression.
+    task:
+        ``TaskType.CLASSIFICATION`` (default) or ``TaskType.REGRESSION``;
+        plain strings ``"classification"`` / ``"regression"`` are accepted.
     """
 
     name: str
@@ -39,8 +49,10 @@ class Dataset:
     categorical: np.ndarray
     target: np.ndarray
     metadata: dict = field(default_factory=dict)
+    task: TaskType = TaskType.CLASSIFICATION
 
     def __post_init__(self) -> None:
+        self.task = resolve_task(self.task)
         self.numeric = np.asarray(self.numeric, dtype=np.float64)
         if self.numeric.ndim == 1:
             self.numeric = self.numeric.reshape(-1, 1) if self.numeric.size else self.numeric.reshape(0, 0)
@@ -50,6 +62,10 @@ class Dataset:
                 self.categorical.reshape(-1, 1) if self.categorical.size else self.categorical.reshape(0, 0)
             )
         self.target = np.asarray(self.target)
+        if self.task.is_regression:
+            self.target = self.target.astype(np.float64)
+            if self.target.size and not np.all(np.isfinite(self.target)):
+                raise ValueError(f"{self.name}: regression target contains NaN/inf values")
         lengths = {
             block.shape[0]
             for block in (self.numeric, self.categorical)
@@ -62,6 +78,15 @@ class Dataset:
             raise ValueError(f"{self.name}: empty dataset")
         if self.n_numeric == 0 and self.n_categorical == 0:
             raise ValueError(f"{self.name}: dataset has no attributes")
+
+    # -- task type --------------------------------------------------------------------
+    @property
+    def is_classification(self) -> bool:
+        return self.task.is_classification
+
+    @property
+    def is_regression(self) -> bool:
+        return self.task.is_regression
 
     # -- basic shape ------------------------------------------------------------------
     @property
@@ -89,25 +114,49 @@ class Dataset:
         _, counts = np.unique(self.target, return_counts=True)
         return counts
 
+    @property
+    def target_mean(self) -> float:
+        """Mean of a regression target (raises for categorical labels)."""
+        return float(np.asarray(self.target, dtype=np.float64).mean())
+
+    @property
+    def target_std(self) -> float:
+        """Standard deviation of a regression target."""
+        return float(np.asarray(self.target, dtype=np.float64).std())
+
     # -- encoding ---------------------------------------------------------------------
     def to_matrix(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(X, y)`` with categorical attributes one-hot encoded and the
-        target label-encoded into ``0..n_classes-1``."""
+        """Return ``(X, y)`` with categorical attributes one-hot encoded.
+
+        For classification the target is label-encoded into
+        ``0..n_classes-1``; for regression it is returned as ``float64``.
+        """
         blocks: list[np.ndarray] = []
         if self.n_numeric:
             blocks.append(SimpleImputer().fit_transform(self.numeric))
         if self.n_categorical:
             blocks.append(OneHotEncoder().fit_transform(self.categorical))
         X = np.hstack(blocks)
-        y = LabelEncoder().fit_transform(self.target)
+        if self.is_regression:
+            y = np.asarray(self.target, dtype=np.float64)
+        else:
+            y = LabelEncoder().fit_transform(self.target)
         return X, y
 
     # -- resampling helpers --------------------------------------------------------------
     def subsample(self, n: int, random_state: int | None = None) -> "Dataset":
-        """Return a stratified subsample of at most ``n`` records."""
+        """Return a subsample of at most ``n`` records.
+
+        Classification subsamples are stratified per class; regression
+        targets have no classes to preserve, so a plain uniform draw without
+        replacement is used instead.
+        """
         if n >= self.n_records:
             return self
         rng = np.random.default_rng(random_state)
+        if self.is_regression:
+            keep_arr = np.sort(rng.choice(self.n_records, size=n, replace=False))
+            return self.take(keep_arr, name=f"{self.name}[sub{n}]")
         keep: list[int] = []
         labels, counts = np.unique(self.target, return_counts=True)
         fractions = counts / counts.sum()
@@ -132,41 +181,60 @@ class Dataset:
             ),
             target=self.target[indices],
             metadata=dict(self.metadata),
+            task=self.task,
         )
 
     def train_test_split(
         self, test_size: float = 0.3, random_state: int | None = None
     ) -> tuple["Dataset", "Dataset"]:
-        """Stratified split into train/test datasets."""
+        """Split into train/test datasets (stratified for classification)."""
         rng = np.random.default_rng(random_state)
-        test_idx: list[int] = []
-        for label in np.unique(self.target):
-            members = rng.permutation(np.flatnonzero(self.target == label))
-            take = max(1, int(round(test_size * len(members)))) if len(members) > 1 else 0
-            test_idx.extend(members[:take].tolist())
-        test_mask = np.zeros(self.n_records, dtype=bool)
-        test_mask[test_idx] = True
-        if not test_mask.any() or test_mask.all():
+        if self.is_regression:
             split_point = max(1, int(round((1 - test_size) * self.n_records)))
+            split_point = min(split_point, self.n_records - 1)
             order = rng.permutation(self.n_records)
             test_mask = np.zeros(self.n_records, dtype=bool)
             test_mask[order[split_point:]] = True
+        else:
+            test_idx: list[int] = []
+            for label in np.unique(self.target):
+                members = rng.permutation(np.flatnonzero(self.target == label))
+                take = max(1, int(round(test_size * len(members)))) if len(members) > 1 else 0
+                test_idx.extend(members[:take].tolist())
+            test_mask = np.zeros(self.n_records, dtype=bool)
+            test_mask[test_idx] = True
+            if not test_mask.any() or test_mask.all():
+                split_point = max(1, int(round((1 - test_size) * self.n_records)))
+                order = rng.permutation(self.n_records)
+                test_mask = np.zeros(self.n_records, dtype=bool)
+                test_mask[order[split_point:]] = True
         train = self.take(np.flatnonzero(~test_mask), name=f"{self.name}[train]")
         test = self.take(np.flatnonzero(test_mask), name=f"{self.name}[test]")
         return train, test
 
     def summary(self) -> dict:
         """Shape summary in the layout of the paper's Table XI."""
-        return {
+        out = {
             "name": self.name,
             "records": self.n_records,
             "attributes": self.n_attributes,
             "numeric_attributes": self.n_numeric,
             "categorical_attributes": self.n_categorical,
-            "classes": self.n_classes,
         }
+        if self.is_regression:
+            out["task"] = self.task.value
+            out["target_mean"] = round(self.target_mean, 4)
+            out["target_std"] = round(self.target_std, 4)
+        else:
+            out["classes"] = self.n_classes
+        return out
 
     def __repr__(self) -> str:
+        if self.is_regression:
+            return (
+                f"Dataset({self.name!r}, task='regression', records={self.n_records}, "
+                f"numeric={self.n_numeric}, categorical={self.n_categorical})"
+            )
         return (
             f"Dataset({self.name!r}, records={self.n_records}, "
             f"numeric={self.n_numeric}, categorical={self.n_categorical}, "

@@ -21,9 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from .dataset import Dataset
-from .synthetic import CONCEPT_FAMILIES, make_dataset
+from .synthetic import CONCEPT_FAMILIES, REGRESSION_FAMILIES, make_dataset, make_regression_dataset
 
-__all__ = ["TEST_SUITE_SPECS", "test_suite", "knowledge_suite"]
+__all__ = ["TEST_SUITE_SPECS", "test_suite", "knowledge_suite", "regression_suite"]
 
 
 # (symbol, paper dataset name, records, numeric attrs, categorical attrs, classes, family)
@@ -135,6 +135,42 @@ def knowledge_suite(
             n_numeric=n_numeric,
             n_categorical=n_categorical,
             n_classes=n_classes,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        datasets.append(dataset)
+    return datasets
+
+
+def regression_suite(
+    n_datasets: int = 12,
+    min_records: int = 80,
+    max_records: int = 400,
+    random_state: int = 11,
+    name_prefix: str = "R",
+) -> list[Dataset]:
+    """Return a pool of synthetic regression task instances.
+
+    The regression analogue of :func:`knowledge_suite`: shapes are drawn from
+    UCI-scale ranges and the concept families rotate through linear, smooth
+    nonlinear and piecewise surfaces so different regressor types win on
+    different datasets — the heterogeneity the selection machinery needs.
+    """
+    if n_datasets < 1:
+        raise ValueError("n_datasets must be >= 1")
+    rng = np.random.default_rng(random_state)
+    families = list(REGRESSION_FAMILIES)
+    datasets: list[Dataset] = []
+    for i in range(n_datasets):
+        family = families[i % len(families)]
+        n_records = int(rng.integers(min_records, max_records + 1))
+        n_numeric = int(rng.integers(3, 20))
+        n_categorical = int(rng.integers(0, 5))
+        dataset = make_regression_dataset(
+            family,
+            name=f"{name_prefix}{i + 1:02d}_{family}",
+            n_records=n_records,
+            n_numeric=n_numeric,
+            n_categorical=n_categorical,
             random_state=int(rng.integers(0, 2**31 - 1)),
         )
         datasets.append(dataset)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .dataset import Dataset
+from .task import TaskType
 
 __all__ = [
     "make_gaussian_clusters",
@@ -24,6 +25,11 @@ __all__ = [
     "make_categorical_rules",
     "make_dataset",
     "CONCEPT_FAMILIES",
+    "make_linear_response",
+    "make_friedman",
+    "make_piecewise_response",
+    "make_regression_dataset",
+    "REGRESSION_FAMILIES",
 ]
 
 
@@ -268,6 +274,116 @@ def make_categorical_rules(
         numeric = np.zeros((n_records, 0))
     return Dataset(name, numeric, categorical, np.array([f"class_{v}" for v in y], dtype=object),
                    metadata={"family": "categorical_rules"})
+
+
+# -- regression concept families ---------------------------------------------------
+#
+# Mirrors of the classification families for continuous targets: each family
+# favours a different regressor type (linear models, smooth nonlinear models,
+# tree/forest models), which is the heterogeneity algorithm selection needs.
+
+
+def _attach_categorical_regression(
+    rng: np.random.Generator,
+    latent: np.ndarray,
+    y: np.ndarray,
+    n_categorical: int,
+) -> np.ndarray:
+    """Categorical attributes for a continuous target: bin y into pseudo-classes."""
+    if n_categorical == 0:
+        return np.zeros((latent.shape[0], 0), dtype=object)
+    ranks = np.argsort(np.argsort(y))
+    pseudo_classes = (ranks * 4 // max(1, len(y))).astype(int)
+    return _attach_categorical(rng, latent, pseudo_classes, n_categorical, 4)
+
+
+def make_linear_response(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 10,
+    n_categorical: int = 0,
+    informative: int = 4,
+    noise: float = 0.3,
+    random_state: int | None = None,
+) -> Dataset:
+    """Sparse linear response buried in noise features — favours ridge/lasso."""
+    rng = np.random.default_rng(random_state)
+    latent_dim = max(2, n_numeric)
+    latent = rng.normal(size=(n_records, latent_dim))
+    informative = min(max(1, informative), latent_dim)
+    weights = np.zeros(latent_dim)
+    weights[:informative] = rng.normal(scale=2.0, size=informative)
+    y = latent @ weights + rng.normal(scale=noise * np.abs(weights).sum(), size=n_records)
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((n_records, 0))
+    categorical = _attach_categorical_regression(rng, latent, y, n_categorical)
+    return Dataset(name, numeric, categorical, y, task=TaskType.REGRESSION,
+                   metadata={"family": "linear_response"})
+
+
+def make_friedman(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 8,
+    n_categorical: int = 0,
+    noise: float = 0.5,
+    random_state: int | None = None,
+) -> Dataset:
+    """The Friedman #1 surface — smooth nonlinear, favours SVR / MLP / k-NN."""
+    rng = np.random.default_rng(random_state)
+    latent_dim = max(5, n_numeric)
+    latent = rng.uniform(0.0, 1.0, size=(n_records, latent_dim))
+    y = (
+        10.0 * np.sin(np.pi * latent[:, 0] * latent[:, 1])
+        + 20.0 * (latent[:, 2] - 0.5) ** 2
+        + 10.0 * latent[:, 3]
+        + 5.0 * latent[:, 4]
+        + rng.normal(scale=noise, size=n_records)
+    )
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((n_records, 0))
+    categorical = _attach_categorical_regression(rng, latent, y, n_categorical)
+    return Dataset(name, numeric, categorical, y, task=TaskType.REGRESSION,
+                   metadata={"family": "friedman"})
+
+
+def make_piecewise_response(
+    name: str,
+    n_records: int = 300,
+    n_numeric: int = 8,
+    n_categorical: int = 0,
+    n_rule_features: int = 3,
+    noise: float = 0.2,
+    random_state: int | None = None,
+) -> Dataset:
+    """Axis-aligned constant plateaus plus noise — favours trees and forests."""
+    rng = np.random.default_rng(random_state)
+    latent_dim = max(n_numeric, n_rule_features, 2)
+    latent = rng.uniform(-1, 1, size=(n_records, latent_dim))
+    rule_features = rng.choice(latent_dim, size=min(n_rule_features, latent_dim), replace=False)
+    thresholds = rng.uniform(-0.4, 0.4, size=len(rule_features))
+    bits = (latent[:, rule_features] > thresholds).astype(int)
+    region = bits @ (2 ** np.arange(len(rule_features)))
+    region_levels = rng.normal(scale=3.0, size=int(region.max()) + 1)
+    y = region_levels[region] + rng.normal(scale=noise, size=n_records)
+    numeric = latent[:, :n_numeric] if n_numeric else np.zeros((n_records, 0))
+    categorical = _attach_categorical_regression(rng, latent, y, n_categorical)
+    return Dataset(name, numeric, categorical, y, task=TaskType.REGRESSION,
+                   metadata={"family": "piecewise_response"})
+
+
+REGRESSION_FAMILIES = {
+    "linear_response": make_linear_response,
+    "friedman": make_friedman,
+    "piecewise_response": make_piecewise_response,
+}
+
+
+def make_regression_dataset(family: str, name: str, **kwargs) -> Dataset:
+    """Build a regression dataset from a named family (:data:`REGRESSION_FAMILIES`)."""
+    if family not in REGRESSION_FAMILIES:
+        raise ValueError(
+            f"unknown regression family {family!r}; known: {sorted(REGRESSION_FAMILIES)}"
+        )
+    return REGRESSION_FAMILIES[family](name=name, **kwargs)
 
 
 CONCEPT_FAMILIES = {

@@ -1,0 +1,54 @@
+"""Task types: the kind of supervised problem a :class:`Dataset` poses.
+
+The paper's pipeline — corpus → performance table → DMD → UDR — is
+task-agnostic: nothing in knowledge acquisition, meta-feature extraction or
+the select-then-tune loop depends on the objective being *accuracy*.  The
+:class:`TaskType` enum makes the task a first-class property so every layer
+(datasets, learners, objectives, tables, AutoModel) can branch on it while
+classification — the paper's original setting — remains the default and its
+behaviour stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["TaskType", "resolve_task"]
+
+
+class TaskType(str, Enum):
+    """Supported supervised task types.
+
+    ``str``-valued so a ``TaskType`` compares equal to its plain string form
+    (``TaskType.REGRESSION == "regression"``) and serialises transparently in
+    metadata dicts and store-context strings.
+    """
+
+    CLASSIFICATION = "classification"
+    REGRESSION = "regression"
+
+    @property
+    def is_classification(self) -> bool:
+        return self is TaskType.CLASSIFICATION
+
+    @property
+    def is_regression(self) -> bool:
+        return self is TaskType.REGRESSION
+
+
+def resolve_task(task: "TaskType | str | None") -> TaskType:
+    """Normalise a user-facing ``task`` argument to a :class:`TaskType`.
+
+    ``None`` resolves to classification (the paper's setting), strings are
+    matched case-insensitively, and anything else raises with the list of
+    known task types.
+    """
+    if task is None:
+        return TaskType.CLASSIFICATION
+    if isinstance(task, TaskType):
+        return task
+    try:
+        return TaskType(str(task).strip().lower())
+    except ValueError:
+        known = [t.value for t in TaskType]
+        raise ValueError(f"unknown task {task!r}; known task types: {known}") from None

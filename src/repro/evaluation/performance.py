@@ -20,13 +20,30 @@ from pathlib import Path
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
 from ..execution import EvaluationEngine, ResultStore, estimator_engine
+from ..execution.objectives import objective_context_suffix
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
-from ..learners.registry import AlgorithmRegistry, default_registry
-from ..learners.validation import cross_val_accuracy
+from ..learners.metrics import resolve_scorer
+from ..learners.registry import AlgorithmRegistry
+from ..learners.regression_registry import registry_for_task
+from ..learners.validation import (
+    cross_val_accuracy,
+    cross_val_score_folds,
+    plain_folds,
+    stratified_folds,
+)
 
 __all__ = ["PerformanceTable", "evaluate_algorithm", "tune_algorithm"]
+
+
+def _worst_score(task: str, metric: str | None) -> float:
+    """Finite fallback score for a failed cell (0.0 for accuracy, as always)."""
+    if resolve_task(task).is_classification and metric is None:
+        return 0.0
+    error = resolve_scorer(metric, task).error_score
+    return error if np.isfinite(error) else 0.0
 
 
 def evaluate_algorithm(
@@ -37,19 +54,41 @@ def evaluate_algorithm(
     cv: int = 5,
     max_records: int | None = 400,
     random_state: int | None = 0,
+    task: str = "classification",
+    metric: str | None = None,
 ) -> float:
-    """Cross-validation accuracy of one algorithm configuration on one dataset.
+    """Cross-validation score of one algorithm configuration on one dataset.
 
-    Failures (an algorithm that cannot handle the dataset) score 0.0 rather
-    than raising, matching how the CASH searches treat crashed configurations.
+    Classification (the default) scores stratified-CV accuracy exactly as
+    before; ``task="regression"`` scores unstratified-CV R² (or the given
+    metric, oriented greater-is-better).  Failures (an algorithm that cannot
+    handle the dataset) score the metric's worst finite value — 0.0 for
+    accuracy, matching how the CASH searches treat crashed configurations.
     """
     data = dataset.subsample(max_records, random_state=random_state) if max_records else dataset
     X, y = data.to_matrix()
+    task = resolve_task(task).value
+    if task == "classification" and metric is None:
+        try:
+            estimator = registry.build(algorithm, config)
+            return cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
+        except Exception:
+            return 0.0
+    scorer = resolve_scorer(metric, task)
     try:
         estimator = registry.build(algorithm, config)
-        return cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
+        # Same fold protocol as cross_val_objective: stratified for
+        # classification (whatever the metric), plain k-fold for regression.
+        if task == "classification":
+            folds = stratified_folds(y, cv=cv, random_state=random_state)
+        else:
+            folds = plain_folds(y, cv=cv, random_state=random_state)
+        scores = cross_val_score_folds(
+            estimator, X, y, folds, scorer, error_score=scorer.error_score
+        )
+        return float(scores.mean())
     except Exception:
-        return 0.0
+        return _worst_score(task, metric)
 
 
 def tune_algorithm(
@@ -61,8 +100,10 @@ def tune_algorithm(
     cv: int = 3,
     max_records: int | None = 300,
     random_state: int | None = 0,
+    task: str = "classification",
+    metric: str | None = None,
 ) -> tuple[dict, float]:
-    """GA-tune one algorithm on one dataset; return (best config, CV accuracy).
+    """GA-tune one algorithm on one dataset; return (best config, CV score).
 
     This reproduces the paper's ``P(A, D)`` protocol (GA with a time limit);
     the default budget is expressed in evaluations so results are deterministic
@@ -80,6 +121,8 @@ def tune_algorithm(
         cv=cv,
         random_state=random_state,
         name=f"tune-{algorithm}-{dataset.name}",
+        task=task,
+        metric=metric,
     )
     problem = HPOProblem(spec.space, name=f"tune-{algorithm}-{dataset.name}", engine=engine)
     optimizer = GeneticAlgorithm(
@@ -90,7 +133,7 @@ def tune_algorithm(
     budget = Budget(max_evaluations=max_evaluations, time_limit=time_limit)
     result = optimizer.optimize(problem, budget)
     if not np.isfinite(result.best_score):
-        return spec.default_config(), 0.0
+        return spec.default_config(), _worst_score(task, metric)
     return result.best_config, float(result.best_score)
 
 
@@ -125,6 +168,8 @@ class PerformanceTable:
         n_workers: int = 1,
         store: ResultStore | None = None,
         warm_start: bool = True,
+        task: str = "classification",
+        metric: str | None = None,
     ) -> "PerformanceTable":
         """Evaluate every catalogue algorithm on every dataset.
 
@@ -148,8 +193,13 @@ class PerformanceTable:
         algorithm and per-cell seed, and the shard context fingerprints the
         measurement protocol, so a store can never leak scores between
         incompatible tables.
+
+        ``task="regression"`` computes the same table over a regressor
+        catalogue with CV R² cells (or the given ``metric``); every dataset
+        must carry the matching task type.
         """
-        registry = registry or default_registry()
+        task = resolve_task(task).value
+        registry = registry if registry is not None else registry_for_task(task)
         rng = np.random.default_rng(random_state)
         names = registry.names
         dataset_by_name = {dataset.name: dataset for dataset in datasets}
@@ -157,12 +207,21 @@ class PerformanceTable:
             # Cells (and table rows) are keyed by name; silently collapsing
             # duplicates would score the wrong data.
             raise ValueError("dataset names must be unique to compute a table")
+        mismatched = [d.name for d in datasets if getattr(d.task, "value", d.task) != task]
+        if mismatched:
+            raise ValueError(
+                f"datasets {mismatched} do not carry task={task!r}; "
+                "a performance table mixes one task type only"
+            )
         cells = []
         for dataset in datasets:
             # The cell fingerprint carries the dataset's shape so a store
             # never replays scores for a same-named dataset whose contents
             # changed (e.g. the suite was regenerated with more records).
-            shape = f"{dataset.n_records}x{dataset.n_attributes}x{dataset.n_classes}"
+            # Classification keeps its historical class-count suffix so
+            # existing store fingerprints stay valid.
+            target_tag = dataset.n_classes if task == "classification" else "reg"
+            shape = f"{dataset.n_records}x{dataset.n_attributes}x{target_tag}"
             for algorithm in names:
                 seed = int(rng.integers(0, 2**31 - 1))
                 cells.append(
@@ -185,6 +244,8 @@ class PerformanceTable:
                     cv=cv,
                     max_records=max_records,
                     random_state=cell["seed"],
+                    task=task,
+                    metric=metric,
                 )
                 return score
             return evaluate_algorithm(
@@ -194,16 +255,19 @@ class PerformanceTable:
                 cv=cv,
                 max_records=max_records,
                 random_state=cell["seed"],
+                task=task,
+                metric=metric,
             )
 
         context = (
             f"performance-table-tune{tune}-cv{cv}-sub{max_records}"
             f"-evals{max_evaluations if tune else 0}-rs{random_state}"
+            f"{objective_context_suffix(task, metric)}"
         )
         engine = EvaluationEngine(
             cell_objective,
             n_workers=n_workers,
-            crash_score=0.0,
+            crash_score=_worst_score(task, metric),
             name="performance-table",
             store=store,
             store_context=context,
@@ -215,16 +279,20 @@ class PerformanceTable:
         for cell, outcome in zip(cells, outcomes):
             j = names.index(cell["algorithm"])
             scores[dataset_index[cell["dataset"]], j] = outcome.score
+        table_metadata = {
+            "tuned": tune,
+            "cv": cv,
+            "max_records": max_records,
+            "engine": engine.stats.as_dict(),
+        }
+        if task != "classification" or metric is not None:
+            table_metadata["task"] = task
+            table_metadata["metric"] = resolve_scorer(metric, task).name
         return cls(
             algorithms=list(names),
             datasets=[d.name for d in datasets],
             scores=scores,
-            metadata={
-                "tuned": tune,
-                "cv": cv,
-                "max_records": max_records,
-                "engine": engine.stats.as_dict(),
-            },
+            metadata=table_metadata,
         )
 
     # -- lookups --------------------------------------------------------------------

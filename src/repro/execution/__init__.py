@@ -11,7 +11,7 @@ from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
 from .engine import EngineStats, EvalOutcome, EvaluationEngine
 from .folds import FoldPlan
-from .objectives import cross_val_objective, estimator_engine
+from .objectives import cross_val_objective, estimator_engine, objective_context_suffix
 from .store import ResultStore, StoreStats, fingerprint_key
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "FoldPlan",
     "cross_val_objective",
     "estimator_engine",
+    "objective_context_suffix",
     "ResultStore",
     "StoreStats",
     "fingerprint_key",

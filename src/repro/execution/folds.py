@@ -17,7 +17,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..learners.metrics import accuracy_score
-from ..learners.validation import cross_val_score_folds, stratified_folds
+from ..learners.validation import cross_val_score_folds, plain_folds, stratified_folds
 
 __all__ = ["FoldPlan"]
 
@@ -40,6 +40,29 @@ class FoldPlan:
             random_state=random_state,
         )
 
+    @classmethod
+    def kfold(cls, y, cv: int = 5, random_state: int | None = None) -> "FoldPlan":
+        """Plain (unstratified) k-fold plan — the regression CV protocol."""
+        return cls(
+            folds=plain_folds(y, cv=cv, random_state=random_state),
+            cv=cv,
+            random_state=random_state,
+            metadata={"stratified": False},
+        )
+
+    @classmethod
+    def for_task(
+        cls, y, task: str = "classification", cv: int = 5, random_state: int | None = None
+    ) -> "FoldPlan":
+        """Task-appropriate plan: stratified folds for classification, plain
+        k-fold for regression (continuous targets cannot be stratified).
+        Unknown task strings raise rather than silently stratifying."""
+        from ..datasets.task import resolve_task
+
+        if resolve_task(task).is_regression:
+            return cls.kfold(y, cv=cv, random_state=random_state)
+        return cls.stratified(y, cv=cv, random_state=random_state)
+
     @property
     def n_splits(self) -> int:
         return len(self.folds)
@@ -50,9 +73,10 @@ class FoldPlan:
         X,
         y,
         scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+        error_score: float = 0.0,
     ) -> np.ndarray:
-        """Per-fold scores of ``estimator`` (crashing folds score 0.0)."""
-        return cross_val_score_folds(estimator, X, y, self.folds, scoring)
+        """Per-fold scores of ``estimator`` (crashing folds score ``error_score``)."""
+        return cross_val_score_folds(estimator, X, y, self.folds, scoring, error_score)
 
     def score(
         self,
@@ -60,6 +84,7 @@ class FoldPlan:
         X,
         y,
         scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+        error_score: float = 0.0,
     ) -> float:
         """Mean CV score — the paper's ``f(λ, A, D)`` on precomputed folds."""
-        return float(self.scores(estimator, X, y, scoring).mean())
+        return float(self.scores(estimator, X, y, scoring, error_score).mean())

@@ -1,12 +1,17 @@
 """Glue between the execution engine and the learner/dataset layers.
 
-These helpers build the standard objective of the paper — stratified k-fold
-cross-validation accuracy of an estimator on one dataset — with the folds
+These helpers build the standard objective of the paper — k-fold
+cross-validation score of an estimator on one dataset — with the folds
 precomputed once (:class:`~repro.execution.folds.FoldPlan`) and wrap it in a
 ready-to-use :class:`~repro.execution.engine.EvaluationEngine`.  The UDR, the
 Auto-WEKA baselines and the performance-table builder all construct their
 engines through this module, which is what makes their evaluations cacheable
 and parallelisable with identical scores.
+
+The objective is task-aware: classification (the default) scores stratified-CV
+accuracy exactly as before, while ``task="regression"`` scores unstratified
+k-fold R² (or RMSE/MAE, oriented so greater is better) — see
+:mod:`repro.learners.metrics`.
 """
 
 from __future__ import annotations
@@ -15,11 +20,28 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..datasets.task import resolve_task
+from ..learners.metrics import Scorer, resolve_scorer
 from .engine import EvaluationEngine
 from .folds import FoldPlan
 from .store import ResultStore
 
-__all__ = ["cross_val_objective", "estimator_engine"]
+__all__ = ["cross_val_objective", "estimator_engine", "objective_context_suffix"]
+
+
+def objective_context_suffix(task: str = "classification", metric: str | Scorer | None = None) -> str:
+    """Store-context suffix identifying a non-default objective.
+
+    Empty for the paper's default (classification accuracy), so every
+    classification cache/store fingerprint is byte-identical to earlier
+    releases; regression (or a non-default metric) appends its identity so a
+    persistent store never mixes scores across objectives.
+    """
+    task = resolve_task(task).value
+    if task == "classification" and metric is None:
+        return ""
+    scorer = resolve_scorer(metric, task)
+    return f"-task{task}-metric{scorer.name}"
 
 
 def cross_val_objective(
@@ -28,23 +50,43 @@ def cross_val_objective(
     y,
     cv: int = 5,
     random_state: int | None = None,
+    task: str = "classification",
+    metric: str | Scorer | None = None,
 ) -> Callable[[dict[str, Any]], float]:
-    """Objective ``f(config) = mean CV accuracy of build(config)`` on ``(X, y)``.
+    """Objective ``f(config) = mean CV score of build(config)`` on ``(X, y)``.
 
     The fold plan is computed once here and shared by every configuration, so
     repeated evaluations skip the per-call re-splitting of the seed code while
     producing bit-identical scores.  Estimator *construction* errors propagate
-    to the engine's crash accounting; per-fold fit/predict errors score 0.0 on
-    that fold (the Auto-WEKA convention), as before.
+    to the engine's crash accounting; per-fold fit/predict errors score the
+    metric's worst value on that fold (0.0 for accuracy — the Auto-WEKA
+    convention — as before).
+
+    ``task="regression"`` switches to unstratified folds and the regression
+    default metric (R²); ``metric`` picks any registered scorer by name.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    plan = FoldPlan.stratified(y, cv=cv, random_state=random_state)
+    task = resolve_task(task).value
+    if task == "classification" and metric is None:
+        # The paper's default objective, untouched: stratified folds +
+        # accuracy with 0.0 crash folds, bit-identical to earlier releases.
+        plan = FoldPlan.stratified(y, cv=cv, random_state=random_state)
 
-    def objective(config: dict[str, Any]) -> float:
-        return plan.score(build(config), X, y)
+        def objective(config: dict[str, Any]) -> float:
+            return plan.score(build(config), X, y)
+
+    else:
+        scorer = resolve_scorer(metric, task)
+        plan = FoldPlan.for_task(y, task=task, cv=cv, random_state=random_state)
+
+        def objective(config: dict[str, Any]) -> float:
+            return plan.score(
+                build(config), X, y, scoring=scorer, error_score=scorer.error_score
+            )
 
     objective.fold_plan = plan  # type: ignore[attr-defined] — introspection hook
+    objective.task = task  # type: ignore[attr-defined]
     return objective
 
 
@@ -63,14 +105,23 @@ def estimator_engine(
     store: ResultStore | None = None,
     store_context: str | None = None,
     warm_start: bool = False,
+    task: str = "classification",
+    metric: str | Scorer | None = None,
 ) -> EvaluationEngine:
     """An :class:`EvaluationEngine` over the standard CV objective.
 
     ``store``/``store_context``/``warm_start`` are forwarded to the engine;
     the context should fingerprint the dataset and CV protocol so a
-    persistent store never mixes scores across objectives.
+    persistent store never mixes scores across objectives.  ``task`` and
+    ``metric`` select the objective flavour (see :func:`cross_val_objective`);
+    non-default flavours are folded into the store context automatically.
     """
-    objective = cross_val_objective(build, X, y, cv=cv, random_state=random_state)
+    objective = cross_val_objective(
+        build, X, y, cv=cv, random_state=random_state, task=task, metric=metric
+    )
+    suffix = objective_context_suffix(task, metric)
+    if suffix and store_context is not None:
+        store_context = f"{store_context}{suffix}"
     return EvaluationEngine(
         objective,
         cache=cache,

@@ -1,9 +1,11 @@
-"""Learner substrate: the classifier catalogue replacing Weka's library.
+"""Learner substrate: the classifier and regressor catalogues replacing Weka's library.
 
 Everything is implemented from scratch on top of numpy (the environment has no
 scikit-learn); the public surface mirrors a small slice of the familiar
-estimator API: ``fit`` / ``predict`` / ``predict_proba`` / ``get_params`` /
-``set_params``.
+estimator API: ``fit`` / ``predict`` / ``predict_proba`` (classifiers) /
+``get_params`` / ``set_params``.  :func:`registry_for_task` switches between
+the classification catalogue (the paper's Table IV stand-in) and the
+regression catalogue.
 """
 
 from .base import BaseClassifier, NotFittedError, check_array, check_X_y, clone
@@ -23,9 +25,12 @@ from .forest import ExtraTrees, RandomForest
 from .lazy import IB1, IBk, KStar, LWL
 from .linear import LDA, LogisticRegression, SimpleLogistic
 from .metrics import (
+    SCORERS,
+    Scorer,
     accuracy_score,
     balanced_accuracy_score,
     confusion_matrix,
+    default_metric_for_task,
     error_rate,
     f1_score,
     log_loss,
@@ -33,6 +38,8 @@ from .metrics import (
     mean_squared_error,
     precision_recall_f1,
     r2_score,
+    resolve_scorer,
+    root_mean_squared_error,
 )
 from .misc import ClassificationViaClustering, ClassificationViaRegression, HyperPipes, VFI
 from .neural import MLPClassifier, MLPNetwork, MLPRegressor, MultilayerPerceptron, RBFNetwork
@@ -45,6 +52,20 @@ from .preprocessing import (
     encode_mixed_matrix,
 )
 from .registry import AlgorithmRegistry, AlgorithmSpec, CAList, default_registry
+from .regression import (
+    BaseRegressor,
+    DecisionTreeRegressor,
+    DummyRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    SVR,
+    check_X_y_regression,
+)
+from .regression_registry import RAList, default_regression_registry, registry_for_task
 from .rules import JRip, OneR, PART, Ridor, ZeroR
 from .svm import SMO, LibSVMClassifier
 from .tree import BFTree, DecisionStump, DecisionTreeClassifier, J48, RandomTree, REPTree, SimpleCart
@@ -54,6 +75,7 @@ from .validation import (
     cross_val_accuracy,
     cross_val_score,
     cross_val_score_folds,
+    plain_folds,
     stratified_folds,
     train_test_split,
 )
@@ -74,7 +96,8 @@ __all__ = [
     # metrics
     "accuracy_score", "balanced_accuracy_score", "confusion_matrix", "error_rate",
     "f1_score", "log_loss", "mean_absolute_error", "mean_squared_error",
-    "precision_recall_f1", "r2_score",
+    "precision_recall_f1", "r2_score", "root_mean_squared_error",
+    "Scorer", "SCORERS", "resolve_scorer", "default_metric_for_task",
     # misc
     "ClassificationViaClustering", "ClassificationViaRegression", "HyperPipes", "VFI",
     # neural
@@ -84,6 +107,11 @@ __all__ = [
     "encode_mixed_matrix",
     # registry
     "AlgorithmRegistry", "AlgorithmSpec", "CAList", "default_registry",
+    "RAList", "default_regression_registry", "registry_for_task",
+    # regression learners
+    "BaseRegressor", "check_X_y_regression", "DummyRegressor", "RidgeRegressor",
+    "LassoRegressor", "SVR", "KNeighborsRegressor", "DecisionTreeRegressor",
+    "RandomForestRegressor", "ExtraTreesRegressor", "GradientBoostingRegressor",
     # rules
     "JRip", "OneR", "PART", "Ridor", "ZeroR",
     # svm
@@ -93,5 +121,5 @@ __all__ = [
     "REPTree", "SimpleCart",
     # validation
     "KFold", "StratifiedKFold", "cross_val_accuracy", "cross_val_score",
-    "cross_val_score_folds", "stratified_folds", "train_test_split",
+    "cross_val_score_folds", "plain_folds", "stratified_folds", "train_test_split",
 ]

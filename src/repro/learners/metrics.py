@@ -3,10 +3,15 @@
 The paper evaluates classifiers with k-fold cross-validation accuracy and the
 architecture-search step with mean squared error; the additional metrics here
 (F1, log-loss, confusion matrix, balanced accuracy) support the wider test and
-benchmark suite.
+benchmark suite.  Regression workloads score with R² / RMSE / MAE through the
+:class:`Scorer` wrapper, which orients every metric as *greater is better* so
+the HPO layer can maximise uniformly regardless of the underlying metric.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -20,7 +25,12 @@ __all__ = [
     "log_loss",
     "mean_squared_error",
     "mean_absolute_error",
+    "root_mean_squared_error",
     "r2_score",
+    "Scorer",
+    "SCORERS",
+    "resolve_scorer",
+    "default_metric_for_task",
 ]
 
 
@@ -138,6 +148,11 @@ def mean_absolute_error(y_true, y_pred) -> float:
     return float(np.mean(np.abs(y_true - y_pred)))
 
 
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of the mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
 def r2_score(y_true, y_pred) -> float:
     """Coefficient of determination."""
     y_true = np.asarray(y_true, dtype=np.float64)
@@ -147,3 +162,97 @@ def r2_score(y_true, y_pred) -> float:
     if total == 0:
         return 0.0 if residual > 0 else 1.0
     return float(1.0 - residual / total)
+
+
+# -- task-aware scoring ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scorer:
+    """A metric oriented so that *greater is always better*.
+
+    ``fn`` is the raw metric; when ``greater_is_better`` is ``False`` the
+    scorer negates it, so every objective in the HPO layer stays a
+    maximisation regardless of the metric chosen.  ``error_score`` is the
+    oriented value a crashed fold receives: bounded metrics use their true
+    worst (0.0 for accuracy, the seed convention); metrics unbounded below
+    (R², negated RMSE/MAE) use a huge finite negative sentinel, so a
+    crashing configuration ranks beneath every genuinely-fitted one yet
+    never injects ``-inf`` into mean/table statistics.
+    """
+
+    name: str
+    fn: Callable[..., float]
+    greater_is_better: bool = True
+    error_score: float = 0.0
+    task: str = "classification"
+
+    def __call__(self, y_true, y_pred) -> float:
+        value = float(self.fn(y_true, y_pred))
+        return value if self.greater_is_better else -value
+
+
+# Finite "catastrophically bad" sentinel for unbounded-below error metrics:
+# it must rank beneath any real negated RMSE/MAE while staying finite, so a
+# crash can never score 0.0 (the *best* oriented error score) and never
+# injects -inf/NaN into performance-table statistics.
+_ERROR_METRIC_WORST = -1e12
+
+SCORERS: dict[str, Scorer] = {
+    "accuracy": Scorer("accuracy", accuracy_score, True, 0.0, "classification"),
+    "balanced_accuracy": Scorer(
+        "balanced_accuracy", balanced_accuracy_score, True, 0.0, "classification"
+    ),
+    "f1": Scorer("f1", f1_score, True, 0.0, "classification"),
+    # R² is unbounded below (a diverging fit can legitimately score -10), so
+    # its crash sentinel must sit beneath any real score, not at -1.0.
+    "r2": Scorer("r2", r2_score, True, _ERROR_METRIC_WORST, "regression"),
+    "rmse": Scorer(
+        "rmse", root_mean_squared_error, False, _ERROR_METRIC_WORST, "regression"
+    ),
+    "mae": Scorer("mae", mean_absolute_error, False, _ERROR_METRIC_WORST, "regression"),
+}
+
+_TASK_DEFAULT_METRIC = {"classification": "accuracy", "regression": "r2"}
+
+
+def _task_key(task: str) -> str:
+    """Local task normalisation (this module cannot import datasets.task
+    without a circular import: datasets.dataset pulls in the learners
+    package)."""
+    return str(getattr(task, "value", task)).strip().lower()
+
+
+def default_metric_for_task(task: str) -> str:
+    """The metric a task scores with when none is given (paper default: accuracy)."""
+    key = _task_key(task)
+    if key not in _TASK_DEFAULT_METRIC:
+        raise ValueError(
+            f"unknown task {task!r}; known: {sorted(_TASK_DEFAULT_METRIC)}"
+        )
+    return _TASK_DEFAULT_METRIC[key]
+
+
+def resolve_scorer(metric: "str | Scorer | None", task: str = "classification") -> Scorer:
+    """Look up a :class:`Scorer` by name, defaulting per task type.
+
+    Name-resolved scorers must belong to the requested task — scoring
+    label-encoded classes with RMSE (or continuous targets with accuracy)
+    is numerically plausible but meaningless, so it raises here instead of
+    producing silent nonsense.  A caller-constructed :class:`Scorer`
+    instance is trusted as-is.
+    """
+    if isinstance(metric, Scorer):
+        return metric
+    name = metric if metric is not None else default_metric_for_task(task)
+    if name not in SCORERS:
+        raise ValueError(f"unknown metric {name!r}; known: {sorted(SCORERS)}")
+    scorer = SCORERS[name]
+    key = _task_key(task)
+    if scorer.task != key:
+        matching = sorted(s.name for s in SCORERS.values() if s.task == key)
+        raise ValueError(
+            f"metric {name!r} is a {scorer.task} metric and cannot score a "
+            f"{key} task; metrics for {key}: {matching}"
+        )
+    return scorer

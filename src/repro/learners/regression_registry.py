@@ -1,0 +1,151 @@
+"""The regressor catalogue ("RAList") and its hyperparameter spaces.
+
+The regression analogue of :mod:`repro.learners.registry`'s Table IV
+stand-in: every entry declares a factory and a
+:class:`~repro.hpo.space.ConfigSpace`, reusing the same
+:class:`~repro.learners.registry.AlgorithmSpec` /
+:class:`~repro.learners.registry.AlgorithmRegistry` machinery so the HPO
+layer, the UDR and the CASH baselines work over either catalogue unchanged.
+:func:`registry_for_task` is the one switch the rest of the package uses to
+pick a catalogue from a task type.
+"""
+
+from __future__ import annotations
+
+from ..hpo.space import CategoricalParam, ConfigSpace, FloatParam, IntParam
+from .neural import MLPRegressor
+from .registry import AlgorithmRegistry, AlgorithmSpec, default_registry
+from .regression import (
+    DecisionTreeRegressor,
+    DummyRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+    RidgeRegressor,
+    SVR,
+)
+
+__all__ = ["default_regression_registry", "RAList", "registry_for_task"]
+
+
+def _space(*params) -> ConfigSpace:
+    return ConfigSpace(list(params))
+
+
+def _build_regression_specs() -> list[AlgorithmSpec]:
+    specs: list[AlgorithmSpec] = []
+
+    # -- linear ----------------------------------------------------------------------
+    specs.append(
+        AlgorithmSpec("Ridge", "linear", RidgeRegressor, _space(
+            FloatParam("alpha", 1e-4, 100.0, log=True),
+        ))
+    )
+    specs.append(
+        AlgorithmSpec("Lasso", "linear", LassoRegressor, _space(
+            FloatParam("alpha", 1e-4, 10.0, log=True),
+            IntParam("max_iter", 50, 400),
+        ))
+    )
+    specs.append(
+        AlgorithmSpec("SVR", "functions", SVR, _space(
+            FloatParam("C", 0.01, 100.0, log=True),
+            FloatParam("epsilon", 0.001, 1.0, log=True),
+            IntParam("max_iter", 50, 400),
+        ), cost="moderate")
+    )
+
+    # -- lazy ------------------------------------------------------------------------
+    specs.append(
+        AlgorithmSpec("KNeighborsRegressor", "lazy", KNeighborsRegressor, _space(
+            IntParam("n_neighbors", 1, 30),
+            CategoricalParam("weighting", ["uniform", "distance"]),
+            CategoricalParam("p", [1, 2]),
+        ))
+    )
+
+    # -- trees / ensembles -----------------------------------------------------------
+    specs.append(
+        AlgorithmSpec("RegressionTree", "trees", DecisionTreeRegressor, _space(
+            IntParam("max_depth", 2, 25),
+            IntParam("min_samples_leaf", 1, 10),
+            IntParam("min_samples_split", 2, 20),
+        ))
+    )
+    specs.append(
+        AlgorithmSpec("RandomForestRegressor", "meta", RandomForestRegressor, _space(
+            IntParam("n_estimators", 10, 80),
+            CategoricalParam("max_features", ["sqrt", "log2"]),
+            IntParam("max_depth", 3, 25),
+            IntParam("min_samples_leaf", 1, 6),
+        ), cost="moderate")
+    )
+    specs.append(
+        AlgorithmSpec("ExtraTreesRegressor", "meta", ExtraTreesRegressor, _space(
+            IntParam("n_estimators", 10, 80),
+            CategoricalParam("max_features", ["sqrt", "log2"]),
+            IntParam("max_depth", 3, 25),
+        ), cost="moderate")
+    )
+    specs.append(
+        AlgorithmSpec("GradientBoosting", "meta", GradientBoostingRegressor, _space(
+            IntParam("n_estimators", 10, 80),
+            FloatParam("learning_rate", 0.01, 1.0, log=True),
+            IntParam("max_depth", 1, 6),
+            FloatParam("subsample", 0.5, 1.0),
+        ), cost="moderate")
+    )
+
+    # -- neural ----------------------------------------------------------------------
+    specs.append(
+        AlgorithmSpec("MLPRegressor", "functions", MLPRegressor, _space(
+            IntParam("hidden_layer", 1, 3),
+            IntParam("hidden_layer_size", 5, 64),
+            CategoricalParam("activation", ["relu", "tanh", "logistic"]),
+            CategoricalParam("solver", ["adam", "sgd"]),
+            FloatParam("learning_rate_init", 0.001, 0.3, log=True),
+            IntParam("max_iter", 50, 300),
+            FloatParam("momentum", 0.1, 0.95),
+        ), cost="expensive")
+    )
+
+    # -- baseline --------------------------------------------------------------------
+    specs.append(
+        AlgorithmSpec("DummyRegressor", "rules", DummyRegressor, _space(
+            CategoricalParam("strategy", ["mean", "median"]),
+        ))
+    )
+    return specs
+
+
+_DEFAULT_REGRESSION: AlgorithmRegistry | None = None
+
+
+def default_regression_registry() -> AlgorithmRegistry:
+    """Return the shared default regressor catalogue (built lazily once)."""
+    global _DEFAULT_REGRESSION
+    if _DEFAULT_REGRESSION is None:
+        _DEFAULT_REGRESSION = AlgorithmRegistry(_build_regression_specs())
+    return _DEFAULT_REGRESSION
+
+
+def RAList() -> list[str]:
+    """Names of every algorithm in the default regressor catalogue."""
+    return default_regression_registry().names
+
+
+def registry_for_task(task: str = "classification") -> AlgorithmRegistry:
+    """The default catalogue for a task type (classifiers or regressors).
+
+    Normalises locally (case-insensitive) instead of importing
+    ``datasets.task`` — datasets pulls in the learners package, so the
+    import would be circular.
+    """
+    key = str(getattr(task, "value", task)).strip().lower()
+    if key == "regression":
+        return default_regression_registry()
+    if key == "classification":
+        return default_registry()
+    raise ValueError(f"unknown task {task!r}; known: ['classification', 'regression']")

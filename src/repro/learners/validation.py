@@ -19,6 +19,7 @@ __all__ = [
     "KFold",
     "StratifiedKFold",
     "stratified_folds",
+    "plain_folds",
     "cross_val_score",
     "cross_val_score_folds",
     "cross_val_accuracy",
@@ -145,18 +146,36 @@ def stratified_folds(
     return list(splitter.split(np.empty((len(y), 0)), y))
 
 
+def plain_folds(
+    y, cv: int = 5, random_state: int | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Materialise unstratified k-fold CV splits (the regression protocol).
+
+    Continuous targets have no classes to balance, so the splitter is a plain
+    shuffled :class:`KFold`; the fold count is clamped so every fold holds at
+    least one record.
+    """
+    n = np.asarray(y).shape[0]
+    n_splits = max(2, min(cv, n // 2)) if n >= 4 else 2
+    splitter = KFold(n_splits=n_splits, shuffle=True, random_state=random_state)
+    return list(splitter.split(np.empty((n, 0))))
+
+
 def cross_val_score_folds(
     estimator: BaseClassifier,
     X,
     y,
     folds: Sequence[tuple[np.ndarray, np.ndarray]],
     scoring: Callable[[Sequence, Sequence], float] = accuracy_score,
+    error_score: float = 0.0,
 ) -> np.ndarray:
     """Per-fold scores of ``estimator`` over precomputed ``folds``.
 
-    Folds where the estimator raises are scored 0.0 — the HPO layer treats a
-    crashing configuration as a very bad one rather than aborting the search,
-    mirroring how Auto-WEKA handles failed runs.
+    Folds where the estimator raises are scored ``error_score`` (0.0, the
+    worst accuracy, by default) — the HPO layer treats a crashing
+    configuration as a very bad one rather than aborting the search,
+    mirroring how Auto-WEKA handles failed runs.  Regression scorers pass
+    their own worst value here (e.g. -1.0 for R²).
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
@@ -168,9 +187,9 @@ def cross_val_score_folds(
             predictions = model.predict(X[test_idx])
             scores.append(float(scoring(y[test_idx], predictions)))
         except Exception:
-            scores.append(0.0)
+            scores.append(float(error_score))
     if not scores:
-        return np.array([0.0])
+        return np.array([float(error_score)])
     return np.array(scores, dtype=np.float64)
 
 

@@ -14,12 +14,15 @@ from repro.corpus import CorpusConfig, generate_corpus
 from repro.datasets import (
     Dataset,
     make_categorical_rules,
+    make_friedman,
     make_gaussian_clusters,
     make_hypercube_rules,
+    make_linear_response,
     make_nonlinear_manifold,
+    make_piecewise_response,
 )
 from repro.evaluation import PerformanceTable
-from repro.learners import default_registry
+from repro.learners import default_registry, default_regression_registry
 
 # A small but heterogeneous algorithm subset used across integration tests.
 SMALL_CATALOGUE = [
@@ -147,3 +150,53 @@ def small_corpus(knowledge_datasets, small_registry, small_performance):
 @pytest.fixture(scope="session")
 def dataset_lookup(knowledge_datasets):
     return {d.name: d for d in knowledge_datasets}
+
+
+# -- regression fixtures -------------------------------------------------------------
+
+# Cheap regressor subset used where the full catalogue is not the point.
+SMALL_REGRESSION_CATALOGUE = [
+    "Ridge",
+    "Lasso",
+    "KNeighborsRegressor",
+    "RegressionTree",
+    "GradientBoosting",
+    "DummyRegressor",
+]
+
+
+@pytest.fixture(scope="session")
+def small_regression_registry():
+    return default_regression_registry().subset(SMALL_REGRESSION_CATALOGUE)
+
+
+@pytest.fixture(scope="session")
+def linear_regression_dataset() -> Dataset:
+    return make_linear_response(
+        "lin-reg", n_records=150, n_numeric=5, n_categorical=1, informative=3,
+        noise=0.1, random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def regression_xy(linear_regression_dataset) -> tuple[np.ndarray, np.ndarray]:
+    return linear_regression_dataset.to_matrix()
+
+
+@pytest.fixture(scope="session")
+def regression_knowledge_datasets() -> list[Dataset]:
+    """Six small regression datasets playing the role of the knowledge pool."""
+    makers = [make_linear_response, make_friedman, make_piecewise_response]
+    datasets = []
+    for i in range(6):
+        maker = makers[i % len(makers)]
+        datasets.append(
+            maker(
+                f"RD{i}",
+                n_records=100,
+                n_numeric=5,
+                n_categorical=1,
+                random_state=200 + i,
+            )
+        )
+    return datasets

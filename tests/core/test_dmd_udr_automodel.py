@@ -157,6 +157,7 @@ class TestAutoModelFacade:
         )
 
 
+@pytest.mark.slow
 class TestSelectionQuality:
     def test_sna_selection_beats_average_algorithm(
         self, fitted_automodel, small_performance, knowledge_datasets

@@ -1,0 +1,173 @@
+"""Stress tests: ResultStore compaction racing concurrent writers.
+
+Interleaves ``append``-style ``put`` traffic from several threads with
+repeated ``compact`` calls and asserts that no record is lost (in memory *and*
+after a cold reload from disk) and that the hit/miss statistics stay
+consistent with the observed lookups.
+"""
+
+import threading
+
+import pytest
+
+from repro.execution import ResultStore
+from repro.execution.cache import config_fingerprint
+
+
+def _fingerprint(i: int) -> tuple:
+    return config_fingerprint({"x": i, "flag": i % 3 == 0})
+
+
+class TestCompactionUnderWriters:
+    N_WRITERS = 4
+    RECORDS_PER_WRITER = 120
+    N_COMPACTIONS = 25
+
+    def _expected_scores(self) -> dict[int, float]:
+        return {
+            i: float(i) / 7.0
+            for i in range(self.N_WRITERS * self.RECORDS_PER_WRITER)
+        }
+
+    def test_no_records_lost_and_stats_consistent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        context = "stress-ctx"
+        expected = self._expected_scores()
+        start = threading.Barrier(self.N_WRITERS + 1)
+        errors: list[BaseException] = []
+
+        def writer(worker: int) -> None:
+            try:
+                start.wait()
+                base = worker * self.RECORDS_PER_WRITER
+                for i in range(base, base + self.RECORDS_PER_WRITER):
+                    store.put(context, _fingerprint(i), expected[i], config={"x": i})
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def compactor() -> None:
+            try:
+                start.wait()
+                for _ in range(self.N_COMPACTIONS):
+                    store.compact(context)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(self.N_WRITERS)
+        ]
+        threads.append(threading.Thread(target=compactor))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        # Every record is present in memory with its exact score.
+        assert store.size(context) == len(expected)
+        for i, score in expected.items():
+            assert store.get(context, _fingerprint(i)) == score
+        # Stats: the verification loop above did len(expected) hits, no misses,
+        # and the writers did exactly one (non-duplicate) write per record.
+        assert store.stats.hits == len(expected)
+        assert store.stats.misses == 0
+        assert store.stats.writes == len(expected)
+        assert store.stats.write_errors == 0
+
+        # And a cold reload from disk sees the same complete image.
+        reloaded = ResultStore(tmp_path / "store")
+        assert reloaded.size(context) == len(expected)
+        for i, score in expected.items():
+            assert reloaded.get(context, _fingerprint(i)) == score
+        assert reloaded.stats.corrupt_records == 0
+        assert reloaded.stats.version_skips == 0
+
+    def test_superseding_writes_survive_concurrent_compaction(self, tmp_path):
+        """Re-puts with new scores race compaction; latest score must win."""
+        store = ResultStore(tmp_path / "store")
+        context = "supersede-ctx"
+        n_keys = 40
+        rounds = 5
+        start = threading.Barrier(3)
+        errors: list[BaseException] = []
+
+        def rewriter() -> None:
+            try:
+                start.wait()
+                for round_number in range(1, rounds + 1):
+                    for i in range(n_keys):
+                        store.put(
+                            context, _fingerprint(i), float(round_number), config={"x": i}
+                        )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def compactor() -> None:
+            try:
+                start.wait()
+                for _ in range(15):
+                    store.compact(context)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=rewriter), threading.Thread(target=compactor)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        final = ResultStore(tmp_path / "store")
+        assert final.size(context) == n_keys
+        for i in range(n_keys):
+            assert final.get(context, _fingerprint(i)) == float(rounds)
+
+    def test_compaction_reclaims_dead_lines_after_churn(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        context = "churn-ctx"
+        for round_number in range(1, 4):
+            for i in range(30):
+                store.put(context, _fingerprint(i), float(round_number))
+        path = store.shard_path(context)
+        lines_before = sum(1 for _ in path.open())
+        reclaimed = store.compact(context)
+        lines_after = sum(1 for _ in path.open())
+        assert reclaimed == 60  # two dead lines per key
+        assert lines_after == 31  # header + one line per live key
+        assert lines_before - lines_after == 60
+
+    def test_hit_miss_rates_after_mixed_traffic(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        context = "ratio-ctx"
+        for i in range(10):
+            store.put(context, _fingerprint(i), float(i))
+        hits = sum(store.get(context, _fingerprint(i)) is not None for i in range(10))
+        misses = sum(
+            store.get(context, _fingerprint(i)) is None for i in range(10, 15)
+        )
+        assert (hits, misses) == (10, 5)
+        assert store.stats.hits == 10
+        assert store.stats.misses == 5
+        assert store.stats.hit_rate == pytest.approx(10 / 15)
+
+    def test_concurrent_writers_of_same_key_write_once(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        context = "idempotent-ctx"
+        start = threading.Barrier(6)
+
+        def writer() -> None:
+            start.wait()
+            for i in range(50):
+                store.put(context, _fingerprint(i), float(i))
+
+        threads = [threading.Thread(target=writer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        path = store.shard_path(context)
+        data_lines = [line for line in path.read_text().splitlines() if '"k"' in line]
+        assert len(data_lines) == 50  # one line per key despite 6 racing writers
+        assert store.stats.duplicate_writes == 5 * 50

@@ -1,0 +1,144 @@
+"""Property-based round-trip tests for ConfigSpace sampling and unit encoding.
+
+Two layers of coverage:
+
+* hypothesis-driven properties over randomly-constructed ``FloatParam`` /
+  ``IntParam`` domains (including log scales and floating-point edges), and
+* exhaustive sweeps over every registry entry — classifier and regressor
+  catalogues alike — checking that ``sample → to_unit → from_unit`` stays
+  in-domain and is idempotent after the first clamping round trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo.space import CategoricalParam, FloatParam, IntParam
+from repro.learners import default_registry, default_regression_registry
+
+ALL_SPECS = list(default_registry()) + list(default_regression_registry())
+SPEC_IDS = [f"clf:{s.name}" for s in default_registry()] + [
+    f"reg:{s.name}" for s in default_regression_registry()
+]
+SEEDS = [0, 7, 1234]
+
+
+def _configs_equal(space, a: dict, b: dict) -> bool:
+    """Exact equality for int/categorical values; ulp-tolerant for floats.
+
+    Linear unit encodings of floats can drift by one ulp per decode (the
+    clamping keeps them in-domain but not bit-stable), so float idempotence
+    is asserted to machine precision rather than bit equality.
+    """
+    for name in space.names:
+        va, vb = a[name], b[name]
+        if isinstance(va, float) or isinstance(vb, float):
+            if not np.isclose(va, vb, rtol=1e-12, atol=1e-15):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+class TestRegistrySpacesRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sample_is_valid_and_unit_encoded_in_cube(self, spec, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            config = spec.space.sample(rng)
+            assert spec.space.validate(config), (spec.name, config)
+            vector = spec.space.to_vector(config)
+            assert vector.shape == (len(spec.space),)
+            assert np.all(vector >= 0.0) and np.all(vector <= 1.0), (spec.name, config)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_encode_decode_is_idempotent_after_clamping(self, spec, seed):
+        rng = np.random.default_rng(seed)
+        space = spec.space
+        for _ in range(5):
+            config = space.sample(rng)
+            once = space.from_vector(space.to_vector(config))
+            assert space.validate(once), (spec.name, once)
+            twice = space.from_vector(space.to_vector(once))
+            assert _configs_equal(space, once, twice), (spec.name, once, twice)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    def test_default_configuration_round_trips(self, spec):
+        space = spec.space
+        default = space.default_configuration()
+        assert space.validate(default)
+        decoded = space.from_vector(space.to_vector(default))
+        assert _configs_equal(space, decoded, space.from_vector(space.to_vector(decoded)))
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    def test_mutation_stays_in_domain(self, spec):
+        rng = np.random.default_rng(3)
+        space = spec.space
+        config = space.sample(rng)
+        for _ in range(5):
+            config = space.mutate(config, rng, mutation_rate=1.0)
+            assert space.validate(config), (spec.name, config)
+
+
+@st.composite
+def float_params(draw):
+    low = draw(st.floats(min_value=1e-6, max_value=1e3, allow_nan=False))
+    span = draw(st.floats(min_value=1e-5, max_value=1e4, allow_nan=False))
+    log = draw(st.booleans())
+    return FloatParam("p", low, low + span, log=log)
+
+
+@st.composite
+def int_params(draw):
+    low = draw(st.integers(min_value=1, max_value=10_000))
+    span = draw(st.integers(min_value=1, max_value=10_000))
+    log = draw(st.booleans())
+    return IntParam("p", low, low + span, log=log)
+
+
+class TestParamProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(param=float_params(), u=st.floats(min_value=0.0, max_value=1.0))
+    def test_float_unit_round_trip_in_domain_and_idempotent(self, param, u):
+        value = param.from_unit(u)
+        assert param.low <= value <= param.high
+        unit = param.to_unit(value)
+        assert 0.0 <= unit <= 1.0
+        again = param.from_unit(unit)
+        assert param.to_unit(again) == param.to_unit(param.from_unit(param.to_unit(again)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(param=float_params(), value=st.floats(-1e6, 1e6, allow_nan=False))
+    def test_float_to_unit_clamps_out_of_domain(self, param, value):
+        unit = param.to_unit(value)
+        assert 0.0 <= unit <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(param=int_params(), u=st.floats(min_value=0.0, max_value=1.0))
+    def test_int_unit_round_trip_in_domain_and_idempotent(self, param, u):
+        value = param.from_unit(u)
+        assert param.low <= value <= param.high
+        assert isinstance(value, int)
+        once = param.from_unit(param.to_unit(value))
+        twice = param.from_unit(param.to_unit(once))
+        assert once == twice
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        param=float_params(),
+        u1=st.floats(min_value=0.0, max_value=1.0),
+        u2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_float_from_unit_is_monotone(self, param, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert param.from_unit(lo) <= param.from_unit(hi)
+
+    @settings(max_examples=40, deadline=None)
+    @given(choices=st.lists(st.integers(-50, 50), min_size=1, max_size=8, unique=True))
+    def test_categorical_round_trip_every_choice(self, choices):
+        param = CategoricalParam("c", choices)
+        for choice in choices:
+            assert param.from_unit(param.to_unit(choice)) == choice

@@ -1,0 +1,189 @@
+"""Unit tests for the regressor catalogue and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (
+    BaseRegressor,
+    DecisionTreeRegressor,
+    DummyRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    LassoRegressor,
+    MLPRegressor,
+    NotFittedError,
+    RAList,
+    RandomForestRegressor,
+    RidgeRegressor,
+    SVR,
+    clone,
+    default_regression_registry,
+    registry_for_task,
+)
+from repro.learners.base import check_X_y
+from repro.learners.regression import check_X_y_regression
+
+ALL_REGRESSORS = [
+    DummyRegressor,
+    RidgeRegressor,
+    LassoRegressor,
+    SVR,
+    KNeighborsRegressor,
+    DecisionTreeRegressor,
+    RandomForestRegressor,
+    ExtraTreesRegressor,
+    GradientBoostingRegressor,
+]
+
+
+@pytest.fixture(scope="module")
+def easy_linear():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(160, 4))
+    y = X @ np.array([2.0, -1.0, 0.5, 0.0]) + rng.normal(scale=0.05, size=160)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def nonlinear():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(160, 3))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + rng.normal(scale=0.05, size=160)
+    return X, y
+
+
+class TestRegressorProtocol:
+    @pytest.mark.parametrize("cls", ALL_REGRESSORS, ids=lambda c: c.__name__)
+    def test_fit_predict_shapes(self, cls, easy_linear):
+        X, y = easy_linear
+        model = cls()
+        assert model.fit(X, y) is model
+        predictions = model.predict(X)
+        assert predictions.shape == y.shape
+        assert predictions.dtype == np.float64
+        assert np.all(np.isfinite(predictions))
+
+    @pytest.mark.parametrize("cls", ALL_REGRESSORS, ids=lambda c: c.__name__)
+    def test_predict_before_fit_raises(self, cls, easy_linear):
+        X, _ = easy_linear
+        with pytest.raises(NotFittedError):
+            cls().predict(X)
+
+    @pytest.mark.parametrize("cls", ALL_REGRESSORS, ids=lambda c: c.__name__)
+    def test_clone_roundtrip(self, cls):
+        model = cls()
+        copied = clone(model)
+        assert type(copied) is cls
+        assert copied.get_params() == model.get_params()
+
+    @pytest.mark.parametrize("cls", ALL_REGRESSORS, ids=lambda c: c.__name__)
+    def test_set_params_rejects_unknown(self, cls):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            cls().set_params(definitely_not_a_param=1)
+
+    def test_check_X_y_regression_accepts_float_targets(self):
+        X = np.ones((5, 2))
+        y = np.array([0.5, 1.5, 2.5, 3.5, 4.5])
+        # The classification validator would reject these non-integral labels.
+        with pytest.raises(ValueError):
+            check_X_y(X, y)
+        Xv, yv = check_X_y_regression(X, y)
+        assert yv.dtype == np.float64
+
+    def test_check_X_y_regression_rejects_nan_target(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y_regression(np.ones((3, 2)), np.array([1.0, np.nan, 2.0]))
+
+
+class TestRegressorQuality:
+    @pytest.mark.parametrize(
+        "cls", [RidgeRegressor, LassoRegressor, SVR], ids=lambda c: c.__name__
+    )
+    def test_linear_models_master_linear_data(self, cls, easy_linear):
+        X, y = easy_linear
+        assert cls().fit(X, y).score(X, y) > 0.9
+
+    @pytest.mark.parametrize(
+        "cls",
+        [KNeighborsRegressor, DecisionTreeRegressor, GradientBoostingRegressor],
+        ids=lambda c: c.__name__,
+    )
+    def test_nonlinear_models_beat_dummy_on_nonlinear_data(self, cls, nonlinear):
+        X, y = nonlinear
+        dummy = DummyRegressor().fit(X, y).score(X, y)
+        assert cls().fit(X, y).score(X, y) > dummy + 0.3
+
+    def test_forest_reduces_single_tree_variance(self, nonlinear):
+        X, y = nonlinear
+        rng = np.random.default_rng(7)
+        test_idx = rng.choice(len(y), size=40, replace=False)
+        train_mask = np.ones(len(y), dtype=bool)
+        train_mask[test_idx] = False
+        tree = DecisionTreeRegressor(max_depth=8, random_state=0)
+        forest = RandomForestRegressor(n_estimators=25, max_depth=8, random_state=0)
+        tree.fit(X[train_mask], y[train_mask])
+        forest.fit(X[train_mask], y[train_mask])
+        assert forest.score(X[test_idx], y[test_idx]) >= tree.score(
+            X[test_idx], y[test_idx]
+        ) - 0.05
+
+    def test_dummy_strategies(self):
+        X = np.ones((6, 1))
+        y = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 100.0])
+        assert DummyRegressor("mean").fit(X, y).predict(X[:1])[0] == pytest.approx(
+            y.mean()
+        )
+        assert DummyRegressor("median").fit(X, y).predict(X[:1])[0] == pytest.approx(1.0)
+
+    def test_gradient_boosting_improves_with_more_stages(self, nonlinear):
+        X, y = nonlinear
+        weak = GradientBoostingRegressor(n_estimators=2, random_state=0).fit(X, y)
+        strong = GradientBoostingRegressor(n_estimators=40, random_state=0).fit(X, y)
+        assert strong.score(X, y) > weak.score(X, y)
+
+    def test_knn_distance_weighting_interpolates_training_points(self, nonlinear):
+        X, y = nonlinear
+        model = KNeighborsRegressor(n_neighbors=5, weighting="distance").fit(X, y)
+        assert model.score(X, y) > 0.99  # zero-distance neighbour dominates
+
+
+class TestRegressionRegistry:
+    def test_catalogue_contents(self):
+        names = RAList()
+        for expected in (
+            "Ridge", "Lasso", "SVR", "KNeighborsRegressor", "RandomForestRegressor",
+            "ExtraTreesRegressor", "GradientBoosting", "MLPRegressor", "DummyRegressor",
+        ):
+            assert expected in names
+
+    def test_every_spec_builds_default_and_sampled_configs(self, regression_xy):
+        X, y = regression_xy
+        rng = np.random.default_rng(0)
+        for spec in default_regression_registry():
+            default = spec.build(spec.default_config())
+            default.fit(X, y)
+            sampled = spec.build(spec.space.sample(rng))
+            sampled.fit(X, y)
+            assert np.all(np.isfinite(sampled.predict(X)))
+
+    def test_registry_for_task(self):
+        assert "J48" in registry_for_task("classification").names
+        assert "Ridge" in registry_for_task("regression").names
+        from repro.datasets import TaskType
+
+        assert "Ridge" in registry_for_task(TaskType.REGRESSION).names
+        with pytest.raises(ValueError, match="unknown task"):
+            registry_for_task("ranking")
+
+    def test_mlp_regressor_is_catalogue_compatible(self, regression_xy):
+        X, y = regression_xy
+        spec = default_regression_registry().get("MLPRegressor")
+        model = spec.build({"hidden_layer": 1, "hidden_layer_size": 8, "max_iter": 50})
+        assert isinstance(model, MLPRegressor)
+        model.fit(X, y)
+        assert model.predict(X).shape == y.shape
+
+    def test_base_regressor_repr_lists_params(self):
+        assert "alpha" in repr(RidgeRegressor(alpha=2.0))
+        assert isinstance(RidgeRegressor(), BaseRegressor)

@@ -1,0 +1,98 @@
+"""Golden-file tests for the corpus parser.
+
+The fixture reports under ``tests/fixtures/`` are checked in verbatim and the
+parsed output — paper metadata and every ``(instance, best, others)``
+experience triple — is asserted *exactly*, so a parser refactor cannot
+silently drift (reordering, trimming, defaulting, comment handling) without
+failing here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import parse_report_file
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _triples(corpus) -> list[tuple[str, str, str, tuple[str, ...]]]:
+    """Every experience as (paper_id, instance, best, others) in parse order."""
+    return [
+        (e.paper_id, e.instance, e.best_algorithm, tuple(e.other_algorithms))
+        for e in corpus
+    ]
+
+
+class TestGoldenSinglePaper:
+    def test_exact_parse(self):
+        corpus = parse_report_file(FIXTURES / "report_single_paper.report")
+        assert [p.paper_id for p in corpus.papers] == ["smith2015"]
+        paper = corpus.paper("smith2015")
+        assert paper.title == "Benchmarking tree ensembles on UCI datasets"
+        assert paper.level == "B"
+        assert paper.paper_type == "Journal"
+        assert paper.influence_factor == pytest.approx(2.7)
+        assert paper.annual_citations == 34
+        assert paper.year == 2015
+        assert _triples(corpus) == [
+            ("smith2015", "Glass", "RandomForest",
+             ("J48", "SimpleCart", "AdaBoostM1")),
+            ("smith2015", "Sonar", "AdaBoostM1", ("RandomForest", "J48")),
+            ("smith2015", "Vehicle", "RandomForest",
+             ("Bagging", "SimpleCart", "DecisionStump")),
+        ]
+
+
+class TestGoldenMultiPaper:
+    def test_exact_parse(self):
+        corpus = parse_report_file(FIXTURES / "report_multi_paper.report")
+        assert sorted(p.paper_id for p in corpus.papers) == [
+            "lee2008", "morente2017", "zhang2017",
+        ]
+        zhang = corpus.paper("zhang2017")
+        assert (zhang.level, zhang.paper_type) == ("A", "Journal")
+        assert zhang.influence_factor == pytest.approx(4.3)
+        morente = corpus.paper("morente2017")
+        # The inline comment after the paper id must be stripped.
+        assert morente.paper_id == "morente2017"
+        assert morente.title == ""  # no title line -> default
+        assert _triples(corpus) == [
+            ("zhang2017", "Wine", "BayesNet",
+             ("LDA", "RandomForest", "LibSVM", "J48", "IBk")),
+            ("zhang2017", "Iris", "RandomForest", ("J48", "NaiveBayes")),
+            ("lee2008", "Wine", "LDA",
+             ("BayesNet", "J48", "IBk", "OneR", "ZeroR")),
+            ("morente2017", "Wine", "BayesNet",
+             ("LDA", "J48", "NaiveBayes", "IBk", "OneR")),
+        ]
+
+    def test_instances_preserve_first_seen_order(self):
+        corpus = parse_report_file(FIXTURES / "report_multi_paper.report")
+        assert corpus.instances() == ["Wine", "Iris"]
+
+    def test_reliability_ordering_feeds_knowledge_acquisition(self):
+        # The two A-journal papers back BayesNet on Wine against one C-level
+        # conference dissent: Algorithm 1 must settle on BayesNet.
+        from repro.core.knowledge import acquire_knowledge
+
+        corpus = parse_report_file(FIXTURES / "report_multi_paper.report")
+        pairs = {p.instance: p.algorithm for p in acquire_knowledge(corpus, min_algorithms=4)}
+        assert pairs["Wine"] == "BayesNet"
+
+
+class TestGoldenMinimalFields:
+    def test_defaults_applied_exactly(self):
+        corpus = parse_report_file(FIXTURES / "report_minimal_fields.report")
+        paper = corpus.paper("anon1999")
+        # No metadata lines: the parser's documented defaults, verbatim.
+        assert paper.title == ""
+        assert paper.level == "C"
+        assert paper.paper_type == "Conference"
+        assert paper.influence_factor == 0.0
+        assert paper.annual_citations == 0
+        assert paper.year == 2015
+        assert _triples(corpus) == [
+            ("anon1999", "Zoo", "OneR", ()),
+            ("anon1999", "Soybean", "J48", ("ZeroR",)),
+        ]

@@ -1,0 +1,150 @@
+"""The TaskType abstraction on datasets, generators and suites."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    TaskType,
+    make_friedman,
+    make_gaussian_clusters,
+    make_linear_response,
+    make_piecewise_response,
+    make_regression_dataset,
+    regression_suite,
+    resolve_task,
+)
+
+
+class TestTaskType:
+    def test_resolution(self):
+        assert resolve_task(None) is TaskType.CLASSIFICATION
+        assert resolve_task("regression") is TaskType.REGRESSION
+        assert resolve_task("  Regression ") is TaskType.REGRESSION
+        assert resolve_task(TaskType.CLASSIFICATION) is TaskType.CLASSIFICATION
+        with pytest.raises(ValueError, match="unknown task"):
+            resolve_task("ordinal")
+
+    def test_string_equality_and_flags(self):
+        assert TaskType.REGRESSION == "regression"
+        assert TaskType.REGRESSION.is_regression
+        assert not TaskType.REGRESSION.is_classification
+        assert TaskType.CLASSIFICATION.is_classification
+
+
+class TestRegressionDataset:
+    def test_default_task_is_classification(self):
+        dataset = make_gaussian_clusters("c", n_records=60, n_numeric=3, n_classes=2,
+                                         random_state=0)
+        assert dataset.task is TaskType.CLASSIFICATION
+        assert dataset.is_classification and not dataset.is_regression
+
+    def test_regression_target_is_float(self):
+        dataset = make_linear_response("r", n_records=80, n_numeric=4, random_state=0)
+        assert dataset.task is TaskType.REGRESSION
+        assert dataset.target.dtype == np.float64
+        X, y = dataset.to_matrix()
+        assert y.dtype == np.float64
+        assert not np.array_equal(y, y.astype(int))  # genuinely continuous
+
+    def test_regression_rejects_nan_target(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Dataset(
+                "bad",
+                numeric=np.ones((3, 2)),
+                categorical=np.zeros((3, 0), dtype=object),
+                target=np.array([1.0, np.nan, 2.0]),
+                task="regression",
+            )
+
+    def test_take_and_subsample_preserve_task(self):
+        dataset = make_friedman("f", n_records=100, n_numeric=5, random_state=0)
+        sub = dataset.subsample(40, random_state=0)
+        assert sub.task is TaskType.REGRESSION
+        assert sub.n_records == 40
+        taken = dataset.take(np.arange(10))
+        assert taken.task is TaskType.REGRESSION
+        np.testing.assert_array_equal(taken.target, dataset.target[:10])
+
+    def test_subsample_is_uniform_without_replacement(self):
+        dataset = make_linear_response("u", n_records=50, n_numeric=3, random_state=0)
+        sub = dataset.subsample(20, random_state=1)
+        # All subsampled targets exist in the original (no duplication beyond
+        # what the original contains).
+        assert sub.n_records == 20
+        original = dataset.target.tolist()
+        for value in sub.target:
+            assert value in original
+
+    def test_train_test_split_preserves_task_and_partitions(self):
+        dataset = make_piecewise_response("p", n_records=90, n_numeric=4, random_state=0)
+        train, test = dataset.train_test_split(test_size=0.3, random_state=0)
+        assert train.task is TaskType.REGRESSION
+        assert test.task is TaskType.REGRESSION
+        assert train.n_records + test.n_records == dataset.n_records
+        assert test.n_records == pytest.approx(27, abs=2)
+
+    def test_summary_and_repr_are_task_aware(self):
+        regression = make_friedman("fr", n_records=60, n_numeric=5, random_state=0)
+        summary = regression.summary()
+        assert summary["task"] == "regression"
+        assert "target_mean" in summary and "classes" not in summary
+        assert "task='regression'" in repr(regression)
+        classification = make_gaussian_clusters("cl", n_records=60, n_numeric=3,
+                                                n_classes=2, random_state=0)
+        assert "classes" in classification.summary()
+        assert "task" not in classification.summary()
+
+    def test_target_moments(self):
+        dataset = make_linear_response("m", n_records=70, n_numeric=3, random_state=0)
+        assert dataset.target_mean == pytest.approx(float(dataset.target.mean()))
+        assert dataset.target_std == pytest.approx(float(dataset.target.std()))
+
+
+class TestRegressionGenerators:
+    @pytest.mark.parametrize(
+        "maker", [make_linear_response, make_friedman, make_piecewise_response],
+        ids=lambda m: m.__name__,
+    )
+    def test_generators_produce_requested_shapes(self, maker):
+        dataset = maker("g", n_records=120, n_numeric=6, n_categorical=2, random_state=3)
+        assert dataset.n_records == 120
+        assert dataset.n_numeric == 6
+        assert dataset.n_categorical == 2
+        assert dataset.is_regression
+
+    def test_generators_are_deterministic(self):
+        a = make_friedman("d", n_records=50, n_numeric=5, random_state=42)
+        b = make_friedman("d", n_records=50, n_numeric=5, random_state=42)
+        np.testing.assert_array_equal(a.target, b.target)
+        np.testing.assert_array_equal(a.numeric, b.numeric)
+
+    def test_make_regression_dataset_dispatch(self):
+        dataset = make_regression_dataset("friedman", "x", n_records=40, random_state=0)
+        assert dataset.metadata["family"] == "friedman"
+        with pytest.raises(ValueError, match="unknown regression family"):
+            make_regression_dataset("blobs", "x")
+
+    def test_regression_suite_rotates_families(self):
+        suite = regression_suite(n_datasets=6, random_state=5)
+        assert len(suite) == 6
+        assert len({d.name for d in suite}) == 6
+        families = {d.metadata["family"] for d in suite}
+        assert families == {"linear_response", "friedman", "piecewise_response"}
+        assert all(d.is_regression for d in suite)
+
+    def test_regression_suite_validates_inputs(self):
+        with pytest.raises(ValueError):
+            regression_suite(n_datasets=0)
+
+
+class TestMetaFeaturesOnRegression:
+    def test_feature_extractor_handles_continuous_targets(self):
+        from repro.metafeatures import FeatureExtractor
+
+        datasets = regression_suite(n_datasets=4, min_records=60, max_records=100,
+                                    random_state=2)
+        extractor = FeatureExtractor()
+        matrix = extractor.fit_transform(datasets)
+        assert matrix.shape == (4, 23)
+        assert np.all(np.isfinite(matrix))

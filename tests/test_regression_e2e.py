@@ -1,0 +1,349 @@
+"""End-to-end regression workloads: the acceptance path for the task-type PR.
+
+``AutoModel(task="regression").fit_from_datasets(...)`` → ``recommend(...)``
+must run the whole knowledge-driven loop (corpus → performance table → DMD →
+UDR tuning) over a synthetic regression suite, while classification behaviour
+stays byte-identical (fingerprint/context assertions live in
+tests/execution/test_task_objectives.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro import AutoModel, TaskType
+from repro.baselines import AutoWekaBaseline, RandomCASH, SingleBestBaseline
+from repro.core import DecisionMakingModelDesigner, UserDemandResponser
+from repro.core.udr import CASHSolution
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.datasets import make_friedman, regression_suite
+from repro.evaluation import PerformanceTable
+
+
+@pytest.fixture(scope="module")
+def fast_dmd() -> DecisionMakingModelDesigner:
+    return DecisionMakingModelDesigner(
+        feature_population=6,
+        feature_generations=2,
+        feature_max_evaluations=12,
+        architecture_population=4,
+        architecture_generations=1,
+        architecture_max_evaluations=4,
+        cv=2,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def regression_performance(regression_knowledge_datasets, small_regression_registry):
+    return PerformanceTable.compute(
+        regression_knowledge_datasets,
+        registry=small_regression_registry,
+        tune=False,
+        cv=2,
+        max_records=80,
+        random_state=0,
+        task="regression",
+    )
+
+
+@pytest.fixture(scope="module")
+def regression_automodel(
+    regression_knowledge_datasets, small_regression_registry, regression_performance, fast_dmd
+):
+    return AutoModel(task="regression").fit_from_datasets(
+        regression_knowledge_datasets,
+        registry=small_regression_registry,
+        dmd=fast_dmd,
+        performance=regression_performance,
+        cv=2,
+        max_records=80,
+    )
+
+
+@pytest.fixture(scope="module")
+def user_regression_dataset():
+    return make_friedman(
+        "user-reg", n_records=120, n_numeric=6, n_categorical=1, random_state=99
+    )
+
+
+class TestRegressionPerformanceTable:
+    def test_table_is_r2_scored(self, regression_performance, small_regression_registry):
+        assert regression_performance.metadata["task"] == "regression"
+        assert regression_performance.metadata["metric"] == "r2"
+        assert regression_performance.algorithms == small_regression_registry.names
+        # R² cells are bounded above by 1 and the dummy sits near 0.
+        assert np.all(regression_performance.scores <= 1.0 + 1e-9)
+        for name in regression_performance.datasets:
+            assert abs(regression_performance.score("DummyRegressor", name)) < 0.35
+
+    def test_best_algorithm_beats_dummy(self, regression_performance):
+        for name in regression_performance.datasets:
+            assert regression_performance.p_max(name) > regression_performance.score(
+                "DummyRegressor", name
+            )
+
+    def test_task_mismatch_rejected(self, knowledge_datasets, small_regression_registry):
+        with pytest.raises(ValueError, match="task"):
+            PerformanceTable.compute(
+                knowledge_datasets[:2],
+                registry=small_regression_registry,
+                cv=2,
+                max_records=60,
+                task="regression",
+            )
+
+
+class TestRegressionCorpus:
+    def test_corpus_generation_clamps_to_small_catalogues(
+        self, regression_knowledge_datasets
+    ):
+        """A catalogue smaller than min_algorithms_per_paper must not crash:
+        papers simply compare the whole catalogue (regression's cheap subset
+        has only 5 members, below the default per-paper minimum of 6)."""
+        from repro.learners import default_regression_registry
+
+        cheap = default_regression_registry().by_cost("cheap")
+        assert len(cheap) < CorpusConfig().min_algorithms_per_paper
+        corpus, _ = generate_corpus(
+            regression_knowledge_datasets[:3],
+            registry=cheap,
+            config=CorpusConfig(n_papers=3, random_state=0),
+            cv=2,
+            max_records=60,
+            task="regression",
+        )
+        assert len(corpus.papers) == 3
+        for experience in corpus:
+            assert experience.best_algorithm in cheap.names
+
+    def test_generate_corpus_regression(
+        self, regression_knowledge_datasets, small_regression_registry, regression_performance
+    ):
+        config = CorpusConfig(
+            n_papers=8, min_datasets_per_paper=2, max_datasets_per_paper=4,
+            min_algorithms_per_paper=3, max_algorithms_per_paper=5, random_state=0,
+        )
+        corpus, table = generate_corpus(
+            regression_knowledge_datasets,
+            registry=small_regression_registry,
+            config=config,
+            performance=regression_performance,
+            task="regression",
+        )
+        assert table is regression_performance
+        assert len(corpus.papers) == 8
+        best_algorithms = {e.best_algorithm for e in corpus}
+        assert best_algorithms.issubset(set(small_regression_registry.names))
+
+
+class TestRegressionDMD:
+    def test_dmd_task_guard_rejects_mixed_pools(
+        self, regression_knowledge_datasets, small_regression_registry,
+        regression_performance, knowledge_datasets,
+    ):
+        from repro.corpus import generate_corpus
+
+        corpus, _ = generate_corpus(
+            regression_knowledge_datasets,
+            registry=small_regression_registry,
+            performance=regression_performance,
+            task="regression",
+        )
+        # A classification dataset smuggled into the lookup under a corpus
+        # instance name must be caught by the DMD's task guard.
+        lookup = {d.name: d for d in regression_knowledge_datasets}
+        poisoned = dict(lookup)
+        victim = next(iter(lookup))
+        poisoned[victim] = knowledge_datasets[0]
+        dmd = DecisionMakingModelDesigner(
+            skip_feature_selection=True, architecture_population=4,
+            architecture_generations=1, architecture_max_evaluations=4,
+            cv=2, random_state=0, task="regression",
+        )
+        with pytest.raises(ValueError, match="task"):
+            dmd.run(corpus, poisoned)
+
+
+class TestRegressionAutoModel:
+    def test_unfitted_shell_carries_task(self):
+        shell = AutoModel(task="regression")
+        assert shell.task is TaskType.REGRESSION
+        assert "DummyRegressor" in shell.registry.names
+        with pytest.raises(ValueError, match="unfitted"):
+            _ = shell.decision_model
+
+    def test_construction_without_task_still_rejected(self):
+        with pytest.raises(ValueError):
+            AutoModel()
+
+    def test_shell_with_fresh_cache_dir_fits_and_restores(
+        self, regression_knowledge_datasets, small_regression_registry,
+        regression_performance, fast_dmd, tmp_path,
+    ):
+        cache = tmp_path / "reg-cache"
+        fitted = AutoModel(task="regression", cache_dir=cache).fit_from_datasets(
+            regression_knowledge_datasets,
+            registry=small_regression_registry,
+            dmd=fast_dmd,
+            performance=regression_performance,
+            cv=2,
+            max_records=80,
+        )
+        assert fitted.task is TaskType.REGRESSION
+        assert (cache / "decision_model.json").exists()
+        restored = AutoModel(cache_dir=cache, task="regression")
+        assert restored.describe()["restored_from_cache"]
+        sample = regression_knowledge_datasets[0]
+        assert restored.decision_model.select(sample) == fitted.decision_model.select(
+            sample
+        )
+        # A bare restore (no task argument) adopts the saved task — a
+        # regression cache must never pair with the classifier registry.
+        bare = AutoModel(cache_dir=cache)
+        assert bare.task is TaskType.REGRESSION
+        assert set(bare.registry.names) == set(small_regression_registry.names) or (
+            "DummyRegressor" in bare.registry.names
+        )
+        # An explicitly mismatched task is rejected, not silently loaded.
+        with pytest.raises(ValueError, match="regression decision"):
+            AutoModel.load(cache, task="classification")
+
+    def test_dmd_default_guard_on_fit(self, regression_knowledge_datasets,
+                                      small_regression_registry, knowledge_datasets):
+        # AutoModel.fit with the DEFAULT DMD must reject a lookup whose
+        # datasets carry the wrong task type.
+        from repro.corpus import generate_corpus
+
+        corpus, _ = generate_corpus(
+            knowledge_datasets[:4],
+            registry=None,  # classification catalogue
+            config=CorpusConfig(n_papers=6, random_state=0),
+            cv=2,
+            max_records=60,
+        )
+        lookup = {d.name: d for d in knowledge_datasets[:4]}
+        with pytest.raises(ValueError, match="task"):
+            AutoModel.fit(corpus, lookup, registry=small_regression_registry,
+                          task="regression")
+
+    def test_fit_from_datasets_produces_regression_model(self, regression_automodel):
+        assert regression_automodel.task is TaskType.REGRESSION
+        description = regression_automodel.describe()
+        assert description["task"] == "regression"
+        assert description["knowledge_pairs"] >= 3
+        labels = set(regression_automodel.decision_model.labels)
+        assert labels.issubset(set(regression_automodel.registry.names))
+
+    def test_recommend_full_loop(self, regression_automodel, user_regression_dataset):
+        solution = regression_automodel.recommend(
+            user_regression_dataset,
+            time_limit=None,
+            max_evaluations=8,
+            cv=2,
+            tuning_max_records=80,
+        )
+        assert isinstance(solution, CASHSolution)
+        assert solution.algorithm in regression_automodel.registry.names
+        assert regression_automodel.registry.space(solution.algorithm).validate(
+            solution.config
+        )
+        # R² is bounded above by 1; the tuned pick should not be worse than a
+        # catastrophic fit.
+        assert -1.0 <= solution.cv_score <= 1.0
+        assert solution.n_evaluations > 0
+        assert solution.estimator is not None
+        predictions = solution.estimator.predict(
+            user_regression_dataset.to_matrix()[0]
+        )
+        assert predictions.shape == (user_regression_dataset.n_records,)
+
+    def test_udr_tuning_beats_or_matches_dummy(
+        self, regression_automodel, user_regression_dataset
+    ):
+        solution = regression_automodel.recommend(
+            user_regression_dataset,
+            time_limit=None,
+            max_evaluations=8,
+            cv=2,
+            tuning_max_records=80,
+        )
+        assert solution.cv_score > -0.5
+
+    def test_responder_store_context_tagged_with_task(
+        self, regression_automodel, user_regression_dataset
+    ):
+        responder = regression_automodel.responder(cv=2, tuning_max_records=60)
+        assert responder.task == "regression"
+        spec, engine = responder._make_engine(user_regression_dataset, "Ridge")
+        assert engine.store_context.endswith("-taskregression-metricr2")
+
+
+class TestRegressionBaselines:
+    def test_autoweka_runs_on_regression(
+        self, small_regression_registry, user_regression_dataset
+    ):
+        baseline = AutoWekaBaseline(
+            registry=small_regression_registry,
+            strategy="random",
+            cv=2,
+            tuning_max_records=60,
+            random_state=0,
+            task="regression",
+        )
+        result = baseline.run(
+            user_regression_dataset, time_limit=None, max_evaluations=6
+        )
+        assert result.algorithm in small_regression_registry.names
+        assert -1.0 <= result.cv_score <= 1.0
+
+    def test_random_cash_runs_on_regression(
+        self, small_regression_registry, user_regression_dataset
+    ):
+        baseline = RandomCASH(
+            registry=small_regression_registry,
+            cv=2,
+            tuning_max_records=60,
+            random_state=0,
+            task="regression",
+        )
+        result = baseline.run(
+            user_regression_dataset, time_limit=None, max_evaluations=5
+        )
+        assert result.algorithm in small_regression_registry.names
+
+    def test_single_best_runs_on_regression(
+        self, regression_performance, small_regression_registry, user_regression_dataset
+    ):
+        baseline = SingleBestBaseline(
+            regression_performance,
+            registry=small_regression_registry,
+            cv=2,
+            tuning_max_records=60,
+            random_state=0,
+            task="regression",
+        )
+        result = baseline.run(
+            user_regression_dataset, time_limit=None, max_evaluations=5
+        )
+        assert result.algorithm in small_regression_registry.names
+        assert result.algorithm != "DummyRegressor"
+
+
+class TestRegressionUDRDirect:
+    def test_udr_with_custom_metric(self, regression_automodel, user_regression_dataset):
+        responder = UserDemandResponser(
+            model=regression_automodel.decision_model,
+            registry=regression_automodel.registry,
+            cv=2,
+            tuning_max_records=60,
+            random_state=0,
+            task="regression",
+            metric="rmse",
+        )
+        solution = responder.respond(
+            user_regression_dataset, time_limit=None, max_evaluations=5,
+            fit_final_estimator=False,
+        )
+        # Oriented scores: RMSE is negated, so the best score is <= 0.
+        assert solution.cv_score <= 0.0
