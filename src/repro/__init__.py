@@ -20,6 +20,8 @@ Top-level layout:
   regression, see :class:`repro.TaskType`) and synthetic suites.
 * :mod:`repro.baselines` — Auto-WEKA-style joint CASH baselines.
 * :mod:`repro.evaluation` — performance tables, PORatio, Table X comparisons.
+* :mod:`repro.service` — the recommendation-serving subsystem (versioned
+  model registry, batched dispatcher, async fit jobs, HTTP/JSON server).
 """
 
 from . import (
@@ -32,6 +34,7 @@ from . import (
     hpo,
     learners,
     metafeatures,
+    service,
 )
 from .core.automodel import AutoModel
 from .core.dmd import DecisionMakingModelDesigner
@@ -40,7 +43,7 @@ from .datasets.dataset import Dataset
 from .datasets.task import TaskType
 from .execution import Budget, EvaluationEngine, ResultStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoModel",
@@ -61,5 +64,6 @@ __all__ = [
     "hpo",
     "learners",
     "metafeatures",
+    "service",
     "__version__",
 ]

@@ -1,0 +1,57 @@
+"""Package entry point: ``python -m repro``.
+
+Prints what this installation provides — version, the registered learner
+catalogues per task type, and where the serving subsystem keeps its
+artifacts — so a fresh environment can be sanity-checked in one command.
+``python -m repro --version`` prints only the version string.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .learners.registry import default_registry
+from .learners.regression_registry import default_regression_registry
+from .service.registry import REGISTRY_ENV_VAR, default_registry_root
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Auto-Model reproduction (Wang et al., ICDE 2020)",
+    )
+    parser.add_argument(
+        "--version", action="store_true", help="print the version and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.version:
+        print(__version__)
+        return 0
+
+    classification = default_registry()
+    regression = default_regression_registry()
+    lines = [
+        f"repro {__version__} — Auto-Model reproduction (Wang et al., ICDE 2020)",
+        "",
+        "learner catalogues:",
+        f"  classification: {len(classification)} algorithms "
+        f"({', '.join(classification.names)})",
+        f"  regression:     {len(regression)} algorithms "
+        f"({', '.join(regression.names)})",
+        "",
+        "serving subsystem:",
+        f"  model registry: {default_registry_root()} "
+        f"(override with ${REGISTRY_ENV_VAR})",
+        "  result stores:  per model version, under <registry>/<name>/versions/<v>/results/",
+        "  serve with:     python -m repro.service serve --registry <dir>",
+    ]
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

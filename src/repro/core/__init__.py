@@ -12,7 +12,11 @@ from .concepts import KnowledgeBase, KnowledgePair
 from .dmd import DecisionMakingModelDesigner, DMDResult
 from .feature_selection import FeatureSelectionResult, FeatureSelector
 from .knowledge import InformationNetwork, KnowledgeAcquisition, acquire_knowledge
-from .persistence import load_decision_model, save_decision_model
+from .persistence import (
+    load_decision_model,
+    read_decision_model_manifest,
+    save_decision_model,
+)
 from .udr import CASHSolution, UserDemandResponser
 
 __all__ = [
@@ -34,5 +38,6 @@ __all__ = [
     "CASHSolution",
     "UserDemandResponser",
     "load_decision_model",
+    "read_decision_model_manifest",
     "save_decision_model",
 ]

@@ -236,19 +236,48 @@ class DecisionModel:
 
     def scores(self, dataset: Dataset) -> dict[str, float]:
         """Per-algorithm regression scores for a dataset."""
-        vector = self.extractor.transform(dataset).reshape(1, -1)
-        output = np.asarray(self.regressor.predict(vector)).reshape(-1)
-        return {label: float(score) for label, score in zip(self.labels, output)}
+        return self.scores_many([dataset])[0]
+
+    def scores_matrix(self, datasets: list[Dataset]) -> np.ndarray:
+        """``(n_datasets, n_labels)`` regression scores in one forward pass.
+
+        This is the micro-batched inference path of the serving subsystem: N
+        queued requests become one feature matrix and one regressor forward
+        pass instead of N scalar calls.
+        """
+        if not datasets:
+            return np.zeros((0, len(self.labels)), dtype=np.float64)
+        matrix = self.extractor.transform_many(datasets)
+        return np.asarray(self.regressor.predict(matrix)).reshape(len(datasets), -1)
+
+    def scores_many(self, datasets: list[Dataset]) -> list[dict[str, float]]:
+        """Per-algorithm score dicts for a batch of datasets (one forward pass)."""
+        output = self.scores_matrix(datasets)
+        return [
+            {label: float(score) for label, score in zip(self.labels, row)}
+            for row in output
+        ]
 
     def select(self, dataset: Dataset) -> str:
         """``SNA(KFs(I))``: the recommended algorithm for a task instance."""
         scores = self.scores(dataset)
         return max(scores, key=scores.get)
 
+    def select_many(self, datasets: list[Dataset]) -> list[str]:
+        """Batched :meth:`select` (one forward pass for the whole batch)."""
+        return [max(scores, key=scores.get) for scores in self.scores_many(datasets)]
+
     def rank(self, dataset: Dataset) -> list[str]:
         """All algorithms ordered from most to least recommended."""
         scores = self.scores(dataset)
         return sorted(scores, key=scores.get, reverse=True)
+
+    def rank_many(self, datasets: list[Dataset]) -> list[list[str]]:
+        """Batched :meth:`rank` (one forward pass for the whole batch)."""
+        return [
+            sorted(scores, key=scores.get, reverse=True)
+            for scores in self.scores_many(datasets)
+        ]
 
     @property
     def key_features(self) -> list[str]:

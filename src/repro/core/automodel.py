@@ -245,14 +245,24 @@ class AutoModel:
         return model
 
     # -- persistence ------------------------------------------------------------------------
-    def save(self, cache_dir: str | Path | None = None) -> Path:
-        """Persist the decision model (+ table and corpus when present)."""
+    def save(
+        self, cache_dir: str | Path | None = None, metadata: dict | None = None
+    ) -> Path:
+        """Persist the decision model (+ table and corpus when present).
+
+        ``metadata`` is stored in the decision-model manifest (see
+        :func:`repro.core.persistence.read_decision_model_manifest`); the
+        serving model registry records version/provenance information there.
+        """
         cache_dir = Path(cache_dir) if cache_dir is not None else self.cache_dir
         if cache_dir is None:
             raise ValueError("no cache_dir given and none set on this AutoModel")
         cache_dir.mkdir(parents=True, exist_ok=True)
         save_decision_model(
-            self.decision_model, cache_dir / _MODEL_FILE, task=self.task.value
+            self.decision_model,
+            cache_dir / _MODEL_FILE,
+            task=self.task.value,
+            metadata=metadata,
         )
         if self.performance is not None:
             self.performance.save(cache_dir / _TABLE_FILE)
@@ -339,6 +349,10 @@ class AutoModel:
         """Only the algorithm-selection half of the UDR (no tuning)."""
         return self.responder().select_algorithm(dataset)
 
+    def select_algorithms(self, datasets: list[Dataset]) -> list[str]:
+        """Batched :meth:`select_algorithm`: one decision-model forward pass."""
+        return self.responder().select_algorithms(datasets)
+
     def recommend(
         self,
         dataset: Dataset,
@@ -364,6 +378,36 @@ class AutoModel:
         )
         return responder.respond(
             dataset, time_limit=time_limit, max_evaluations=max_evaluations
+        )
+
+    def recommend_many(
+        self,
+        datasets: list[Dataset],
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = None,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+        n_workers: int = 1,
+        metric: str | None = None,
+    ) -> list[CASHSolution]:
+        """Batched :meth:`recommend`.
+
+        Feature extraction and responder scoring for the whole batch are
+        vectorized into one matrix and one decision-model forward pass;
+        hyperparameter tuning then runs per dataset, each under its own
+        budget.  One responder (and thus one result-store connection) is
+        shared across the batch.
+        """
+        responder = self.responder(
+            cv=cv,
+            tuning_max_records=tuning_max_records,
+            random_state=random_state,
+            n_workers=n_workers,
+            metric=metric,
+        )
+        return responder.respond_many(
+            datasets, time_limit=time_limit, max_evaluations=max_evaluations
         )
 
     # -- introspection ------------------------------------------------------------------------

@@ -155,6 +155,13 @@ class DecisionMakingModelDesigner:
             )
         feature_selection = self.select_features(knowledge)
         architecture, model = self.build_model(knowledge, feature_selection.selected)
+        # Training-set agreement of the fitted SNA, computed with the batched
+        # inference path (one forward pass over the whole knowledge base).
+        selections = model.select_many(knowledge.datasets)
+        matches = sum(
+            selected == algorithm
+            for selected, (_, algorithm) in zip(selections, knowledge)
+        )
         return DMDResult(
             knowledge_pairs=pairs,
             knowledge_base=knowledge,
@@ -166,5 +173,6 @@ class DecisionMakingModelDesigner:
                 "n_knowledge_pairs": len(pairs),
                 "n_resolved_pairs": len(knowledge),
                 "n_algorithms_in_knowledge": len(knowledge.algorithm_labels),
+                "training_selection_agreement": round(matches / len(knowledge), 4),
             },
         )

@@ -18,7 +18,12 @@ from ..learners.neural import MLPNetwork, MLPRegressor
 from ..metafeatures.extractor import FeatureExtractor
 from .architecture_search import DecisionModel
 
-__all__ = ["save_decision_model", "load_decision_model", "saved_decision_model_task"]
+__all__ = [
+    "save_decision_model",
+    "load_decision_model",
+    "saved_decision_model_task",
+    "read_decision_model_manifest",
+]
 
 _FORMAT_VERSION = 1
 
@@ -75,14 +80,19 @@ def _regressor_from_dict(payload: dict) -> MLPRegressor:
 
 
 def save_decision_model(
-    model: DecisionModel, path: str | Path, task: str = "classification"
+    model: DecisionModel,
+    path: str | Path,
+    task: str = "classification",
+    metadata: dict | None = None,
 ) -> None:
     """Serialise a fitted :class:`DecisionModel` to a JSON file.
 
     ``task`` records which catalogue the model's labels belong to, so a
     restore can pick the matching registry (and reject a mismatched one)
     instead of silently pairing regressor labels with the classifier
-    catalogue.
+    catalogue.  ``metadata`` attaches arbitrary JSON-serialisable manifest
+    data (the model registry stores its version/provenance here); readers
+    that predate it ignore the key.
     """
     payload = {
         "format_version": _FORMAT_VERSION,
@@ -92,7 +102,28 @@ def save_decision_model(
         "extractor": _extractor_to_dict(model.extractor),
         "regressor": _regressor_to_dict(model.regressor),
     }
+    if metadata:
+        payload["metadata"] = dict(metadata)
     Path(path).write_text(json.dumps(payload))
+
+
+def read_decision_model_manifest(path: str | Path) -> dict:
+    """Cheap manifest of a saved decision model (no weight deserialisation).
+
+    Returns task, label vocabulary, key features, architecture, format
+    version and any attached metadata — everything a model registry needs to
+    list, route and validate artifacts without paying for a full restore.
+    """
+    payload = json.loads(Path(path).read_text())
+    extractor = payload.get("extractor", {})
+    return {
+        "format_version": payload.get("format_version"),
+        "task": str(payload.get("task", "classification")),
+        "labels": list(payload.get("labels", [])),
+        "key_features": list(extractor.get("feature_names", [])),
+        "architecture": dict(payload.get("architecture", {})),
+        "metadata": dict(payload.get("metadata", {})),
+    }
 
 
 def saved_decision_model_task(path: str | Path) -> str:
@@ -101,8 +132,7 @@ def saved_decision_model_task(path: str | Path) -> str:
     Files written before task types existed carry no ``task`` key and are
     classification models by definition.
     """
-    payload = json.loads(Path(path).read_text())
-    return str(payload.get("task", "classification"))
+    return read_decision_model_manifest(path)["task"]
 
 
 def load_decision_model(path: str | Path) -> DecisionModel:

@@ -24,7 +24,12 @@ import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
-from ..execution import EvaluationEngine, ResultStore, estimator_engine
+from ..execution import (
+    EvaluationEngine,
+    ResultStore,
+    estimator_engine,
+    objective_context_suffix,
+)
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.selector import HPOTechniqueSelector
 from ..learners.base import BaseClassifier
@@ -33,7 +38,23 @@ from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from .architecture_search import DecisionModel
 
-__all__ = ["CASHSolution", "UserDemandResponser"]
+__all__ = ["CASHSolution", "UserDemandResponser", "first_supported_algorithm"]
+
+
+def first_supported_algorithm(ranking: list[str], registry: AlgorithmRegistry) -> str:
+    """The best-ranked algorithm the catalogue can actually build.
+
+    Shared selection policy of the UDR and the serving dispatcher — change it
+    here and both the in-process and the HTTP paths follow.
+    """
+    for algorithm in ranking:
+        if algorithm in registry:
+            return algorithm
+    raise RuntimeError(
+        "the decision model only recommends algorithms outside the catalogue; "
+        "notify the user to implement the recommended algorithm "
+        f"({ranking[0]!r})"
+    )
 
 
 @dataclass
@@ -113,15 +134,14 @@ class UserDemandResponser:
     # -- algorithm selection (Algorithm 5, line 1) --------------------------------------------
     def select_algorithm(self, dataset: Dataset) -> str:
         """``SA = SNA(KFs(I))``, constrained to algorithms present in the catalogue."""
-        ranking = self.model.rank(dataset)
-        for algorithm in ranking:
-            if algorithm in self.registry:
-                return algorithm
-        raise RuntimeError(
-            "the decision model only recommends algorithms outside the catalogue; "
-            "notify the user to implement the recommended algorithm "
-            f"({ranking[0]!r})"
-        )
+        return first_supported_algorithm(self.model.rank(dataset), self.registry)
+
+    def select_algorithms(self, datasets: list[Dataset]) -> list[str]:
+        """Batched :meth:`select_algorithm`: one decision-model forward pass."""
+        return [
+            first_supported_algorithm(ranking, self.registry)
+            for ranking in self.model.rank_many(datasets)
+        ]
 
     # -- hyperparameter optimisation (lines 2-4) ------------------------------------------------
     def _store_context(self, dataset: Dataset, algorithm: str) -> str:
@@ -135,6 +155,29 @@ class UserDemandResponser:
             f"udr-{algorithm}-{dataset.name}-{dataset.n_records}x{dataset.n_attributes}"
             f"-sub{self.tuning_max_records}-cv{self.cv}-rs{self.random_state}"
         )
+
+    def store_context(self, dataset: Dataset, algorithm: str) -> str:
+        """The full store shard key tuning evaluations land under.
+
+        Includes the objective suffix :func:`estimator_engine` appends for
+        non-default task/metric combinations, so callers (e.g. the serving
+        dispatcher looking up previously tuned configurations) read exactly
+        the shard :meth:`respond` writes.
+        """
+        return self._store_context(dataset, algorithm) + objective_context_suffix(
+            self.task, self.metric
+        )
+
+    def tuned_best(self, dataset: Dataset, algorithm: str, k: int = 1) -> list[tuple[dict[str, Any], float]]:
+        """Best previously tuned ``(config, score)`` pairs from the store.
+
+        Empty when no store is attached or nothing was tuned yet; this is how
+        async refine jobs make their results servable — the dispatcher
+        consults it instead of falling back to default configurations.
+        """
+        if self.store is None:
+            return []
+        return self.store.top_k(self.store_context(dataset, algorithm), k=k)
 
     def _make_engine(self, dataset: Dataset, algorithm: str):
         """One shared engine per (algorithm, dataset): folds, cache, workers, store."""
@@ -209,10 +252,19 @@ class UserDemandResponser:
         time_limit: float | None = 30.0,
         max_evaluations: int | None = None,
         fit_final_estimator: bool = True,
+        algorithm: str | None = None,
     ) -> CASHSolution:
-        """Full UDR run: select an algorithm, tune it, and return the solution."""
+        """Full UDR run: select an algorithm, tune it, and return the solution.
+
+        ``algorithm`` preselects the algorithm (skipping the decision-model
+        forward pass), which is how :meth:`respond_many` amortises selection
+        over a batch; it must be a catalogue member.
+        """
         start = time.monotonic()
-        algorithm = self.select_algorithm(dataset)
+        if algorithm is None:
+            algorithm = self.select_algorithm(dataset)
+        elif algorithm not in self.registry:
+            raise KeyError(f"preselected algorithm {algorithm!r} not in the catalogue")
         config, history, optimizer_name = self.optimize_hyperparameters(
             dataset, algorithm, time_limit=time_limit, max_evaluations=max_evaluations
         )
@@ -240,3 +292,28 @@ class UserDemandResponser:
             history=history,
             engine_stats=history.engine_stats,
         )
+
+    def respond_many(
+        self,
+        datasets: list[Dataset],
+        time_limit: float | None = 30.0,
+        max_evaluations: int | None = None,
+        fit_final_estimator: bool = True,
+    ) -> list[CASHSolution]:
+        """Answer a batch of CASH queries.
+
+        Algorithm selection is vectorized into a single decision-model
+        forward pass (:meth:`select_algorithms`); tuning still runs
+        per-dataset, each under its own ``time_limit``/``max_evaluations``.
+        """
+        algorithms = self.select_algorithms(datasets)
+        return [
+            self.respond(
+                dataset,
+                time_limit=time_limit,
+                max_evaluations=max_evaluations,
+                fit_final_estimator=fit_final_estimator,
+                algorithm=algorithm,
+            )
+            for dataset, algorithm in zip(datasets, algorithms)
+        ]

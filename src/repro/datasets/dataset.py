@@ -14,6 +14,7 @@ Classification remains the default and behaves exactly as before.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import blake2s
 
 import numpy as np
 
@@ -78,6 +79,47 @@ class Dataset:
             raise ValueError(f"{self.name}: empty dataset")
         if self.n_numeric == 0 and self.n_categorical == 0:
             raise ValueError(f"{self.name}: dataset has no attributes")
+
+    # -- identity ---------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this task instance.
+
+        Two datasets with identical attribute blocks, target and task type
+        share a fingerprint regardless of their ``name``, so request-time
+        caches (meta-feature memoization, the serving dispatcher) recognise
+        repeat queries for the same data.  Computed once and memoized —
+        datasets are treated as immutable throughout the codebase.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        def framed(values) -> bytes:
+            # Length-prefix every entry: a plain joiner would let crafted
+            # values collide (['a\x1fb','c'] vs ['a','b\x1fc']), and values
+            # are arbitrary client strings on the serving path.
+            parts = []
+            for value in values:
+                encoded = str(value).encode("utf-8")
+                parts.append(len(encoded).to_bytes(4, "little"))
+                parts.append(encoded)
+            return b"".join(parts)
+
+        digest = blake2s(digest_size=16)
+        digest.update(self.task.value.encode("utf-8"))
+        digest.update(repr(self.numeric.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(self.numeric, dtype=np.float64).tobytes())
+        digest.update(repr(self.categorical.shape).encode("utf-8"))
+        if self.categorical.size:
+            digest.update(framed(self.categorical.ravel()))
+        if self.target.dtype == object:
+            digest.update(framed(self.target))
+        else:
+            digest.update(self.target.dtype.str.encode("utf-8"))
+            digest.update(np.ascontiguousarray(self.target).tobytes())
+        fingerprint = digest.hexdigest()
+        self.__dict__["_fingerprint"] = fingerprint
+        return fingerprint
 
     # -- task type --------------------------------------------------------------------
     @property

@@ -11,10 +11,14 @@ from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
 from .engine import EngineStats, EvalOutcome, EvaluationEngine
 from .folds import FoldPlan
+from .jobs import JobQueue, JobQueueStats, JobRecord
 from .objectives import cross_val_objective, estimator_engine, objective_context_suffix
 from .store import ResultStore, StoreStats, fingerprint_key
 
 __all__ = [
+    "JobQueue",
+    "JobQueueStats",
+    "JobRecord",
     "Budget",
     "EvaluationCache",
     "config_fingerprint",

@@ -1,0 +1,268 @@
+"""Background job queue — async execution of long-running work.
+
+The serving subsystem must keep answering ``recommend`` requests while
+expensive work (UDR refinement runs, full ``fit_from_datasets`` pipelines —
+all of which execute through the :class:`~repro.execution.engine.EvaluationEngine`
+and persist into a :class:`~repro.execution.store.ResultStore`) happens in
+the background.  :class:`JobQueue` is the generic half of that: named jobs
+with an explicit ``queued → running → done/failed`` lifecycle, executed by a
+pool of daemon worker threads, with crash containment (a job that raises
+marks itself ``failed`` and the worker survives) and engine-style counters.
+
+The queue is deliberately dependency-free (stdlib threads only) so it can be
+reused anywhere in the codebase; the serving layer builds its fit/refine
+semantics on top in :mod:`repro.service.jobs`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+__all__ = ["JobRecord", "JobQueueStats", "JobQueue"]
+
+_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class JobRecord:
+    """One unit of background work and its observable lifecycle."""
+
+    job_id: str
+    kind: str
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: Any = None
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float | None:
+        """Wall-clock run time (``None`` until the job starts)."""
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return end - self.started_at
+
+    def as_dict(self) -> dict:
+        out = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "detail": dict(self.detail),
+        }
+        # Results are included only when JSON-representable summaries; rich
+        # objects stay reachable through JobQueue.get().result in-process.
+        if isinstance(self.result, (dict, list, str, int, float, bool)) or self.result is None:
+            out["result"] = self.result
+        else:
+            out["result"] = repr(self.result)
+        return out
+
+
+@dataclass
+class JobQueueStats:
+    """Counters a :class:`JobQueue` accumulates across its lifetime."""
+
+    n_submitted: int = 0
+    n_done: int = 0
+    n_failed: int = 0
+    n_cancelled: int = 0
+
+    @property
+    def n_finished(self) -> int:
+        return self.n_done + self.n_failed + self.n_cancelled
+
+    def as_dict(self) -> dict:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_done": self.n_done,
+            "n_failed": self.n_failed,
+            "n_cancelled": self.n_cancelled,
+        }
+
+
+class JobQueue:
+    """Thread-pool job runner with an inspectable job table.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of daemon worker threads (each drains jobs FIFO).
+    name:
+        Prefix for worker thread names and job ids.
+    max_finished_jobs:
+        Finished (done/failed/cancelled) records kept for inspection; the
+        oldest beyond this bound are pruned on submit so a long-lived
+        serving process never accumulates an unbounded job table.
+    """
+
+    def __init__(
+        self, n_workers: int = 1, name: str = "jobs", max_finished_jobs: int = 500
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.name = name
+        self.max_finished_jobs = int(max_finished_jobs)
+        self.stats = JobQueueStats()
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._functions: dict[str, Callable[[], Any]] = {}
+        self._events: dict[str, threading.Event] = {}
+        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._counter = itertools.count(1)
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission -------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        fn: Callable[[], Any],
+        detail: dict | None = None,
+    ) -> str:
+        """Queue ``fn`` for background execution; returns the job id.
+
+        ``detail`` is free-form JSON-serialisable context echoed back by
+        :meth:`get`/:meth:`jobs` (the HTTP layer surfaces it to clients).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is shut down")
+            job_id = f"{self.name}-{next(self._counter):04d}"
+            self._jobs[job_id] = JobRecord(
+                job_id=job_id,
+                kind=kind,
+                submitted_at=time.time(),
+                detail=dict(detail or {}),
+            )
+            self._functions[job_id] = fn
+            self._events[job_id] = threading.Event()
+            self.stats.n_submitted += 1
+            self._prune_finished()
+        self._queue.put(job_id)
+        return job_id
+
+    def _prune_finished(self) -> None:
+        """Drop the oldest finished records beyond ``max_finished_jobs`` (lock held)."""
+        finished = [
+            job_id
+            for job_id, record in self._jobs.items()  # insertion order = submission order
+            if record.status in ("done", "failed", "cancelled")
+        ]
+        for job_id in finished[: max(0, len(finished) - self.max_finished_jobs)]:
+            del self._jobs[job_id]
+            self._events.pop(job_id, None)
+
+    # -- inspection -------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        """Snapshot of one job (a copy — safe to inspect without locking)."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(f"unknown job {job_id!r}")
+            record = self._jobs[job_id]
+            return replace(record, detail=dict(record.detail))
+
+    def jobs(self, status: str | None = None) -> list[JobRecord]:
+        """Snapshots of all jobs, newest first, optionally filtered by status."""
+        if status is not None and status not in _STATUSES:
+            raise ValueError(f"unknown status {status!r}; known: {_STATUSES}")
+        with self._lock:
+            records = [
+                replace(record, detail=dict(record.detail))
+                for record in self._jobs.values()
+                if status is None or record.status == status
+            ]
+        return sorted(records, key=lambda r: r.submitted_at, reverse=True)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job finishes (or ``timeout`` elapses); returns a snapshot."""
+        with self._lock:
+            if job_id not in self._events:
+                raise KeyError(f"unknown job {job_id!r}")
+            event = self._events[job_id]
+        event.wait(timeout)
+        return self.get(job_id)
+
+    # -- cancellation / shutdown --------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started yet; returns True on success."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if record.status != "queued":
+                return False
+            record.status = "cancelled"
+            record.finished_at = time.time()
+            self._functions.pop(job_id, None)
+            self.stats.n_cancelled += 1
+            self._events[job_id].set()
+            return True
+
+    def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop accepting jobs and (optionally) wait for workers to drain."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout)
+
+    # -- worker loop -------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                record = self._jobs.get(job_id)
+                fn = self._functions.pop(job_id, None)
+                if record is None or fn is None or record.status != "queued":
+                    continue  # cancelled (or shut down) before starting
+                record.status = "running"
+                record.started_at = time.time()
+            try:
+                result = fn()
+            except Exception:  # noqa: BLE001 — crash containment is the contract
+                with self._lock:
+                    record.status = "failed"
+                    record.error = traceback.format_exc(limit=20)
+                    record.finished_at = time.time()
+                    self.stats.n_failed += 1
+                    self._events[job_id].set()
+            else:
+                with self._lock:
+                    record.status = "done"
+                    record.result = result
+                    record.finished_at = time.time()
+                    self.stats.n_done += 1
+                    self._events[job_id].set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobQueue(name={self.name!r}, jobs={len(self)}, workers={len(self._workers)})"

@@ -1,10 +1,13 @@
 """Task-instance meta-features (Table III of the paper)."""
 
-from .extractor import FeatureExtractor
+from .extractor import FeatureCache, FeatureCacheStats, FeatureExtractor, feature_cache
 from .features import FEATURE_DESCRIPTIONS, FEATURE_FUNCTIONS, FEATURE_NAMES, compute_feature
 
 __all__ = [
     "FeatureExtractor",
+    "FeatureCache",
+    "FeatureCacheStats",
+    "feature_cache",
     "FEATURE_DESCRIPTIONS",
     "FEATURE_FUNCTIONS",
     "FEATURE_NAMES",

@@ -1,13 +1,133 @@
-"""Task-instance feature extraction (the ``Fs(I)`` / ``KFs(I)`` of the paper)."""
+"""Task-instance feature extraction (the ``Fs(I)`` / ``KFs(I)`` of the paper).
+
+Every online recommendation starts by computing the Table III meta-features
+of the user's dataset, which makes :meth:`FeatureExtractor.raw_vector` the
+hot path of the serving subsystem.  The module therefore keeps a process-wide
+:class:`FeatureCache`: raw (pre-normalisation) feature values memoized per
+``(dataset.fingerprint, feature_name)``, so repeat queries for the same data
+— and extractors restricted to feature subsets — never recompute a feature.
+Normalisation stays outside the cache (it is per-extractor state).
+"""
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..datasets.dataset import Dataset
 from .features import FEATURE_FUNCTIONS, FEATURE_NAMES
 
-__all__ = ["FeatureExtractor"]
+__all__ = ["FeatureExtractor", "FeatureCache", "FeatureCacheStats", "feature_cache"]
+
+
+@dataclass
+class FeatureCacheStats:
+    """Counters the process-wide feature cache accumulates (engine-style)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+        }
+
+
+class FeatureCache:
+    """Bounded, thread-safe memo of raw meta-feature values.
+
+    Keys are ``(dataset.fingerprint, feature_name)`` so the memo is shared by
+    every extractor in the process, including :meth:`FeatureExtractor.restrict`
+    subsets.  LRU eviction bounds memory for long-lived serving processes.
+    """
+
+    def __init__(self, maxsize: int = 100_000) -> None:
+        self.maxsize = int(maxsize)
+        self._enabled = True
+        self._disabled_depth = 0
+        self.stats = FeatureCacheStats()
+        self._lock = threading.Lock()
+        self._values: OrderedDict[tuple[str, str], float] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled and self._disabled_depth == 0
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def clear(self) -> None:
+        """Drop every cached value (stats are kept)."""
+        with self._lock:
+            self._values.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = FeatureCacheStats()
+
+    @contextmanager
+    def disabled(self):
+        """Context manager bypassing the cache (used by benchmarks/baselines).
+
+        Depth-counted rather than save/restore, so overlapping ``disabled()``
+        sections on different threads compose: the cache is off while any
+        section is active and back on when the last one exits.
+        """
+        with self._lock:
+            self._disabled_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._disabled_depth -= 1
+
+    def vector(self, dataset: Dataset, feature_names: list[str]) -> np.ndarray:
+        """Raw feature vector for ``dataset``, served from the memo."""
+        fingerprint = dataset.fingerprint
+        values = np.empty(len(feature_names), dtype=np.float64)
+        missing: list[tuple[int, str]] = []
+        with self._lock:
+            for position, name in enumerate(feature_names):
+                key = (fingerprint, name)
+                if key in self._values:
+                    self._values.move_to_end(key)
+                    values[position] = self._values[key]
+                    self.stats.hits += 1
+                else:
+                    missing.append((position, name))
+                    self.stats.misses += 1
+        for position, name in missing:
+            values[position] = float(FEATURE_FUNCTIONS[name](dataset))
+        if missing:
+            with self._lock:
+                for position, name in missing:
+                    self._values[(fingerprint, name)] = values[position]
+                    self._values.move_to_end((fingerprint, name))
+                while len(self._values) > self.maxsize:
+                    self._values.popitem(last=False)
+                    self.stats.evictions += 1
+        return values
+
+
+#: Process-wide raw-feature memo shared by every extractor.
+feature_cache = FeatureCache()
 
 
 class FeatureExtractor:
@@ -37,8 +157,15 @@ class FeatureExtractor:
         self._scale: np.ndarray | None = None
 
     # -- raw extraction ---------------------------------------------------------------
-    def raw_vector(self, dataset: Dataset) -> np.ndarray:
-        """Un-normalised feature vector in the order of ``feature_names``."""
+    def raw_vector(self, dataset: Dataset, use_cache: bool = True) -> np.ndarray:
+        """Un-normalised feature vector in the order of ``feature_names``.
+
+        Served from the process-wide :data:`feature_cache` (keyed by the
+        dataset's content fingerprint) unless the cache is disabled or
+        ``use_cache=False``.
+        """
+        if use_cache and feature_cache.enabled:
+            return feature_cache.vector(dataset, self.feature_names)
         return np.array(
             [FEATURE_FUNCTIONS[name](dataset) for name in self.feature_names],
             dtype=np.float64,

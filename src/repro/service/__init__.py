@@ -1,0 +1,44 @@
+"""Recommendation-serving subsystem.
+
+The offline half of Auto-Model trains decision models; this package puts
+them behind a production-style serving surface with four layers:
+
+* :mod:`repro.service.registry` — :class:`ModelRegistry`: versioned,
+  hot-swappable storage of saved decision models (atomic promote/rollback,
+  LRU of deserialized models).
+* :mod:`repro.service.dispatcher` — :class:`RecommendationDispatcher`:
+  concurrent ``recommend`` requests, micro-batched into single
+  decision-model forward passes, with fingerprint-keyed meta-feature
+  caching and tuned-config serving.
+* :mod:`repro.service.jobs` — :class:`FitJobQueue`: async fit/refine work
+  on background workers (through the shared evaluation engine + result
+  store) so serving never blocks on training.
+* :mod:`repro.service.http` — :class:`RecommendationService` and the
+  stdlib HTTP/JSON server (``python -m repro.service serve``).
+"""
+
+from .dispatcher import DispatcherStats, Recommendation, RecommendationDispatcher
+from .http import (
+    RecommendationService,
+    ServiceError,
+    dataset_from_json,
+    make_http_server,
+    serve_in_thread,
+)
+from .jobs import FitJobQueue
+from .registry import ModelRegistry, ServableModel, default_registry_root
+
+__all__ = [
+    "ModelRegistry",
+    "ServableModel",
+    "default_registry_root",
+    "Recommendation",
+    "RecommendationDispatcher",
+    "DispatcherStats",
+    "FitJobQueue",
+    "RecommendationService",
+    "ServiceError",
+    "dataset_from_json",
+    "make_http_server",
+    "serve_in_thread",
+]

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+``serve`` boots the HTTP/JSON front end over a registry directory;
+``models`` prints the registry listing without starting a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .http import RecommendationService, make_http_server
+from .registry import ModelRegistry, default_registry_root
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Auto-Model recommendation-serving subsystem",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="boot the HTTP/JSON recommendation server")
+    serve.add_argument(
+        "--registry",
+        default=None,
+        help=f"model registry directory (default: {default_registry_root()})",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--batch-size", type=int, default=32, dest="batch_size")
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, dest="max_wait_ms",
+        help="micro-batch collection window",
+    )
+    serve.add_argument("--fit-workers", type=int, default=1, dest="fit_workers")
+    serve.add_argument(
+        "--no-batching", action="store_true", help="serve each request inline"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+
+    models = sub.add_parser("models", help="print the registry listing as JSON")
+    models.add_argument("--registry", default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    registry_root = args.registry if args.registry is not None else default_registry_root()
+
+    if args.command == "models":
+        registry = ModelRegistry(registry_root)
+        print(json.dumps({"registry": str(registry.root), "models": registry.describe()}, indent=2))
+        return 0
+
+    service = RecommendationService(
+        ModelRegistry(registry_root),
+        batching=not args.no_batching,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        fit_workers=args.fit_workers,
+    )
+    server = make_http_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[0], server.server_address[1]
+    # The smoke tests parse this line to discover an ephemeral port.
+    print(f"repro-service listening on http://{host}:{port} "
+          f"(registry: {registry_root})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

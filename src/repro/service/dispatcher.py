@@ -1,0 +1,391 @@
+"""Batched concurrent recommendation dispatcher — the request tier.
+
+Request-time work for one ``recommend`` call is (1) meta-feature extraction,
+(2) a decision-model forward pass, (3) a catalogue-constrained argmax and
+(4) a configuration suggestion.  The dispatcher makes that path fast under
+concurrency:
+
+* **Micro-batching.**  Caller threads enqueue requests and block on an
+  event; a single serve thread drains the queue (up to ``max_batch_size``
+  requests or ``max_wait_ms``, whichever first), groups the batch by
+  ``(model, version)`` snapshot, and runs ONE
+  :meth:`~repro.core.architecture_search.DecisionModel.scores_matrix`
+  forward pass per group instead of N scalar calls.
+* **Meta-feature memoization.**  Feature extraction inside the batch goes
+  through the process-wide fingerprint-keyed
+  :data:`~repro.metafeatures.extractor.feature_cache`, so repeat queries for
+  the same data skip Table III entirely.
+* **Hot-swap safety.**  Each group resolves its registry snapshot exactly
+  once; a promote landing mid-batch affects the next batch, never half of
+  the current one.  Every response carries the version that produced it.
+* **Tuned-config serving.**  When the resolved model carries a result store
+  (async refine jobs write there), the dispatcher serves the best previously
+  tuned configuration for ``(algorithm, dataset)``; otherwise the
+  catalogue's default configuration.
+
+Errors are contained per request: a bad dataset or unknown model fails that
+caller only, never the serve loop.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.udr import first_supported_algorithm
+from ..datasets.dataset import Dataset
+from ..metafeatures.extractor import feature_cache
+from .registry import ModelRegistry, ServableModel
+
+__all__ = ["Recommendation", "DispatcherStats", "RecommendationDispatcher"]
+
+
+@dataclass
+class Recommendation:
+    """One served answer: algorithm + configuration + provenance."""
+
+    dataset: str
+    fingerprint: str
+    model: str
+    version: str
+    task: str
+    algorithm: str
+    config: dict[str, Any]
+    config_source: str  # "tuned-store" or "default"
+    tuned_score: float | None
+    ranking: list[str]
+    scores: dict[str, float]
+    latency_ms: float
+    batch_size: int
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "fingerprint": self.fingerprint,
+            "model": self.model,
+            "version": self.version,
+            "task": self.task,
+            "algorithm": self.algorithm,
+            "config": dict(self.config),
+            "config_source": self.config_source,
+            "tuned_score": self.tuned_score,
+            "ranking": list(self.ranking),
+            "scores": {k: round(v, 6) for k, v in self.scores.items()},
+            "latency_ms": round(self.latency_ms, 3),
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass
+class DispatcherStats:
+    """Counters the dispatcher accumulates across its lifetime."""
+
+    n_requests: int = 0
+    n_batches: int = 0
+    n_batched_requests: int = 0
+    largest_batch: int = 0
+    n_errors: int = 0
+    forward_passes: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_batched_requests / self.n_batches if self.n_batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_batches": self.n_batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "n_errors": self.n_errors,
+            "forward_passes": self.forward_passes,
+            "feature_cache": feature_cache.stats.as_dict(),
+        }
+
+
+class _Pending:
+    """One enqueued request and its completion slot."""
+
+    __slots__ = (
+        "dataset", "model_name", "version", "event", "result", "error",
+        "abandoned", "enqueued_at",
+    )
+
+    def __init__(self, dataset: Dataset, model_name: str | None, version: str | None) -> None:
+        self.dataset = dataset
+        self.model_name = model_name
+        self.version = version
+        self.event = threading.Event()
+        self.result: Recommendation | None = None
+        self.error: Exception | None = None
+        self.abandoned = False  # caller timed out; skip the work
+        self.enqueued_at = time.monotonic()
+
+
+_SHUTDOWN = object()
+
+
+class RecommendationDispatcher:
+    """Concurrent, micro-batched front door over a :class:`ModelRegistry`.
+
+    ``cv`` / ``tuning_max_records`` / ``random_state`` / ``metric`` describe
+    the tuning protocol whose stored results the dispatcher serves; they must
+    match the refine jobs' protocol for tuned configurations to be found (a
+    refine run under a different metric lands in a different store shard).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        batching: bool = True,
+        suggest_configs: bool = True,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+        metric: str | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.registry = registry
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait = max(0.0, float(max_wait_ms)) / 1000.0
+        self.batching = bool(batching)
+        self.suggest_configs = bool(suggest_configs)
+        self.cv = cv
+        self.tuning_max_records = tuning_max_records
+        self.random_state = random_state
+        self.metric = metric
+        self.stats = DispatcherStats()
+        self._stats_lock = threading.Lock()
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._closed = False
+        self._serve_thread: threading.Thread | None = None
+        if self.batching:
+            self._serve_thread = threading.Thread(
+                target=self._serve_loop, name="recommend-dispatcher", daemon=True
+            )
+            self._serve_thread.start()
+
+    # -- public API --------------------------------------------------------------------
+    def recommend(
+        self,
+        dataset: Dataset,
+        model: str | None = None,
+        version: str | None = None,
+        timeout: float | None = 30.0,
+    ) -> Recommendation:
+        """Blocking recommendation for one dataset (thread-safe).
+
+        With batching enabled the request joins the next micro-batch; without
+        it the request is served inline on the calling thread.
+        """
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        with self._stats_lock:
+            self.stats.n_requests += 1
+        if not self.batching:
+            pending = _Pending(dataset, model, version)
+            self._process_batch([pending])
+            if pending.error is not None:
+                raise pending.error
+            assert pending.result is not None
+            return pending.result
+        pending = _Pending(dataset, model, version)
+        self._queue.put(pending)
+        if not pending.event.wait(timeout):
+            # Best-effort: the serve loop drops abandoned requests it has not
+            # started yet, so retrying clients don't amplify the overload.
+            pending.abandoned = True
+            raise TimeoutError(
+                f"recommendation for {dataset.name!r} timed out after {timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def recommend_many(
+        self,
+        datasets: list[Dataset],
+        model: str | None = None,
+        version: str | None = None,
+        return_errors: bool = False,
+    ) -> list[Recommendation | Exception]:
+        """Serve a caller-assembled batch directly (one forward pass).
+
+        With ``return_errors=False`` (the default) the first failed item
+        raises and the batch's other answers are discarded; pass
+        ``return_errors=True`` to get per-item results, with the failing
+        items' exceptions in their list positions.
+        """
+        pendings = [_Pending(dataset, model, version) for dataset in datasets]
+        with self._stats_lock:
+            self.stats.n_requests += len(pendings)
+        self._process_batch(pendings)
+        results: list[Recommendation | Exception] = []
+        for pending in pendings:
+            if pending.error is not None:
+                if not return_errors:
+                    raise pending.error
+                results.append(pending.error)
+            else:
+                results.append(pending.result)
+        return results
+
+    def close(self) -> None:
+        """Stop the serve loop (pending requests are still answered)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_thread is not None:
+            self._queue.put(_SHUTDOWN)
+            self._serve_thread.join(timeout=5.0)
+
+    # -- serve loop --------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.max_wait
+            stop = False
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)
+            try:
+                self._process_batch(batch)
+            except Exception as exc:  # noqa: BLE001 — the serve loop must survive
+                self._fail([p for p in batch if not p.event.is_set()], exc)
+            if stop:
+                return
+
+    # -- batch execution ---------------------------------------------------------------
+    def _process_batch(self, batch: list[_Pending]) -> None:
+        start = time.monotonic()
+        batch = [pending for pending in batch if not pending.abandoned]
+        if not batch:
+            return
+        with self._stats_lock:
+            self.stats.n_batches += 1
+            self.stats.n_batched_requests += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        groups: dict[tuple[str | None, str | None], list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault((pending.model_name, pending.version), []).append(pending)
+        for (name, version), members in groups.items():
+            try:
+                servable = self.registry.resolve(name, version)
+                self._serve_group(servable, members, start, len(batch))
+            except Exception as exc:  # noqa: BLE001 — one group never kills the loop
+                self._fail([p for p in members if not p.event.is_set()], exc)
+
+    def _serve_group(
+        self,
+        servable: ServableModel,
+        members: list[_Pending],
+        start: float,
+        batch_size: int,
+    ) -> None:
+        # Task routing: a dataset of the wrong task type fails individually —
+        # the rest of the group is still served.
+        ready: list[_Pending] = []
+        for pending in members:
+            if pending.dataset.task.value != servable.task:
+                self._fail(
+                    [pending],
+                    ValueError(
+                        f"model {servable.name!r} serves {servable.task} tasks; "
+                        f"dataset {pending.dataset.name!r} is "
+                        f"{pending.dataset.task.value}"
+                    ),
+                )
+            else:
+                ready.append(pending)
+        if not ready:
+            return
+        decision_model = servable.model.decision_model
+        try:
+            score_dicts = decision_model.scores_many([p.dataset for p in ready])
+            with self._stats_lock:
+                self.stats.forward_passes += 1
+        except Exception as exc:  # noqa: BLE001 — contained per group
+            self._fail(ready, exc)
+            return
+        for pending, scores in zip(ready, score_dicts):
+            try:
+                pending.result = self._build_recommendation(
+                    servable, pending, scores, start, batch_size
+                )
+            except Exception as exc:  # noqa: BLE001 — contained per request
+                self._fail([pending], exc)
+                continue
+            pending.event.set()
+
+    def _build_recommendation(
+        self,
+        servable: ServableModel,
+        pending: _Pending,
+        scores: dict[str, float],
+        start: float,
+        batch_size: int,
+    ) -> Recommendation:
+        catalogue = servable.model.registry
+        ranking = sorted(scores, key=scores.get, reverse=True)
+        algorithm = first_supported_algorithm(ranking, catalogue)
+        config_source = "default"
+        tuned_score: float | None = None
+        config = catalogue.get(algorithm).default_config()
+        if self.suggest_configs and servable.model.store is not None:
+            responder = servable.model.responder(
+                cv=self.cv,
+                tuning_max_records=self.tuning_max_records,
+                random_state=self.random_state,
+                metric=self.metric,
+            )
+            tuned = responder.tuned_best(pending.dataset, algorithm, k=1)
+            if tuned:
+                config, tuned_score = dict(tuned[0][0]), float(tuned[0][1])
+                config_source = "tuned-store"
+        return Recommendation(
+            dataset=pending.dataset.name,
+            fingerprint=pending.dataset.fingerprint,
+            model=servable.name,
+            version=servable.version,
+            task=servable.task,
+            algorithm=algorithm,
+            config=config,
+            config_source=config_source,
+            tuned_score=tuned_score,
+            ranking=ranking,
+            scores=scores,
+            latency_ms=(time.monotonic() - pending.enqueued_at) * 1000.0,
+            batch_size=batch_size,
+        )
+
+    def _fail(self, members: list[_Pending], exc: Exception) -> None:
+        with self._stats_lock:
+            self.stats.n_errors += len(members)
+        for pending in members:
+            pending.error = exc
+            pending.event.set()
+
+    def __enter__(self) -> "RecommendationDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

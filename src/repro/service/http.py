@@ -1,0 +1,399 @@
+"""Stdlib HTTP/JSON front end over the serving subsystem.
+
+:class:`RecommendationService` composes the three lower tiers — a
+:class:`~repro.service.registry.ModelRegistry`, a
+:class:`~repro.service.dispatcher.RecommendationDispatcher` and a
+:class:`~repro.service.jobs.FitJobQueue` — and exposes them over plain
+``http.server`` (no third-party web framework):
+
+========  =====================  ==================================================
+Method    Path                   Meaning
+========  =====================  ==================================================
+GET       ``/healthz``           liveness + registry/dispatcher/job counters
+GET       ``/models``            registry listing (names, versions, tasks, labels)
+POST      ``/models/promote``    ``{"name", "version"}`` — atomic hot-swap
+POST      ``/models/rollback``   ``{"name"}`` — flip back to the previous version
+POST      ``/recommend``         ``{"dataset": {...}, "model"?, "version"?}``
+GET       ``/jobs``              job table (``?status=queued|running|done|failed``)
+GET       ``/jobs/<id>``         one job
+POST      ``/jobs``              ``{"kind": "refine"|"fit", ...}`` — async work
+========  =====================  ==================================================
+
+Datasets travel as JSON: ``{"name", "task"?, "numeric"?: [[...]],
+"categorical"?: [[...]], "target": [...]}``.  The server is a
+``ThreadingHTTPServer``: each connection gets a thread, and concurrent
+``/recommend`` bodies meet in the dispatcher's micro-batches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.dmd import DecisionMakingModelDesigner
+from ..datasets.dataset import Dataset
+from ..datasets.task import resolve_task
+from ..learners.regression_registry import registry_for_task
+from .dispatcher import RecommendationDispatcher
+from .jobs import FitJobQueue
+from .registry import ModelRegistry
+
+__all__ = [
+    "ServiceError",
+    "dataset_from_json",
+    "RecommendationService",
+    "ServiceServer",
+    "make_http_server",
+    "serve_in_thread",
+]
+
+
+class ServiceError(Exception):
+    """A request error carrying its HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def dataset_from_json(payload: Any) -> Dataset:
+    """Build a :class:`Dataset` from its JSON wire format (400 on bad input).
+
+    A payload without a ``name`` gets a content-derived one
+    (``ds-<fingerprint prefix>``), so anonymous repeat submissions of the
+    same data share store contexts (tuned-config serving, refine shards)
+    instead of all colliding under one placeholder name.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError(400, "dataset must be a JSON object")
+    name = payload.get("name")
+    target = payload.get("target")
+    if not isinstance(target, list) or not target:
+        raise ServiceError(400, "dataset.target must be a non-empty list")
+    n = len(target)
+    numeric = payload.get("numeric") or []
+    categorical = payload.get("categorical") or []
+    try:
+        numeric_arr = (
+            np.asarray(numeric, dtype=np.float64) if numeric else np.zeros((n, 0))
+        )
+        categorical_arr = (
+            np.asarray(categorical, dtype=object)
+            if categorical
+            else np.zeros((n, 0), dtype=object)
+        )
+        dataset = Dataset(
+            name=str(name) if name is not None else "request",
+            numeric=numeric_arr,
+            categorical=categorical_arr,
+            target=np.asarray(target),
+            task=payload.get("task", "classification"),
+        )
+        if name is None:
+            dataset.name = f"ds-{dataset.fingerprint[:12]}"
+        return dataset
+    except ServiceError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — surface malformed payloads as 400s
+        raise ServiceError(400, f"invalid dataset: {exc}") from exc
+
+
+class RecommendationService:
+    """The composed serving subsystem behind one registry directory."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        batching: bool = True,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        fit_workers: int = 1,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+        metric: str | None = None,
+    ) -> None:
+        self.registry = (
+            registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
+        )
+        self.dispatcher = RecommendationDispatcher(
+            self.registry,
+            batching=batching,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            cv=cv,
+            tuning_max_records=tuning_max_records,
+            random_state=random_state,
+            metric=metric,
+        )
+        self.fit_jobs = FitJobQueue(self.registry, n_workers=fit_workers)
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.dispatcher.close()
+        self.fit_jobs.shutdown(wait=False)
+
+    # -- endpoint payloads (shared by HTTP handler and in-process callers) ---------------
+    def healthz_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "registry": self.registry.stats(),
+            "dispatcher": self.dispatcher.stats.as_dict(),
+            "jobs": self.fit_jobs.stats(),
+        }
+
+    def models_payload(self) -> dict:
+        return {"models": self.registry.describe()}
+
+    def recommend_payload(self, body: Any) -> dict:
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        dataset = dataset_from_json(body.get("dataset"))
+        try:
+            timeout = float(body.get("timeout", 30.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, f"invalid timeout: {body.get('timeout')!r}") from exc
+        try:
+            recommendation = self.dispatcher.recommend(
+                dataset,
+                model=body.get("model"),
+                version=body.get("version"),
+                timeout=timeout,
+            )
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        except (ValueError, RuntimeError, TimeoutError) as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return recommendation.as_dict()
+
+    def promote_payload(self, body: Any) -> dict:
+        if not isinstance(body, dict) or "name" not in body or "version" not in body:
+            raise ServiceError(400, "promote needs {'name', 'version'}")
+        try:
+            self.registry.promote(str(body["name"]), str(body["version"]))
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return {
+            "name": body["name"],
+            "current_version": self.registry.current_version(str(body["name"])),
+        }
+
+    def rollback_payload(self, body: Any) -> dict:
+        if not isinstance(body, dict) or "name" not in body:
+            raise ServiceError(400, "rollback needs {'name'}")
+        try:
+            version = self.registry.rollback(str(body["name"]))
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return {"name": body["name"], "current_version": version}
+
+    def jobs_payload(self, status: str | None = None) -> dict:
+        try:
+            records = self.fit_jobs.jobs(status)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        return {"jobs": [record.as_dict() for record in records]}
+
+    def job_payload(self, job_id: str) -> dict:
+        try:
+            return self.fit_jobs.get(job_id).as_dict()
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+
+    def submit_job_payload(self, body: Any) -> dict:
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        kind = body.get("kind")
+        if kind == "refine":
+            if "model" not in body:
+                raise ServiceError(400, "refine jobs need {'model', 'dataset'}")
+            dataset = dataset_from_json(body.get("dataset"))
+            job_id = self._submit(
+                self.fit_jobs.submit_refine,
+                str(body["model"]),
+                dataset,
+                version=body.get("version"),
+                time_limit=body.get("time_limit"),
+                max_evaluations=body.get("max_evaluations", 30),
+                cv=self.dispatcher.cv,
+                tuning_max_records=self.dispatcher.tuning_max_records,
+                # Default to the dispatcher's metric so the refined shard is
+                # the one /recommend reads; an explicit body metric still
+                # wins (its results serve only a matching dispatcher).
+                random_state=self.dispatcher.random_state,
+                metric=body.get("metric", self.dispatcher.metric),
+            )
+        elif kind == "fit":
+            if "model" not in body or "datasets" not in body:
+                raise ServiceError(400, "fit jobs need {'model', 'datasets'}")
+            datasets = body.get("datasets")
+            if not isinstance(datasets, list) or not datasets:
+                raise ServiceError(400, "fit jobs need a non-empty 'datasets' list")
+            parsed = [dataset_from_json(entry) for entry in datasets]
+            try:
+                task = resolve_task(body.get("task") or parsed[0].task).value
+            except ValueError as exc:
+                raise ServiceError(400, str(exc)) from exc
+            dmd_options = body.get("dmd")
+            if dmd_options is not None and not isinstance(dmd_options, dict):
+                raise ServiceError(400, "'dmd' must be an object of DMD options")
+            algorithms = body.get("algorithms")
+            algorithm_registry = None
+            if algorithms is not None:
+                try:
+                    algorithm_registry = registry_for_task(task).subset(list(algorithms))
+                except (KeyError, ValueError) as exc:
+                    raise ServiceError(400, f"invalid algorithms/task: {exc}") from exc
+            try:
+                dmd = (
+                    DecisionMakingModelDesigner(task=task, **dmd_options)
+                    if dmd_options
+                    else None
+                )
+            except TypeError as exc:
+                raise ServiceError(400, f"invalid dmd options: {exc}") from exc
+            job_id = self._submit(
+                self.fit_jobs.submit_fit,
+                str(body["model"]),
+                parsed,
+                task=task,
+                dmd=dmd,
+                algorithm_registry=algorithm_registry,
+                promote=bool(body.get("promote", True)),
+                cv=int(body.get("cv", 3)),
+                max_records=body.get("max_records", 250),
+                metric=body.get("metric"),
+            )
+        else:
+            raise ServiceError(400, f"unknown job kind {kind!r} (use 'fit' or 'refine')")
+        return self.fit_jobs.get(job_id).as_dict()
+
+    @staticmethod
+    def _submit(submit_fn, *args, **kwargs) -> str:
+        """Map submission-time validation errors (bad names, empty dataset
+        lists) to 400s; only errors inside the running job become job
+        failures."""
+        try:
+            return submit_fn(*args, **kwargs)
+        except ValueError as exc:
+            raise ServiceError(400, str(exc)) from exc
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its :class:`RecommendationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, service: RecommendationService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, handler)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: ServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from exc
+
+    def _dispatch(self, fn) -> None:
+        try:
+            payload = fn()
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — one request never kills the server
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(200, payload)
+
+    # -- routes ------------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        service = self.server.service
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._dispatch(service.healthz_payload)
+        elif path == "/models":
+            self._dispatch(service.models_payload)
+        elif path == "/jobs":
+            status = None
+            for part in query.split("&"):
+                if part.startswith("status="):
+                    status = part.split("=", 1)[1] or None
+            self._dispatch(lambda: service.jobs_payload(status))
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            self._dispatch(lambda: service.job_payload(job_id))
+        else:
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        service = self.server.service
+        path = self.path.partition("?")[0]
+        routes = {
+            "/recommend": service.recommend_payload,
+            "/models/promote": service.promote_payload,
+            "/models/rollback": service.rollback_payload,
+            "/jobs": service.submit_job_payload,
+        }
+        handler = routes.get(path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        self._dispatch(lambda: handler(self._read_body()))
+
+
+def make_http_server(
+    service: RecommendationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind the HTTP front end (``port=0`` picks an ephemeral port).
+
+    The caller owns the lifecycle: ``serve_forever()`` (often on a thread),
+    then ``shutdown()``/``server_close()`` and ``service.close()``.
+    """
+    return ServiceServer((host, port), _ServiceHandler, service, quiet=quiet)
+
+
+def serve_in_thread(
+    service: RecommendationService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ServiceServer, threading.Thread]:
+    """Convenience for tests/examples: serve on a daemon thread, return both."""
+    server = make_http_server(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

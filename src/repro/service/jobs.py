@@ -1,0 +1,159 @@
+"""Async fit/refine jobs — the training tier of the serving subsystem.
+
+Serving must never block on training, so the two expensive operations run on
+a background :class:`~repro.execution.jobs.JobQueue`:
+
+* **fit** — a full ``AutoModel.fit_from_datasets`` pipeline (corpus →
+  performance table → DMD), published into the :class:`ModelRegistry` as a
+  new version when it completes.  With ``promote=True`` the new version goes
+  live atomically; in-flight requests finish against the old snapshot.
+* **refine** — a UDR tuning run (`respond`) against a served model.  The
+  run executes through the shared
+  :class:`~repro.execution.engine.EvaluationEngine` and persists every
+  evaluation into the version's :class:`~repro.execution.store.ResultStore`,
+  so as soon as the job completes the dispatcher serves the tuned
+  configuration instead of the catalogue default — the refined model is
+  servable without a restart.
+
+Both job kinds inherit the queue's crash containment: a failing pipeline
+marks its job ``failed`` (traceback preserved) and the workers keep serving
+the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.automodel import AutoModel
+from ..core.dmd import DecisionMakingModelDesigner
+from ..datasets.dataset import Dataset
+from ..execution.jobs import JobQueue, JobRecord
+from .registry import ModelRegistry
+
+__all__ = ["FitJobQueue"]
+
+
+class FitJobQueue:
+    """Background fit/refine jobs feeding a :class:`ModelRegistry`.
+
+    The refine defaults (``cv=5``, ``tuning_max_records=400``,
+    ``random_state=0``) mirror the dispatcher's, so refined configurations
+    land in exactly the store shard the dispatcher reads.
+    """
+
+    def __init__(self, registry: ModelRegistry, n_workers: int = 1) -> None:
+        self.registry = registry
+        self.queue = JobQueue(n_workers=n_workers, name="fit")
+
+    # -- job kinds ---------------------------------------------------------------------
+    def submit_fit(
+        self,
+        name: str,
+        datasets: list[Dataset],
+        task: str | None = None,
+        dmd: DecisionMakingModelDesigner | None = None,
+        algorithm_registry=None,
+        promote: bool = True,
+        cv: int = 3,
+        max_records: int | None = 250,
+        n_workers: int = 1,
+        metric: str | None = None,
+        corpus_config=None,
+    ) -> str:
+        """Queue a full fit pipeline; the result is a new registry version."""
+        self.registry.validate_name(name)  # reject bad names before training
+        if not datasets:
+            raise ValueError("a fit job needs at least one knowledge dataset")
+
+        def run() -> dict[str, Any]:
+            model = AutoModel.fit_from_datasets(
+                datasets,
+                registry=algorithm_registry,
+                dmd=dmd,
+                corpus_config=corpus_config,
+                cv=cv,
+                max_records=max_records,
+                n_workers=n_workers,
+                task=task,
+                metric=metric,
+            )
+            version = self.registry.publish(
+                model,
+                name,
+                activate=promote,
+                metadata={"job": "fit", "n_knowledge_datasets": len(datasets)},
+            )
+            return {
+                "model": name,
+                "version": version,
+                "promoted": promote or self.registry.current_version(name) == version,
+                "task": model.task.value,
+                "knowledge_pairs": model.knowledge_size,
+            }
+
+        return self.queue.submit(
+            "fit", run, detail={"model": name, "n_datasets": len(datasets)}
+        )
+
+    def submit_refine(
+        self,
+        name: str,
+        dataset: Dataset,
+        version: str | None = None,
+        time_limit: float | None = None,
+        max_evaluations: int | None = 30,
+        cv: int = 5,
+        tuning_max_records: int | None = 400,
+        random_state: int | None = 0,
+        metric: str | None = None,
+    ) -> str:
+        """Queue a UDR tuning run whose results become servable via the store."""
+        self.registry.validate_name(name)
+
+        def run() -> dict[str, Any]:
+            servable = self.registry.resolve(name, version)
+            if dataset.task.value != servable.task:
+                raise ValueError(
+                    f"model {name!r} serves {servable.task} tasks; dataset "
+                    f"{dataset.name!r} is {dataset.task.value}"
+                )
+            responder = servable.model.responder(
+                cv=cv,
+                tuning_max_records=tuning_max_records,
+                random_state=random_state,
+                metric=metric,
+            )
+            solution = responder.respond(
+                dataset,
+                time_limit=time_limit,
+                max_evaluations=max_evaluations,
+                fit_final_estimator=False,
+            )
+            out = solution.summary()
+            out["model"] = servable.name
+            out["version"] = servable.version
+            out["store_context"] = responder.store_context(dataset, solution.algorithm)
+            return out
+
+        return self.queue.submit(
+            "refine", run, detail={"model": name, "dataset": dataset.name}
+        )
+
+    # -- passthroughs ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        return self.queue.get(job_id)
+
+    def jobs(self, status: str | None = None) -> list[JobRecord]:
+        return self.queue.jobs(status)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        return self.queue.wait(job_id, timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    def stats(self) -> dict:
+        return self.queue.stats.as_dict()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.queue.shutdown(wait=wait)

@@ -1,0 +1,351 @@
+"""Versioned model registry — the artifact tier of the serving subsystem.
+
+A :class:`ModelRegistry` owns a directory of named models, each with an
+append-only sequence of immutable versions (every version is a full
+:meth:`~repro.core.automodel.AutoModel.save` cache directory: decision model,
+performance table, corpus, result store) plus an atomically swapped pointer
+to the *current* version:
+
+.. code-block:: text
+
+    <root>/
+      <model-name>/
+        CURRENT.json            # {"version": ..., "previous": ...} — os.replace'd
+        versions/
+          v0001/
+            decision_model.json # + manifest metadata (registry provenance)
+            performance_table.json, corpus.json, results/ ...
+          v0002/ ...
+
+Design points
+-------------
+* **Atomic promote/rollback.**  ``CURRENT.json`` is rewritten via a temp file
+  and ``os.replace``, so a reader never observes a torn pointer: every
+  :meth:`resolve` returns a consistent ``(name, version, model)`` snapshot —
+  old or new, never a mix.  ``rollback`` flips back to the pointer's recorded
+  ``previous`` version.
+* **LRU of deserialized models.**  Restoring an ``AutoModel`` parses MLP
+  weights out of JSON; the registry keeps the ``max_cached_models`` most
+  recently served ``(name, version)`` instances hot so steady-state request
+  handling never touches disk.
+* **Discovery.**  Any cache directory produced by
+  ``AutoModel.fit_from_datasets(cache_dir=...)`` / ``save`` can be imported
+  as a new version (:meth:`import_cache_dir`), and the registry lists models
+  cheaply through the persistence manifests (no weight deserialisation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.automodel import AutoModel
+from ..core.persistence import read_decision_model_manifest
+
+__all__ = ["ServableModel", "ModelRegistry", "default_registry_root"]
+
+_MODEL_FILE = "decision_model.json"
+_POINTER_FILE = "CURRENT.json"
+_VERSIONS_DIR = "versions"
+
+REGISTRY_ENV_VAR = "REPRO_REGISTRY_DIR"
+
+
+def default_registry_root() -> Path:
+    """The registry directory the service CLI uses when none is given.
+
+    Overridable with the ``REPRO_REGISTRY_DIR`` environment variable.
+    """
+    override = os.environ.get(REGISTRY_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".repro" / "registry"
+
+
+@dataclass(frozen=True)
+class ServableModel:
+    """A consistent snapshot handed to the dispatcher: one name@version pair."""
+
+    name: str
+    version: str
+    model: AutoModel
+
+    @property
+    def task(self) -> str:
+        return self.model.task.value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "task": self.task,
+            "labels": list(self.model.decision_model.labels),
+        }
+
+
+class ModelRegistry:
+    """Discovers, versions and hot-swaps saved decision models."""
+
+    def __init__(self, root: str | Path, max_cached_models: int = 8) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_cached_models = int(max_cached_models)
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[tuple[str, str], AutoModel] = OrderedDict()
+        self.model_loads = 0
+        self.model_cache_hits = 0
+
+    # -- layout ------------------------------------------------------------------------
+    @staticmethod
+    def validate_name(name: str) -> str:
+        # "." and ".." pass a pure character check but would escape the
+        # registry root when joined into paths (reachable over HTTP).
+        if (
+            not name
+            or set(name) == {"."}
+            or not all(ch.isalnum() or ch in "-_." for ch in name)
+        ):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '-', '_', '.'"
+            )
+        return name
+
+    def _model_dir(self, name: str) -> Path:
+        return self.root / self.validate_name(name)
+
+    def _version_dir(self, name: str, version: str) -> Path:
+        return self._model_dir(name) / _VERSIONS_DIR / version
+
+    def _pointer_path(self, name: str) -> Path:
+        return self._model_dir(name) / _POINTER_FILE
+
+    # -- listing -----------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Every model with at least one published version.
+
+        Stray directories that are not valid model names (dropped there by
+        hand or by other tooling) are skipped, never an error.
+        """
+        found = []
+        for entry in sorted(self.root.iterdir()) if self.root.exists() else []:
+            try:
+                if entry.is_dir() and self.versions(entry.name):
+                    found.append(entry.name)
+            except ValueError:
+                continue
+        return found
+
+    def versions(self, name: str) -> list[str]:
+        """Published versions of ``name``, oldest first."""
+        versions_dir = self._model_dir(name) / _VERSIONS_DIR
+        if not versions_dir.exists():
+            return []
+        return sorted(
+            entry.name
+            for entry in versions_dir.iterdir()
+            if entry.is_dir() and (entry / _MODEL_FILE).exists()
+        )
+
+    def manifest(self, name: str, version: str) -> dict:
+        """Cheap manifest of one version (no weight deserialisation)."""
+        model_path = self._version_dir(name, version) / _MODEL_FILE
+        if not model_path.exists():
+            raise KeyError(f"model {name!r} has no version {version!r}")
+        manifest = read_decision_model_manifest(model_path)
+        manifest["name"] = name
+        manifest["version"] = version
+        return manifest
+
+    def describe(self) -> list[dict]:
+        """Registry listing for the ``/models`` endpoint."""
+        out = []
+        for name in self.names():
+            current = self.current_version(name)
+            entry = {
+                "name": name,
+                "current_version": current,
+                "versions": self.versions(name),
+            }
+            if current is not None:
+                manifest = self.manifest(name, current)
+                entry["task"] = manifest["task"]
+                entry["labels"] = manifest["labels"]
+                entry["key_features"] = manifest["key_features"]
+                entry["metadata"] = manifest["metadata"]
+            out.append(entry)
+        return out
+
+    # -- publishing --------------------------------------------------------------------
+    def _next_version(self, name: str) -> str:
+        existing = self.versions(name)
+        numbers = [
+            int(version[1:])
+            for version in existing
+            if version.startswith("v") and version[1:].isdigit()
+        ]
+        return f"v{(max(numbers) + 1 if numbers else 1):04d}"
+
+    def publish(
+        self,
+        model: AutoModel,
+        name: str,
+        activate: bool | None = None,
+        metadata: dict | None = None,
+    ) -> str:
+        """Persist ``model`` as a new version of ``name``; returns the version.
+
+        ``activate=None`` (the default) promotes the new version only when the
+        model has no current version yet — publishing into live traffic is an
+        explicit decision (``activate=True``), never an accident.
+        """
+        with self._lock:
+            version = self._next_version(name)
+            version_dir = self._version_dir(name, version)
+            version_dir.mkdir(parents=True, exist_ok=True)
+            manifest_metadata = {
+                "registry_name": name,
+                "version": version,
+                "published_at": time.time(),
+            }
+            if metadata:
+                manifest_metadata.update(metadata)
+            model.save(version_dir, metadata=manifest_metadata)
+            # AutoModel.save covers model/table/corpus but not the result
+            # store (a directory of shards); carry it over so previously
+            # tuned configurations stay servable from the new version.
+            source_store = getattr(model.store, "root", None)
+            target_store = version_dir / "results"
+            if (
+                source_store is not None
+                and Path(source_store).is_dir()
+                and Path(source_store).resolve() != target_store.resolve()
+            ):
+                shutil.copytree(source_store, target_store, dirs_exist_ok=True)
+            if activate or (activate is None and self.current_version(name) is None):
+                self.promote(name, version)
+            return version
+
+    def import_cache_dir(
+        self, cache_dir: str | Path, name: str, activate: bool | None = None
+    ) -> str:
+        """Discover an existing ``AutoModel`` cache directory as a new version."""
+        model = AutoModel.load(cache_dir)
+        return self.publish(
+            model, name, activate=activate, metadata={"source": str(cache_dir)}
+        )
+
+    # -- the pointer -------------------------------------------------------------------
+    def _read_pointer(self, name: str) -> dict:
+        try:
+            payload = json.loads(self._pointer_path(name).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def _write_pointer(self, name: str, pointer: dict) -> None:
+        path = self._pointer_path(name)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(pointer), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def current_version(self, name: str) -> str | None:
+        """The promoted version of ``name`` (``None`` when nothing is live)."""
+        version = self._read_pointer(name).get("version")
+        if isinstance(version, str) and (self._version_dir(name, version) / _MODEL_FILE).exists():
+            return version
+        return None
+
+    def promote(self, name: str, version: str) -> None:
+        """Atomically make ``version`` the served version of ``name``."""
+        with self._lock:
+            if not (self._version_dir(name, version) / _MODEL_FILE).exists():
+                raise KeyError(f"model {name!r} has no version {version!r}")
+            previous = self.current_version(name)
+            self._write_pointer(
+                name,
+                {"version": version, "previous": previous, "promoted_at": time.time()},
+            )
+
+    def rollback(self, name: str) -> str:
+        """Re-promote the version recorded as ``previous``; returns it."""
+        self.validate_name(name)  # before _read_pointer swallows the ValueError
+        with self._lock:
+            pointer = self._read_pointer(name)
+            previous = pointer.get("previous")
+            if not isinstance(previous, str) or not (
+                self._version_dir(name, previous) / _MODEL_FILE
+            ).exists():
+                raise KeyError(f"model {name!r} has no version to roll back to")
+            self.promote(name, previous)
+            return previous
+
+    # -- serving -----------------------------------------------------------------------
+    def _load(self, name: str, version: str) -> AutoModel:
+        key = (name, version)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.model_cache_hits += 1
+                return cached
+            version_dir = self._version_dir(name, version)
+            if not (version_dir / _MODEL_FILE).exists():
+                raise KeyError(f"model {name!r} has no version {version!r}")
+        # Deserialisation (JSON + MLP weights) happens OUTSIDE the lock so a
+        # cold load never stalls other models' resolves or promote/publish.
+        # Two threads may race the same load; the first insert wins.
+        model = AutoModel.load(version_dir)
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                self._cache.move_to_end(key)
+                self.model_cache_hits += 1
+                return existing
+            self._cache[key] = model
+            self.model_loads += 1
+            while len(self._cache) > self.max_cached_models:
+                self._cache.popitem(last=False)
+            return model
+
+    def resolve(self, name: str | None = None, version: str | None = None) -> ServableModel:
+        """A consistent ``(name, version, model)`` snapshot for serving.
+
+        ``name=None`` resolves the registry's only model (an error when the
+        registry serves several — the request must say which); note this
+        convenience walks the registry directory per call, so latency-critical
+        clients should name the model.  ``version`` pins a specific version;
+        otherwise the current pointer is read once, so concurrent promotes can
+        never produce a mixed snapshot.
+        """
+        if name is None:
+            names = self.names()
+            if len(names) != 1:
+                raise KeyError(
+                    f"registry serves {len(names)} models ({names}); "
+                    "the request must name one"
+                )
+            name = names[0]
+        if version is None:
+            version = self.current_version(name)
+            if version is None:
+                raise KeyError(f"model {name!r} has no promoted version")
+        return ServableModel(name=name, version=version, model=self._load(name, version))
+
+    def stats(self) -> dict:
+        n_models = len(self.names())  # directory walk — outside the lock
+        with self._lock:
+            return {
+                "models": n_models,
+                "cached_models": len(self._cache),
+                "model_loads": self.model_loads,
+                "model_cache_hits": self.model_cache_hits,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(root={str(self.root)!r}, models={self.names()})"

@@ -1,0 +1,139 @@
+"""Batched inference APIs: DecisionModel.*_many, UDR/AutoModel batch paths.
+
+The contract is equivalence: a batch call must produce exactly the results
+of the corresponding single calls, while doing one decision-model forward
+pass for the whole batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoModel, DecisionMakingModelDesigner
+from repro.core.udr import CASHSolution
+from repro.datasets import make_gaussian_clusters
+
+
+@pytest.fixture(scope="module")
+def batch_automodel(knowledge_datasets, small_registry, small_performance):
+    dmd = DecisionMakingModelDesigner(
+        skip_feature_selection=True,
+        architecture_population=4,
+        architecture_generations=1,
+        architecture_max_evaluations=4,
+        cv=2,
+        random_state=0,
+    )
+    return AutoModel.fit_from_datasets(
+        knowledge_datasets,
+        registry=small_registry,
+        dmd=dmd,
+        performance=small_performance,
+        cv=2,
+        max_records=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def query_datasets():
+    return [
+        make_gaussian_clusters(
+            f"batch-q{i}", n_records=60 + 10 * i, n_numeric=4, n_categorical=1,
+            n_classes=2 + (i % 2), random_state=3000 + i,
+        )
+        for i in range(5)
+    ]
+
+
+class TestDecisionModelBatch:
+    def test_scores_many_matches_scores(self, batch_automodel, query_datasets):
+        model = batch_automodel.decision_model
+        batched = model.scores_many(query_datasets)
+        for dataset, scores in zip(query_datasets, batched):
+            single = model.scores(dataset)
+            assert set(scores) == set(single)
+            for label in single:
+                assert scores[label] == pytest.approx(single[label])
+
+    def test_scores_matrix_shape(self, batch_automodel, query_datasets):
+        model = batch_automodel.decision_model
+        matrix = model.scores_matrix(query_datasets)
+        assert matrix.shape == (len(query_datasets), len(model.labels))
+        empty = model.scores_matrix([])
+        assert empty.shape == (0, len(model.labels))
+
+    def test_select_and_rank_many_match_singles(self, batch_automodel, query_datasets):
+        model = batch_automodel.decision_model
+        assert model.select_many(query_datasets) == [
+            model.select(d) for d in query_datasets
+        ]
+        assert model.rank_many(query_datasets) == [
+            model.rank(d) for d in query_datasets
+        ]
+
+
+class TestResponderBatch:
+    def test_select_algorithms_matches_singles(self, batch_automodel, query_datasets):
+        responder = batch_automodel.responder()
+        assert responder.select_algorithms(query_datasets) == [
+            responder.select_algorithm(d) for d in query_datasets
+        ]
+
+    def test_automodel_select_algorithms(self, batch_automodel, query_datasets):
+        assert batch_automodel.select_algorithms(query_datasets) == [
+            batch_automodel.select_algorithm(d) for d in query_datasets
+        ]
+
+    def test_respond_preselected_algorithm_rejected_outside_catalogue(
+        self, batch_automodel, query_datasets
+    ):
+        responder = batch_automodel.responder()
+        with pytest.raises(KeyError):
+            responder.respond(query_datasets[0], algorithm="NotAnAlgorithm")
+
+
+class TestRecommendMany:
+    def test_recommend_many_matches_singlewise_recommend(
+        self, batch_automodel, query_datasets
+    ):
+        batch = batch_automodel.recommend_many(
+            query_datasets[:3],
+            time_limit=None,
+            max_evaluations=4,
+            cv=2,
+            tuning_max_records=50,
+        )
+        assert len(batch) == 3
+        for dataset, solution in zip(query_datasets[:3], batch):
+            assert isinstance(solution, CASHSolution)
+            single = batch_automodel.recommend(
+                dataset,
+                time_limit=None,
+                max_evaluations=4,
+                cv=2,
+                tuning_max_records=50,
+            )
+            assert solution.algorithm == single.algorithm
+            assert solution.config == single.config
+            assert solution.cv_score == pytest.approx(single.cv_score)
+
+    def test_recommend_many_solutions_are_valid(self, batch_automodel, query_datasets):
+        solutions = batch_automodel.recommend_many(
+            query_datasets,
+            time_limit=None,
+            max_evaluations=3,
+            cv=2,
+            tuning_max_records=50,
+        )
+        for solution in solutions:
+            assert solution.algorithm in batch_automodel.registry.names
+            assert batch_automodel.registry.space(solution.algorithm).validate(
+                solution.config
+            )
+            assert np.isfinite(solution.cv_score)
+
+
+class TestDMDBatchDiagnostic:
+    def test_training_selection_agreement_reported(self, batch_automodel):
+        diagnostics = batch_automodel.dmd_result.diagnostics
+        assert "training_selection_agreement" in diagnostics
+        assert 0.0 <= diagnostics["training_selection_agreement"] <= 1.0

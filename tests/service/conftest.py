@@ -1,0 +1,46 @@
+"""Fixtures for the serving-subsystem tests (helpers live in _helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automodel import AutoModel
+from repro.datasets import Dataset, make_friedman, make_gaussian_clusters
+from repro.service import ModelRegistry
+
+from _helpers import constant_automodel
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")
+
+
+@pytest.fixture
+def clf_model() -> AutoModel:
+    return constant_automodel(["J48", "NaiveBayes", "IBk"], "J48")
+
+
+@pytest.fixture
+def clf_model_alt() -> AutoModel:
+    return constant_automodel(["J48", "NaiveBayes", "IBk"], "NaiveBayes")
+
+
+@pytest.fixture
+def reg_model() -> AutoModel:
+    return constant_automodel(["Ridge", "RegressionTree"], "Ridge", task="regression")
+
+
+@pytest.fixture
+def clf_dataset() -> Dataset:
+    return make_gaussian_clusters(
+        "clf-query", n_records=80, n_numeric=4, n_categorical=1, n_classes=2,
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def reg_dataset() -> Dataset:
+    return make_friedman(
+        "reg-query", n_records=80, n_numeric=5, n_categorical=0, random_state=1
+    )

@@ -1,0 +1,200 @@
+"""Job lifecycle tests: the generic JobQueue and the serving FitJobQueue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.dmd import DecisionMakingModelDesigner
+from repro.execution import JobQueue
+from repro.learners import default_registry
+from repro.service import FitJobQueue, RecommendationDispatcher
+
+
+class TestJobQueue:
+    def test_lifecycle_queued_running_done(self):
+        queue = JobQueue(n_workers=1, name="t")
+        release = threading.Event()
+        started = threading.Event()
+
+        def work():
+            started.set()
+            release.wait(10)
+            return {"answer": 42}
+
+        job_id = queue.submit("demo", work, detail={"who": "test"})
+        assert queue.get(job_id).status in ("queued", "running")
+        started.wait(10)
+        assert queue.get(job_id).status == "running"
+        release.set()
+        record = queue.wait(job_id, timeout=10)
+        assert record.status == "done"
+        assert record.result == {"answer": 42}
+        assert record.detail == {"who": "test"}
+        assert record.started_at >= record.submitted_at
+        assert record.finished_at >= record.started_at
+        queue.shutdown()
+
+    def test_crash_containment(self):
+        queue = JobQueue(n_workers=1, name="t")
+
+        def boom():
+            raise RuntimeError("exploded on purpose")
+
+        failed = queue.wait(queue.submit("bad", boom), timeout=10)
+        assert failed.status == "failed"
+        assert "exploded on purpose" in failed.error
+        # The worker survived the crash and still runs jobs.
+        ok = queue.wait(queue.submit("good", lambda: "fine"), timeout=10)
+        assert ok.status == "done" and ok.result == "fine"
+        assert queue.stats.n_failed == 1 and queue.stats.n_done == 1
+        queue.shutdown()
+
+    def test_fifo_order_and_parallel_workers(self):
+        queue = JobQueue(n_workers=2, name="t")
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def work(i):
+            with lock:
+                seen.append(i)
+            return i
+
+        ids = [queue.submit("n", lambda i=i: work(i)) for i in range(6)]
+        records = [queue.wait(job_id, timeout=10) for job_id in ids]
+        assert [r.result for r in records] == list(range(6))
+        assert sorted(seen) == list(range(6))
+        queue.shutdown()
+
+    def test_cancel_queued_job(self):
+        queue = JobQueue(n_workers=1, name="t")
+        release = threading.Event()
+        blocker = queue.submit("hold", lambda: release.wait(10))
+        victim = queue.submit("victim", lambda: "never")
+        assert queue.cancel(victim) is True
+        release.set()
+        assert queue.wait(victim, timeout=10).status == "cancelled"
+        assert queue.wait(blocker, timeout=10).status == "done"
+        # A job that already ran cannot be cancelled.
+        assert queue.cancel(blocker) is False
+        queue.shutdown()
+
+    def test_jobs_listing_and_filters(self):
+        queue = JobQueue(n_workers=1, name="t")
+        done_id = queue.submit("a", lambda: 1)
+        queue.wait(done_id, timeout=10)
+        queue.wait(queue.submit("b", lambda: 1 / 0), timeout=10)
+        assert {r.status for r in queue.jobs()} == {"done", "failed"}
+        assert [r.kind for r in queue.jobs(status="failed")] == ["b"]
+        with pytest.raises(ValueError):
+            queue.jobs(status="bogus")
+        with pytest.raises(KeyError):
+            queue.get("t-9999")
+        queue.shutdown()
+
+    def test_shutdown_rejects_new_jobs(self):
+        queue = JobQueue(n_workers=1, name="t")
+        queue.shutdown()
+        with pytest.raises(RuntimeError):
+            queue.submit("late", lambda: None)
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        queue = JobQueue(n_workers=1, name="t")
+        record = queue.wait(queue.submit("obj", lambda: object()), timeout=10)
+        payload = record.as_dict()
+        json.dumps(payload)  # rich results degrade to repr, never crash
+        assert payload["status"] == "done"
+        queue.shutdown()
+
+
+class TestFitJobQueue:
+    def test_refine_job_makes_tuned_config_servable(
+        self, registry, clf_model, clf_dataset
+    ):
+        registry.publish(clf_model, "clf")
+        jobs = FitJobQueue(registry, n_workers=1)
+        job_id = jobs.submit_refine("clf", clf_dataset, max_evaluations=4)
+        record = jobs.wait(job_id, timeout=120)
+        assert record.status == "done", record.error
+        assert record.result["model"] == "clf"
+        assert record.result["algorithm"] == "J48"
+        assert record.result["n_evaluations"] > 0
+        # The refined configuration is now served instead of the default.
+        with RecommendationDispatcher(registry, batching=False) as dispatcher:
+            rec = dispatcher.recommend(clf_dataset, model="clf")
+        assert rec.config_source == "tuned-store"
+        assert rec.config == record.result["config"]
+        jobs.shutdown()
+
+    def test_refine_failure_is_contained(self, registry, clf_model, reg_dataset):
+        registry.publish(clf_model, "clf")
+        jobs = FitJobQueue(registry, n_workers=1)
+        # A regression dataset against a classification model crashes the
+        # tuning pipeline; the job fails, the queue survives.
+        record = jobs.wait(
+            jobs.submit_refine("clf", reg_dataset, max_evaluations=3), timeout=120
+        )
+        assert record.status == "failed"
+        assert record.error
+        assert jobs.stats()["n_failed"] == 1
+        jobs.shutdown()
+
+    def test_refine_unknown_model_fails_cleanly(self, registry, clf_dataset):
+        jobs = FitJobQueue(registry, n_workers=1)
+        record = jobs.wait(
+            jobs.submit_refine("ghost", clf_dataset, max_evaluations=2), timeout=60
+        )
+        assert record.status == "failed"
+        assert "ghost" in record.error
+        jobs.shutdown()
+
+    def test_fit_job_publishes_and_promotes(self, registry, knowledge_datasets):
+        jobs = FitJobQueue(registry, n_workers=1)
+        dmd = DecisionMakingModelDesigner(
+            skip_feature_selection=True,
+            architecture_population=4,
+            architecture_generations=1,
+            architecture_max_evaluations=4,
+            cv=2,
+            random_state=0,
+        )
+        catalogue = default_registry().subset(["J48", "NaiveBayes", "IBk", "ZeroR", "OneR", "DecisionStump"])
+        job_id = jobs.submit_fit(
+            "fitted",
+            knowledge_datasets,
+            dmd=dmd,
+            algorithm_registry=catalogue,
+            cv=2,
+            max_records=60,
+        )
+        record = jobs.wait(job_id, timeout=600)
+        assert record.status == "done", record.error
+        assert record.result["version"] == "v0001"
+        assert record.result["promoted"] is True
+        servable = registry.resolve("fitted")
+        assert servable.version == "v0001"
+        assert set(servable.model.decision_model.labels) <= set(catalogue.names)
+        jobs.shutdown()
+
+    def test_fit_job_requires_datasets(self, registry):
+        jobs = FitJobQueue(registry)
+        with pytest.raises(ValueError):
+            jobs.submit_fit("empty", [])
+        jobs.shutdown()
+
+
+class TestJobHistoryBound:
+    def test_finished_jobs_are_pruned(self):
+        queue = JobQueue(n_workers=1, name="t", max_finished_jobs=3)
+        ids = [queue.submit("n", lambda i=i: i) for i in range(6)]
+        for job_id in ids:
+            queue.wait(job_id, timeout=10)
+        queue.submit("trigger", lambda: None)  # pruning happens on submit
+        remaining = {record.job_id for record in queue.jobs()}
+        # Only the newest finished records (plus the trigger) survive.
+        assert len(remaining) <= 5
+        assert ids[0] not in remaining
+        assert ids[-1] in remaining
+        queue.shutdown()

@@ -1,0 +1,226 @@
+"""ModelRegistry: versioning, atomic promote/rollback, manifests, the LRU."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.persistence import read_decision_model_manifest
+from repro.service import ModelRegistry
+
+from _helpers import constant_automodel
+
+
+class TestPublishAndVersions:
+    def test_first_publish_creates_v1_and_promotes(self, registry, clf_model):
+        version = registry.publish(clf_model, "clf")
+        assert version == "v0001"
+        assert registry.versions("clf") == ["v0001"]
+        assert registry.current_version("clf") == "v0001"
+
+    def test_versions_are_monotonic(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "clf")
+        second = registry.publish(clf_model_alt, "clf")
+        assert second == "v0002"
+        assert registry.versions("clf") == ["v0001", "v0002"]
+
+    def test_later_publish_does_not_auto_promote(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "clf")
+        registry.publish(clf_model_alt, "clf")
+        assert registry.current_version("clf") == "v0001"
+
+    def test_publish_activate_promotes_immediately(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "clf")
+        version = registry.publish(clf_model_alt, "clf", activate=True)
+        assert registry.current_version("clf") == version
+
+    def test_invalid_names_rejected(self, registry, clf_model):
+        for bad in ("", "a/b", "a b", "../x"):
+            with pytest.raises(ValueError):
+                registry.publish(clf_model, bad)
+
+    def test_names_lists_only_models_with_versions(self, registry, clf_model, reg_model):
+        registry.publish(clf_model, "clf")
+        registry.publish(reg_model, "reg")
+        (registry.root / "empty-dir").mkdir()
+        assert registry.names() == ["clf", "reg"]
+
+    def test_import_cache_dir_discovers_saved_automodel(self, registry, clf_model, tmp_path):
+        cache = tmp_path / "trained"
+        clf_model.save(cache)
+        version = registry.import_cache_dir(cache, "imported")
+        assert registry.current_version("imported") == version
+        manifest = registry.manifest("imported", version)
+        assert manifest["metadata"]["source"] == str(cache)
+
+
+class TestManifests:
+    def test_manifest_carries_provenance_and_model_info(self, registry, reg_model):
+        version = registry.publish(reg_model, "reg", metadata={"owner": "team-a"})
+        manifest = registry.manifest("reg", version)
+        assert manifest["task"] == "regression"
+        assert manifest["labels"] == ["Ridge", "RegressionTree"]
+        assert manifest["metadata"]["registry_name"] == "reg"
+        assert manifest["metadata"]["version"] == version
+        assert manifest["metadata"]["owner"] == "team-a"
+        assert manifest["metadata"]["published_at"] > 0
+
+    def test_manifest_reads_without_deserializing_weights(self, registry, clf_model):
+        version = registry.publish(clf_model, "clf")
+        path = registry.root / "clf" / "versions" / version / "decision_model.json"
+        manifest = read_decision_model_manifest(path)
+        assert manifest["key_features"] == clf_model.decision_model.extractor.feature_names
+        assert manifest["format_version"] == 1
+
+    def test_describe_lists_everything(self, registry, clf_model, reg_model):
+        registry.publish(clf_model, "clf")
+        registry.publish(reg_model, "reg")
+        listing = {entry["name"]: entry for entry in registry.describe()}
+        assert listing["clf"]["task"] == "classification"
+        assert listing["reg"]["task"] == "regression"
+        assert listing["clf"]["current_version"] == "v0001"
+
+    def test_unknown_version_raises(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        with pytest.raises(KeyError):
+            registry.manifest("clf", "v9999")
+
+
+class TestPromoteRollback:
+    def test_promote_unknown_version_raises(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        with pytest.raises(KeyError):
+            registry.promote("clf", "v0042")
+
+    def test_rollback_flips_to_previous(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "clf")
+        v2 = registry.publish(clf_model_alt, "clf", activate=True)
+        assert registry.current_version("clf") == v2
+        assert registry.rollback("clf") == "v0001"
+        assert registry.current_version("clf") == "v0001"
+
+    def test_rollback_without_history_raises(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        with pytest.raises(KeyError):
+            registry.rollback("clf")
+
+    def test_pointer_is_never_torn_under_concurrent_promotes(self, registry, clf_model, clf_model_alt):
+        v1 = registry.publish(clf_model, "clf")
+        v2 = registry.publish(clf_model_alt, "clf")
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def flip():
+            while not stop.is_set():
+                registry.promote("clf", v2)
+                registry.promote("clf", v1)
+
+        def read():
+            try:
+                for _ in range(300):
+                    pointer = json.loads(
+                        (registry.root / "clf" / "CURRENT.json").read_text()
+                    )
+                    assert pointer["version"] in (v1, v2)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        flipper = threading.Thread(target=flip)
+        readers = [threading.Thread(target=read) for _ in range(4)]
+        flipper.start()
+        for reader in readers:
+            reader.start()
+        for reader in readers:
+            reader.join()
+        stop.set()
+        flipper.join()
+        assert not errors
+
+
+class TestResolveAndCache:
+    def test_resolve_returns_consistent_snapshot(self, registry, clf_model, clf_dataset):
+        registry.publish(clf_model, "clf")
+        servable = registry.resolve("clf")
+        assert servable.name == "clf"
+        assert servable.version == "v0001"
+        assert servable.model.decision_model.select(clf_dataset) == "J48"
+
+    def test_resolve_single_model_without_name(self, registry, clf_model):
+        registry.publish(clf_model, "only")
+        assert registry.resolve().name == "only"
+
+    def test_resolve_ambiguous_without_name_raises(self, registry, clf_model, reg_model):
+        registry.publish(clf_model, "a")
+        registry.publish(reg_model, "b")
+        with pytest.raises(KeyError):
+            registry.resolve()
+
+    def test_resolve_unpromoted_model_raises(self, registry, clf_model):
+        registry.publish(clf_model, "clf", activate=False)
+        with pytest.raises(KeyError):
+            registry.resolve("clf")
+
+    def test_lru_serves_repeat_resolves_from_memory(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        first = registry.resolve("clf").model
+        second = registry.resolve("clf").model
+        assert first is second
+        assert registry.model_loads == 1
+        assert registry.model_cache_hits == 1
+
+    def test_lru_evicts_beyond_capacity(self, tmp_path, clf_model):
+        small = ModelRegistry(tmp_path / "small", max_cached_models=2)
+        for name in ("a", "b", "c"):
+            small.publish(clf_model, name)
+            small.resolve(name)
+        assert small.stats()["cached_models"] == 2
+        # "a" was evicted; resolving it again is a fresh load.
+        loads_before = small.model_loads
+        small.resolve("a")
+        assert small.model_loads == loads_before + 1
+
+    def test_round_trip_preserves_selection(self, registry, reg_model, reg_dataset):
+        registry.publish(reg_model, "reg")
+        restored = registry.resolve("reg").model
+        assert restored.task.value == "regression"
+        assert restored.decision_model.select(reg_dataset) == "Ridge"
+
+
+class TestNameTraversal:
+    def test_dot_names_rejected_everywhere(self, registry, clf_model):
+        """'.' / '..' pass a pure character check but would escape the root."""
+        for bad in (".", "..", "..."):
+            with pytest.raises(ValueError):
+                registry.publish(clf_model, bad)
+            with pytest.raises(ValueError):
+                registry.promote(bad, "v0001")
+        # Nothing leaked outside (or into) the registry root.
+        assert list(registry.root.parent.glob("versions")) == []
+        assert registry.names() == []
+
+
+class TestRegistryRobustness:
+    def test_stray_directories_are_skipped_not_fatal(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        (registry.root / "my model backup").mkdir()  # invalid name, hand-dropped
+        assert registry.names() == ["clf"]
+        assert registry.stats()["models"] == 1
+        assert [e["name"] for e in registry.describe()] == ["clf"]
+
+    def test_publish_carries_result_store_forward(self, registry, clf_model, tmp_path, clf_dataset):
+        """Tuned configurations in the source store stay servable after publish."""
+        cache = tmp_path / "offline"
+        clf_model.save(cache)
+        from repro.core.automodel import AutoModel
+
+        offline = AutoModel.load(cache)
+        responder = offline.responder(cv=5, tuning_max_records=400)
+        solution = responder.respond(
+            clf_dataset, time_limit=None, max_evaluations=4, fit_final_estimator=False
+        )
+        version = registry.import_cache_dir(cache, "warm")
+        servable = registry.resolve("warm", version)
+        tuned = servable.model.responder(cv=5, tuning_max_records=400).tuned_best(
+            clf_dataset, solution.algorithm
+        )
+        assert tuned and tuned[0][0] == solution.config

@@ -2,8 +2,9 @@
 
 The heavier examples (quickstart, cash_comparison) are exercised end-to-end by
 the benchmark harness's fixtures; here we check that every example compiles
-and that the fast, deterministic one (the Fig. 2 knowledge-acquisition demo)
-runs to completion and derives the expected piece of knowledge.
+and that the fast ones run to completion: the Fig. 2 knowledge-acquisition
+demo derives the expected piece of knowledge, and the serving quickstart
+trains, publishes, serves over HTTP and refines asynchronously.
 """
 
 import importlib.util
@@ -39,3 +40,22 @@ class TestExamples:
         assert "knowledge acquired" in output
         # The most reliable papers (zhang2017, morente2017) both back BayesNet.
         assert "(Wine, BayesNet)" in output
+
+    def test_serve_quickstart_runs(self, capsys):
+        path = EXAMPLES_DIR / "serve_quickstart.py"
+        spec = importlib.util.spec_from_file_location("serve_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "published model 'quickstart' v0001" in output
+        assert "health: ok" in output
+        assert "recommendation:" in output
+        assert "refine job finished: done" in output
+        assert "refined recommendation:" in output
+        assert "tuned-store config" in output
+        assert "serving quickstart complete" in output

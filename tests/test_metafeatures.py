@@ -7,8 +7,10 @@ from repro.datasets import Dataset, make_gaussian_clusters
 from repro.metafeatures import (
     FEATURE_DESCRIPTIONS,
     FEATURE_NAMES,
+    FeatureCache,
     FeatureExtractor,
     compute_feature,
+    feature_cache,
 )
 
 
@@ -134,3 +136,90 @@ class TestFeatureExtractor:
         datasets = knowledge_suite(n_datasets=6, random_state=0)
         matrix = FeatureExtractor().fit_transform(datasets)
         assert np.all(np.isfinite(matrix))
+
+
+class TestFeatureCache:
+    """Fingerprint-keyed memoization of raw feature values (the serving hot path)."""
+
+    def setup_method(self):
+        feature_cache.clear()
+        feature_cache.reset_stats()
+
+    def test_repeat_extraction_hits_cache(self, mixed_dataset):
+        extractor = FeatureExtractor()
+        first = extractor.raw_vector(mixed_dataset)
+        assert feature_cache.stats.misses == 23
+        second = extractor.raw_vector(mixed_dataset)
+        np.testing.assert_array_equal(first, second)
+        assert feature_cache.stats.hits == 23
+        assert feature_cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_cached_values_match_uncached(self, mixed_dataset, numeric_only_dataset):
+        extractor = FeatureExtractor()
+        for dataset in (mixed_dataset, numeric_only_dataset):
+            cached = extractor.raw_vector(dataset)
+            with feature_cache.disabled():
+                uncached = extractor.raw_vector(dataset)
+            np.testing.assert_array_equal(cached, uncached)
+
+    def test_restricted_extractor_shares_cache_entries(self, mixed_dataset):
+        FeatureExtractor().raw_vector(mixed_dataset)
+        misses_before = feature_cache.stats.misses
+        FeatureExtractor(["f1", "f9"]).raw_vector(mixed_dataset)
+        # Per-feature keying: the subset is fully served from the full pass.
+        assert feature_cache.stats.misses == misses_before
+
+    def test_identical_content_different_name_shares_entries(self, mixed_dataset):
+        clone = Dataset(
+            name="other-name",
+            numeric=mixed_dataset.numeric.copy(),
+            categorical=mixed_dataset.categorical.copy(),
+            target=mixed_dataset.target.copy(),
+        )
+        assert clone.fingerprint == mixed_dataset.fingerprint
+        FeatureExtractor().raw_vector(mixed_dataset)
+        misses_before = feature_cache.stats.misses
+        FeatureExtractor().raw_vector(clone)
+        assert feature_cache.stats.misses == misses_before
+
+    def test_different_content_distinct_fingerprints(self, mixed_dataset):
+        changed = Dataset(
+            name=mixed_dataset.name,
+            numeric=mixed_dataset.numeric + 1.0,
+            categorical=mixed_dataset.categorical.copy(),
+            target=mixed_dataset.target.copy(),
+        )
+        assert changed.fingerprint != mixed_dataset.fingerprint
+
+    def test_disabled_cache_bypasses_lookup(self, mixed_dataset):
+        with feature_cache.disabled():
+            FeatureExtractor().raw_vector(mixed_dataset)
+        assert feature_cache.stats.hits == 0
+        assert feature_cache.stats.misses == 0
+        assert len(feature_cache) == 0
+
+    def test_eviction_bounds_memory(self, mixed_dataset, numeric_only_dataset):
+        small = FeatureCache(maxsize=10)
+        small.vector(mixed_dataset, list(FEATURE_NAMES))
+        assert len(small) == 10
+        assert small.stats.evictions == 13
+
+    def test_stats_as_dict_shape(self):
+        stats = feature_cache.stats.as_dict()
+        assert set(stats) == {"hits", "misses", "hit_rate", "evictions"}
+
+    def test_fingerprint_framing_resists_separator_collisions(self):
+        """['a\\x1fb','c'] and ['a','b\\x1fc'] must not share a fingerprint."""
+        numeric = np.ones((2, 1))
+        target = np.array([0, 1])
+        a = Dataset("a", numeric, np.array([["x\x1fy", "z"], ["x\x1fy", "z"]], dtype=object), target)
+        b = Dataset("b", numeric, np.array([["x", "y\x1fz"], ["x", "y\x1fz"]], dtype=object), target)
+        assert a.fingerprint != b.fingerprint
+
+    def test_overlapping_disabled_sections_compose(self, mixed_dataset):
+        with feature_cache.disabled():
+            with feature_cache.disabled():
+                assert not feature_cache.enabled
+            # Inner exit must NOT re-enable while the outer is active.
+            assert not feature_cache.enabled
+        assert feature_cache.enabled

@@ -21,9 +21,11 @@ class TestPackageSurface:
             "corpus",
             "datasets",
             "evaluation",
+            "execution",
             "hpo",
             "learners",
             "metafeatures",
+            "service",
         ):
             assert hasattr(repro, name)
 
@@ -40,7 +42,9 @@ class TestPackageSurface:
             repro.core,
             repro.baselines,
             repro.evaluation,
+            repro.execution,
             repro.metafeatures,
+            repro.service,
         ):
             for name in module.__all__:
                 assert getattr(module, name, None) is not None, f"{module.__name__}.{name}"
