@@ -1,0 +1,88 @@
+"""Benchmark: pipeline search overhead vs bare-estimator search.
+
+Pipelines pay for per-fold preprocessing (imputation, scaling, one-hot
+encoding fitted on each training fold) plus a larger joint space.  This bench
+quantifies that overhead on identical clean data by running the same GA
+budget through the bare J48 spec and its pipeline twin, and asserts two
+floors:
+
+* the per-evaluation overhead factor stays bounded (pipeline wall-clock per
+  execution ≤ ``MAX_OVERHEAD``× the bare one) — preprocessing must not
+  dominate the search;
+* the engine cache works identically for pipelines: GA elites hit the
+  fingerprint cache during the search, and a designed duplicate batch of the
+  incumbent is served ≥ ``MIN_DUP_HIT_RATE`` from cache (namespaced
+  configuration dicts fingerprint just as stably as flat ones).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_dataset
+from repro.execution import estimator_engine
+from repro.hpo import Budget, GeneticAlgorithm, HPOProblem
+from repro.learners import default_registry, make_pipeline_spec, training_matrix
+
+BUDGET_EVALS = 48
+MAX_OVERHEAD = 25.0  # generous ceiling; typical observed is ~1x
+MIN_DUP_HIT_RATE = 0.9
+
+
+def _run_search(spec, dataset):
+    X, y = training_matrix(dataset.subsample(150, random_state=0), spec)
+    engine = estimator_engine(
+        spec.build, X, y, cv=3, random_state=0, name=f"bench-{spec.name}"
+    )
+    problem = HPOProblem(spec.space, engine=engine)
+    optimizer = GeneticAlgorithm(population_size=12, n_generations=8, random_state=0)
+    result = optimizer.optimize(problem, Budget(max_evaluations=BUDGET_EVALS))
+    return result, engine
+
+
+def test_bench_pipeline_search_overhead(benchmark):
+    dataset = make_dataset(
+        "gaussian_clusters", "bench-pipe", n_records=300, n_numeric=6,
+        n_categorical=2, n_classes=3, random_state=0,
+    )
+    bare_spec = default_registry().get("J48")
+    pipe_spec = make_pipeline_spec(bare_spec)
+
+    def run():
+        bare = _run_search(bare_spec, dataset)
+        pipe = _run_search(pipe_spec, dataset)
+        return bare, pipe
+
+    (bare_result, bare_engine), (pipe_result, pipe_engine) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    bare_stats, pipe_stats = bare_engine.stats, pipe_engine.stats
+
+    bare_cost = bare_stats.objective_time / max(1, bare_stats.n_executions)
+    pipe_cost = pipe_stats.objective_time / max(1, pipe_stats.n_executions)
+    overhead = pipe_cost / bare_cost if bare_cost > 0 else 1.0
+    print(
+        f"\nbare:     best={bare_result.best_score:.4f} "
+        f"execs={bare_stats.n_executions} hit_rate={bare_stats.hit_rate:.2%} "
+        f"cost/eval={bare_cost * 1e3:.2f}ms"
+    )
+    print(
+        f"pipeline: best={pipe_result.best_score:.4f} "
+        f"execs={pipe_stats.n_executions} hit_rate={pipe_stats.hit_rate:.2%} "
+        f"cost/eval={pipe_cost * 1e3:.2f}ms"
+    )
+    print(f"per-evaluation overhead: {overhead:.2f}x")
+
+    # Both searches finish their budget with a real answer.
+    assert bare_result.best_score > 0.5
+    assert pipe_result.best_score > 0.5
+    # The GA revisits elites: some search-time cache hits on the joint space.
+    assert pipe_stats.n_cache_hits > 0
+    # Cache-hit floor on a designed duplicate batch: re-proposing the tuned
+    # incumbent 10 times must be served (almost) entirely from cache.
+    executions_before = pipe_stats.n_executions
+    outcomes = pipe_engine.evaluate_many([pipe_result.best_config] * 10)
+    served_cached = sum(1 for outcome in outcomes if outcome.cached)
+    print(f"duplicate-batch cache hits: {served_cached}/10")
+    assert pipe_stats.n_executions == executions_before
+    assert served_cached / len(outcomes) >= MIN_DUP_HIT_RATE
+    # Overhead ceiling: preprocessing per fold must not dominate the search.
+    assert overhead <= MAX_OVERHEAD, overhead

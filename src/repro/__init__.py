@@ -40,10 +40,12 @@ from .core.automodel import AutoModel
 from .core.dmd import DecisionMakingModelDesigner
 from .core.udr import CASHSolution, UserDemandResponser
 from .datasets.dataset import Dataset
+from .datasets.synthetic import corrupt
 from .datasets.task import TaskType
 from .execution import Budget, EvaluationEngine, ResultStore
+from .learners.pipeline import Pipeline, make_pipeline_spec, pipeline_registry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AutoModel",
@@ -55,6 +57,10 @@ __all__ = [
     "Budget",
     "EvaluationEngine",
     "ResultStore",
+    "Pipeline",
+    "make_pipeline_spec",
+    "pipeline_registry",
+    "corrupt",
     "baselines",
     "core",
     "corpus",

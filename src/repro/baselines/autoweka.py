@@ -28,9 +28,10 @@ from ..execution import EvaluationEngine, estimator_engine
 from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.bayesian import BayesianOptimization
 from ..hpo.random_search import RandomSearch
-from ..hpo.space import CategoricalParam, Condition, ConfigSpace
+from ..hpo.space import AndCondition, CategoricalParam, Condition, ConfigSpace
 from ..learners.base import BaseClassifier
 from ..learners.metrics import resolve_scorer
+from ..learners.pipeline import registry_training_matrix, training_matrix
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 
@@ -40,8 +41,24 @@ ALGORITHM_KEY = "__algorithm__"
 _SEPARATOR = "::"
 
 
+def _mangle_condition(condition, algorithm: str):
+    """Rewrite a condition's parent name(s) into the joint-space namespace."""
+    if isinstance(condition, AndCondition):
+        return AndCondition(
+            tuple(_mangle_condition(c, algorithm) for c in condition.conditions)
+        )
+    return Condition(f"{algorithm}{_SEPARATOR}{condition.parent}", condition.values)
+
+
 def joint_space(registry: AlgorithmRegistry) -> ConfigSpace:
-    """Hierarchical CASH space: algorithm choice + all per-algorithm hyperparameters."""
+    """Hierarchical CASH space: algorithm choice + all per-algorithm hyperparameters.
+
+    A parameter's own activation condition (pipeline specs gate e.g.
+    ``encoder:min_frequency`` on ``encoder:group_rare``) is preserved — the
+    joint space requires *both* the root selecting the algorithm and the
+    original condition, so dead knobs of unselected branches never burn
+    evaluations or split cache fingerprints.
+    """
     space = ConfigSpace([CategoricalParam(ALGORITHM_KEY, registry.names)])
     for spec in registry:
         for param in spec.space:
@@ -50,7 +67,13 @@ def joint_space(registry: AlgorithmRegistry) -> ConfigSpace:
             clone = type(param).__new__(type(param))
             clone.__dict__.update(param.__dict__)
             clone.name = mangled
-            space.add(clone, condition=Condition(ALGORITHM_KEY, (spec.name,)))
+            gate = Condition(ALGORITHM_KEY, (spec.name,))
+            original = spec.space.condition(param.name)
+            if original is not None:
+                condition = AndCondition((gate, _mangle_condition(original, spec.name)))
+            else:
+                condition = gate
+            space.add(clone, condition=condition)
     return space
 
 
@@ -145,7 +168,7 @@ class AutoWekaBaseline:
             if self.tuning_max_records
             else dataset
         )
-        X, y = data.to_matrix()
+        X, y = registry_training_matrix(data, self.registry)
 
         def build(config: dict[str, Any]):
             algorithm, params = split_joint_config(config)
@@ -194,7 +217,7 @@ class AutoWekaBaseline:
         algorithm, params = split_joint_config(best_joint)
         estimator: BaseClassifier | None = None
         if fit_final_estimator:
-            X, y = dataset.to_matrix()
+            X, y = training_matrix(dataset, self.registry.get(algorithm))
             try:
                 estimator = self.registry.build(algorithm, params)
                 estimator.fit(X, y)

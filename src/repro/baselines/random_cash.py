@@ -12,6 +12,7 @@ from ..evaluation.performance import PerformanceTable
 from ..execution import estimator_engine
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
+from ..learners.pipeline import training_matrix
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from .autoweka import AutoWekaBaseline, CASHBaselineSolution
@@ -95,7 +96,7 @@ class SingleBestBaseline:
             if self.tuning_max_records
             else dataset
         )
-        X, y = data.to_matrix()
+        X, y = training_matrix(data, spec)
         engine = estimator_engine(
             spec.build,
             X,

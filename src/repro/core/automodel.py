@@ -48,14 +48,15 @@ from ..datasets.dataset import Dataset
 from ..datasets.task import TaskType, resolve_task
 from ..evaluation.performance import PerformanceTable
 from ..execution import ResultStore
+from ..learners.pipeline import pipeline_registry, registry_has_pipelines
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from .architecture_search import DecisionModel
 from .dmd import DecisionMakingModelDesigner, DMDResult
 from .persistence import (
     load_decision_model,
+    read_decision_model_manifest,
     save_decision_model,
-    saved_decision_model_task,
 )
 from .udr import CASHSolution, UserDemandResponser
 
@@ -65,6 +66,21 @@ _MODEL_FILE = "decision_model.json"
 _TABLE_FILE = "performance_table.json"
 _CORPUS_FILE = "corpus.json"
 _STORE_DIR = "results"
+
+
+def _resolve_catalogue(
+    registry: AlgorithmRegistry | None, task: TaskType, pipelines: bool
+) -> AlgorithmRegistry:
+    """The catalogue to fit/serve: optionally pipeline-wrapped.
+
+    ``pipelines=True`` wraps the given registry (or the task default) into
+    its pipeline twin; already-wrapped catalogues pass through unchanged.
+    """
+    if registry is None:
+        registry = registry_for_task(task)
+    if pipelines:
+        registry = pipeline_registry(registry)
+    return registry
 
 
 class _task_aware_classmethod:
@@ -160,10 +176,16 @@ class AutoModel:
         dmd: DecisionMakingModelDesigner | None = None,
         cache_dir: str | Path | None = None,
         task: TaskType | str | None = None,
+        pipelines: bool = False,
     ) -> "AutoModel":
-        """Run the DMD pipeline on an existing research-paper corpus."""
+        """Run the DMD pipeline on an existing research-paper corpus.
+
+        ``pipelines=True`` serves pipeline-wrapped catalogue entries (see
+        :mod:`repro.learners.pipeline`): the UDR then tunes preprocessing and
+        estimator hyperparameters jointly.
+        """
         task = resolve_task(task)
-        registry = registry if registry is not None else registry_for_task(task)
+        registry = _resolve_catalogue(registry, task, pipelines)
         # The default DMD carries the task so its knowledge-base guard can
         # reject a corpus/lookup of the wrong task type.
         dmd = dmd or DecisionMakingModelDesigner(task=task.value)
@@ -193,6 +215,7 @@ class AutoModel:
         n_workers: int = 1,
         task: TaskType | str | None = None,
         metric: str | None = None,
+        pipelines: bool = False,
     ) -> "AutoModel":
         """Simulate the paper corpus from ``knowledge_datasets`` and fit on it.
 
@@ -207,9 +230,16 @@ class AutoModel:
         ``AutoModel(task="regression")`` shell) runs the identical pipeline
         over the regressor catalogue with CV R² scores; the knowledge
         datasets must carry the matching task type.
+
+        ``pipelines=True`` runs the whole loop — corpus measurement, DMD and
+        later UDR serving — over the pipeline-wrapped catalogue, so messy
+        knowledge datasets (missing values, rare categories; see
+        :func:`repro.datasets.corrupt`) are scored by configurations that can
+        actually handle them.  The choice is persisted in the saved model's
+        manifest and restored by :meth:`load`.
         """
         task = resolve_task(task)
-        registry = registry if registry is not None else registry_for_task(task)
+        registry = _resolve_catalogue(registry, task, pipelines)
         store: ResultStore | None = None
         if cache_dir is not None:
             cache_dir = Path(cache_dir)
@@ -253,16 +283,22 @@ class AutoModel:
         ``metadata`` is stored in the decision-model manifest (see
         :func:`repro.core.persistence.read_decision_model_manifest`); the
         serving model registry records version/provenance information there.
+        A pipeline-wrapped catalogue is recorded as ``pipelines: true`` so
+        :meth:`load` (and thus the serving registry) restores the matching
+        catalogue without the caller having to remember.
         """
         cache_dir = Path(cache_dir) if cache_dir is not None else self.cache_dir
         if cache_dir is None:
             raise ValueError("no cache_dir given and none set on this AutoModel")
         cache_dir.mkdir(parents=True, exist_ok=True)
+        manifest_metadata = dict(metadata or {})
+        if registry_has_pipelines(self.registry):
+            manifest_metadata.setdefault("pipelines", True)
         save_decision_model(
             self.decision_model,
             cache_dir / _MODEL_FILE,
             task=self.task.value,
-            metadata=metadata,
+            metadata=manifest_metadata or None,
         )
         if self.performance is not None:
             self.performance.save(cache_dir / _TABLE_FILE)
@@ -281,13 +317,17 @@ class AutoModel:
 
         ``task=None`` adopts the task the model was saved with; an explicit
         task that disagrees with the saved one raises instead of silently
-        pairing the model's labels with the wrong catalogue.
+        pairing the model's labels with the wrong catalogue.  A model fitted
+        over a pipeline-wrapped catalogue (manifest ``pipelines: true``)
+        restores with the pipeline twin of the task's registry, so tuned
+        pipeline configurations keep resolving against matching specs.
         """
         cache_dir = Path(cache_dir)
         model_path = cache_dir / _MODEL_FILE
         if not model_path.exists():
             raise FileNotFoundError(f"no saved decision model under {cache_dir}")
-        saved_task = saved_decision_model_task(model_path)
+        manifest = read_decision_model_manifest(model_path)
+        saved_task = manifest["task"]
         if task is None:
             task = resolve_task(saved_task)
         else:
@@ -297,12 +337,16 @@ class AutoModel:
                     f"cache under {cache_dir} holds a {saved_task} decision "
                     f"model; cannot load it as task={task.value!r}"
                 )
+        if registry is None:
+            registry = registry_for_task(task)
+            if manifest["metadata"].get("pipelines"):
+                registry = pipeline_registry(registry)
         decision_model = load_decision_model(model_path)
         table_path = cache_dir / _TABLE_FILE
         corpus_path = cache_dir / _CORPUS_FILE
         return cls(
             model=decision_model,
-            registry=registry if registry is not None else registry_for_task(task),
+            registry=registry,
             performance=PerformanceTable.load(table_path) if table_path.exists() else None,
             corpus=load_corpus(corpus_path) if corpus_path.exists() else None,
             store=ResultStore(cache_dir / _STORE_DIR),
@@ -428,6 +472,7 @@ class AutoModel:
             "knowledge_pairs": self.knowledge_size,
             "key_features": self.key_features,
             "catalogue_size": len(self.registry),
+            "pipelines": registry_has_pipelines(self.registry),
             "restored_from_cache": self.dmd_result is None,
         }
         if self.dmd_result is not None:

@@ -34,6 +34,7 @@ from ..hpo.base import Budget, HPOProblem, OptimizationResult
 from ..hpo.selector import HPOTechniqueSelector
 from ..learners.base import BaseClassifier
 from ..learners.metrics import resolve_scorer
+from ..learners.pipeline import pipeline_context_suffix, training_matrix
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from .architecture_search import DecisionModel
@@ -150,10 +151,15 @@ class UserDemandResponser:
         Everything that changes ``f(λ, SA, I)`` is folded in — dataset
         identity/shape, the subsample cap, the CV protocol and the seed — so
         a persistent store never replays scores across distinct objectives.
+        Pipeline catalogues additionally append their step structure
+        (:func:`~repro.learners.pipeline.pipeline_context_suffix`): the same
+        algorithm name means a different objective when it denotes a
+        pipeline, while bare-estimator shard keys stay byte-identical.
         """
         return (
             f"udr-{algorithm}-{dataset.name}-{dataset.n_records}x{dataset.n_attributes}"
             f"-sub{self.tuning_max_records}-cv{self.cv}-rs{self.random_state}"
+            f"{pipeline_context_suffix(self.registry.get(algorithm))}"
         )
 
     def store_context(self, dataset: Dataset, algorithm: str) -> str:
@@ -187,7 +193,9 @@ class UserDemandResponser:
             if self.tuning_max_records
             else dataset
         )
-        X, y = data.to_matrix()
+        # Pipelines tune on the raw attribute blocks (their own steps impute
+        # and encode per fold); bare estimators keep the encoded matrix.
+        X, y = training_matrix(data, spec)
         # estimator_engine folds the task/metric identity into the store
         # context when it differs from the classification-accuracy default,
         # so classification shard names stay byte-identical to prior releases.
@@ -270,7 +278,7 @@ class UserDemandResponser:
         )
         estimator: BaseClassifier | None = None
         if fit_final_estimator:
-            X, y = dataset.to_matrix()
+            X, y = training_matrix(dataset, self.registry.get(algorithm))
             estimator = self.registry.build(algorithm, config)
             try:
                 estimator.fit(X, y)

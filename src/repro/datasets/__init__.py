@@ -5,6 +5,7 @@ from .suite import TEST_SUITE_SPECS, knowledge_suite, regression_suite, test_sui
 from .synthetic import (
     CONCEPT_FAMILIES,
     REGRESSION_FAMILIES,
+    corrupt,
     make_categorical_rules,
     make_dataset,
     make_friedman,
@@ -29,6 +30,7 @@ __all__ = [
     "test_suite",
     "CONCEPT_FAMILIES",
     "REGRESSION_FAMILIES",
+    "corrupt",
     "make_categorical_rules",
     "make_dataset",
     "make_friedman",

@@ -18,7 +18,7 @@ from hashlib import blake2s
 
 import numpy as np
 
-from ..learners.preprocessing import LabelEncoder, OneHotEncoder, SimpleImputer
+from ..learners.preprocessing import LabelEncoder, OneHotEncoder
 from .task import TaskType, resolve_task
 
 __all__ = ["Dataset"]
@@ -167,23 +167,69 @@ class Dataset:
         return float(np.asarray(self.target, dtype=np.float64).std())
 
     # -- encoding ---------------------------------------------------------------------
+    def _encoded_target(self) -> np.ndarray:
+        """Label-encoded target for classification, ``float64`` for regression."""
+        if self.is_regression:
+            return np.asarray(self.target, dtype=np.float64)
+        return LabelEncoder().fit_transform(self.target)
+
     def to_matrix(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(X, y)`` with categorical attributes one-hot encoded.
 
         For classification the target is label-encoded into
         ``0..n_classes-1``; for regression it is returned as ``float64``.
+
+        Missing numeric values are **not** imputed here any more: imputation
+        is a searchable pipeline step (:mod:`repro.learners.pipeline`), not
+        dataset policy — NaNs pass through so a bare estimator on messy data
+        crash-scores honestly while a pipeline's imputer earns its keep.  On
+        clean data the output is byte-identical to the historical
+        impute-then-encode path (the old mean imputation was a no-op there);
+        legacy callers that relied on hard-wired imputation can use the
+        deprecated :func:`~repro.learners.preprocessing.encode_mixed_matrix`
+        shim.
         """
         blocks: list[np.ndarray] = []
         if self.n_numeric:
-            blocks.append(SimpleImputer().fit_transform(self.numeric))
+            blocks.append(np.asarray(self.numeric, dtype=np.float64))
         if self.n_categorical:
             blocks.append(OneHotEncoder().fit_transform(self.categorical))
-        X = np.hstack(blocks)
-        if self.is_regression:
-            y = np.asarray(self.target, dtype=np.float64)
-        else:
-            y = LabelEncoder().fit_transform(self.target)
-        return X, y
+        return np.hstack(blocks), self._encoded_target()
+
+    def to_raw_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)`` with the attribute blocks left raw for pipelines.
+
+        ``X`` keeps numeric columns as floats (NaNs preserved) and
+        categorical columns as strings — an object matrix whenever
+        categorical attributes exist, the plain float matrix otherwise; the
+        column layout matches :meth:`to_matrix` (numeric block first).
+        Categorical values are stringified (missing markers preserved)
+        because the pipeline re-derives the numeric/categorical split from
+        the matrix alone: integer-coded categories would otherwise look
+        numeric and get imputed/scaled instead of one-hot encoded.
+        :class:`~repro.learners.pipeline.Pipeline` estimators fit their
+        preprocessing steps on this per training fold, which is what makes
+        imputation/encoding choices part of the searched configuration.
+        """
+        if not self.n_categorical:
+            return np.asarray(self.numeric, dtype=np.float64).copy(), self._encoded_target()
+        blocks = []
+        if self.n_numeric:
+            blocks.append(np.asarray(self.numeric, dtype=np.float64).astype(object))
+        categorical = np.array(
+            [
+                [
+                    value
+                    if value is None or (isinstance(value, float) and value != value)
+                    else str(value)
+                    for value in row
+                ]
+                for row in self.categorical
+            ],
+            dtype=object,
+        ).reshape(self.categorical.shape)
+        blocks.append(categorical)
+        return np.hstack(blocks), self._encoded_target()
 
     # -- resampling helpers --------------------------------------------------------------
     def subsample(self, n: int, random_state: int | None = None) -> "Dataset":

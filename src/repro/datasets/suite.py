@@ -21,7 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from .dataset import Dataset
-from .synthetic import CONCEPT_FAMILIES, REGRESSION_FAMILIES, make_dataset, make_regression_dataset
+from .synthetic import (
+    CONCEPT_FAMILIES,
+    REGRESSION_FAMILIES,
+    corrupt,
+    make_dataset,
+    make_regression_dataset,
+)
 
 __all__ = ["TEST_SUITE_SPECS", "test_suite", "knowledge_suite", "regression_suite"]
 
@@ -107,6 +113,10 @@ def knowledge_suite(
     min_records: int = 80,
     max_records: int = 500,
     random_state: int = 7,
+    corrupt_fraction: float = 0.0,
+    missing_rate: float = 0.15,
+    rare_rate: float = 0.1,
+    scale_skew: float = 1.5,
 ) -> list[Dataset]:
     """Return the pool of datasets referenced by the synthetic paper corpus.
 
@@ -114,9 +124,17 @@ def knowledge_suite(
     algorithm)`` pairs mined from 20 papers; this pool plays the role of the
     union of datasets those papers experimented on.  Shapes are drawn from
     ranges typical of the cited comparison studies (UCI-scale tabular data).
+
+    ``corrupt_fraction > 0`` runs that share of the pool through
+    :func:`~repro.datasets.synthetic.corrupt` (missing values, scale skew,
+    rare categories), interleaved across the families — the messy-data
+    workload pipeline search needs in its knowledge corpus.  The default of
+    ``0.0`` leaves the historical pool byte-identical.
     """
     if n_datasets < 1:
         raise ValueError("n_datasets must be >= 1")
+    if not 0.0 <= corrupt_fraction <= 1.0:
+        raise ValueError("corrupt_fraction must be in [0, 1]")
     rng = np.random.default_rng(random_state)
     families = list(CONCEPT_FAMILIES)
     datasets: list[Dataset] = []
@@ -138,6 +156,22 @@ def knowledge_suite(
             random_state=int(rng.integers(0, 2**31 - 1)),
         )
         datasets.append(dataset)
+    if corrupt_fraction > 0.0:
+        # Deterministic interleave (every k-th dataset) so the messy share is
+        # spread across concept families rather than clustered at one end.
+        n_messy = int(round(corrupt_fraction * n_datasets))
+        if n_messy:
+            stride = max(1, n_datasets // n_messy)
+            picked = list(range(0, n_datasets, stride))[:n_messy]
+            for i in picked:
+                datasets[i] = corrupt(
+                    datasets[i],
+                    missing_rate=missing_rate,
+                    rare_rate=rare_rate,
+                    scale_skew=scale_skew,
+                    random_state=int(rng.integers(0, 2**31 - 1)),
+                    name=datasets[i].name,  # keep the K-names stable for the corpus
+                )
     return datasets
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "make_piecewise_response",
     "make_regression_dataset",
     "REGRESSION_FAMILIES",
+    "corrupt",
 ]
 
 
@@ -384,6 +385,80 @@ def make_regression_dataset(family: str, name: str, **kwargs) -> Dataset:
             f"unknown regression family {family!r}; known: {sorted(REGRESSION_FAMILIES)}"
         )
     return REGRESSION_FAMILIES[family](name=name, **kwargs)
+
+
+# -- messy-data corruption layer ----------------------------------------------------
+
+
+def corrupt(
+    dataset: Dataset,
+    missing_rate: float = 0.1,
+    scale_skew: float = 0.0,
+    rare_rate: float = 0.0,
+    n_rare_values: int = 3,
+    random_state: int | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """Degrade a clean dataset into a messy real-world lookalike.
+
+    Three independent corruptions, all applied to the *attributes* only (the
+    target is never touched, so the underlying concept is unchanged):
+
+    * ``missing_rate`` — MCAR missingness: each numeric cell becomes NaN with
+      this probability (a column can end up entirely missing on small data —
+      that is a supported edge case, not a bug);
+    * ``scale_skew`` — per-column scale distortion: numeric column ``j`` is
+      multiplied by ``10**u_j`` with ``u_j ~ U(-scale_skew, scale_skew)``,
+      the classic unscaled-features hazard for distance/margin learners;
+    * ``rare_rate`` — long-tail categories: each categorical cell is replaced
+      with one of ``n_rare_values`` fresh string values (per column) with
+      this probability, so CV test folds routinely contain categories unseen
+      in their training folds.
+
+    Bare estimators fed through :meth:`Dataset.to_matrix` crash-score on the
+    missing values; pipeline configurations with an enabled imputer (and rare
+    grouping) handle them — which is exactly the contrast the corpus and the
+    performance table need to make pipeline knowledge learnable.
+    """
+    if not 0.0 <= missing_rate < 1.0:
+        raise ValueError("missing_rate must be in [0, 1)")
+    if scale_skew < 0.0:
+        raise ValueError("scale_skew must be >= 0")
+    if not 0.0 <= rare_rate < 1.0:
+        raise ValueError("rare_rate must be in [0, 1)")
+    if n_rare_values < 1:
+        raise ValueError("n_rare_values must be >= 1")
+    rng = np.random.default_rng(random_state)
+    numeric = np.asarray(dataset.numeric, dtype=np.float64).copy()
+    if numeric.size and scale_skew > 0.0:
+        factors = 10.0 ** rng.uniform(-scale_skew, scale_skew, size=numeric.shape[1])
+        numeric = numeric * factors
+    if numeric.size and missing_rate > 0.0:
+        mask = rng.random(numeric.shape) < missing_rate
+        numeric[mask] = np.nan
+    categorical = np.asarray(dataset.categorical, dtype=object).copy()
+    if categorical.size and rare_rate > 0.0:
+        for j in range(categorical.shape[1]):
+            hit = rng.random(categorical.shape[0]) < rare_rate
+            # Fresh string values per column: unseen anywhere in the clean
+            # data, so they stress both rare grouping and unknown handling.
+            labels = rng.integers(0, n_rare_values, size=int(hit.sum()))
+            categorical[hit, j] = [f"rare_c{j}_v{v}" for v in labels]
+    metadata = dict(dataset.metadata)
+    metadata["corrupted"] = {
+        "missing_rate": missing_rate,
+        "scale_skew": scale_skew,
+        "rare_rate": rare_rate,
+        "source": dataset.name,
+    }
+    return Dataset(
+        name=name or f"{dataset.name}[messy]",
+        numeric=numeric,
+        categorical=categorical,
+        target=dataset.target,
+        metadata=metadata,
+        task=dataset.task,
+    )
 
 
 CONCEPT_FAMILIES = {

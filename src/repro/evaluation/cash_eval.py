@@ -17,6 +17,7 @@ from typing import Protocol
 import numpy as np
 
 from ..datasets.dataset import Dataset
+from ..learners.pipeline import training_matrix
 from ..learners.registry import AlgorithmRegistry, default_registry
 from ..learners.validation import cross_val_accuracy
 
@@ -72,8 +73,8 @@ def evaluate_cash_tool(
         if eval_max_records
         else dataset
     )
-    X, y = data.to_matrix()
     try:
+        X, y = training_matrix(data, registry.get(solution.algorithm))
         estimator = registry.build(solution.algorithm, solution.config)
         f_score = cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
     except Exception:

@@ -26,6 +26,7 @@ from ..execution.objectives import objective_context_suffix
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
 from ..learners.metrics import resolve_scorer
+from ..learners.pipeline import registry_context_suffix, training_matrix
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from ..learners.validation import (
@@ -64,9 +65,16 @@ def evaluate_algorithm(
     metric, oriented greater-is-better).  Failures (an algorithm that cannot
     handle the dataset) score the metric's worst finite value — 0.0 for
     accuracy, matching how the CASH searches treat crashed configurations.
+    Pipeline catalogue entries are scored on the raw attribute blocks (their
+    steps preprocess per fold); bare estimators keep the encoded matrix.
     """
     data = dataset.subsample(max_records, random_state=random_state) if max_records else dataset
-    X, y = data.to_matrix()
+    try:
+        spec = registry.get(algorithm)
+    except KeyError:
+        # Unknown algorithms have always scored as failures, not raised.
+        return _worst_score(task, metric)
+    X, y = training_matrix(data, spec)
     task = resolve_task(task).value
     if task == "classification" and metric is None:
         try:
@@ -111,7 +119,7 @@ def tune_algorithm(
     """
     spec = registry.get(algorithm)
     data = dataset.subsample(max_records, random_state=random_state) if max_records else dataset
-    X, y = data.to_matrix()
+    X, y = training_matrix(data, spec)
     # One engine per (algorithm, dataset) cell: the CV folds are computed once
     # and shared by every configuration the GA proposes.
     engine = estimator_engine(
@@ -259,10 +267,15 @@ class PerformanceTable:
                 metric=metric,
             )
 
+        # Pipeline catalogues append their structure tag: cells are keyed by
+        # algorithm *name*, and "J48" the pipeline is a different measurement
+        # than "J48" the bare tree.  Bare registries contribute nothing, so
+        # historical shard contexts stay byte-identical.
         context = (
             f"performance-table-tune{tune}-cv{cv}-sub{max_records}"
             f"-evals{max_evaluations if tune else 0}-rs{random_state}"
             f"{objective_context_suffix(task, metric)}"
+            f"{registry_context_suffix(registry)}"
         )
         engine = EvaluationEngine(
             cell_objective,

@@ -64,8 +64,14 @@ def cross_val_objective(
 
     ``task="regression"`` switches to unstratified folds and the regression
     default metric (R²); ``metric`` picks any registered scorer by name.
+
+    Raw object-dtype matrices (pipeline searches, where the configuration's
+    own steps impute/encode per fold) are passed through as-is; float input
+    keeps the historical coercion so bare-estimator scores are unchanged.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = np.asarray(X)
+    if X.dtype != object:
+        X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     task = resolve_task(task).value
     if task == "classification" and metric is None:

@@ -13,8 +13,9 @@ hypercube (for the Gaussian-process surrogate used by BO).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -25,6 +26,7 @@ __all__ = [
     "CategoricalParam",
     "BoolParam",
     "Condition",
+    "AndCondition",
     "ConfigSpace",
 ]
 
@@ -38,6 +40,47 @@ class Condition:
 
     def satisfied(self, config: dict[str, Any]) -> bool:
         return config.get(self.parent) in self.values
+
+
+@dataclass(frozen=True)
+class AndCondition:
+    """Active only when *every* sub-condition is satisfied.
+
+    Joint CASH spaces need this: Auto-WEKA's ``joint_space`` gates each
+    parameter on the root algorithm choice, but a pipeline parameter may
+    also carry its own activation condition (``min_frequency`` only when
+    ``group_rare``) — both must hold.
+    """
+
+    conditions: tuple
+
+    def satisfied(self, config: dict[str, Any]) -> bool:
+        return all(condition.satisfied(config) for condition in self.conditions)
+
+
+def _prefix_condition(condition, prefix: str, sep: str):
+    """Rewrite a condition's parent name(s) into a namespace."""
+    if isinstance(condition, AndCondition):
+        return AndCondition(
+            tuple(_prefix_condition(c, prefix, sep) for c in condition.conditions)
+        )
+    return Condition(f"{prefix}{sep}{condition.parent}", condition.values)
+
+
+def _strip_condition(condition, marker: str):
+    """Strip a namespace from a condition; ``None`` when it reaches outside it."""
+    if isinstance(condition, AndCondition):
+        kept = tuple(
+            stripped
+            for stripped in (_strip_condition(c, marker) for c in condition.conditions)
+            if stripped is not None
+        )
+        if not kept:
+            return None
+        return kept[0] if len(kept) == 1 else AndCondition(kept)
+    if condition.parent.startswith(marker):
+        return Condition(condition.parent[len(marker):], condition.values)
+    return None
 
 
 class Hyperparameter:
@@ -235,6 +278,92 @@ class ConfigSpace:
             raise KeyError(f"unknown hyperparameter {name!r}")
         self._conditions[name] = condition
         return self
+
+    def condition(self, name: str) -> Condition | None:
+        """The activation condition attached to ``name`` (``None`` if always active)."""
+        return self._conditions.get(name)
+
+    # -- namespacing / composition -------------------------------------------------
+    def prefixed(self, prefix: str, sep: str = ":") -> "ConfigSpace":
+        """A deep copy with every parameter (and condition parent) namespaced.
+
+        ``prefixed("imputer")`` renames ``strategy`` to ``imputer:strategy``
+        and rewrites conditions so ``imputer:strategy`` stays active only when
+        ``imputer:enabled`` is — the namespace travels with the hierarchy.
+        An empty prefix returns an unrenamed deep copy.
+        """
+        out = ConfigSpace()
+        for name, param in self._params.items():
+            clone = copy.deepcopy(param)
+            clone.name = f"{prefix}{sep}{name}" if prefix else name
+            condition = self._conditions.get(name)
+            if condition is not None and prefix:
+                condition = _prefix_condition(condition, prefix, sep)
+            out.add(clone, condition=condition)
+        return out
+
+    @classmethod
+    def join(
+        cls,
+        parts: Mapping[str, "ConfigSpace"] | Iterable[tuple[str, "ConfigSpace"]],
+        sep: str = ":",
+    ) -> "ConfigSpace":
+        """Join sub-spaces under namespace prefixes into one searchable space.
+
+        ``parts`` maps prefix → sub-space (a dict or ``(prefix, space)``
+        pairs; insertion order is preserved).  Every sub-space parameter is
+        renamed ``<prefix><sep><name>`` and its activation conditions are
+        rewritten to the prefixed parent, so e.g. ``imputer:strategy`` is
+        active only when ``imputer:enabled`` holds.  This is how a pipeline's
+        preprocessing steps and its estimator contribute one joint CASH
+        space (:mod:`repro.learners.pipeline`).  Name collisions across
+        prefixes raise, exactly like :meth:`add`.
+        """
+        items = parts.items() if isinstance(parts, Mapping) else parts
+        joined = cls()
+        for prefix, space in items:
+            sub = space.prefixed(prefix, sep=sep)
+            for param in sub:
+                joined.add(param, condition=sub.condition(param.name))
+        return joined
+
+    def subspace(self, prefix: str, sep: str = ":") -> "ConfigSpace":
+        """The inverse of :meth:`join` for one namespace: strip ``prefix``.
+
+        Returns a deep copy holding only the parameters named
+        ``<prefix><sep>...``, with the prefix removed.  Conditions whose
+        parent lives in the same namespace are kept (re-stripped); conditions
+        reaching outside it cannot be represented and are dropped.
+        """
+        marker = f"{prefix}{sep}"
+        out = ConfigSpace()
+        for name, param in self._params.items():
+            if not name.startswith(marker):
+                continue
+            clone = copy.deepcopy(param)
+            clone.name = name[len(marker):]
+            condition = self._conditions.get(name)
+            if condition is not None:
+                condition = _strip_condition(condition, marker)
+            out.add(clone, condition=condition)
+        return out
+
+    @staticmethod
+    def split_config(config: dict[str, Any], sep: str = ":") -> dict[str, dict[str, Any]]:
+        """Group a joined configuration by namespace prefix.
+
+        Keys without a separator land under the ``""`` group.  Only the
+        first separator splits, so nested namespaces stay intact in the
+        remainder: ``{"imputer:strategy": "mean"}`` →
+        ``{"imputer": {"strategy": "mean"}}``.
+        """
+        groups: dict[str, dict[str, Any]] = {}
+        for key, value in config.items():
+            prefix, found, rest = key.partition(sep)
+            if not found:
+                prefix, rest = "", key
+            groups.setdefault(prefix, {})[rest] = value
+        return groups
 
     # -- introspection ------------------------------------------------------------
     @property

@@ -43,6 +43,24 @@ from .metrics import (
 )
 from .misc import ClassificationViaClustering, ClassificationViaRegression, HyperPipes, VFI
 from .neural import MLPClassifier, MLPNetwork, MLPRegressor, MultilayerPerceptron, RBFNetwork
+from .pipeline import (
+    DEFAULT_PIPELINE_STEPS,
+    EncoderStep,
+    ImputerStep,
+    Pipeline,
+    PipelineFactory,
+    PipelineStepSpec,
+    ScalerStep,
+    default_pipeline_steps,
+    is_pipeline_spec,
+    make_pipeline_spec,
+    pipeline_context_suffix,
+    pipeline_registry,
+    registry_context_suffix,
+    registry_has_pipelines,
+    registry_training_matrix,
+    training_matrix,
+)
 from .preprocessing import (
     LabelEncoder,
     MinMaxScaler,
@@ -105,6 +123,12 @@ __all__ = [
     # preprocessing
     "LabelEncoder", "MinMaxScaler", "OneHotEncoder", "SimpleImputer", "StandardScaler",
     "encode_mixed_matrix",
+    # pipelines
+    "Pipeline", "PipelineFactory", "PipelineStepSpec", "ImputerStep", "ScalerStep",
+    "EncoderStep", "DEFAULT_PIPELINE_STEPS", "default_pipeline_steps",
+    "make_pipeline_spec", "pipeline_registry", "is_pipeline_spec",
+    "registry_has_pipelines", "pipeline_context_suffix", "registry_context_suffix",
+    "training_matrix", "registry_training_matrix",
     # registry
     "AlgorithmRegistry", "AlgorithmSpec", "CAList", "default_registry",
     "RAList", "default_regression_registry", "registry_for_task",

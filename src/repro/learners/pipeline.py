@@ -1,0 +1,495 @@
+"""First-class pipelines: searchable preprocessing + estimator configurations.
+
+The paper's CASH formulation ``P = (D, A, PN)`` treats an "algorithm" as the
+whole modelling recipe, but a bare estimator only sees a dense numeric matrix
+— imputation, scaling and categorical encoding were hard-wired into
+``Dataset`` encoding and invisible to the optimizers.  This module promotes
+them into the searched configuration (the Auto-WEKA / auto-sklearn move):
+
+* a :class:`Pipeline` is an estimator-protocol object that owns an ordered
+  set of preprocessing steps (imputer → scaler → encoder) plus a final
+  estimator, fitting the steps per training fold so e.g. unseen categories
+  in a test fold are a *measured* property of the configuration;
+* each step contributes a prefixed sub-:class:`~repro.hpo.space.ConfigSpace`
+  joined via :meth:`ConfigSpace.join` with activation conditions
+  (``imputer:strategy`` is active only when ``imputer:enabled``), so every
+  HPO technique searches preprocessing and estimator hyperparameters jointly;
+* :func:`pipeline_registry` wraps any algorithm catalogue into its
+  pipeline-wrapped twin under the *same algorithm names*, which is what lets
+  the corpus generator, the performance table, the DMD and the UDR run the
+  whole knowledge loop over pipelines unchanged.
+
+Bare-estimator behaviour is untouched: :func:`pipeline_context_suffix`
+returns ``""`` for non-pipeline specs, so existing engine fingerprints and
+result-store contexts stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..hpo.space import (
+    BoolParam,
+    CategoricalParam,
+    ConfigSpace,
+    Condition,
+    IntParam,
+)
+from .base import NotFittedError
+from .preprocessing import MinMaxScaler, OneHotEncoder, SimpleImputer, StandardScaler
+from .registry import AlgorithmRegistry, AlgorithmSpec
+from .regression_registry import registry_for_task
+
+__all__ = [
+    "PIPELINE_SEP",
+    "ESTIMATOR_STEP",
+    "ImputerStep",
+    "ScalerStep",
+    "EncoderStep",
+    "Pipeline",
+    "PipelineStepSpec",
+    "PipelineFactory",
+    "DEFAULT_PIPELINE_STEPS",
+    "default_pipeline_steps",
+    "make_pipeline_spec",
+    "pipeline_registry",
+    "is_pipeline_spec",
+    "registry_has_pipelines",
+    "pipeline_context_suffix",
+    "registry_context_suffix",
+    "training_matrix",
+    "registry_training_matrix",
+    "split_columns",
+]
+
+#: Namespace separator inside joined pipeline configurations
+#: (``imputer:strategy``, ``estimator:max_depth``).
+PIPELINE_SEP = ":"
+
+#: Namespace prefix of the final estimator's hyperparameters.
+ESTIMATOR_STEP = "estimator"
+
+
+# -- raw-matrix column typing ---------------------------------------------------------
+
+def _is_numeric_value(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, np.integer, np.floating))
+
+
+def split_columns(X: np.ndarray) -> tuple[list[int], list[int]]:
+    """Classify the columns of a raw matrix as numeric or categorical.
+
+    Float matrices are entirely numeric; for object matrices a column is
+    numeric when every entry is a number, ``None`` or NaN (missing values do
+    not make a column categorical) and categorical otherwise.  This is how a
+    pipeline — built by the HPO layer with no dataset in sight — recovers the
+    numeric/categorical split from the matrix alone.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {X.shape}")
+    if X.dtype != object:
+        return list(range(X.shape[1])), []
+    numeric: list[int] = []
+    categorical: list[int] = []
+    for j in range(X.shape[1]):
+        if all(_is_numeric_value(v) for v in X[:, j].tolist()):
+            numeric.append(j)
+        else:
+            categorical.append(j)
+    return numeric, categorical
+
+
+# -- preprocessing steps --------------------------------------------------------------
+
+class ImputerStep:
+    """Searchable missing-value handling for the numeric block.
+
+    Disabled, it passes NaNs through — configurations that skip imputation on
+    messy data crash-score honestly instead of being silently rescued, which
+    is exactly the signal the search needs to learn to enable it.
+    """
+
+    def __init__(self, enabled: bool = True, strategy: str = "mean", fill_value: float = 0.0):
+        self.enabled = bool(enabled)
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self._imputer: SimpleImputer | None = None
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.enabled or X.shape[1] == 0:
+            self._imputer = None
+            return X
+        self._imputer = SimpleImputer(strategy=self.strategy, fill_value=self.fill_value)
+        return self._imputer.fit_transform(X)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        return X if self._imputer is None else self._imputer.transform(X)
+
+    def get_params(self) -> dict[str, Any]:
+        return {"enabled": self.enabled, "strategy": self.strategy, "fill_value": self.fill_value}
+
+    def __repr__(self) -> str:
+        return f"ImputerStep(enabled={self.enabled}, strategy={self.strategy!r})"
+
+
+class ScalerStep:
+    """Searchable numeric scaling: none (identity), standard or min-max."""
+
+    KINDS = ("none", "standard", "minmax")
+
+    def __init__(self, kind: str = "none"):
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        self.kind = kind
+        self._scaler: StandardScaler | MinMaxScaler | None = None
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.kind == "none" or X.shape[1] == 0:
+            self._scaler = None
+            return X
+        self._scaler = StandardScaler() if self.kind == "standard" else MinMaxScaler()
+        return self._scaler.fit_transform(X)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        return X if self._scaler is None else self._scaler.transform(X)
+
+    def get_params(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+    def __repr__(self) -> str:
+        return f"ScalerStep(kind={self.kind!r})"
+
+
+class EncoderStep:
+    """Searchable categorical encoding: one-hot with optional rare grouping.
+
+    The encoder is always applied (estimators need numbers), but *how* it
+    handles the long tail is searched: with ``group_rare`` categories seen
+    fewer than ``min_frequency`` times — and unseen transform-time values —
+    collapse into one rare column instead of zero-encoding.
+    """
+
+    def __init__(self, group_rare: bool = False, min_frequency: int = 2):
+        self.group_rare = bool(group_rare)
+        self.min_frequency = int(min_frequency)
+        self._encoder: OneHotEncoder | None = None
+
+    def _make(self) -> OneHotEncoder:
+        if self.group_rare:
+            return OneHotEncoder(min_frequency=self.min_frequency, handle_unknown="rare")
+        return OneHotEncoder()
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        self._encoder = self._make()
+        return self._encoder.fit_transform(X)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._encoder is None:
+            raise NotFittedError("EncoderStep is not fitted yet; call fit_transform first")
+        return self._encoder.transform(X)
+
+    def get_params(self) -> dict[str, Any]:
+        return {"group_rare": self.group_rare, "min_frequency": self.min_frequency}
+
+    def __repr__(self) -> str:
+        return f"EncoderStep(group_rare={self.group_rare}, min_frequency={self.min_frequency})"
+
+
+# -- the pipeline estimator -----------------------------------------------------------
+
+class Pipeline:
+    """Preprocessing steps + final estimator behind the estimator protocol.
+
+    ``fit(X, y)`` accepts the *raw* attribute matrix (numeric columns may
+    contain NaN, categorical columns hold arbitrary values) produced by
+    :meth:`Dataset.to_raw_matrix`; plain float matrices work too (all columns
+    numeric).  Each fit re-detects the column split, refits every step on the
+    training data only, and hands the estimator a dense float matrix in the
+    historical layout (numeric block first, one-hot block after).
+    """
+
+    def __init__(
+        self,
+        estimator: Any,
+        imputer: ImputerStep | None = None,
+        scaler: ScalerStep | None = None,
+        encoder: EncoderStep | None = None,
+    ) -> None:
+        self.estimator = estimator
+        self.imputer = imputer if imputer is not None else ImputerStep()
+        self.scaler = scaler if scaler is not None else ScalerStep()
+        self.encoder = encoder if encoder is not None else EncoderStep()
+        self.numeric_columns_: list[int] | None = None
+        self.categorical_columns_: list[int] | None = None
+
+    # -- hyperparameter protocol -------------------------------------------------
+    def get_params(self) -> dict[str, Any]:
+        return {
+            "estimator": self.estimator,
+            "imputer": self.imputer,
+            "scaler": self.scaler,
+            "encoder": self.encoder,
+        }
+
+    def set_params(self, **params: Any) -> "Pipeline":
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for Pipeline; valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    # -- transformation ----------------------------------------------------------
+    @staticmethod
+    def _as_matrix(X: Any) -> np.ndarray:
+        X = np.asarray(X)
+        if X.ndim == 1:
+            # Match check_array: a 1-D input is one sample, not one column.
+            X = X.reshape(1, -1)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {X.shape}")
+        return X
+
+    def _numeric_block(self, X: np.ndarray) -> np.ndarray:
+        if not self.numeric_columns_:
+            return np.zeros((X.shape[0], 0))
+        block = X[:, self.numeric_columns_]
+        if block.dtype != object:
+            return block.astype(np.float64)
+        out = np.empty(block.shape, dtype=np.float64)
+        for j in range(block.shape[1]):
+            out[:, j] = [
+                np.nan if value is None or (isinstance(value, float) and value != value)
+                else float(value)
+                for value in block[:, j].tolist()
+            ]
+        return out
+
+    def _transform(self, X: np.ndarray, fit: bool) -> np.ndarray:
+        numeric = self._numeric_block(X)
+        if fit:
+            numeric = self.scaler.fit_transform(self.imputer.fit_transform(numeric))
+        else:
+            numeric = self.scaler.transform(self.imputer.transform(numeric))
+        if not self.categorical_columns_:
+            return numeric
+        categorical = X[:, self.categorical_columns_]
+        encoded = (
+            self.encoder.fit_transform(categorical)
+            if fit
+            else self.encoder.transform(categorical)
+        )
+        return np.hstack([numeric, encoded])
+
+    # -- fit / predict protocol ---------------------------------------------------
+    def fit(self, X: Any, y: Any) -> "Pipeline":
+        X = self._as_matrix(X)
+        self.numeric_columns_, self.categorical_columns_ = split_columns(X)
+        self.estimator.fit(self._transform(X, fit=True), y)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.numeric_columns_ is None:
+            raise NotFittedError("Pipeline is not fitted yet; call fit() first")
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted()
+        return self.estimator.predict(self._transform(self._as_matrix(X), fit=False))
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted()
+        return self.estimator.predict_proba(self._transform(self._as_matrix(X), fit=False))
+
+    def score(self, X: Any, y: Any) -> float:
+        self._check_fitted()
+        return float(self.estimator.score(self._transform(self._as_matrix(X), fit=False), y))
+
+    @property
+    def classes_(self):
+        return getattr(self.estimator, "classes_", None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Pipeline({self.imputer!r} -> {self.scaler!r} -> {self.encoder!r} "
+            f"-> {self.estimator!r})"
+        )
+
+
+# -- step specifications and the searchable catalogue ---------------------------------
+
+@dataclass(frozen=True)
+class PipelineStepSpec:
+    """One preprocessing step: its name, sub-space and transformer builder.
+
+    ``name`` must be one of the :class:`Pipeline` slots (``imputer``,
+    ``scaler``, ``encoder``); the sub-space is joined under that prefix and
+    ``builder(sub_config)`` turns the de-prefixed configuration into a
+    transformer instance.
+    """
+
+    name: str
+    space: ConfigSpace
+    builder: Callable[[dict[str, Any]], Any]
+
+
+def _imputer_space() -> ConfigSpace:
+    space = ConfigSpace([
+        BoolParam("enabled"),
+        CategoricalParam("strategy", ["mean", "median", "constant"]),
+    ])
+    space.add_condition("strategy", Condition("enabled", (True,)))
+    return space
+
+
+def _scaler_space() -> ConfigSpace:
+    return ConfigSpace([CategoricalParam("kind", ["none", "standard", "minmax"])])
+
+
+def _encoder_space() -> ConfigSpace:
+    space = ConfigSpace([
+        CategoricalParam("group_rare", [False, True]),
+        IntParam("min_frequency", 2, 10),
+    ])
+    space.add_condition("min_frequency", Condition("group_rare", (True,)))
+    return space
+
+
+def default_pipeline_steps() -> tuple[PipelineStepSpec, ...]:
+    """The standard imputer → scaler → encoder step set (fresh spaces)."""
+    return (
+        PipelineStepSpec("imputer", _imputer_space(), lambda cfg: ImputerStep(**cfg)),
+        PipelineStepSpec("scaler", _scaler_space(), lambda cfg: ScalerStep(**cfg)),
+        PipelineStepSpec("encoder", _encoder_space(), lambda cfg: EncoderStep(**cfg)),
+    )
+
+
+DEFAULT_PIPELINE_STEPS: tuple[PipelineStepSpec, ...] = default_pipeline_steps()
+
+
+class PipelineFactory:
+    """Builds a configured :class:`Pipeline` from a joined configuration.
+
+    Splits the namespaced config (``imputer:strategy``, ``estimator:...``)
+    back into per-step groups, fills defaults for absent step parameters, and
+    delegates estimator construction to the wrapped bare spec — so partial
+    configurations behave exactly like they do for bare estimators.
+    """
+
+    def __init__(self, spec: AlgorithmSpec, steps: tuple[PipelineStepSpec, ...]) -> None:
+        self.spec = spec
+        self.steps = tuple(steps)
+
+    def __call__(self, **config: Any) -> Pipeline:
+        groups = ConfigSpace.split_config(config, sep=PIPELINE_SEP)
+        transformers: dict[str, Any] = {}
+        for step in self.steps:
+            sub = {**step.space.default_configuration(), **groups.get(step.name, {})}
+            transformers[step.name] = step.builder(sub)
+        estimator = self.spec.build(groups.get(ESTIMATOR_STEP, {}))
+        return Pipeline(estimator, **transformers)
+
+    @property
+    def structure(self) -> str:
+        """Stable tag of the step composition, used in store contexts."""
+        return "+".join(step.name for step in self.steps)
+
+
+def is_pipeline_spec(spec: AlgorithmSpec) -> bool:
+    """Whether a catalogue entry builds pipelines rather than bare estimators."""
+    return isinstance(spec.factory, PipelineFactory)
+
+
+def registry_has_pipelines(registry: AlgorithmRegistry) -> bool:
+    return any(is_pipeline_spec(spec) for spec in registry)
+
+
+def make_pipeline_spec(
+    spec: AlgorithmSpec, steps: tuple[PipelineStepSpec, ...] | None = None
+) -> AlgorithmSpec:
+    """Wrap one catalogue entry into its pipeline twin (same name/group/cost).
+
+    The search space becomes the join of every step's sub-space plus the
+    estimator's own space under the ``estimator`` prefix.  Already-wrapped
+    specs pass through unchanged.
+    """
+    if is_pipeline_spec(spec):
+        return spec
+    steps = tuple(steps) if steps is not None else DEFAULT_PIPELINE_STEPS
+    known = {"imputer", "scaler", "encoder"}
+    unknown = [step.name for step in steps if step.name not in known]
+    if unknown:
+        raise ValueError(f"unknown pipeline step slots {unknown}; known: {sorted(known)}")
+    if ESTIMATOR_STEP in {step.name for step in steps}:
+        raise ValueError(f"{ESTIMATOR_STEP!r} is reserved for the estimator sub-space")
+    parts = [(step.name, step.space) for step in steps] + [(ESTIMATOR_STEP, spec.space)]
+    return AlgorithmSpec(
+        name=spec.name,
+        group=spec.group,
+        factory=PipelineFactory(spec, steps),
+        space=ConfigSpace.join(parts, sep=PIPELINE_SEP),
+        cost=spec.cost,
+    )
+
+
+def pipeline_registry(
+    registry: AlgorithmRegistry | None = None,
+    task: str = "classification",
+    steps: tuple[PipelineStepSpec, ...] | None = None,
+) -> AlgorithmRegistry:
+    """The pipeline-wrapped twin of a catalogue (default: the task's registry).
+
+    Algorithm names are preserved, so knowledge mined over the bare catalogue
+    (corpus experiences, decision-model labels) transfers to pipelines — the
+    registry handed to the UDR decides whether "J48" means the bare tree or
+    the imputer→scaler→encoder→J48 pipeline.
+    """
+    base = registry if registry is not None else registry_for_task(task)
+    return AlgorithmRegistry([make_pipeline_spec(spec, steps) for spec in base])
+
+
+# -- store-context / matrix plumbing --------------------------------------------------
+
+def pipeline_context_suffix(spec: AlgorithmSpec) -> str:
+    """Store-context suffix fingerprinting a spec's pipeline structure.
+
+    Empty for bare estimator specs, so every pre-existing cache/store context
+    stays byte-identical; pipeline specs append their step composition so a
+    persistent store never mixes pipeline scores with bare-estimator scores
+    recorded under the same algorithm name.
+    """
+    if not is_pipeline_spec(spec):
+        return ""
+    return f"-pipeline[{spec.factory.structure}]"
+
+
+def registry_context_suffix(registry: AlgorithmRegistry) -> str:
+    """Store-context suffix for a whole catalogue (empty for bare registries)."""
+    structures = sorted({
+        spec.factory.structure for spec in registry if is_pipeline_spec(spec)
+    })
+    return "".join(f"-pipeline[{structure}]" for structure in structures)
+
+
+def training_matrix(dataset, spec: AlgorithmSpec) -> tuple[np.ndarray, np.ndarray]:
+    """``(X, y)`` for tuning ``spec`` on ``dataset``.
+
+    Pipelines receive the raw attribute blocks (their steps own
+    preprocessing); bare estimators receive the encoded dense matrix exactly
+    as before, so their scores stay byte-identical.
+    """
+    if is_pipeline_spec(spec):
+        return dataset.to_raw_matrix()
+    return dataset.to_matrix()
+
+
+def registry_training_matrix(dataset, registry: AlgorithmRegistry) -> tuple[np.ndarray, np.ndarray]:
+    """``(X, y)`` for searches spanning a whole catalogue (joint CASH spaces)."""
+    if registry_has_pipelines(registry):
+        return dataset.to_raw_matrix()
+    return dataset.to_matrix()

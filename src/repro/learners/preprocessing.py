@@ -7,7 +7,21 @@ all learners in the catalogue receive a dense numeric matrix.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+#: Canonical category recorded for missing values (None / NaN) seen by the
+#: OneHotEncoder.  Raw NaN floats make terrible dict keys (two NaNs never
+#: compare equal, and their hashes vary by object identity on Python >= 3.10),
+#: so missing entries used to silently one-hot to a zero block at transform
+#: time; mapping them all to one sentinel makes missingness a learnable
+#: category instead.
+MISSING_CATEGORY = "__missing__"
+
+#: Category that collects values rarer than ``min_frequency`` (and, with
+#: ``handle_unknown="rare"``, values never seen during fit).
+RARE_CATEGORY = "__rare__"
 
 __all__ = [
     "StandardScaler",
@@ -108,24 +122,71 @@ class LabelEncoder:
         return np.array([self.classes_[i] for i in y])
 
 
+def _canonical_category(value):
+    """Collapse the many faces of "missing" (None, float NaN) to one sentinel."""
+    if value is None:
+        return MISSING_CATEGORY
+    if isinstance(value, float) and value != value:  # NaN without importing math
+        return MISSING_CATEGORY
+    return value
+
+
 class OneHotEncoder:
     """One-hot encode a matrix of categorical columns (given as objects/ints).
 
-    Unknown categories at transform time map to an all-zero block, matching the
-    common "ignore unknown" behaviour.
+    Unknown categories at transform time map to an all-zero block by default
+    (``handle_unknown="ignore"``, the common convention).  Two knobs make the
+    encoder searchable as a pipeline step:
+
+    * ``min_frequency`` — categories seen fewer times during fit are grouped
+      into one :data:`RARE_CATEGORY` column instead of getting their own,
+      which keeps one-hot widths bounded on long-tail data;
+    * ``handle_unknown="rare"`` — the rare column exists even when no
+      training category was rare, so transform-time values never seen during
+      fit always have somewhere to land.  Whenever a rare column exists (from
+      either knob), unknown values map to it — an unseen value is by
+      definition rarer than the threshold; with plain ``"ignore"`` and
+      ``min_frequency=1`` unknowns zero-encode as before.
+
+    Missing values (None / NaN) are canonicalised to :data:`MISSING_CATEGORY`
+    in both fit and transform, so missingness round-trips as an ordinary
+    category instead of silently zero-encoding (NaN never equals NaN, which
+    previously made every missing entry an "unknown").  The defaults keep the
+    historical output byte-identical on clean data.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, min_frequency: int = 1, handle_unknown: str = "ignore") -> None:
+        if min_frequency < 1:
+            raise ValueError("min_frequency must be >= 1")
+        if handle_unknown not in ("ignore", "rare"):
+            raise ValueError(f"handle_unknown must be 'ignore' or 'rare', got {handle_unknown!r}")
+        self.min_frequency = int(min_frequency)
+        self.handle_unknown = handle_unknown
         self.categories_: list[list] | None = None
+
+    def _needs_rare(self) -> bool:
+        return self.min_frequency > 1 or self.handle_unknown == "rare"
 
     def fit(self, X) -> "OneHotEncoder":
         X = np.asarray(X, dtype=object)
         if X.ndim == 1:
             X = X.reshape(-1, 1)
-        self.categories_ = [
-            sorted(set(X[:, j].tolist()), key=lambda v: (str(type(v)), str(v)))
-            for j in range(X.shape[1])
-        ]
+        if X.shape[1] and X.shape[0] == 0:
+            raise ValueError("cannot fit OneHotEncoder on zero records")
+        categories: list[list] = []
+        for j in range(X.shape[1]):
+            values = [_canonical_category(v) for v in X[:, j].tolist()]
+            counts: dict = {}
+            for value in values:
+                counts[value] = counts.get(value, 0) + 1
+            kept = sorted(
+                (v for v, c in counts.items() if c >= self.min_frequency),
+                key=lambda v: (str(type(v)), str(v)),
+            )
+            if self._needs_rare() and RARE_CATEGORY not in kept:
+                kept.append(RARE_CATEGORY)
+            categories.append(kept)
+        self.categories_ = categories
         return self
 
     def transform(self, X) -> np.ndarray:
@@ -141,9 +202,12 @@ class OneHotEncoder:
         blocks = []
         for j, categories in enumerate(self.categories_):
             index = {category: i for i, category in enumerate(categories)}
+            rare_position = index.get(RARE_CATEGORY)
             block = np.zeros((X.shape[0], len(categories)), dtype=np.float64)
             for row, value in enumerate(X[:, j].tolist()):
-                position = index.get(value)
+                position = index.get(_canonical_category(value))
+                if position is None:
+                    position = rare_position  # None again under "ignore"
                 if position is not None:
                     block[row, position] = 1.0
             blocks.append(block)
@@ -173,12 +237,20 @@ class SimpleImputer:
 
     def fit(self, X) -> "SimpleImputer":
         X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {X.shape}")
+        if X.shape[1] and X.shape[0] == 0:
+            raise ValueError("cannot fit SimpleImputer on zero records")
         if self.strategy == "constant":
             self.statistics_ = np.full(X.shape[1], float(self.fill_value))
             return self
         reducer = np.nanmean if self.strategy == "mean" else np.nanmedian
-        with np.errstate(all="ignore"):
-            stats = reducer(X, axis=0)
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            # All-NaN columns are legitimate input (an entirely-missing
+            # attribute); silence numpy's mean-of-empty-slice warning and
+            # substitute fill_value below instead of surfacing NaN.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            stats = reducer(X, axis=0) if X.size else np.zeros(X.shape[1])
         stats = np.where(np.isnan(stats), self.fill_value, stats)
         self.statistics_ = stats
         return self
@@ -201,9 +273,23 @@ def encode_mixed_matrix(
 ) -> tuple[np.ndarray, OneHotEncoder | None]:
     """Build a dense numeric matrix from numeric + categorical attribute blocks.
 
+    .. deprecated::
+        Hard-wired encoding is superseded by searchable pipeline steps — see
+        :mod:`repro.learners.pipeline` (the imputation strategy, scaling and
+        rare-category handling are hyperparameters there, not fixed policy).
+        This shim keeps the historical behaviour for existing callers:
+        identical output on clean data, and numeric NaNs mean-imputed exactly
+        as before.
+
     Returns the encoded matrix and the fitted :class:`OneHotEncoder` (``None``
-    when there are no categorical attributes).  Numeric NaNs are mean-imputed.
+    when there are no categorical attributes).
     """
+    warnings.warn(
+        "encode_mixed_matrix is deprecated; preprocessing is now a searchable "
+        "pipeline step (repro.learners.pipeline)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     blocks: list[np.ndarray] = []
     encoder: OneHotEncoder | None = None
     n_rows: int | None = None

@@ -176,8 +176,15 @@ def cross_val_score_folds(
     configuration as a very bad one rather than aborting the search,
     mirroring how Auto-WEKA handles failed runs.  Regression scorers pass
     their own worst value here (e.g. -1.0 for R²).
+
+    Object-dtype matrices (raw attribute blocks fed to
+    :class:`~repro.learners.pipeline.Pipeline` estimators, which own their
+    encoding per fold) pass through untouched; anything else is coerced to
+    ``float64`` exactly as before.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = np.asarray(X)
+    if X.dtype != object:
+        X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     scores: list[float] = []
     for train_idx, test_idx in folds:

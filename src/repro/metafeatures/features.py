@@ -16,6 +16,7 @@ defined as 0, so every dataset maps to a complete 23-dimensional vector.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
@@ -61,13 +62,35 @@ def _column_proportions(values: np.ndarray) -> np.ndarray:
 def _numeric_averages(dataset: Dataset) -> np.ndarray:
     if dataset.n_numeric == 0:
         return np.array([])
-    return dataset.numeric.mean(axis=0)
+    numeric = dataset.numeric
+    if not np.isnan(numeric).any():
+        # Clean data takes the historical path so the feature vectors feeding
+        # existing decision models stay bit-identical.
+        return numeric.mean(axis=0)
+    return _nan_reduce(numeric, np.nanmean)
 
 
 def _numeric_variances(dataset: Dataset) -> np.ndarray:
     if dataset.n_numeric == 0:
         return np.array([])
-    return dataset.numeric.var(axis=0)
+    numeric = dataset.numeric
+    if not np.isnan(numeric).any():
+        return numeric.var(axis=0)
+    return _nan_reduce(numeric, np.nanvar)
+
+
+def _nan_reduce(numeric: np.ndarray, reducer) -> np.ndarray:
+    """Column statistics over the observed values; all-missing columns are 0.
+
+    Messy task instances (MCAR missingness from ``datasets.corrupt``) must
+    still map to a complete, finite feature vector — the decision model
+    cannot score NaNs — so missing entries are simply excluded, matching how
+    the empty-attribute-list features default to 0.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        values = reducer(numeric, axis=0)
+    return np.where(np.isnan(values), 0.0, values)
 
 
 # -- the 23 features -----------------------------------------------------------------

@@ -20,9 +20,11 @@ POST      ``/jobs``              ``{"kind": "refine"|"fit", ...}`` — async wor
 ========  =====================  ==================================================
 
 Datasets travel as JSON: ``{"name", "task"?, "numeric"?: [[...]],
-"categorical"?: [[...]], "target": [...]}``.  The server is a
-``ThreadingHTTPServer``: each connection gets a thread, and concurrent
-``/recommend`` bodies meet in the dispatcher's micro-batches.
+"categorical"?: [[...]], "target": [...]}``; missing numeric cells are sent
+as ``null`` and become NaN (pipeline-serving models impute them).  Fit jobs
+accept ``"pipelines": true`` to train over the pipeline-wrapped catalogue.
+The server is a ``ThreadingHTTPServer``: each connection gets a thread, and
+concurrent ``/recommend`` bodies meet in the dispatcher's micro-batches.
 """
 
 from __future__ import annotations
@@ -79,6 +81,17 @@ def dataset_from_json(payload: Any) -> Dataset:
     n = len(target)
     numeric = payload.get("numeric") or []
     categorical = payload.get("categorical") or []
+    if numeric:
+        # JSON has no NaN literal; clients send missing numeric cells as
+        # null.  Map them to NaN so messy datasets are first-class on the
+        # wire (pipeline-serving models impute them; bare models crash-score
+        # honestly).
+        numeric = [
+            [np.nan if value is None else value for value in row]
+            if isinstance(row, list)
+            else row
+            for row in numeric
+        ]
     try:
         numeric_arr = (
             np.asarray(numeric, dtype=np.float64) if numeric else np.zeros((n, 0))
@@ -274,6 +287,7 @@ class RecommendationService:
                 cv=int(body.get("cv", 3)),
                 max_records=body.get("max_records", 250),
                 metric=body.get("metric"),
+                pipelines=bool(body.get("pipelines", False)),
             )
         else:
             raise ServiceError(400, f"unknown job kind {kind!r} (use 'fit' or 'refine')")

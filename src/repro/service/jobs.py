@@ -59,8 +59,16 @@ class FitJobQueue:
         n_workers: int = 1,
         metric: str | None = None,
         corpus_config=None,
+        pipelines: bool = False,
     ) -> str:
-        """Queue a full fit pipeline; the result is a new registry version."""
+        """Queue a full fit pipeline; the result is a new registry version.
+
+        ``pipelines=True`` fits (and therefore serves) the pipeline-wrapped
+        catalogue — searchable imputation/scaling/encoding — which is the
+        right choice when the knowledge datasets are messy (missing values,
+        rare categories).  The flag is persisted in the published version's
+        manifest, so later restores serve matching pipeline specs.
+        """
         self.registry.validate_name(name)  # reject bad names before training
         if not datasets:
             raise ValueError("a fit job needs at least one knowledge dataset")
@@ -76,6 +84,7 @@ class FitJobQueue:
                 n_workers=n_workers,
                 task=task,
                 metric=metric,
+                pipelines=pipelines,
             )
             version = self.registry.publish(
                 model,

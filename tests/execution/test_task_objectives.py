@@ -46,8 +46,9 @@ class TestClassificationUnchanged:
         responder.tuning_max_records = 400
         responder.cv = 5
         responder.random_state = 0
+        responder.registry = default_registry()  # bare catalogue: no pipeline suffix
         context = responder._store_context(blobs_dataset, "J48")
-        # The exact pre-task-abstraction format, no task/metric suffix.
+        # The exact pre-task-abstraction format, no task/metric/pipeline suffix.
         assert context == (
             f"udr-J48-blobs-{blobs_dataset.n_records}x{blobs_dataset.n_attributes}"
             "-sub400-cv5-rs0"

@@ -1,0 +1,193 @@
+"""Property-based tests for ConfigSpace.join / prefixed / subspace / split_config.
+
+The pipeline layer relies on three invariants of namespaced composition:
+
+* **name round-trip** — ``join`` then ``subspace`` recovers every sub-space's
+  parameter names, domains and conditions;
+* **config round-trip** — ``split_config`` of a joined sample regroups into
+  per-prefix configurations that each sub-space validates;
+* **unit-encoding consistency** — ``to_vector``/``from_vector`` over a joined
+  space agrees with the concatenation of the sub-space encodings.
+
+Hypothesis drives the shapes (number of sub-spaces, parameter mix, conditions,
+prefix strings); every joined space is also exercised through sampling,
+mutation and crossover so the GA/BO operators are covered on namespaced
+spaces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo.space import (
+    BoolParam,
+    CategoricalParam,
+    ConfigSpace,
+    Condition,
+    FloatParam,
+    IntParam,
+)
+
+# Prefixes must be non-empty and separator-free for an unambiguous round trip.
+prefixes = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-"),
+    min_size=1,
+    max_size=8,
+)
+
+param_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), whitelist_characters="_"),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def sub_spaces(draw):
+    """A small ConfigSpace mixing param kinds, optionally with a condition."""
+    names = draw(st.lists(param_names, min_size=1, max_size=4, unique=True))
+    space = ConfigSpace()
+    for i, name in enumerate(names):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            low = draw(st.floats(min_value=-100, max_value=99, allow_nan=False))
+            space.add(FloatParam(name, low, low + draw(st.floats(min_value=0.5, max_value=50))))
+        elif kind == 1:
+            low = draw(st.integers(min_value=-50, max_value=50))
+            space.add(IntParam(name, low, low + draw(st.integers(min_value=1, max_value=40))))
+        elif kind == 2:
+            n_choices = draw(st.integers(min_value=1, max_value=4))
+            space.add(CategoricalParam(name, [f"c{j}" for j in range(n_choices)]))
+        else:
+            space.add(BoolParam(name))
+    # Optionally condition a later param on the first one.
+    if len(names) >= 2 and draw(st.booleans()):
+        parent = names[0]
+        child = names[-1]
+        parent_param = space[parent]
+        if isinstance(parent_param, CategoricalParam):
+            space.add_condition(child, Condition(parent, (parent_param.choices[0],)))
+    return space
+
+
+@st.composite
+def joined_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    used_prefixes = draw(st.lists(prefixes, min_size=n, max_size=n, unique=True))
+    spaces = [draw(sub_spaces()) for _ in range(n)]
+    return list(zip(used_prefixes, spaces))
+
+
+def _spaces_equivalent(a: ConfigSpace, b: ConfigSpace) -> bool:
+    if a.names != b.names:
+        return False
+    for name in a.names:
+        pa, pb = a[name], b[name]
+        if type(pa) is not type(pb):
+            return False
+        if isinstance(pa, CategoricalParam):
+            if pa.choices != pb.choices:
+                return False
+        else:
+            if not (pa.low == pb.low and pa.high == pb.high and pa.log == pb.log):
+                return False
+        ca, cb = a.condition(name), b.condition(name)
+        if (ca is None) != (cb is None):
+            return False
+        if ca is not None and (ca.parent != cb.parent or ca.values != cb.values):
+            return False
+    return True
+
+
+class TestJoinRoundTrip:
+    @given(joined_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_subspace_inverts_join(self, parts):
+        joined = ConfigSpace.join(parts)
+        assert len(joined) == sum(len(space) for _, space in parts)
+        for prefix, space in parts:
+            recovered = joined.subspace(prefix)
+            assert _spaces_equivalent(recovered, space)
+
+    @given(joined_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_split_config_regroups_valid_samples(self, parts, seed):
+        joined = ConfigSpace.join(parts)
+        config = joined.sample(np.random.default_rng(seed))
+        assert joined.validate(config)
+        groups = ConfigSpace.split_config(config)
+        assert set(groups) == {prefix for prefix, _ in parts}
+        for prefix, space in parts:
+            sub = groups[prefix]
+            assert set(sub) == set(space.names)
+            assert space.validate(sub)
+
+    @given(joined_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_encoding_concatenates_subspace_encodings(self, parts, seed):
+        joined = ConfigSpace.join(parts)
+        config = joined.sample(np.random.default_rng(seed))
+        vector = joined.to_vector(config)
+        assert vector.shape == (len(joined),)
+        assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+        offset = 0
+        groups = ConfigSpace.split_config(config)
+        for prefix, space in parts:
+            sub_vector = space.to_vector(groups[prefix])
+            assert np.array_equal(vector[offset:offset + len(space)], sub_vector)
+            offset += len(space)
+        decoded = joined.from_vector(vector)
+        assert joined.validate(decoded)
+
+    @given(joined_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_ga_operators_stay_valid_on_joined_spaces(self, parts, seed):
+        joined = ConfigSpace.join(parts)
+        rng = np.random.default_rng(seed)
+        a, b = joined.sample(rng), joined.sample(rng)
+        assert joined.validate(joined.mutate(a, rng))
+        assert joined.validate(joined.crossover(a, b, rng))
+
+    @given(joined_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_conditions_are_rewritten_into_the_namespace(self, parts):
+        joined = ConfigSpace.join(parts)
+        for prefix, space in parts:
+            for name in space.names:
+                condition = space.condition(name)
+                joined_condition = joined.condition(f"{prefix}:{name}")
+                if condition is None:
+                    assert joined_condition is None
+                else:
+                    assert joined_condition.parent == f"{prefix}:{condition.parent}"
+                    assert joined_condition.values == condition.values
+
+
+class TestJoinEdgeCases:
+    def test_duplicate_joined_names_raise(self):
+        a = ConfigSpace([BoolParam("x")])
+        b = ConfigSpace([BoolParam("x")])
+        with pytest.raises(ValueError):
+            ConfigSpace.join([("p", a), ("p", b)])
+
+    def test_join_is_deep_copy(self):
+        sub = ConfigSpace([CategoricalParam("c", ["a", "b"])])
+        joined = ConfigSpace.join([("p", sub)])
+        joined["p:c"].choices.append("mutated")
+        assert sub["c"].choices == ["a", "b"]
+
+    def test_split_config_keeps_unprefixed_keys_in_root_group(self):
+        groups = ConfigSpace.split_config({"a:x": 1, "y": 2})
+        assert groups == {"a": {"x": 1}, "": {"y": 2}}
+
+    def test_subspace_of_missing_prefix_is_empty(self):
+        joined = ConfigSpace.join([("p", ConfigSpace([BoolParam("x")]))])
+        assert len(joined.subspace("q")) == 0
+
+    def test_custom_separator(self):
+        joined = ConfigSpace.join([("p", ConfigSpace([BoolParam("x")]))], sep="__")
+        assert joined.names == ["p__x"]
+        assert _spaces_equivalent(
+            joined.subspace("p", sep="__"), ConfigSpace([BoolParam("x")])
+        )

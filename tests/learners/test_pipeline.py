@@ -1,0 +1,269 @@
+"""Unit tests for the Pipeline learner and the pipeline-wrapped catalogues."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import corrupt, make_dataset
+from repro.learners import clone, default_registry
+from repro.learners.pipeline import (
+    DEFAULT_PIPELINE_STEPS,
+    EncoderStep,
+    ImputerStep,
+    Pipeline,
+    PipelineFactory,
+    ScalerStep,
+    is_pipeline_spec,
+    make_pipeline_spec,
+    pipeline_context_suffix,
+    pipeline_registry,
+    registry_context_suffix,
+    registry_has_pipelines,
+    registry_training_matrix,
+    split_columns,
+    training_matrix,
+)
+from repro.learners.registry import AlgorithmRegistry
+from repro.learners.regression_registry import default_regression_registry
+from repro.learners.tree import J48
+
+
+@pytest.fixture(scope="module")
+def messy_dataset():
+    clean = make_dataset(
+        "gaussian_clusters", "clean", n_records=120, n_numeric=4,
+        n_categorical=2, n_classes=3, random_state=0,
+    )
+    return corrupt(clean, missing_rate=0.25, rare_rate=0.15, scale_skew=1.0, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_registry():
+    return pipeline_registry(default_registry().subset(["J48", "NaiveBayes", "IBk"]))
+
+
+class TestSplitColumns:
+    def test_float_matrix_is_all_numeric(self):
+        numeric, categorical = split_columns(np.zeros((5, 3)))
+        assert numeric == [0, 1, 2] and categorical == []
+
+    def test_object_matrix_detects_categorical(self):
+        X = np.array([[1.0, "a"], [np.nan, "b"], [None, "a"]], dtype=object)
+        numeric, categorical = split_columns(X)
+        assert numeric == [0] and categorical == [1]
+
+    def test_missing_values_do_not_make_a_column_categorical(self):
+        X = np.array([[np.nan], [None], [3.5]], dtype=object)
+        numeric, categorical = split_columns(X)
+        assert numeric == [0] and categorical == []
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            split_columns(np.zeros((2, 2, 2)))
+
+
+class TestPipelineEstimator:
+    def test_fits_and_predicts_on_raw_messy_matrix(self, messy_dataset):
+        X, y = messy_dataset.to_raw_matrix()
+        pipeline = Pipeline(J48(max_depth=6), imputer=ImputerStep(), encoder=EncoderStep())
+        pipeline.fit(X, y)
+        predictions = pipeline.predict(X)
+        assert predictions.shape == y.shape
+        assert pipeline.score(X, y) > 0.5
+        assert pipeline.predict_proba(X).shape[0] == len(y)
+
+    def test_disabled_imputer_crashes_on_missing_values(self, messy_dataset):
+        X, y = messy_dataset.to_raw_matrix()
+        pipeline = Pipeline(J48(), imputer=ImputerStep(enabled=False))
+        with pytest.raises(ValueError):
+            pipeline.fit(X, y)
+
+    def test_scaler_kinds(self, messy_dataset):
+        X, y = messy_dataset.to_raw_matrix()
+        for kind in ("none", "standard", "minmax"):
+            pipeline = Pipeline(J48(max_depth=4), scaler=ScalerStep(kind=kind))
+            assert pipeline.fit(X, y).score(X, y) > 0.4
+
+    def test_plain_float_matrix_works(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] > 0).astype(int)
+        pipeline = Pipeline(J48(max_depth=4))
+        assert pipeline.fit(X, y).score(X, y) > 0.8
+
+    def test_clone_returns_refittable_copy(self, messy_dataset):
+        X, y = messy_dataset.to_raw_matrix()
+        pipeline = Pipeline(J48(max_depth=5), scaler=ScalerStep(kind="standard"))
+        pipeline.fit(X, y)
+        cloned = clone(pipeline)
+        assert cloned is not pipeline
+        assert cloned.scaler.kind == "standard"
+        cloned.fit(X, y)
+        assert cloned.score(X, y) > 0.4
+
+    def test_predict_before_fit_raises(self, messy_dataset):
+        X, _ = messy_dataset.to_raw_matrix()
+        from repro.learners import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            Pipeline(J48()).predict(X)
+
+    def test_transform_handles_unseen_categories_between_folds(self, messy_dataset):
+        X, y = messy_dataset.to_raw_matrix()
+        pipeline = Pipeline(J48(max_depth=5), encoder=EncoderStep(group_rare=True, min_frequency=3))
+        pipeline.fit(X[:60], y[:60])
+        # The second half contains rare values the first half never saw.
+        assert pipeline.predict(X[60:]).shape == y[60:].shape
+
+
+class TestPipelineSpecs:
+    def test_joined_space_has_prefixed_step_and_estimator_params(self):
+        spec = make_pipeline_spec(default_registry().get("J48"))
+        names = spec.space.names
+        assert "imputer:enabled" in names
+        assert "imputer:strategy" in names
+        assert "scaler:kind" in names
+        assert "encoder:group_rare" in names
+        assert "estimator:max_depth" in names
+        # Activation condition travels with the namespace.
+        condition = spec.space.condition("imputer:strategy")
+        assert condition is not None and condition.parent == "imputer:enabled"
+
+    def test_default_config_builds_working_pipeline(self, messy_dataset):
+        spec = make_pipeline_spec(default_registry().get("NaiveBayes"))
+        estimator = spec.build(spec.default_config())
+        assert isinstance(estimator, Pipeline)
+        assert estimator.imputer.enabled is True  # default rescues messy data
+        X, y = training_matrix(messy_dataset, spec)
+        assert estimator.fit(X, y).score(X, y) > 0.4
+
+    def test_partial_config_fills_step_defaults(self):
+        spec = make_pipeline_spec(default_registry().get("J48"))
+        estimator = spec.build({"estimator:max_depth": 3, "scaler:kind": "minmax"})
+        assert estimator.estimator.max_depth == 3
+        assert estimator.scaler.kind == "minmax"
+        assert estimator.imputer.enabled is True
+
+    def test_wrapping_is_idempotent(self):
+        spec = make_pipeline_spec(default_registry().get("J48"))
+        assert make_pipeline_spec(spec) is spec
+
+    def test_sampled_configs_build(self, small_pipeline_registry):
+        rng = np.random.default_rng(3)
+        for name in small_pipeline_registry.names:
+            spec = small_pipeline_registry.get(name)
+            for _ in range(5):
+                assert isinstance(spec.build(spec.space.sample(rng)), Pipeline)
+
+    def test_registry_preserves_names_groups_costs(self, small_pipeline_registry):
+        bare = default_registry().subset(["J48", "NaiveBayes", "IBk"])
+        assert small_pipeline_registry.names == bare.names
+        for name in bare.names:
+            assert small_pipeline_registry.get(name).group == bare.get(name).group
+            assert small_pipeline_registry.get(name).cost == bare.get(name).cost
+
+    def test_regression_catalogue_wraps_too(self):
+        registry = pipeline_registry(task="regression")
+        assert registry.names == default_regression_registry().names
+        assert all(is_pipeline_spec(spec) for spec in registry)
+
+    def test_dummy_param_estimators_survive_wrapping(self):
+        registry = pipeline_registry(default_registry().subset(["ZeroR", "IB1"]))
+        for name in registry.names:
+            spec = registry.get(name)
+            assert isinstance(spec.build(spec.default_config()), Pipeline)
+
+
+class TestContextSuffixes:
+    def test_bare_specs_contribute_nothing(self):
+        spec = default_registry().get("J48")
+        assert pipeline_context_suffix(spec) == ""
+        assert registry_context_suffix(default_registry()) == ""
+        assert not registry_has_pipelines(default_registry())
+
+    def test_pipeline_specs_append_structure(self, small_pipeline_registry):
+        spec = small_pipeline_registry.get("J48")
+        assert pipeline_context_suffix(spec) == "-pipeline[imputer+scaler+encoder]"
+        assert registry_context_suffix(small_pipeline_registry) == "-pipeline[imputer+scaler+encoder]"
+        assert registry_has_pipelines(small_pipeline_registry)
+
+    def test_factory_structure_matches_default_steps(self):
+        factory = PipelineFactory(default_registry().get("J48"), DEFAULT_PIPELINE_STEPS)
+        assert factory.structure == "imputer+scaler+encoder"
+
+
+class TestJointSpaceConditions:
+    def test_joint_space_preserves_step_activation_conditions(self):
+        from repro.baselines.autoweka import ALGORITHM_KEY, joint_space
+
+        registry = pipeline_registry(default_registry().subset(["J48", "ZeroR"]))
+        space = joint_space(registry)
+        # min_frequency must require BOTH the root selecting J48 and
+        # group_rare being on — not just the algorithm gate.
+        name = "J48::encoder:min_frequency"
+        base = {ALGORITHM_KEY: "J48", "J48::encoder:group_rare": True}
+        assert space.is_active(name, base)
+        assert not space.is_active(name, {**base, "J48::encoder:group_rare": False})
+        assert not space.is_active(name, {**base, ALGORITHM_KEY: "ZeroR"})
+        # Inactive knobs collapse to defaults, so behaviourally identical
+        # configs share one fingerprint instead of splitting the cache.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            config = space.sample(rng)
+            if not config["J48::encoder:group_rare"]:
+                assert config["J48::encoder:min_frequency"] == 6  # the default
+            if not config["J48::imputer:enabled"]:
+                assert config["J48::imputer:strategy"] == "mean"
+
+    def test_joint_space_handles_compound_conditions(self):
+        from repro.baselines.autoweka import ALGORITHM_KEY, joint_space
+        from repro.hpo.space import AndCondition, BoolParam, ConfigSpace, Condition
+        from repro.learners.registry import AlgorithmSpec
+        from repro.learners.rules import ZeroR
+
+        space = ConfigSpace([BoolParam("a"), BoolParam("b"), BoolParam("c")])
+        space.add_condition(
+            "c", AndCondition((Condition("a", (True,)), Condition("b", (True,))))
+        )
+        registry = AlgorithmRegistry([AlgorithmSpec("Z", "rules", lambda **kw: ZeroR(), space)])
+        joint = joint_space(registry)
+        active = {ALGORITHM_KEY: "Z", "Z::a": True, "Z::b": True}
+        assert joint.is_active("Z::c", active)
+        assert not joint.is_active("Z::c", {**active, "Z::b": False})
+
+
+class TestIntegerCodedCategories:
+    def test_raw_matrix_keeps_integer_categories_categorical(self):
+        from repro.datasets import Dataset
+
+        rng = np.random.default_rng(0)
+        dataset = Dataset(
+            name="intcat",
+            numeric=rng.normal(size=(60, 2)),
+            categorical=np.array([[int(v)] for v in rng.integers(0, 3, size=60)], dtype=object),
+            target=np.array(["a", "b"] * 30, dtype=object),
+        )
+        X, _ = dataset.to_raw_matrix()
+        numeric, categorical = split_columns(X)
+        # Integer category codes must route to the encoder, exactly like the
+        # bare path one-hot encodes them — not to the imputer/scaler.
+        assert numeric == [0, 1] and categorical == [2]
+        pipeline = Pipeline(J48(max_depth=4))
+        pipeline.fit(X, dataset._encoded_target())
+        assert pipeline.categorical_columns_ == [2]
+
+
+class TestTrainingMatrix:
+    def test_bare_spec_gets_encoded_matrix(self, messy_dataset):
+        X, y = training_matrix(messy_dataset, default_registry().get("J48"))
+        assert X.dtype == np.float64  # one-hot encoded, NaNs preserved
+        assert np.isnan(X).any()
+
+    def test_pipeline_spec_gets_raw_matrix(self, messy_dataset, small_pipeline_registry):
+        X, y = training_matrix(messy_dataset, small_pipeline_registry.get("J48"))
+        assert X.dtype == object
+        assert X.shape[1] == messy_dataset.n_attributes
+
+    def test_registry_training_matrix_switches_on_catalogue(self, messy_dataset, small_pipeline_registry):
+        X_bare, _ = registry_training_matrix(messy_dataset, default_registry())
+        X_pipe, _ = registry_training_matrix(messy_dataset, small_pipeline_registry)
+        assert X_bare.dtype == np.float64 and X_pipe.dtype == object

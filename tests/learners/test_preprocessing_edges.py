@@ -1,0 +1,106 @@
+"""Transform-time edge cases of OneHotEncoder / SimpleImputer.
+
+Pipeline search feeds these transformers per-CV-fold on messy data, so the
+edge cases that used to lurk behind full-dataset encoding — unseen categories,
+all-NaN columns, empty fits, NaN category values — must be deterministic,
+warning-free behaviours rather than spurious crash scores.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.learners.preprocessing import (
+    MISSING_CATEGORY,
+    RARE_CATEGORY,
+    OneHotEncoder,
+    SimpleImputer,
+)
+
+
+class TestOneHotEncoderEdges:
+    def test_unseen_category_zero_encodes_by_default(self):
+        encoder = OneHotEncoder().fit([["a"], ["b"]])
+        out = encoder.transform([["c"]])
+        assert out.shape == (1, 2)
+        assert np.all(out == 0.0)
+
+    def test_unseen_category_maps_to_rare_bucket(self):
+        encoder = OneHotEncoder(handle_unknown="rare").fit([["a"], ["b"]])
+        out = encoder.transform([["never-seen"]])
+        rare_column = encoder.categories_[0].index(RARE_CATEGORY)
+        assert out[0, rare_column] == 1.0 and out.sum() == 1.0
+
+    def test_min_frequency_groups_long_tail(self):
+        column = [["a"]] * 5 + [["b"]] * 5 + [["x"], ["y"], ["z"]]
+        encoder = OneHotEncoder(min_frequency=2).fit(column)
+        categories = encoder.categories_[0]
+        assert "a" in categories and "b" in categories
+        assert "x" not in categories and RARE_CATEGORY in categories
+        out = encoder.transform([["x"], ["a"]])
+        rare_column = categories.index(RARE_CATEGORY)
+        assert out[0, rare_column] == 1.0
+        assert out[1, categories.index("a")] == 1.0
+
+    def test_nan_and_none_are_one_missing_category(self):
+        encoder = OneHotEncoder().fit([[float("nan")], ["a"], [None]])
+        categories = encoder.categories_[0]
+        assert categories.count(MISSING_CATEGORY) == 1
+        out = encoder.transform([[float("nan")], [None]])
+        missing_column = categories.index(MISSING_CATEGORY)
+        # Previously NaN at transform time zero-encoded (NaN != NaN); now it
+        # round-trips to the category learned at fit time.
+        assert np.all(out[:, missing_column] == 1.0)
+
+    def test_empty_fit_zero_rows_raises_cleanly(self):
+        with pytest.raises(ValueError, match="zero records"):
+            OneHotEncoder().fit(np.zeros((0, 2), dtype=object))
+
+    def test_zero_column_fit_is_a_clean_noop(self):
+        encoder = OneHotEncoder().fit(np.zeros((4, 0), dtype=object))
+        assert encoder.transform(np.zeros((4, 0), dtype=object)).shape == (4, 0)
+        assert encoder.n_output_features_ == 0
+
+    def test_clean_data_output_unchanged_by_new_knobs(self):
+        X = np.array([["a", "x"], ["b", "y"], ["a", "x"]], dtype=object)
+        out = OneHotEncoder().fit_transform(X)
+        expected = np.array(
+            [[1, 0, 1, 0], [0, 1, 0, 1], [1, 0, 1, 0]], dtype=np.float64
+        )
+        assert np.array_equal(out, expected)
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(min_frequency=0)
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="explode")
+
+
+class TestSimpleImputerEdges:
+    def test_all_nan_column_fills_without_warning(self):
+        X = np.array([[np.nan, 1.0], [np.nan, 3.0]])
+        for strategy in ("mean", "median"):
+            imputer = SimpleImputer(strategy=strategy, fill_value=-1.0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                out = imputer.fit_transform(X)
+            assert np.all(out[:, 0] == -1.0)
+            assert np.all(out[:, 1] == [1.0, 3.0])
+
+    def test_empty_fit_zero_rows_raises_cleanly(self):
+        with pytest.raises(ValueError, match="zero records"):
+            SimpleImputer().fit(np.zeros((0, 3)))
+
+    def test_zero_column_fit_is_a_clean_noop(self):
+        imputer = SimpleImputer().fit(np.zeros((5, 0)))
+        assert imputer.transform(np.zeros((5, 0))).shape == (5, 0)
+
+    def test_transform_new_nans_use_fit_statistics(self):
+        imputer = SimpleImputer().fit([[1.0], [3.0]])
+        out = imputer.transform([[np.nan]])
+        assert out[0, 0] == 2.0
+
+    def test_non_2d_fit_raises(self):
+        with pytest.raises(ValueError):
+            SimpleImputer().fit(np.zeros((2, 2, 2)))

@@ -146,3 +146,142 @@ class TestSuites:
     def test_knowledge_suite_invalid_size(self):
         with pytest.raises(ValueError):
             knowledge_suite(n_datasets=0)
+
+
+class TestCorruption:
+    """The messy-data corruption layer feeding pipeline search."""
+
+    def _clean(self):
+        return make_dataset(
+            "gaussian_clusters", "c", n_records=150, n_numeric=5,
+            n_categorical=3, n_classes=3, random_state=0,
+        )
+
+    def test_missing_rate_injects_nans_into_numeric_only(self):
+        from repro.datasets import corrupt
+
+        clean = self._clean()
+        messy = corrupt(clean, missing_rate=0.2, random_state=1)
+        fraction = np.isnan(messy.numeric).mean()
+        assert 0.1 < fraction < 0.3
+        assert np.array_equal(messy.target, clean.target)
+        assert np.array_equal(messy.categorical, clean.categorical)
+
+    def test_rare_rate_introduces_fresh_categories(self):
+        from repro.datasets import corrupt
+
+        clean = self._clean()
+        messy = corrupt(clean, missing_rate=0.0, rare_rate=0.2, random_state=2)
+        clean_values = set(clean.categorical.ravel().tolist())
+        new_values = set(messy.categorical.ravel().tolist()) - clean_values
+        assert new_values and all(str(v).startswith("rare_") for v in new_values)
+        assert np.array_equal(messy.numeric, clean.numeric)
+
+    def test_scale_skew_rescales_columns(self):
+        from repro.datasets import corrupt
+
+        clean = self._clean()
+        messy = corrupt(clean, missing_rate=0.0, scale_skew=2.0, random_state=3)
+        ratios = np.abs(messy.numeric).mean(axis=0) / np.abs(clean.numeric).mean(axis=0)
+        assert ratios.max() / ratios.min() > 5.0  # genuinely different scales
+
+    def test_corruption_is_deterministic_and_metadata_tagged(self):
+        from repro.datasets import corrupt
+
+        clean = self._clean()
+        a = corrupt(clean, missing_rate=0.15, rare_rate=0.1, random_state=9)
+        b = corrupt(clean, missing_rate=0.15, rare_rate=0.1, random_state=9)
+        assert a.fingerprint == b.fingerprint
+        assert a.metadata["corrupted"]["source"] == "c"
+        assert a.task == clean.task
+
+    def test_invalid_rates_raise(self):
+        from repro.datasets import corrupt
+
+        clean = self._clean()
+        with pytest.raises(ValueError):
+            corrupt(clean, missing_rate=1.5)
+        with pytest.raises(ValueError):
+            corrupt(clean, rare_rate=-0.1)
+        with pytest.raises(ValueError):
+            corrupt(clean, scale_skew=-1.0)
+
+    def test_knowledge_suite_corrupt_fraction(self):
+        from repro.datasets import knowledge_suite as suite
+
+        clean_pool = suite(n_datasets=6, random_state=7)
+        messy_pool = suite(n_datasets=6, random_state=7, corrupt_fraction=0.5)
+        assert [d.name for d in messy_pool] == [d.name for d in clean_pool]
+        corrupted = [d for d in messy_pool if "corrupted" in d.metadata]
+        assert len(corrupted) == 3
+        # The untouched share is byte-identical to the historical pool.
+        for clean, messy in zip(clean_pool, messy_pool):
+            if "corrupted" not in messy.metadata:
+                assert messy.fingerprint == clean.fingerprint
+
+
+class TestMatrixEncoding:
+    """to_matrix / to_raw_matrix and the deprecated hard-wired encode path."""
+
+    def _mixed(self, with_nans=False):
+        dataset = make_dataset(
+            "gaussian_clusters", "m", n_records=60, n_numeric=3,
+            n_categorical=2, n_classes=2, random_state=4,
+        )
+        if with_nans:
+            from repro.datasets import corrupt
+
+            dataset = corrupt(dataset, missing_rate=0.3, random_state=5)
+        return dataset
+
+    def test_to_matrix_identical_to_legacy_composition_on_clean_data(self):
+        from repro.learners.preprocessing import OneHotEncoder, SimpleImputer
+
+        dataset = self._mixed()
+        X, y = dataset.to_matrix()
+        legacy = np.hstack([
+            SimpleImputer().fit_transform(dataset.numeric),
+            OneHotEncoder().fit_transform(dataset.categorical),
+        ])
+        assert np.array_equal(X, legacy)  # byte-identical, imputation was a no-op
+
+    def test_to_matrix_preserves_nans_for_bare_estimators(self):
+        dataset = self._mixed(with_nans=True)
+        X, _ = dataset.to_matrix()
+        assert np.isnan(X).any()  # imputation is a pipeline step now
+
+    def test_to_raw_matrix_layout_matches_to_matrix(self):
+        dataset = self._mixed(with_nans=True)
+        X_raw, y_raw = dataset.to_raw_matrix()
+        X_enc, y_enc = dataset.to_matrix()
+        assert X_raw.dtype == object
+        assert X_raw.shape == (dataset.n_records, dataset.n_attributes)
+        assert np.array_equal(y_raw, y_enc)
+        # Numeric block first, original values preserved.
+        raw_numeric = X_raw[:, : dataset.n_numeric].astype(np.float64)
+        assert np.array_equal(
+            np.nan_to_num(raw_numeric), np.nan_to_num(dataset.numeric)
+        )
+        assert X_raw[0, dataset.n_numeric] == dataset.categorical[0, 0]
+
+    def test_to_raw_matrix_numeric_only_is_float(self):
+        dataset = make_gaussian_clusters("num", n_records=40, n_numeric=4, random_state=0)
+        X, y = dataset.to_raw_matrix()
+        assert X.dtype == np.float64 and X.shape == (40, 4)
+
+    def test_encode_mixed_matrix_shim_warns_and_matches_legacy_output(self):
+        from repro.learners.preprocessing import (
+            OneHotEncoder,
+            SimpleImputer,
+            encode_mixed_matrix,
+        )
+
+        dataset = self._mixed()
+        with pytest.warns(DeprecationWarning):
+            X, encoder = encode_mixed_matrix(dataset.numeric, dataset.categorical)
+        legacy = np.hstack([
+            SimpleImputer().fit_transform(dataset.numeric),
+            OneHotEncoder().fit_transform(dataset.categorical),
+        ])
+        assert np.array_equal(X, legacy)
+        assert encoder is not None and encoder.n_output_features_ > 0

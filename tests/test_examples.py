@@ -41,6 +41,27 @@ class TestExamples:
         # The most reliable papers (zhang2017, morente2017) both back BayesNet.
         assert "(Wine, BayesNet)" in output
 
+    def test_pipeline_quickstart_runs(self, capsys):
+        path = EXAMPLES_DIR / "pipeline_quickstart.py"
+        spec = importlib.util.spec_from_file_location("pipeline_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "bare estimator fails on messy data" in output
+        assert "fitted pipeline Auto-Model: True" in output
+        assert "tuned pipeline:" in output
+        assert "imputer:enabled" in output
+        assert "published model 'pipelines' v0001" in output
+        assert "served recommendation:" in output
+        assert "refine job finished: done" in output
+        assert "config_source=tuned-store" in output
+        assert "pipeline quickstart complete" in output
+
     def test_serve_quickstart_runs(self, capsys):
         path = EXAMPLES_DIR / "serve_quickstart.py"
         spec = importlib.util.spec_from_file_location("serve_quickstart", path)
