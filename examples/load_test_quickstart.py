@@ -1,0 +1,148 @@
+"""Load-testing quickstart: a pre-forked pool under synthetic traffic.
+
+Run with::
+
+    python examples/load_test_quickstart.py
+
+The script (1) fits and publishes a small Auto-Model, (2) boots a
+pre-forked :class:`ServicePool` — two worker processes accepting on one
+ephemeral port, each running the full serving stack, (3) drives a mixed
+request schedule at it with the stdlib :class:`LoadGenerator`, promoting
+a new model version mid-run, and (4) reads back the pool-wide
+``/metrics`` aggregate to show that the server-side tally matches what
+the clients measured.  Budgets are tiny so the whole script finishes in
+seconds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+
+from repro import AutoModel, DecisionMakingModelDesigner
+from repro.datasets import knowledge_suite, make_gaussian_clusters
+from repro.learners import default_registry
+from repro.service import LoadGenerator, LoadOp, ModelRegistry, ServicePool
+
+
+def dataset_to_json(dataset) -> dict:
+    """A Dataset in the service's JSON wire format."""
+    return {
+        "name": dataset.name,
+        "task": dataset.task.value,
+        "numeric": dataset.numeric.tolist(),
+        "categorical": [[str(v) for v in row] for row in dataset.categorical],
+        "target": [str(v) for v in dataset.target],
+    }
+
+
+def http_json(pool, method: str, path: str, body: dict | None = None) -> dict:
+    conn = http.client.HTTPConnection(pool.host, pool.port, timeout=60)
+    try:
+        conn.request(
+            method, path,
+            body=json.dumps(body).encode("utf-8") if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main() -> None:
+    # 1. Train one small model, publish it twice: v0001 goes live, v0002
+    #    stays on standby for the mid-run hot swap.
+    knowledge_datasets = knowledge_suite(n_datasets=5, max_records=100, random_state=3)
+    auto_model = AutoModel.fit_from_datasets(
+        knowledge_datasets,
+        registry=default_registry().subset(
+            ["J48", "NaiveBayes", "IBk", "ZeroR", "OneR", "DecisionStump"]
+        ),
+        dmd=DecisionMakingModelDesigner(
+            skip_feature_selection=True,
+            architecture_population=4,
+            architecture_generations=1,
+            architecture_max_evaluations=4,
+            cv=2,
+            random_state=0,
+        ),
+        cv=2,
+        max_records=80,
+    )
+    registry_dir = tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    registry.publish(auto_model, "loadtest")                  # v0001, live
+    standby = registry.publish(auto_model, "loadtest")        # v0002, standby
+    print(f"published model 'loadtest' v0001 (live) and {standby} (standby)")
+
+    # 2. A pre-forked pool: two worker processes, one listening address,
+    #    bounded admission queues, shared metrics directory.
+    pool = ServicePool(
+        registry_dir, n_workers=2, max_queue_depth=256, flush_interval=0.2
+    )
+    pool.start()
+    print(f"pool serving on {pool.url} with {len(pool.worker_pids)} workers")
+
+    try:
+        # 3. A deterministic mixed schedule: recommendations over three
+        #    distinct datasets plus health checks, from 4 client threads
+        #    over persistent keep-alive connections.
+        queries = [
+            make_gaussian_clusters(
+                f"traffic-{i}", n_records=200, n_numeric=5, n_categorical=1,
+                n_classes=2, random_state=400 + i,
+            )
+            for i in range(3)
+        ]
+        ops = [
+            LoadOp(
+                "POST", "/recommend",
+                {"dataset": dataset_to_json(q), "model": "loadtest"},
+                weight=3, name="POST /recommend",
+            )
+            for q in queries
+        ] + [LoadOp("GET", "/healthz", weight=1)]
+        generator = LoadGenerator(
+            pool.host, pool.port, ops, n_clients=4, requests_per_client=15
+        )
+
+        report_box: dict = {}
+        runner = threading.Thread(target=lambda: report_box.update(r=generator.run()))
+        runner.start()
+        generator.wait_until(generator.total_requests // 2, timeout=120)
+        http_json(pool, "POST", "/models/promote",
+                  {"name": "loadtest", "version": standby})
+        print(f"promoted {standby} mid-run (half the traffic already served)")
+        runner.join()
+        report = report_box["r"]
+
+        print(
+            f"load run: {report.n_requests} requests, "
+            f"{report.throughput_rps:.1f} req/s, "
+            f"p50 {report.latency_ms(0.50):.1f} ms, "
+            f"p99 {report.latency_ms(0.99):.1f} ms, "
+            f"failed {report.n_failed}"
+        )
+
+        # 4. The pool-wide /metrics aggregate reconciles with the client tally.
+        time.sleep(0.8)  # let both workers flush their final payloads
+        metrics = http_json(pool, "GET", "/metrics")
+        server_side = metrics["http"]["endpoints"]["POST /recommend"]["n_requests"]
+        client_side = report.by_route["POST /recommend"]["n_requests"]
+        print(
+            f"metrics: scope={metrics['scope']}, workers={len(metrics['workers'])}, "
+            f"server counted {server_side} /recommend, clients sent {client_side}"
+        )
+        assert report.n_failed == 0, "requests failed during the hot swap"
+        assert server_side == client_side, "client/server tallies diverged"
+    finally:
+        pool.stop()
+    print("load test quickstart complete")
+
+
+if __name__ == "__main__":
+    main()

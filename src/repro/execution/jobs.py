@@ -181,6 +181,25 @@ class JobQueue:
             record = self._jobs[job_id]
             return replace(record, detail=dict(record.detail))
 
+    def counts(self) -> dict[str, int]:
+        """Live tally of jobs by status (keys for all known statuses)."""
+        with self._lock:
+            out = {status: 0 for status in _STATUSES}
+            for record in self._jobs.values():
+                out[record.status] = out.get(record.status, 0) + 1
+            return out
+
+    @property
+    def depth(self) -> int:
+        """Unfinished work: jobs queued or running right now.
+
+        This is the backpressure signal for admission control — a serving
+        front end can refuse new fit submissions (or advertise the backlog
+        over /metrics) when the depth says the workers are saturated.
+        """
+        counts = self.counts()
+        return counts["queued"] + counts["running"]
+
     def jobs(self, status: str | None = None) -> list[JobRecord]:
         """Snapshots of all jobs, newest first, optionally filtered by status."""
         if status is not None and status not in _STATUSES:

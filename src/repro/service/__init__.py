@@ -15,17 +15,43 @@ them behind a production-style serving surface with four layers:
   store) so serving never blocks on training.
 * :mod:`repro.service.http` — :class:`RecommendationService` and the
   stdlib HTTP/JSON server (``python -m repro.service serve``).
+
+Scale-out and observability ride on top:
+
+* :mod:`repro.service.pool` — :class:`ServicePool`: pre-forked worker
+  processes sharing one listening address (``SO_REUSEPORT`` or
+  fork-after-bind), supervised with crash respawn
+  (``python -m repro.service serve --workers N``).
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics` behind
+  ``GET /metrics``: per-endpoint counters, latency quantiles, QPS,
+  with file-based cross-worker aggregation.
+* :mod:`repro.service.loadgen` — :class:`LoadGenerator`: a stdlib load
+  harness for throughput/latency measurement against a running server.
 """
 
-from .dispatcher import DispatcherStats, Recommendation, RecommendationDispatcher
+from .dispatcher import (
+    DispatcherOverloaded,
+    DispatcherStats,
+    Recommendation,
+    RecommendationDispatcher,
+)
 from .http import (
     RecommendationService,
     ServiceError,
     dataset_from_json,
     make_http_server,
+    route_label,
     serve_in_thread,
 )
 from .jobs import FitJobQueue
+from .loadgen import LoadGenerator, LoadOp, LoadReport
+from .metrics import (
+    LatencyReservoir,
+    MetricsDirectory,
+    ServiceMetrics,
+    aggregate_worker_payloads,
+)
+from .pool import ServicePool, reuse_port_supported
 from .registry import ModelRegistry, ServableModel, default_registry_root
 
 __all__ = [
@@ -34,11 +60,22 @@ __all__ = [
     "default_registry_root",
     "Recommendation",
     "RecommendationDispatcher",
+    "DispatcherOverloaded",
     "DispatcherStats",
     "FitJobQueue",
     "RecommendationService",
     "ServiceError",
     "dataset_from_json",
     "make_http_server",
+    "route_label",
     "serve_in_thread",
+    "ServicePool",
+    "reuse_port_supported",
+    "ServiceMetrics",
+    "LatencyReservoir",
+    "MetricsDirectory",
+    "aggregate_worker_payloads",
+    "LoadGenerator",
+    "LoadOp",
+    "LoadReport",
 ]

@@ -1,16 +1,21 @@
 """Command-line entry point: ``python -m repro.service``.
 
-``serve`` boots the HTTP/JSON front end over a registry directory;
-``models`` prints the registry listing without starting a server.
+``serve`` boots the HTTP/JSON front end over a registry directory —
+single-process by default, a pre-forked multi-process pool with
+``--workers N``; ``models`` prints the registry listing without starting
+a server.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 
 from .http import RecommendationService, make_http_server
+from .pool import ServicePool
 from .registry import ModelRegistry, default_registry_root
 
 __all__ = ["main"]
@@ -43,6 +48,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-batching", action="store_true", help="serve each request inline"
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 boots a pre-forked ServicePool",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None, dest="max_queue_depth",
+        help="admission control: pending /recommend bound (unset = unbounded)",
+    )
+    serve.add_argument(
+        "--max-queue-delay-ms", type=float, default=None, dest="max_queue_delay_ms",
+        help="admission control: shed requests older than this before serving",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
 
@@ -60,12 +77,43 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps({"registry": str(registry.root), "models": registry.describe()}, indent=2))
         return 0
 
+    if args.workers > 1:
+        pool = ServicePool(
+            registry_root,
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            batching=not args.no_batching,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            fit_workers=args.fit_workers,
+            max_queue_depth=args.max_queue_depth,
+            max_queue_delay_ms=args.max_queue_delay_ms,
+            quiet=not args.verbose,
+        )
+        pool.start()
+        # SIGTERM must tear the whole pool down, not orphan the workers.
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+        # The smoke tests parse this line to discover an ephemeral port.
+        print(f"repro-service listening on {pool.url} "
+              f"(registry: {registry_root}, workers: {args.workers})", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except (KeyboardInterrupt, SystemExit):
+            pass
+        finally:
+            pool.stop()
+        return 0
+
     service = RecommendationService(
         ModelRegistry(registry_root),
         batching=not args.no_batching,
         max_batch_size=args.batch_size,
         max_wait_ms=args.max_wait_ms,
         fit_workers=args.fit_workers,
+        max_queue_depth=args.max_queue_depth,
+        max_queue_delay_ms=args.max_queue_delay_ms,
     )
     server = make_http_server(
         service, host=args.host, port=args.port, quiet=not args.verbose

@@ -23,6 +23,15 @@ concurrency:
   tuned configuration for ``(algorithm, dataset)``; otherwise the
   catalogue's default configuration.
 
+* **Admission control.**  With ``max_queue_depth`` set, a request arriving
+  while that many are already pending is rejected *immediately* with
+  :class:`DispatcherOverloaded` (the HTTP layer maps it to ``429`` +
+  ``Retry-After``) instead of joining an ever-growing queue.  With
+  ``max_queue_delay_ms`` set, requests that waited longer than that before
+  their batch started are shed the same way.  Under overload the dispatcher
+  therefore degrades by turning work away at a bounded p99, not by
+  collapsing into multi-second queues.
+
 Errors are contained per request: a bad dataset or unknown model fails that
 caller only, never the serve loop.
 """
@@ -40,7 +49,20 @@ from ..datasets.dataset import Dataset
 from ..metafeatures.extractor import feature_cache
 from .registry import ModelRegistry, ServableModel
 
-__all__ = ["Recommendation", "DispatcherStats", "RecommendationDispatcher"]
+__all__ = [
+    "Recommendation",
+    "DispatcherStats",
+    "DispatcherOverloaded",
+    "RecommendationDispatcher",
+]
+
+
+class DispatcherOverloaded(RuntimeError):
+    """Admission control turned a request away; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float = 0.5) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 @dataclass
@@ -88,20 +110,35 @@ class DispatcherStats:
     n_batched_requests: int = 0
     largest_batch: int = 0
     n_errors: int = 0
+    n_shed: int = 0
+    max_queue_depth_seen: int = 0
     forward_passes: int = 0
+    batch_sizes: dict[int, int] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
         return self.n_batched_requests / self.n_batches if self.n_batches else 0.0
 
+    def record_batch(self, size: int) -> None:
+        self.n_batches += 1
+        self.n_batched_requests += size
+        self.largest_batch = max(self.largest_batch, size)
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
     def as_dict(self) -> dict:
         return {
             "n_requests": self.n_requests,
             "n_batches": self.n_batches,
+            "n_batched_requests": self.n_batched_requests,
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "n_errors": self.n_errors,
+            "n_shed": self.n_shed,
+            "max_queue_depth_seen": self.max_queue_depth_seen,
             "forward_passes": self.forward_passes,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.batch_sizes.items())
+            },
             "feature_cache": feature_cache.stats.as_dict(),
         }
 
@@ -111,7 +148,7 @@ class _Pending:
 
     __slots__ = (
         "dataset", "model_name", "version", "event", "result", "error",
-        "abandoned", "enqueued_at",
+        "abandoned", "admitted", "enqueued_at",
     )
 
     def __init__(self, dataset: Dataset, model_name: str | None, version: str | None) -> None:
@@ -122,6 +159,7 @@ class _Pending:
         self.result: Recommendation | None = None
         self.error: Exception | None = None
         self.abandoned = False  # caller timed out; skip the work
+        self.admitted = False   # counted toward the bounded pending queue
         self.enqueued_at = time.monotonic()
 
 
@@ -148,13 +186,22 @@ class RecommendationDispatcher:
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
         metric: str | None = None,
+        max_queue_depth: int | None = None,
+        max_queue_delay_ms: float | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None to disable)")
         self.registry = registry
         self.max_batch_size = int(max_batch_size)
         self.max_wait = max(0.0, float(max_wait_ms)) / 1000.0
         self.batching = bool(batching)
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
+        self.max_queue_delay = (
+            None if max_queue_delay_ms is None else max(0.0, float(max_queue_delay_ms)) / 1000.0
+        )
+        self._pending_count = 0  # admitted, not yet answered (guarded by _stats_lock)
         self.suggest_configs = bool(suggest_configs)
         self.cv = cv
         self.tuning_max_records = tuning_max_records
@@ -182,20 +229,21 @@ class RecommendationDispatcher:
         """Blocking recommendation for one dataset (thread-safe).
 
         With batching enabled the request joins the next micro-batch; without
-        it the request is served inline on the calling thread.
+        it the request is served inline on the calling thread.  Either way the
+        request first passes admission control: beyond ``max_queue_depth``
+        concurrently pending requests, :class:`DispatcherOverloaded` is raised
+        immediately instead of queueing.
         """
         if self._closed:
             raise RuntimeError("dispatcher is closed")
-        with self._stats_lock:
-            self.stats.n_requests += 1
+        pending = _Pending(dataset, model, version)
+        self._admit(pending)
         if not self.batching:
-            pending = _Pending(dataset, model, version)
             self._process_batch([pending])
             if pending.error is not None:
                 raise pending.error
             assert pending.result is not None
             return pending.result
-        pending = _Pending(dataset, model, version)
         self._queue.put(pending)
         if not pending.event.wait(timeout):
             # Best-effort: the serve loop drops abandoned requests it has not
@@ -224,6 +272,9 @@ class RecommendationDispatcher:
         items' exceptions in their list positions.
         """
         pendings = [_Pending(dataset, model, version) for dataset in datasets]
+        # Caller-assembled batches bypass admission control (they are an
+        # in-process/benchmark path, not the HTTP front door) but still count
+        # as requests.
         with self._stats_lock:
             self.stats.n_requests += len(pendings)
         self._process_batch(pendings)
@@ -236,6 +287,55 @@ class RecommendationDispatcher:
             else:
                 results.append(pending.result)
         return results
+
+    # -- admission control -------------------------------------------------------------
+    def _admit(self, pending: _Pending) -> None:
+        """Count the request toward the bounded pending queue, or shed it."""
+        with self._stats_lock:
+            self.stats.n_requests += 1
+            if (
+                self.max_queue_depth is not None
+                and self._pending_count >= self.max_queue_depth
+            ):
+                self.stats.n_shed += 1
+                raise DispatcherOverloaded(
+                    f"dispatcher overloaded: {self._pending_count} requests pending "
+                    f"(max_queue_depth={self.max_queue_depth})",
+                    retry_after=self._retry_after_hint(),
+                )
+            pending.admitted = True
+            self._pending_count += 1
+            self.stats.max_queue_depth_seen = max(
+                self.stats.max_queue_depth_seen, self._pending_count
+            )
+
+    def _release(self, pendings: list[_Pending]) -> None:
+        n = sum(1 for p in pendings if p.admitted)
+        if n:
+            with self._stats_lock:
+                self._pending_count -= n
+        for pending in pendings:
+            pending.admitted = False
+
+    def _retry_after_hint(self) -> float:
+        """Roughly how long until the current backlog drains (clamped)."""
+        depth = max(self._pending_count, 1)
+        batches = depth / max(self.max_batch_size, 1)
+        return min(max(batches * max(self.max_wait, 0.005) * 2.0, 0.05), 5.0)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet answered (includes the in-flight batch)."""
+        with self._stats_lock:
+            return self._pending_count
+
+    def stats_snapshot(self) -> dict:
+        """Counters plus the live queue gauges (for /healthz and /metrics)."""
+        with self._stats_lock:
+            out = self.stats.as_dict()
+            out["queue_depth"] = self._pending_count
+        out["max_queue_depth"] = self.max_queue_depth
+        return out
 
     def close(self) -> None:
         """Stop the serve loop (pending requests are still answered)."""
@@ -277,13 +377,35 @@ class RecommendationDispatcher:
     # -- batch execution ---------------------------------------------------------------
     def _process_batch(self, batch: list[_Pending]) -> None:
         start = time.monotonic()
+        abandoned = [pending for pending in batch if pending.abandoned]
+        if abandoned:
+            self._release(abandoned)
         batch = [pending for pending in batch if not pending.abandoned]
+        if batch and self.max_queue_delay is not None:
+            # Requests that already waited past the delay bound are shed:
+            # serving them now would push the whole batch's latency further
+            # past the SLO, and their callers are likely retrying anyway.
+            stale = [
+                pending for pending in batch
+                if start - pending.enqueued_at > self.max_queue_delay
+            ]
+            if stale:
+                with self._stats_lock:
+                    self.stats.n_shed += len(stale)
+                self._fail(
+                    stale,
+                    DispatcherOverloaded(
+                        f"request waited longer than max_queue_delay "
+                        f"({self.max_queue_delay * 1000.0:.0f} ms); shed",
+                        retry_after=self._retry_after_hint(),
+                    ),
+                    count_errors=False,
+                )
+                batch = [pending for pending in batch if pending not in stale]
         if not batch:
             return
         with self._stats_lock:
-            self.stats.n_batches += 1
-            self.stats.n_batched_requests += len(batch)
-            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            self.stats.record_batch(len(batch))
         groups: dict[tuple[str | None, str | None], list[_Pending]] = {}
         for pending in batch:
             groups.setdefault((pending.model_name, pending.version), []).append(pending)
@@ -334,6 +456,7 @@ class RecommendationDispatcher:
             except Exception as exc:  # noqa: BLE001 — contained per request
                 self._fail([pending], exc)
                 continue
+            self._release([pending])
             pending.event.set()
 
     def _build_recommendation(
@@ -377,9 +500,13 @@ class RecommendationDispatcher:
             batch_size=batch_size,
         )
 
-    def _fail(self, members: list[_Pending], exc: Exception) -> None:
-        with self._stats_lock:
-            self.stats.n_errors += len(members)
+    def _fail(
+        self, members: list[_Pending], exc: Exception, count_errors: bool = True
+    ) -> None:
+        if count_errors:
+            with self._stats_lock:
+                self.stats.n_errors += len(members)
+        self._release(members)
         for pending in members:
             pending.error = exc
             pending.event.set()

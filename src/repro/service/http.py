@@ -10,6 +10,9 @@
 Method    Path                   Meaning
 ========  =====================  ==================================================
 GET       ``/healthz``           liveness + registry/dispatcher/job counters
+GET       ``/metrics``           per-endpoint counters, latency quantiles, QPS,
+                                 batch-size histogram, cache hit rates (pool
+                                 deployments answer with the all-worker aggregate)
 GET       ``/models``            registry listing (names, versions, tasks, labels)
 POST      ``/models/promote``    ``{"name", "version"}`` — atomic hot-swap
 POST      ``/models/rollback``   ``{"name"}`` — flip back to the previous version
@@ -18,6 +21,12 @@ GET       ``/jobs``              job table (``?status=queued|running|done|failed
 GET       ``/jobs/<id>``         one job
 POST      ``/jobs``              ``{"kind": "refine"|"fit", ...}`` — async work
 ========  =====================  ==================================================
+
+Overload behaviour: when the dispatcher's admission control sheds a request
+(bounded pending queue), ``/recommend`` answers ``429`` with a ``Retry-After``
+header; a request that waited out its dispatcher timeout answers ``503``.
+Handlers speak HTTP/1.1 with explicit ``Content-Length`` on every response,
+so client connections are kept alive across requests.
 
 Datasets travel as JSON: ``{"name", "task"?, "numeric"?: [[...]],
 "categorical"?: [[...]], "target": [...]}``; missing numeric cells are sent
@@ -30,6 +39,7 @@ concurrent ``/recommend`` bodies meet in the dispatcher's micro-batches.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -42,13 +52,15 @@ from ..core.dmd import DecisionMakingModelDesigner
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
 from ..learners.regression_registry import registry_for_task
-from .dispatcher import RecommendationDispatcher
+from .dispatcher import DispatcherOverloaded, RecommendationDispatcher
 from .jobs import FitJobQueue
+from .metrics import MetricsDirectory, ServiceMetrics, aggregate_worker_payloads
 from .registry import ModelRegistry
 
 __all__ = [
     "ServiceError",
     "dataset_from_json",
+    "route_label",
     "RecommendationService",
     "ServiceServer",
     "make_http_server",
@@ -57,11 +69,32 @@ __all__ = [
 
 
 class ServiceError(Exception):
-    """A request error carrying its HTTP status code."""
+    """A request error carrying its HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (seconds) is surfaced as a ``Retry-After`` header so
+    well-behaved clients back off instead of hammering an overloaded server.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+def route_label(path: str) -> str:
+    """Collapse a request path into a bounded metrics label.
+
+    Dynamic segments (job ids) are folded into a placeholder so the metrics
+    table cannot grow one entry per job; unknown paths share one label.
+    """
+    path = path.partition("?")[0]
+    if path.startswith("/jobs/"):
+        return "/jobs/{id}"
+    known = {
+        "/healthz", "/metrics", "/models", "/models/promote",
+        "/models/rollback", "/recommend", "/jobs",
+    }
+    return path if path in known else "(unknown)"
 
 
 def dataset_from_json(payload: Any) -> Dataset:
@@ -131,6 +164,10 @@ class RecommendationService:
         tuning_max_records: int | None = 400,
         random_state: int | None = 0,
         metric: str | None = None,
+        max_queue_depth: int | None = None,
+        max_queue_delay_ms: float | None = None,
+        worker_id: int | str | None = None,
+        metrics_dir: str | Path | None = None,
     ) -> None:
         self.registry = (
             registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
@@ -144,11 +181,19 @@ class RecommendationService:
             tuning_max_records=tuning_max_records,
             random_state=random_state,
             metric=metric,
+            max_queue_depth=max_queue_depth,
+            max_queue_delay_ms=max_queue_delay_ms,
         )
         self.fit_jobs = FitJobQueue(self.registry, n_workers=fit_workers)
+        self.worker_id = worker_id if worker_id is not None else os.getpid()
+        self.metrics = ServiceMetrics(worker_id=self.worker_id)
+        # When set, this process is one worker of a pre-forked pool: /metrics
+        # answers with the aggregate over every worker's flushed payload.
+        self.metrics_store = MetricsDirectory(metrics_dir) if metrics_dir else None
         self.started_at = time.time()
 
     def close(self) -> None:
+        self.flush_metrics()
         self.dispatcher.close()
         self.fit_jobs.shutdown(wait=False)
 
@@ -158,9 +203,36 @@ class RecommendationService:
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "registry": self.registry.stats(),
-            "dispatcher": self.dispatcher.stats.as_dict(),
+            "dispatcher": self.dispatcher.stats_snapshot(),
             "jobs": self.fit_jobs.stats(),
         }
+
+    def metrics_payload(self, include_samples: bool = False) -> dict:
+        """This process's full metrics payload (one worker's view)."""
+        return {
+            "http": self.metrics.snapshot(include_samples=include_samples),
+            "dispatcher": self.dispatcher.stats_snapshot(),
+            "registry": self.registry.stats(),
+            "jobs": self.fit_jobs.stats(),
+        }
+
+    def flush_metrics(self) -> None:
+        """Write this worker's payload into the pool's metrics directory."""
+        if self.metrics_store is not None:
+            self.metrics_store.write(
+                self.worker_id, self.metrics_payload(include_samples=True)
+            )
+
+    def metrics_response(self) -> dict:
+        """The ``GET /metrics`` body: per-process, or pool-wide aggregate."""
+        if self.metrics_store is None:
+            own = self.metrics_payload(include_samples=True)
+            aggregate = aggregate_worker_payloads([own])
+            return {"scope": "process", **aggregate}
+        self.flush_metrics()
+        payloads = self.metrics_store.read_all()
+        aggregate = aggregate_worker_payloads(payloads)
+        return {"scope": "pool", **aggregate}
 
     def models_payload(self) -> dict:
         return {"models": self.registry.describe()}
@@ -182,7 +254,11 @@ class RecommendationService:
             )
         except KeyError as exc:
             raise ServiceError(404, str(exc)) from exc
-        except (ValueError, RuntimeError, TimeoutError) as exc:
+        except DispatcherOverloaded as exc:
+            raise ServiceError(429, str(exc), retry_after=exc.retry_after) from exc
+        except TimeoutError as exc:
+            raise ServiceError(503, str(exc), retry_after=1.0) from exc
+        except (ValueError, RuntimeError) as exc:
             raise ServiceError(400, str(exc)) from exc
         return recommendation.as_dict()
 
@@ -305,15 +381,38 @@ class RecommendationService:
 
 
 class ServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying its :class:`RecommendationService`."""
+    """ThreadingHTTPServer carrying its :class:`RecommendationService`.
+
+    ``listen_socket`` lets a pre-forked worker adopt an already-listening
+    socket (created by the pool parent, or bound with ``SO_REUSEPORT``)
+    instead of binding its own — the server then only accepts on it.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, service: RecommendationService, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        handler,
+        service: RecommendationService,
+        quiet: bool = True,
+        listen_socket=None,
+    ):
         self.service = service
         self.quiet = quiet
-        super().__init__(address, handler)
+        if listen_socket is None:
+            super().__init__(address, handler)
+        else:
+            super().__init__(address, handler, bind_and_activate=False)
+            self.socket.close()  # drop the unbound placeholder socket
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()[:2]
+            # Skip HTTPServer.server_bind (getfqdn + rebind); record the
+            # name/port the way it would have.
+            host, port = self.server_address
+            self.server_name = host
+            self.server_port = port
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -325,13 +424,21 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{max(retry_after, 0.0):.3f}")
         self.end_headers()
         self.wfile.write(body)
+        elapsed = time.monotonic() - getattr(self, "_started", time.monotonic())
+        self.server.service.metrics.observe(
+            self.command, route_label(self.path), status, elapsed
+        )
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -347,7 +454,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             payload = fn()
         except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(exc.status, {"error": str(exc)}, retry_after=exc.retry_after)
         except Exception as exc:  # noqa: BLE001 — one request never kills the server
             self._send_json(500, {"error": f"internal error: {exc}"})
         else:
@@ -355,10 +462,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._started = time.monotonic()
         service = self.server.service
         path, _, query = self.path.partition("?")
         if path == "/healthz":
             self._dispatch(service.healthz_payload)
+        elif path == "/metrics":
+            self._dispatch(service.metrics_response)
         elif path == "/models":
             self._dispatch(service.models_payload)
         elif path == "/jobs":
@@ -374,6 +484,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._started = time.monotonic()
         service = self.server.service
         path = self.path.partition("?")[0]
         routes = {
@@ -394,13 +505,18 @@ def make_http_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    listen_socket=None,
 ) -> ServiceServer:
     """Bind the HTTP front end (``port=0`` picks an ephemeral port).
 
     The caller owns the lifecycle: ``serve_forever()`` (often on a thread),
-    then ``shutdown()``/``server_close()`` and ``service.close()``.
+    then ``shutdown()``/``server_close()`` and ``service.close()``.  Pass
+    ``listen_socket`` to serve on an existing listening socket (pre-forked
+    workers) instead of binding ``host:port``.
     """
-    return ServiceServer((host, port), _ServiceHandler, service, quiet=quiet)
+    return ServiceServer(
+        (host, port), _ServiceHandler, service, quiet=quiet, listen_socket=listen_socket
+    )
 
 
 def serve_in_thread(

@@ -162,7 +162,12 @@ class FitJobQueue:
         return self.queue.cancel(job_id)
 
     def stats(self) -> dict:
-        return self.queue.stats.as_dict()
+        out = self.queue.stats.as_dict()
+        counts = self.queue.counts()
+        out["n_queued"] = counts["queued"]
+        out["n_running"] = counts["running"]
+        out["depth"] = counts["queued"] + counts["running"]
+        return out
 
     def shutdown(self, wait: bool = True) -> None:
         self.queue.shutdown(wait=wait)

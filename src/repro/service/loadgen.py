@@ -1,0 +1,249 @@
+"""Synthetic load harness for the serving stack (stdlib-only).
+
+:class:`LoadGenerator` drives a mixed request schedule against a running
+service — single-process :class:`~repro.service.http.ServiceServer` or a
+:class:`~repro.service.pool.ServicePool` — over persistent HTTP/1.1
+keep-alive connections, one per client thread, and tallies the outcome
+into a :class:`LoadReport` (throughput, latency quantiles, per-route and
+per-outcome counts).
+
+Design points that keep the measurement honest:
+
+* **Request bodies are pre-encoded once.**  The generator runs in the
+  same interpreter as the test, so any per-request JSON encoding would be
+  client-side GIL work that deflates the measured server throughput.
+* **The schedule is deterministic.**  Operations are interleaved by
+  weight into one global sequence, then dealt round-robin to clients, so
+  two runs issue exactly the same requests in nearly the same order —
+  throughput comparisons (1 worker vs N) see identical workloads.
+* **Transport errors retry once on a fresh connection.**  A keep-alive
+  connection dies when its worker is killed; the retry distinguishes
+  "connection went away" (expected during respawn) from "request
+  failed" (the server answered 5xx), which stays a hard failure.
+
+The ``completed`` property is a live counter so a driver thread can wait
+for mid-run milestones (e.g. promote a new model version once half the
+traffic has flowed) — the zero-downtime-swap scenario in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import quantile
+
+__all__ = ["LoadOp", "LoadReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """One operation in the traffic mix.
+
+    ``body`` may be a dict (encoded once, up front) or pre-encoded bytes;
+    ``weight`` is its relative frequency in the schedule.
+    """
+
+    method: str
+    path: str
+    body: Any = None
+    weight: int = 1
+    name: str | None = None
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.method} {self.path}"
+
+    def encoded_body(self) -> bytes | None:
+        if self.body is None:
+            return None
+        if isinstance(self.body, bytes):
+            return self.body
+        return json.dumps(self.body).encode("utf-8")
+
+
+@dataclass
+class LoadReport:
+    """The tally of one load run."""
+
+    n_requests: int = 0
+    n_ok: int = 0
+    n_shed: int = 0
+    n_client_errors: int = 0
+    n_failed: int = 0
+    n_retried: int = 0
+    duration_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    by_route: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.duration_seconds if self.duration_seconds else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return round(quantile(self.latencies, q) * 1000.0, 3)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_shed": self.n_shed,
+            "n_client_errors": self.n_client_errors,
+            "n_failed": self.n_failed,
+            "n_retried": self.n_retried,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": self.latency_ms(0.50),
+            "p95_ms": self.latency_ms(0.95),
+            "p99_ms": self.latency_ms(0.99),
+            "by_route": {k: dict(v) for k, v in self.by_route.items()},
+        }
+
+
+class _ClientTally:
+    """Per-thread results, merged after the run (no cross-thread locking)."""
+
+    __slots__ = ("counts", "latencies", "by_route", "n_retried")
+
+    def __init__(self) -> None:
+        self.counts = {"n_ok": 0, "n_shed": 0, "n_client_errors": 0, "n_failed": 0}
+        self.latencies: list[float] = []
+        self.by_route: dict[str, dict[str, int]] = {}
+        self.n_retried = 0
+
+    def record(self, label: str, outcome: str, latency: float) -> None:
+        self.counts[outcome] += 1
+        self.latencies.append(latency)
+        route = self.by_route.setdefault(
+            label, {"n_requests": 0, "n_ok": 0, "n_shed": 0, "n_client_errors": 0, "n_failed": 0}
+        )
+        route["n_requests"] += 1
+        route[outcome] += 1
+
+
+def _classify(status: int) -> str:
+    if status == 429:
+        return "n_shed"
+    if status == 0 or status >= 500:
+        return "n_failed"
+    if status >= 400:
+        return "n_client_errors"
+    return "n_ok"
+
+
+class LoadGenerator:
+    """Drive a deterministic request schedule from ``n_clients`` threads."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        ops: list[LoadOp],
+        n_clients: int = 4,
+        requests_per_client: int = 50,
+        timeout: float = 30.0,
+    ) -> None:
+        if not ops:
+            raise ValueError("load schedule needs at least one LoadOp")
+        if n_clients < 1 or requests_per_client < 1:
+            raise ValueError("n_clients and requests_per_client must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.n_clients = int(n_clients)
+        self.timeout = float(timeout)
+        # Pre-encode every body once; build the interleaved global schedule
+        # and deal it round-robin so every run is identical work.
+        expanded = [
+            (op.method, op.path, op.encoded_body(), op.label)
+            for op in ops
+            for _ in range(max(1, op.weight))
+        ]
+        total = self.n_clients * int(requests_per_client)
+        schedule = [expanded[i % len(expanded)] for i in range(total)]
+        self._plans = [schedule[i :: self.n_clients] for i in range(self.n_clients)]
+        self._completed = 0
+        self._completed_lock = threading.Lock()
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(plan) for plan in self._plans)
+
+    @property
+    def completed(self) -> int:
+        """Requests finished so far (live — safe to poll from another thread)."""
+        with self._completed_lock:
+            return self._completed
+
+    def wait_until(self, n: int, timeout: float = 60.0) -> bool:
+        """Block until ``n`` requests completed (True) or ``timeout`` (False)."""
+        deadline = time.monotonic() + timeout
+        while self.completed < n:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+        return True
+
+    # -- execution ---------------------------------------------------------------------
+    def run(self) -> LoadReport:
+        """Execute the full schedule; blocks until every client drains."""
+        tallies = [_ClientTally() for _ in range(self.n_clients)]
+        threads = [
+            threading.Thread(
+                target=self._client_loop, args=(plan, tally), daemon=True
+            )
+            for plan, tally in zip(self._plans, tallies)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report = LoadReport(duration_seconds=time.monotonic() - started)
+        for tally in tallies:
+            report.n_ok += tally.counts["n_ok"]
+            report.n_shed += tally.counts["n_shed"]
+            report.n_client_errors += tally.counts["n_client_errors"]
+            report.n_failed += tally.counts["n_failed"]
+            report.n_retried += tally.n_retried
+            report.latencies.extend(tally.latencies)
+            for label, counts in tally.by_route.items():
+                merged = report.by_route.setdefault(label, dict.fromkeys(counts, 0))
+                for key, value in counts.items():
+                    merged[key] += value
+        report.n_requests = (
+            report.n_ok + report.n_shed + report.n_client_errors + report.n_failed
+        )
+        return report
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _client_loop(self, plan, tally: _ClientTally) -> None:
+        conn = self._connect()
+        headers = {"Content-Type": "application/json"}
+        for method, path, body, label in plan:
+            started = time.monotonic()
+            status = 0
+            for attempt in (1, 2):
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    response.read()  # drain so the connection stays reusable
+                    status = response.status
+                    break
+                except (OSError, http.client.HTTPException):
+                    # Keep-alive connection died (worker swap/crash): retry
+                    # once on a fresh connection, then give up honestly.
+                    conn.close()
+                    conn = self._connect()
+                    if attempt == 1:
+                        tally.n_retried += 1
+                    status = 0
+            tally.record(label, _classify(status), time.monotonic() - started)
+            with self._completed_lock:
+                self._completed += 1
+        conn.close()

@@ -32,10 +32,22 @@ Design points
   ``AutoModel.fit_from_datasets(cache_dir=...)`` / ``save`` can be imported
   as a new version (:meth:`import_cache_dir`), and the registry lists models
   cheaply through the persistence manifests (no weight deserialisation).
+* **Generation-keyed caching.**  Listing used to re-walk the registry
+  directory and re-read ``CURRENT.json`` on every call — both sit on
+  latency-critical serving paths.  Every mutation (publish / promote /
+  rollback) now atomically rewrites a ``GENERATION`` token file at the
+  registry root; readers cache the directory walk and the pointer contents
+  and invalidate only when the token changes.  Because the token lives on
+  the shared filesystem, the invalidation crosses *processes*: a promote
+  handled by one pre-forked worker is picked up by every sibling worker on
+  its next (one small file read) generation check.  Out-of-band edits that
+  bypass :class:`ModelRegistry` should touch the token file — or callers can
+  force a rescan with :meth:`refresh`.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import shutil
@@ -53,6 +65,7 @@ __all__ = ["ServableModel", "ModelRegistry", "default_registry_root"]
 _MODEL_FILE = "decision_model.json"
 _POINTER_FILE = "CURRENT.json"
 _VERSIONS_DIR = "versions"
+_GENERATION_FILE = "GENERATION"
 
 REGISTRY_ENV_VAR = "REPRO_REGISTRY_DIR"
 
@@ -100,6 +113,53 @@ class ModelRegistry:
         self._cache: OrderedDict[tuple[str, str], AutoModel] = OrderedDict()
         self.model_loads = 0
         self.model_cache_hits = 0
+        self.listing_scans = 0  # actual directory walks (cache misses)
+        self._gen_counter = itertools.count(1)
+        # Generation-keyed listing/pointer caches (all guarded by _lock).
+        self._cached_generation: str | None = None
+        self._names_cache: list[str] | None = None
+        self._versions_cache: dict[str, list[str]] = {}
+        self._pointer_cache: dict[str, dict] = {}
+        if not self._generation_path().exists():
+            self._bump_generation()
+
+    # -- the generation token ------------------------------------------------------------
+    def _generation_path(self) -> Path:
+        return self.root / _GENERATION_FILE
+
+    def generation(self) -> str:
+        """The registry's mutation token (changes on publish/promote/rollback)."""
+        try:
+            return self._generation_path().read_text(encoding="utf-8")
+        except OSError:
+            return ""
+
+    def _bump_generation(self) -> None:
+        """Atomically advance the token and drop this instance's caches."""
+        token = f"{time.time_ns()}:{os.getpid()}:{next(self._gen_counter)}"
+        path = self._generation_path()
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            tmp.write_text(token, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - read-only filesystem degrades to rescans
+            pass
+        with self._lock:
+            self._cached_generation = None
+
+    def refresh(self) -> None:
+        """Force the next listing/pointer read to rescan the filesystem."""
+        with self._lock:
+            self._cached_generation = None
+
+    def _sync_caches(self) -> None:
+        """Drop stale caches if another process bumped the generation (lock held)."""
+        generation = self.generation()
+        if generation != self._cached_generation:
+            self._names_cache = None
+            self._versions_cache.clear()
+            self._pointer_cache.clear()
+            self._cached_generation = generation
 
     # -- layout ------------------------------------------------------------------------
     @staticmethod
@@ -130,19 +190,37 @@ class ModelRegistry:
         """Every model with at least one published version.
 
         Stray directories that are not valid model names (dropped there by
-        hand or by other tooling) are skipped, never an error.
+        hand or by other tooling) are skipped, never an error.  The walk is
+        cached against the registry generation, so steady-state calls cost
+        one small token-file read instead of a directory scan.
         """
-        found = []
-        for entry in sorted(self.root.iterdir()) if self.root.exists() else []:
-            try:
-                if entry.is_dir() and self.versions(entry.name):
-                    found.append(entry.name)
-            except ValueError:
-                continue
-        return found
+        with self._lock:
+            self._sync_caches()
+            if self._names_cache is None:
+                found = []
+                for entry in sorted(self.root.iterdir()) if self.root.exists() else []:
+                    try:
+                        if entry.is_dir() and self.versions(entry.name):
+                            found.append(entry.name)
+                    except ValueError:
+                        continue
+                self._names_cache = found
+            return list(self._names_cache)
 
     def versions(self, name: str) -> list[str]:
-        """Published versions of ``name``, oldest first."""
+        """Published versions of ``name``, oldest first (generation-cached)."""
+        self.validate_name(name)
+        with self._lock:
+            self._sync_caches()
+            cached = self._versions_cache.get(name)
+            if cached is None:
+                self.listing_scans += 1
+                cached = self._scan_versions(name)
+                self._versions_cache[name] = cached
+            return list(cached)
+
+    def _scan_versions(self, name: str) -> list[str]:
+        """The uncached directory walk behind :meth:`versions`."""
         versions_dir = self._model_dir(name) / _VERSIONS_DIR
         if not versions_dir.exists():
             return []
@@ -205,6 +283,9 @@ class ModelRegistry:
         explicit decision (``activate=True``), never an accident.
         """
         with self._lock:
+            # Rescan before numbering: another process may have published
+            # since our generation-cached listing was filled.
+            self.refresh()
             version = self._next_version(name)
             version_dir = self._version_dir(name, version)
             version_dir.mkdir(parents=True, exist_ok=True)
@@ -227,6 +308,7 @@ class ModelRegistry:
                 and Path(source_store).resolve() != target_store.resolve()
             ):
                 shutil.copytree(source_store, target_store, dirs_exist_ok=True)
+            self._bump_generation()  # the new version must be visible to listings
             if activate or (activate is None and self.current_version(name) is None):
                 self.promote(name, version)
             return version
@@ -255,11 +337,25 @@ class ModelRegistry:
         os.replace(tmp, path)
 
     def current_version(self, name: str) -> str | None:
-        """The promoted version of ``name`` (``None`` when nothing is live)."""
-        version = self._read_pointer(name).get("version")
-        if isinstance(version, str) and (self._version_dir(name, version) / _MODEL_FILE).exists():
-            return version
-        return None
+        """The promoted version of ``name`` (``None`` when nothing is live).
+
+        The pointer read is generation-cached: on the per-request serving
+        path this costs a dict lookup, and a promote — from this process or
+        any sibling worker process — invalidates it via the token file.
+        """
+        with self._lock:
+            self._sync_caches()
+            pointer = self._pointer_cache.get(name)
+            if pointer is None:
+                pointer = dict(self._read_pointer(name))
+                version = pointer.get("version")
+                if not (
+                    isinstance(version, str)
+                    and (self._version_dir(name, version) / _MODEL_FILE).exists()
+                ):
+                    pointer["version"] = None
+                self._pointer_cache[name] = pointer
+            return pointer.get("version")
 
     def promote(self, name: str, version: str) -> None:
         """Atomically make ``version`` the served version of ``name``."""
@@ -271,6 +367,7 @@ class ModelRegistry:
                 name,
                 {"version": version, "previous": previous, "promoted_at": time.time()},
             )
+            self._bump_generation()
 
     def rollback(self, name: str) -> str:
         """Re-promote the version recorded as ``previous``; returns it."""
@@ -338,13 +435,14 @@ class ModelRegistry:
         return ServableModel(name=name, version=version, model=self._load(name, version))
 
     def stats(self) -> dict:
-        n_models = len(self.names())  # directory walk — outside the lock
+        n_models = len(self.names())  # generation-cached listing
         with self._lock:
             return {
                 "models": n_models,
                 "cached_models": len(self._cache),
                 "model_loads": self.model_loads,
                 "model_cache_hits": self.model_cache_hits,
+                "listing_scans": self.listing_scans,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

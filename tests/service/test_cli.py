@@ -107,6 +107,50 @@ class TestServiceCLI:
                 proc.kill()
                 proc.wait(timeout=10)
 
+    def test_serve_multiprocess_pool(self, tmp_path, clf_model, clf_dataset):
+        """``serve --workers 2`` boots a pre-forked pool behind one port."""
+        root = tmp_path / "registry"
+        ModelRegistry(root).publish(clf_model, "clf")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service", "serve",
+                "--registry", str(root), "--port", "0", "--workers", "2",
+                "--max-queue-depth", "64", "--max-wait-ms", "1",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_env(),
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "repro-service listening on http://" in line, line
+            assert "workers: 2" in line
+            port = int(line.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/recommend",
+                data=json.dumps(
+                    {"dataset": dataset_payload(clf_dataset), "model": "clf"}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                rec = json.loads(resp.read())
+            assert rec["algorithm"] == "J48"
+
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30
+            ) as resp:
+                metrics = json.loads(resp.read())
+            assert metrics["scope"] == "pool"
+            assert len(metrics["workers"]) >= 1
+            assert proc.poll() is None  # parent still supervising
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - cleanup path
+                proc.kill()
+                proc.wait(timeout=10)
+
     def test_serve_rejects_unknown_command(self):
         out = subprocess.run(
             [sys.executable, "-m", "repro.service", "frobnicate"],

@@ -370,3 +370,76 @@ class TestReviewRegressionFixes:
         assert first["dataset"].startswith("ds-")
         assert first["dataset"] == second["dataset"]
         assert first["fingerprint"] == second["fingerprint"]
+
+
+class TestKeepAliveAndMetrics:
+    def test_http11_keepalive_reuses_one_connection(self, serving):
+        """HTTP/1.1 + Content-Length framing: many requests, one socket."""
+        import http.client
+
+        _, _, port = serving
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            sock_ids = set()
+            for i in range(5):
+                conn.request(
+                    "POST",
+                    "/recommend",
+                    body=json.dumps(
+                        {"dataset": dataset_payload(_clf_query(i)), "model": "clf"}
+                    ).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.version == 11  # server speaks HTTP/1.1
+                assert response.getheader("Content-Length") is not None
+                body = json.loads(response.read())
+                assert response.status == 200 and body["model"] == "clf"
+                sock_ids.add(id(conn.sock))
+            # http.client only reopens the socket if the server closed it;
+            # one id across all requests proves the connection survived.
+            assert len(sock_ids) == 1
+        finally:
+            conn.close()
+
+    def test_error_responses_also_keep_the_connection_alive(self, serving):
+        import http.client
+
+        _, _, port = serving
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+            sock_before = id(conn.sock)
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+            assert id(conn.sock) == sock_before
+        finally:
+            conn.close()
+
+    def test_metrics_endpoint_process_scope(self, serving):
+        _, service, port = serving
+        _post(port, "/recommend", {"dataset": dataset_payload(_clf_query(90)), "model": "clf"})
+        metrics = _get(port, "/metrics")
+        assert metrics["scope"] == "process"
+        assert len(metrics["workers"]) == 1
+        http_metrics = metrics["http"]
+        assert http_metrics["n_requests"] >= 1
+        recommend = http_metrics["endpoints"]["POST /recommend"]
+        assert recommend["n_ok"] >= 1
+        assert recommend["latency"]["count"] >= 1
+        assert recommend["latency"]["p99_ms"] >= recommend["latency"]["p50_ms"]
+        assert "qps" in http_metrics
+        # The lower tiers ride along: dispatcher, registry and job queues.
+        assert metrics["dispatcher"]["n_requests"] >= 1
+        assert "batch_size_histogram" in metrics["dispatcher"]
+        assert metrics["registry"]["models"] >= 1
+        assert "n_submitted" in metrics["jobs"]
+        # /healthz carries the live queue gauges too.
+        health = _get(port, "/healthz")
+        assert "queue_depth" in health["dispatcher"]
+        assert "max_queue_depth_seen" in health["dispatcher"]

@@ -224,3 +224,63 @@ class TestRegistryRobustness:
             clf_dataset, solution.algorithm
         )
         assert tuned and tuned[0][0] == solution.config
+
+
+class TestGenerationCaching:
+    def test_steady_state_listing_never_rescans(self, registry, clf_model):
+        registry.publish(clf_model, "clf")
+        registry.names()
+        registry.versions("clf")
+        scans = registry.stats()["listing_scans"]
+        for _ in range(20):
+            registry.names()
+            registry.versions("clf")
+            registry.current_version("clf")
+        assert registry.stats()["listing_scans"] == scans  # all cache hits
+
+    def test_own_mutations_invalidate_the_cache(self, registry, clf_model, reg_model):
+        registry.publish(clf_model, "clf")
+        assert registry.names() == ["clf"]
+        registry.publish(reg_model, "reg")
+        assert registry.names() == ["clf", "reg"]
+
+    def test_sibling_process_publish_is_visible(self, registry, clf_model, reg_model):
+        """A second registry instance stands in for a sibling worker process."""
+        registry.publish(clf_model, "clf")
+        assert registry.names() == ["clf"]
+        sibling = type(registry)(registry.root)
+        sibling.publish(reg_model, "reg")
+        # No refresh() call: the GENERATION token alone carries the change.
+        assert registry.names() == ["clf", "reg"]
+        assert registry.versions("reg") == ["v0001"]
+
+    def test_sibling_process_promote_is_visible(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "clf")
+        v2 = registry.publish(clf_model_alt, "clf")  # standby
+        assert registry.current_version("clf") == "v0001"
+        sibling = type(registry)(registry.root)
+        sibling.promote("clf", v2)
+        assert registry.current_version("clf") == v2
+
+    def test_generation_token_changes_on_every_mutation(self, registry, clf_model):
+        tokens = [registry.generation()]
+        registry.publish(clf_model, "clf")          # publish (+auto-promote)
+        tokens.append(registry.generation())
+        v2 = registry.publish(clf_model, "clf")
+        tokens.append(registry.generation())
+        registry.promote("clf", v2)
+        tokens.append(registry.generation())
+        registry.rollback("clf")
+        tokens.append(registry.generation())
+        assert len(set(tokens)) == len(tokens)  # strictly fresh every time
+
+    def test_out_of_band_edits_need_refresh(self, registry, clf_model, tmp_path):
+        import shutil
+
+        registry.publish(clf_model, "clf")
+        assert registry.names() == ["clf"]
+        # A copy dropped in behind the registry's back (no token bump) ...
+        shutil.copytree(registry.root / "clf", registry.root / "smuggled")
+        assert registry.names() == ["clf"]  # ... is invisible to the cache
+        registry.refresh()
+        assert registry.names() == ["clf", "smuggled"]

@@ -62,6 +62,25 @@ class TestExamples:
         assert "config_source=tuned-store" in output
         assert "pipeline quickstart complete" in output
 
+    def test_load_test_quickstart_runs(self, capsys):
+        path = EXAMPLES_DIR / "load_test_quickstart.py"
+        spec = importlib.util.spec_from_file_location("load_test_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "published model 'loadtest' v0001" in output
+        assert "pool serving on http://" in output
+        assert "2 workers" in output
+        assert "promoted v0002 mid-run" in output
+        assert "failed 0" in output
+        assert "scope=pool, workers=2" in output
+        assert "load test quickstart complete" in output
+
     def test_serve_quickstart_runs(self, capsys):
         path = EXAMPLES_DIR / "serve_quickstart.py"
         spec = importlib.util.spec_from_file_location("serve_quickstart", path)
