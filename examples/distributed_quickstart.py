@@ -1,0 +1,108 @@
+"""Distributed knowledge building quickstart: a worker fleet over one store.
+
+Run with::
+
+    python examples/distributed_quickstart.py
+
+The script (1) boots the HTTP store server over a sqlite-WAL result store —
+the shared substrate a real fleet would point at from other hosts, (2) runs
+a two-worker fleet of :class:`~repro.execution.WorkCoordinator` members that
+build one performance table cooperatively (leased claims, work stealing),
+(3) shows that every worker ends up with the identical table while each cell
+was executed exactly once, and (4) reruns the build to show it resumes from
+the store instead of recomputing.  Budgets are tiny so the whole script
+finishes in seconds; for a cross-host fleet, serve the store with
+``python -m repro.service store-serve`` and hand every worker
+``ResultStore("http://host:port")``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.datasets import make_gaussian_clusters
+from repro.evaluation import PerformanceTable
+from repro.execution import ResultStore, WorkCoordinator
+from repro.learners import default_registry
+from repro.service import StoreService, serve_store_in_thread
+
+N_WORKERS = 2
+CATALOGUE = ["J48", "NaiveBayes", "OneR", "ZeroR", "DecisionStump", "Logistic"]
+
+
+def main() -> None:
+    datasets = [
+        make_gaussian_clusters(
+            f"fleet-D{i}", n_records=120, n_numeric=4, n_classes=2,
+            random_state=10 + i,
+        )
+        for i in range(4)
+    ]
+    registry = default_registry().subset(CATALOGUE)
+    n_cells = len(datasets) * len(registry)
+
+    # 1. One authoritative store, served over HTTP.  sqlite-WAL underneath:
+    #    many writers, zero lost updates.
+    authority = ResultStore(
+        tempfile.mkdtemp(prefix="repro-store-") + "/knowledge", backend="sqlite"
+    )
+    server, _ = serve_store_in_thread(StoreService(authority))
+    url = "http://{}:{}".format(*server.server_address[:2])
+    print(f"store server on {url}")
+
+    # 2. The fleet: every worker runs the *same* table build over its own
+    #    HTTP-backed store client; the coordinator shards the cells.
+    coordinators = [
+        WorkCoordinator(
+            ResultStore(url), worker_index=w, n_workers=N_WORKERS,
+            lease_seconds=30.0,
+        )
+        for w in range(N_WORKERS)
+    ]
+    tables: list[PerformanceTable | None] = [None] * N_WORKERS
+
+    def member(w: int) -> None:
+        tables[w] = PerformanceTable.compute(
+            datasets, registry=registry, cv=2, max_records=100,
+            coordinator=coordinators[w],
+        )
+
+    threads = [threading.Thread(target=member, args=(w,)) for w in range(N_WORKERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    executed = sum(c.stats.n_executed for c in coordinators)
+    stolen = sum(c.stats.n_stolen for c in coordinators)
+    print(f"fleet of {N_WORKERS} workers built {n_cells} cells")
+    print(f"cells executed across the fleet: {executed} "
+          f"({executed - n_cells} duplicated, {stolen} stolen)")
+    identical = all(
+        t is not None and np.array_equal(t.scores, tables[0].scores) for t in tables
+    )
+    print(f"tables identical across workers: {identical}")
+
+    # 3. Rerun: the knowledge is already in the store, so a fresh fleet
+    #    member resumes instead of recomputing — same table, zero executions.
+    rerun = WorkCoordinator(ResultStore(url))
+    again = PerformanceTable.compute(
+        datasets, registry=registry, cv=2, max_records=100, coordinator=rerun,
+    )
+    print(f"resume: {rerun.stats.n_resumed} cells already in the store, "
+          f"{rerun.stats.n_executed} executed")
+    print(f"resumed table identical: {np.array_equal(again.scores, tables[0].scores)}")
+
+    best = tables[0].best_algorithm(datasets[0].name)
+    print(f"best algorithm on {datasets[0].name}: {best}")
+
+    server.shutdown()
+    server.server_close()
+    authority.close()
+
+
+if __name__ == "__main__":
+    main()

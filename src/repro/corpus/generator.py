@@ -27,7 +27,7 @@ import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
-from ..execution import ResultStore
+from ..execution import ResultStore, WorkCoordinator
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 from .experience import Experience, ExperienceSet
@@ -163,6 +163,7 @@ def generate_corpus(
     warm_start: bool = True,
     task: str = "classification",
     metric: str | None = None,
+    coordinator: WorkCoordinator | None = None,
 ) -> tuple[ExperienceSet, PerformanceTable]:
     """End-to-end corpus generation from raw datasets.
 
@@ -180,6 +181,11 @@ def generate_corpus(
     ``task="regression"`` measures a regressor catalogue with CV R² cells;
     papers then "report" noisy R² observations, and the knowledge pipeline
     consumes the resulting experiences exactly as for classification.
+
+    A ``coordinator`` distributes the measurement across a worker fleet
+    sharing one store backend (see :meth:`PerformanceTable.compute`); every
+    fleet member calls ``generate_corpus`` with identical arguments and each
+    obtains the same table — hence the same corpus.
     """
     registry = registry if registry is not None else registry_for_task(task)
     config = config or CorpusConfig()
@@ -196,6 +202,7 @@ def generate_corpus(
             warm_start=warm_start,
             task=task,
             metric=metric,
+            coordinator=coordinator,
         )
     generator = CorpusGenerator(performance, config)
     return generator.generate(), performance

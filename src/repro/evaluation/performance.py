@@ -21,7 +21,7 @@ import numpy as np
 
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
-from ..execution import EvaluationEngine, ResultStore, estimator_engine
+from ..execution import EvaluationEngine, ResultStore, WorkCoordinator, estimator_engine
 from ..execution.objectives import objective_context_suffix
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
@@ -178,6 +178,7 @@ class PerformanceTable:
         warm_start: bool = True,
         task: str = "classification",
         metric: str | None = None,
+        coordinator: WorkCoordinator | None = None,
     ) -> "PerformanceTable":
         """Evaluate every catalogue algorithm on every dataset.
 
@@ -205,6 +206,15 @@ class PerformanceTable:
         ``task="regression"`` computes the same table over a regressor
         catalogue with CV R² cells (or the given ``metric``); every dataset
         must carry the matching task type.
+
+        A ``coordinator`` replaces the in-process engine with the fleet
+        protocol: this call becomes one worker of a fleet whose members all
+        invoke ``compute`` with identical arguments over a shared store
+        backend (the coordinator's own store; ``store``/``n_workers`` are
+        ignored).  Cells are leased, stolen and persisted through the store
+        under the *same* context and fingerprints as the engine path, so
+        coordinated and serial builds produce identical tables and resume
+        each other's partial progress.
         """
         task = resolve_task(task).value
         registry = registry if registry is not None else registry_for_task(task)
@@ -277,26 +287,37 @@ class PerformanceTable:
             f"{objective_context_suffix(task, metric)}"
             f"{registry_context_suffix(registry)}"
         )
-        engine = EvaluationEngine(
-            cell_objective,
-            n_workers=n_workers,
-            crash_score=_worst_score(task, metric),
-            name="performance-table",
-            store=store,
-            store_context=context,
-            warm_start=warm_start,
-        )
-        outcomes = engine.evaluate_many(cells)
         dataset_index = {dataset.name: i for i, dataset in enumerate(datasets)}
         scores = np.zeros((len(datasets), len(names)))
-        for cell, outcome in zip(cells, outcomes):
-            j = names.index(cell["algorithm"])
-            scores[dataset_index[cell["dataset"]], j] = outcome.score
+        if coordinator is not None:
+            by_key = coordinator.run(
+                context, cells, cell_objective, crash_score=_worst_score(task, metric)
+            )
+            for cell in cells:
+                j = names.index(cell["algorithm"])
+                score = by_key[WorkCoordinator.cell_key(cell)]
+                scores[dataset_index[cell["dataset"]], j] = score
+            execution_stats = {"coordinator": coordinator.stats.as_dict()}
+        else:
+            engine = EvaluationEngine(
+                cell_objective,
+                n_workers=n_workers,
+                crash_score=_worst_score(task, metric),
+                name="performance-table",
+                store=store,
+                store_context=context,
+                warm_start=warm_start,
+            )
+            outcomes = engine.evaluate_many(cells)
+            for cell, outcome in zip(cells, outcomes):
+                j = names.index(cell["algorithm"])
+                scores[dataset_index[cell["dataset"]], j] = outcome.score
+            execution_stats = {"engine": engine.stats.as_dict()}
         table_metadata = {
             "tuned": tune,
             "cv": cv,
             "max_records": max_records,
-            "engine": engine.stats.as_dict(),
+            **execution_stats,
         }
         if task != "classification" or metric is not None:
             table_metadata["task"] = task

@@ -9,11 +9,19 @@ for the design notes.
 
 from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
-from .engine import EngineStats, EvalOutcome, EvaluationEngine
+from .coordinator import CoordinatorStats, WorkCoordinator, claims_context
+from .engine import EngineStats, EvalOutcome, EvaluationEngine, timed_call
 from .folds import FoldPlan
 from .jobs import JobQueue, JobQueueStats, JobRecord
 from .objectives import cross_val_objective, estimator_engine, objective_context_suffix
 from .store import ResultStore, StoreStats, fingerprint_key
+from .store_backends import (
+    HttpStoreBackend,
+    JsonlBackend,
+    ShardImage,
+    SqliteBackend,
+    StoreBackend,
+)
 
 __all__ = [
     "JobQueue",
@@ -22,9 +30,13 @@ __all__ = [
     "Budget",
     "EvaluationCache",
     "config_fingerprint",
+    "CoordinatorStats",
+    "WorkCoordinator",
+    "claims_context",
     "EngineStats",
     "EvalOutcome",
     "EvaluationEngine",
+    "timed_call",
     "FoldPlan",
     "cross_val_objective",
     "estimator_engine",
@@ -32,4 +44,9 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "fingerprint_key",
+    "StoreBackend",
+    "ShardImage",
+    "JsonlBackend",
+    "SqliteBackend",
+    "HttpStoreBackend",
 ]

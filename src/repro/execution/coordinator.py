@@ -1,0 +1,263 @@
+"""Fleet coordination — sharding independent work cells across many workers.
+
+The :class:`~repro.execution.engine.EvaluationEngine` parallelises *within*
+one process and :class:`~repro.execution.jobs.JobQueue` runs background work
+on one host's threads; neither can spread a performance table over a worker
+fleet.  :class:`WorkCoordinator` closes that gap without introducing any new
+wire protocol: the shared :class:`~repro.execution.store.ResultStore` (over
+its sqlite or HTTP backend) *is* the coordination medium.
+
+Protocol
+--------
+Every worker in the fleet runs the same call —
+``coordinator.run(context, cells, objective)`` — over the same cell list and
+a store pointing at the same backend.  Cells are keyed by
+``fingerprint_key(config_fingerprint(cell))``, the exact key the engine uses,
+so coordinated runs, serial engine runs and warm-started resumes all share
+one knowledge pool.
+
+* **Partitioned claims.**  Worker *i* of *n* owns cells ``i, i+n, i+2n, …``
+  and processes them first, so an uncontended fleet never collides.  Before
+  executing a cell the worker writes a *lease* — a put into the sidecar
+  context ``<context>#claims`` whose score is the lease's expiry timestamp —
+  and skips any cell whose lease is still live.
+* **Work stealing.**  A worker that exhausts its own partition moves on to
+  other workers' pending cells, taking any whose lease is absent or expired.
+  A crashed worker's leases expire, so its unfinished cells are requeued
+  automatically (crash retry); a slow worker keeps its lease by finishing
+  within ``lease_seconds`` (long cells can simply use a longer lease).
+* **At-least-once execution, exactly-once knowledge.**  Two workers racing
+  the same lease may both execute a cell; both then issue the same
+  idempotent ``put`` (objectives are seeded per cell, so scores agree) and
+  the store keeps one record.  Correctness never depends on the lease —
+  leases only avoid duplicated *effort*.
+* **Resumability.**  Finished cells live in the main context, so a rerun —
+  or a worker joining late — skips them on its first refresh.  Killing the
+  whole fleet and restarting resumes from the last recorded cell.
+
+Crashing objectives score ``crash_score`` (recorded, like the engine's crash
+accounting) so one bad cell cannot wedge the fleet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .cache import config_fingerprint
+from .engine import timed_call
+from .store import ResultStore, fingerprint_key
+
+__all__ = ["CoordinatorStats", "WorkCoordinator", "claims_context"]
+
+
+def claims_context(context: str) -> str:
+    """Sidecar store context holding the lease claims for ``context``."""
+    return f"{context}#claims"
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters a :class:`WorkCoordinator` accumulates across its lifetime."""
+
+    n_cells_seen: int = 0  # cells presented across run() calls
+    n_executed: int = 0  # cells this worker actually ran
+    n_stolen: int = 0  # executed cells outside this worker's partition
+    n_resumed: int = 0  # cells already finished before this run started
+    n_crashes: int = 0  # executed cells whose objective raised
+    n_claim_skips: int = 0  # cells skipped because another lease was live
+    n_rounds: int = 0
+    n_stall_waits: int = 0  # polling naps while others held every pending cell
+    objective_time: float = 0.0
+    wall_time: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_cells_seen": self.n_cells_seen,
+            "n_executed": self.n_executed,
+            "n_stolen": self.n_stolen,
+            "n_resumed": self.n_resumed,
+            "n_crashes": self.n_crashes,
+            "n_claim_skips": self.n_claim_skips,
+            "n_rounds": self.n_rounds,
+            "n_stall_waits": self.n_stall_waits,
+            "objective_time": round(self.objective_time, 4),
+            "wall_time": round(self.wall_time, 4),
+        }
+
+
+class WorkCoordinator:
+    """One fleet member's view of a shared cell-evaluation run.
+
+    Parameters
+    ----------
+    store:
+        The shared knowledge store.  For a multi-process fleet this must sit
+        on a multi-writer backend (``sqlite`` or an HTTP store server); the
+        JSONL backend is safe for a fleet of threads sharing one instance.
+    worker_index / n_workers:
+        This worker's slot in the fleet; cell ``j`` belongs to the worker
+        with ``j % n_workers == worker_index``.  Partitioning is advisory —
+        any worker may finish any cell — so a fleet keeps working even when
+        some members never show up.
+    lease_seconds:
+        How long a claimed cell is protected from stealing.  Make it
+        comfortably longer than one cell's evaluation; an expired lease is
+        treated as a crashed worker and the cell is requeued.
+    poll_interval / timeout:
+        When every pending cell is leased elsewhere, the worker naps
+        ``poll_interval`` seconds between refreshes.  ``timeout`` bounds one
+        ``run`` call end to end (``None`` waits indefinitely; expiry raises
+        ``TimeoutError`` — by then another worker holds the missing cells).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        worker_index: int = 0,
+        n_workers: int = 1,
+        lease_seconds: float = 30.0,
+        poll_interval: float = 0.05,
+        timeout: float | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if not 0 <= worker_index < n_workers:
+            raise ValueError(
+                f"worker_index must be in [0, {n_workers}), got {worker_index}"
+            )
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be > 0")
+        self.store = store
+        self.worker_index = int(worker_index)
+        self.n_workers = int(n_workers)
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.timeout = timeout
+        self.stats = CoordinatorStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkCoordinator(worker={self.worker_index}/{self.n_workers}, "
+            f"lease={self.lease_seconds}s)"
+        )
+
+    # -- keys --------------------------------------------------------------------------
+    @staticmethod
+    def cell_key(cell: dict[str, Any]) -> str:
+        """The store key for one cell — identical to the engine's fingerprint."""
+        return fingerprint_key(config_fingerprint(cell))
+
+    # -- the fleet protocol ------------------------------------------------------------
+    def run(
+        self,
+        context: str,
+        cells: Sequence[dict[str, Any]],
+        objective: Callable[[dict[str, Any]], float],
+        *,
+        crash_score: float = 0.0,
+    ) -> dict[str, float]:
+        """Work the cell list until *every* cell has a recorded score.
+
+        Returns ``{cell_key: score}`` covering all requested cells — whether
+        this worker computed them, another fleet member did, or a previous
+        run left them in the store.  Call this with identical ``cells`` (and
+        a same-backend store) from every worker in the fleet.
+        """
+        t0 = time.monotonic()
+        keys = [self.cell_key(cell) for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ValueError("cells must have distinct fingerprints")
+        claims = claims_context(context)
+        self.stats.n_cells_seen += len(cells)
+        deadline = None if self.timeout is None else t0 + self.timeout
+
+        # Own partition first (in order), then everyone else's — the steal
+        # scan starts just past our slot so workers fan out over different
+        # victims instead of stampeding cell 0.
+        own = [j for j in range(len(cells)) if j % self.n_workers == self.worker_index]
+        rest = [
+            j
+            for off in range(1, self.n_workers)
+            for j in range(len(cells))
+            if j % self.n_workers == (self.worker_index + off) % self.n_workers
+        ]
+        order = own + rest
+        own_set = set(own)
+
+        first_round = True
+        while True:
+            self.stats.n_rounds += 1
+            self.store.refresh(context)
+            self.store.refresh(claims)
+            done = dict(self.store.items(context))
+            pending = [j for j in order if keys[j] not in done]
+            if first_round:
+                self.stats.n_resumed += len(cells) - len(pending)
+                first_round = False
+            if not pending:
+                break
+            progressed = False
+            for j in pending:
+                key = keys[j]
+                if j not in own_set:
+                    # Stealing a contended cell: the round-start result image
+                    # is stale by now — re-read so a cell its owner already
+                    # finished is skipped, not re-run.
+                    self.store.refresh(context)
+                # The claims image goes stale even for *own* cells: a fast
+                # partner that emptied its partition steals from ours, and
+                # its lease must be visible before we claim over it —
+                # otherwise every stolen cell is silently run twice.
+                self.store.refresh(claims)
+                if self.store.get_key(context, key) is not None:
+                    continue  # finished elsewhere since the refresh
+                now = time.time()
+                lease = self.store.get_key(claims, key)
+                if lease is not None and now < lease:
+                    self.stats.n_claim_skips += 1
+                    continue  # live lease — its holder gets lease_seconds
+                # Claim, then execute.  The put is advisory (last writer
+                # wins); a lost race costs duplicate effort, never a wrong
+                # record.
+                self.store.put_key(claims, key, now + self.lease_seconds)
+                score, elapsed, error = timed_call(objective, cells[j])
+                self.stats.n_executed += 1
+                self.stats.objective_time += elapsed
+                if j not in own_set:
+                    self.stats.n_stolen += 1
+                if error is not None:
+                    self.stats.n_crashes += 1
+                    score = crash_score
+                self.store.put_key(context, key, float(score), dict(cells[j]))
+                progressed = True
+            if progressed:
+                continue
+            # Every pending cell is leased by someone else: nap and re-check.
+            self.stats.n_stall_waits += 1
+            if deadline is not None and time.monotonic() > deadline:
+                missing = [keys[j] for j in pending]
+                raise TimeoutError(
+                    f"coordinator timed out with {len(missing)} cells still "
+                    f"pending in {context!r} (first: {missing[0]!r})"
+                )
+            time.sleep(self.poll_interval)
+
+        self.stats.wall_time += time.monotonic() - t0
+        self.store.refresh(context)
+        done = dict(self.store.items(context))
+        return {key: done[key] for key in keys}
+
+    def scores_for(
+        self, context: str, cells: Sequence[dict[str, Any]]
+    ) -> dict[str, float]:
+        """Fresh ``{cell_key: score}`` snapshot for already-finished cells."""
+        self.store.refresh(context)
+        done = dict(self.store.items(context))
+        return {
+            key: done[key]
+            for key in (self.cell_key(cell) for cell in cells)
+            if key in done
+        }

@@ -39,16 +39,18 @@ from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
 from .store import ResultStore
 
-__all__ = ["EvalOutcome", "EngineStats", "EvaluationEngine"]
+__all__ = ["EvalOutcome", "EngineStats", "EvaluationEngine", "timed_call"]
 
 _BACKENDS = ("serial", "thread", "process")
 
 
-def _timed_call(objective: Callable[[dict], float], config: dict) -> tuple[float | None, float, str | None]:
+def timed_call(objective: Callable[[dict], float], config: dict) -> tuple[float | None, float, str | None]:
     """Run one objective call, returning ``(score, elapsed, error)``.
 
     Module-level so the process backend can pickle it; exceptions are
     converted to an error string because the engine treats crashes as data.
+    The :class:`~repro.execution.coordinator.WorkCoordinator` shares this
+    exact call path so distributed cells score identically to engine cells.
     """
     start = time.monotonic()
     try:
@@ -56,6 +58,9 @@ def _timed_call(objective: Callable[[dict], float], config: dict) -> tuple[float
         return score, time.monotonic() - start, None
     except Exception as exc:  # noqa: BLE001 — crash accounting, not control flow
         return None, time.monotonic() - start, repr(exc)
+
+
+_timed_call = timed_call  # historical private name, kept for callers/tests
 
 
 @dataclass

@@ -29,6 +29,20 @@ __all__ = ["JobRecord", "JobQueueStats", "JobQueue"]
 _STATUSES = ("queued", "running", "done", "failed", "cancelled")
 
 
+class _JobEvent(threading.Event):
+    """Completion event that carries the final record snapshot.
+
+    A concurrent ``submit`` may prune a finished job between a waiter's
+    event fetch and its final table lookup; stashing the snapshot on the
+    event at completion time lets :meth:`JobQueue.wait` return the job's
+    last-known state instead of raising ``KeyError`` at the waiter.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.record: JobRecord | None = None
+
+
 @dataclass
 class JobRecord:
     """One unit of background work and its observable lifecycle."""
@@ -119,7 +133,7 @@ class JobQueue:
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         self._functions: dict[str, Callable[[], Any]] = {}
-        self._events: dict[str, threading.Event] = {}
+        self._events: dict[str, _JobEvent] = {}
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._counter = itertools.count(1)
         self._closed = False
@@ -155,7 +169,7 @@ class JobQueue:
                 detail=dict(detail or {}),
             )
             self._functions[job_id] = fn
-            self._events[job_id] = threading.Event()
+            self._events[job_id] = _JobEvent()
             self.stats.n_submitted += 1
             self._prune_finished()
         self._queue.put(job_id)
@@ -219,7 +233,14 @@ class JobQueue:
                 raise KeyError(f"unknown job {job_id!r}")
             event = self._events[job_id]
         event.wait(timeout)
-        return self.get(job_id)
+        try:
+            return self.get(job_id)
+        except KeyError:
+            # A concurrent submit pruned the finished record while we were
+            # waking up; the completion event carries the final snapshot.
+            if event.record is not None:
+                return replace(event.record, detail=dict(event.record.detail))
+            raise
 
     # -- cancellation / shutdown --------------------------------------------------------
     def cancel(self, job_id: str) -> bool:
@@ -234,7 +255,7 @@ class JobQueue:
             record.finished_at = time.time()
             self._functions.pop(job_id, None)
             self.stats.n_cancelled += 1
-            self._events[job_id].set()
+            self._finish(job_id, record)
             return True
 
     def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
@@ -248,6 +269,13 @@ class JobQueue:
         if wait:
             for worker in self._workers:
                 worker.join(timeout)
+
+    def _finish(self, job_id: str, record: JobRecord) -> None:
+        """Stash the final snapshot on the event, then wake waiters (lock held)."""
+        event = self._events.get(job_id)
+        if event is not None:
+            event.record = replace(record, detail=dict(record.detail))
+            event.set()
 
     # -- worker loop -------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -270,14 +298,14 @@ class JobQueue:
                     record.error = traceback.format_exc(limit=20)
                     record.finished_at = time.time()
                     self.stats.n_failed += 1
-                    self._events[job_id].set()
+                    self._finish(job_id, record)
             else:
                 with self._lock:
                     record.status = "done"
                     record.result = result
                     record.finished_at = time.time()
                     self.stats.n_done += 1
-                    self._events[job_id].set()
+                    self._finish(job_id, record)
 
     def __len__(self) -> int:
         with self._lock:

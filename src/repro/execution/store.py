@@ -10,25 +10,33 @@ durable.
 
 Design
 ------
-* **Sharded JSONL.**  Results are grouped by a *context* string — the
+* **Pluggable backends.**  Results are grouped by a *context* string — the
   dataset/objective fingerprint, e.g. ``"udr-J48-blobs-200x8-cv5-rs0"`` —
-  and each context owns one append-only JSONL shard under the store root.
-  A shard starts with a header record carrying ``format_version`` and the
-  context name; data records map a canonical configuration-fingerprint key to
-  a score (and, when JSON-serialisable, the configuration itself, which is
-  what powers warm-start seeding).
+  and storage is delegated to a :class:`~repro.execution.store_backends.StoreBackend`:
+  append-only JSONL shards (the default), a WAL-mode sqlite database for
+  many local processes, or an HTTP client against a
+  :mod:`repro.service.store_server` for writers on other hosts.  The store
+  keeps one in-memory image per loaded context and writes through on every
+  ``put``; :meth:`refresh` drops an image so cross-process writes become
+  visible.
 * **Corruption tolerance.**  Loading never raises on bad data: truncated
   lines, interleaved half-writes from concurrent processes, garbage bytes and
   unreadable files all degrade to cache misses and are counted in
   :class:`StoreStats`.  A shard whose header carries the wrong format version
-  is ignored wholesale (counted, never deleted).
+  is ignored wholesale (counted, never deleted) — and writes rotate to a
+  fresh sidecar shard so they survive the next reload instead of vanishing
+  behind the foreign header.
 * **Idempotent appends.**  ``put`` skips the append when the key is already
-  present with an equal score, so N threads racing to record the same
-  evaluation produce exactly one line on disk.
-* **Compaction.**  Shards are append-only (re-puts with a different score
-  append a superseding line; the latest line wins on load), so a long-lived
-  store accumulates dead lines.  :meth:`compact` atomically rewrites shards
-  to one line per live key.
+  present with an equal score *and* an equally-informative config, so N
+  threads racing to record the same evaluation produce exactly one line on
+  disk — but a re-put that finally carries the config for a previously
+  score-only key still appends, so warm-start seeding never loses a
+  configuration to an accidental ordering of writers.
+* **Compaction.**  JSONL shards are append-only (re-puts with a different
+  score append a superseding line; the latest line wins on load), so a
+  long-lived store accumulates dead lines.  :meth:`compact` atomically
+  rewrites shards to one line per live key, after merging the current
+  on-disk state so concurrent writers' appends are never clobbered.
 
 The engine uses the store as a *write-through second tier*: every real
 execution is appended, and — when ``warm_start`` is enabled — memory-cache
@@ -38,22 +46,18 @@ misses fall back to the store before paying for the objective.
 from __future__ import annotations
 
 import json
-import os
 import threading
 from dataclasses import dataclass
-from hashlib import blake2s
 from pathlib import Path
 from typing import Any, Iterator
 
 import numpy as np
 
+from .store_backends import ShardImage, StoreBackend, resolve_backend
+
 __all__ = ["FORMAT_VERSION", "StoreStats", "ResultStore", "fingerprint_key"]
 
 FORMAT_VERSION = 1
-
-_KEY_FIELD = "k"
-_SCORE_FIELD = "s"
-_CONFIG_FIELD = "c"
 
 
 def fingerprint_key(fingerprint: tuple) -> str:
@@ -88,6 +92,7 @@ class StoreStats:
     write_errors: int = 0
     corrupt_records: int = 0  # unparseable / truncated lines skipped on load
     version_skips: int = 0  # shards ignored for a format-version mismatch
+    load_errors: int = 0  # whole-context loads that failed (server down, db locked)
     contexts_loaded: int = 0
     compactions: int = 0
 
@@ -106,119 +111,98 @@ class StoreStats:
             "write_errors": self.write_errors,
             "corrupt_records": self.corrupt_records,
             "version_skips": self.version_skips,
+            "load_errors": self.load_errors,
             "contexts_loaded": self.contexts_loaded,
             "compactions": self.compactions,
         }
 
 
-class _Context:
-    """In-memory image of one shard: key → (score, config), plus file state."""
-
-    __slots__ = ("scores", "configs", "header_on_disk", "live_lines")
-
-    def __init__(self) -> None:
-        self.scores: dict[str, float] = {}
-        self.configs: dict[str, dict | None] = {}
-        self.header_on_disk = False
-        self.live_lines = 0  # data lines currently in the file (incl. superseded)
-
-
 class ResultStore:
-    """Disk-backed, sharded, versioned store of configuration scores.
+    """Durable, sharded, versioned store of configuration scores.
 
     Parameters
     ----------
     root:
-        Directory holding the shards (created if missing).
+        Directory holding the shards (created if missing), or an
+        ``http(s)://`` URL of a :mod:`repro.service.store_server`.
     format_version:
         Version stamped into shard headers; shards written with a different
         version are ignored on load (counted in ``stats.version_skips``).
+    backend:
+        ``"jsonl"`` (default), ``"sqlite"`` for a WAL-mode database safe for
+        many local processes, or a ready-made
+        :class:`~repro.execution.store_backends.StoreBackend` instance.  An
+        ``http(s)://`` root selects the HTTP client backend automatically.
     """
 
-    def __init__(self, root: str | Path, *, format_version: int = FORMAT_VERSION) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        format_version: int = FORMAT_VERSION,
+        backend: str | StoreBackend = "jsonl",
+    ) -> None:
+        self.root = Path(root) if not str(root).startswith(("http://", "https://")) else root
         self.format_version = int(format_version)
         self.stats = StoreStats()
+        self._backend = resolve_backend(root, backend, self.format_version, self.stats)
         self._lock = threading.RLock()
-        self._contexts: dict[str, _Context] = {}
+        self._contexts: dict[str, ShardImage] = {}
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
+
+    def describe(self) -> dict:
+        """JSON-safe identity of this store (backend kind + location)."""
+        return self._backend.describe()
 
     # -- shard layout ----------------------------------------------------------------
     def shard_path(self, context: str) -> Path:
-        """Shard file for ``context``: readable slug + collision-proof digest."""
-        digest = blake2s(context.encode("utf-8"), digest_size=8).hexdigest()
-        slug = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in context)[:48]
-        return self.root / f"{slug or 'shard'}.{digest}.jsonl"
-
-    def _header(self, context: str) -> dict:
-        return {"format_version": self.format_version, "context": context}
+        """Shard file for ``context`` (JSONL backend only)."""
+        shard_path = getattr(self._backend, "shard_path", None)
+        if shard_path is None:
+            raise NotImplementedError(
+                f"{self._backend.name!r} backend has no per-context shard files"
+            )
+        return shard_path(context)
 
     # -- loading ----------------------------------------------------------------------
-    def _load(self, context: str) -> _Context:
-        """Load (once) the shard for ``context``; never raises on bad data."""
-        ctx = self._contexts.get(context)
-        if ctx is not None:
-            return ctx
-        ctx = _Context()
-        self._contexts[context] = ctx
-        path = self.shard_path(context)
-        try:
-            raw = path.read_text(encoding="utf-8", errors="replace")
-        except OSError:
-            return ctx
-        self.stats.contexts_loaded += 1
-        header_seen = False
-        version_ok = True
-        records: list[tuple[str, float, dict | None]] = []
-        n_data_lines = 0
-        for line in raw.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                self.stats.corrupt_records += 1
-                continue
-            if not isinstance(record, dict):
-                self.stats.corrupt_records += 1
-                continue
-            if "format_version" in record:
-                header_seen = True
-                if record.get("format_version") != self.format_version:
-                    version_ok = False
-                continue
-            key = record.get(_KEY_FIELD)
-            score = record.get(_SCORE_FIELD)
-            if not isinstance(key, str) or not isinstance(score, (int, float)):
-                self.stats.corrupt_records += 1
-                continue
-            config = record.get(_CONFIG_FIELD)
-            records.append((key, float(score), config if isinstance(config, dict) else None))
-            n_data_lines += 1
-        if not header_seen or not version_ok:
-            # Unversioned (header lost to truncation) or foreign-version shards
-            # contribute nothing — every lookup is a miss, never a crash.
-            if n_data_lines:
-                self.stats.version_skips += 1
-            return ctx
-        for key, score, config in records:  # later lines supersede earlier ones
-            ctx.scores[key] = score
-            if config is not None or key not in ctx.configs:
-                ctx.configs[key] = config
-        ctx.header_on_disk = True
-        ctx.live_lines = n_data_lines
-        return ctx
+    def _load(self, context: str) -> ShardImage:
+        """Load (once) the image for ``context``; never raises on bad data."""
+        image = self._contexts.get(context)
+        if image is None:
+            image = self._backend.load(context)
+            self._contexts[context] = image
+        return image
+
+    def refresh(self, context: str | None = None) -> None:
+        """Drop the in-memory image(s) so the next access re-reads the backend.
+
+        This is how cross-process readers observe each other's writes: the
+        store intentionally serves from its image between refreshes (cheap,
+        deterministic), and coordination layers — the
+        :class:`~repro.execution.coordinator.WorkCoordinator`, resumable
+        table builds — call ``refresh`` at their sync points.
+        """
+        with self._lock:
+            if context is None:
+                self._contexts.clear()
+            else:
+                self._contexts.pop(context, None)
 
     # -- core API ----------------------------------------------------------------------
     def get(self, context: str, fingerprint: tuple) -> float | None:
         """Stored score for ``fingerprint`` under ``context``, or ``None``."""
-        key = fingerprint_key(fingerprint)
+        return self.get_key(context, fingerprint_key(fingerprint))
+
+    def get_key(self, context: str, key: str) -> float | None:
+        """Stored score for a pre-serialised fingerprint key."""
         with self._lock:
-            ctx = self._load(context)
-            if key in ctx.scores:
+            image = self._load(context)
+            if key in image.scores:
                 self.stats.hits += 1
-                return ctx.scores[key]
+                return image.scores[key]
             self.stats.misses += 1
             return None
 
@@ -232,23 +216,28 @@ class ResultStore:
         """Record one result; returns True when a line was appended.
 
         Idempotent: a key already stored with an equal score is skipped, so
-        concurrent evaluators of the same configuration write exactly once.
-        A key re-put with a *different* score appends a superseding line
-        (latest wins on load; :meth:`compact` reclaims the dead one).
-        Write failures are counted, never raised — persistence must not be
-        able to break a search.
+        concurrent evaluators of the same configuration write exactly once —
+        unless the stored record has no configuration and this put carries
+        one, in which case the config-bearing record is appended anyway
+        (``top_k`` warm-start seeding must not lose configs to write
+        ordering).  A key re-put with a *different* score appends a
+        superseding line (latest wins on load; :meth:`compact` reclaims the
+        dead one).  Write failures are counted, never raised — persistence
+        must not be able to break a search.
         """
-        key = fingerprint_key(fingerprint)
+        return self.put_key(context, fingerprint_key(fingerprint), score, config)
+
+    def put_key(
+        self,
+        context: str,
+        key: str,
+        score: float,
+        config: dict[str, Any] | None = None,
+    ) -> bool:
+        """Record one result under a pre-serialised fingerprint key."""
         score = float(score)
         with self._lock:
-            ctx = self._load(context)
-            existing = ctx.scores.get(key)
-            if existing is not None and (
-                existing == score or (np.isnan(existing) and np.isnan(score))
-            ):
-                self.stats.duplicate_writes += 1
-                return False
-            record = {_KEY_FIELD: key, _SCORE_FIELD: score}
+            image = self._load(context)
             stored_config: dict | None = None
             if config is not None:
                 try:
@@ -256,27 +245,26 @@ class ResultStore:
                     json.dumps(stored_config)  # reject non-serialisable values
                 except (TypeError, ValueError):
                     stored_config = None
-                else:
-                    record[_CONFIG_FIELD] = stored_config
+            existing = image.scores.get(key)
+            if existing is not None and (
+                existing == score or (np.isnan(existing) and np.isnan(score))
+            ):
+                # Equal-score re-puts are duplicates — except when this one
+                # finally carries the config a score-only record was missing.
+                if stored_config is None or image.configs.get(key) is not None:
+                    self.stats.duplicate_writes += 1
+                    return False
             try:
-                self._append(context, ctx, record)
+                self._backend.append(context, key, score, stored_config)
             except OSError:
                 self.stats.write_errors += 1
                 return False
-            ctx.scores[key] = score
-            ctx.configs[key] = stored_config
-            ctx.live_lines += 1
+            image.scores[key] = score
+            if stored_config is not None or key not in image.configs:
+                image.configs[key] = stored_config
+            image.live_lines += 1
             self.stats.writes += 1
             return True
-
-    def _append(self, context: str, ctx: _Context, record: dict) -> None:
-        path = self.shard_path(context)
-        with path.open("a", encoding="utf-8") as handle:
-            if not ctx.header_on_disk:
-                handle.write(json.dumps(self._header(context)) + "\n")
-                ctx.header_on_disk = True
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
 
     # -- warm-start support ------------------------------------------------------------
     def top_k(self, context: str, k: int = 5) -> list[tuple[dict[str, Any], float]]:
@@ -287,16 +275,16 @@ class ResultStore:
         determinism across runs.
         """
         with self._lock:
-            ctx = self._load(context)
+            image = self._load(context)
             ranked = sorted(
                 (
                     (key, score)
-                    for key, score in ctx.scores.items()
-                    if np.isfinite(score) and ctx.configs.get(key) is not None
+                    for key, score in image.scores.items()
+                    if np.isfinite(score) and image.configs.get(key) is not None
                 ),
                 key=lambda pair: (-pair[1], pair[0]),
             )
-            return [(dict(ctx.configs[key]), score) for key, score in ranked[: max(0, k)]]
+            return [(dict(image.configs[key]), score) for key, score in ranked[: max(0, k)]]
 
     def size(self, context: str) -> int:
         """Number of distinct stored results for ``context``."""
@@ -304,58 +292,48 @@ class ResultStore:
             return len(self._load(context).scores)
 
     def contexts(self) -> list[str]:
-        """Every context present on disk (plus any loaded in memory)."""
-        found = set(self._contexts)
-        for path in sorted(self.root.glob("*.jsonl")):
-            try:
-                with path.open("r", encoding="utf-8", errors="replace") as handle:
-                    first = handle.readline().strip()
-                record = json.loads(first) if first else None
-            except (OSError, ValueError):
-                continue
-            if isinstance(record, dict) and isinstance(record.get("context"), str):
-                found.add(record["context"])
-        return sorted(found)
+        """Every context present in the backend (plus any loaded in memory)."""
+        with self._lock:
+            found = {name for name, image in self._contexts.items() if image.scores}
+            found.update(self._backend.contexts())
+            return sorted(found)
 
     # -- maintenance -------------------------------------------------------------------
     def compact(self, context: str | None = None) -> int:
-        """Rewrite shards to one line per live key; returns lines reclaimed.
+        """Rewrite storage to one record per live key; returns lines reclaimed.
 
-        The rewrite goes through a temp file + ``os.replace`` so a crash
-        mid-compaction leaves either the old or the new shard, never a
+        The rewrite merges the backend's *current* state first, so records
+        appended by other processes after this store loaded a context are
+        folded in rather than clobbered; it then goes through a temp file +
+        ``os.replace`` (JSONL) or stays transactional (sqlite/HTTP), so a
+        crash mid-compaction leaves either the old or the new state, never a
         half-written one.
         """
         with self._lock:
             targets = [context] if context is not None else self.contexts()
             reclaimed = 0
             for name in targets:
-                ctx = self._load(name)
-                if not ctx.scores:
-                    continue
-                path = self.shard_path(name)
-                tmp = path.with_name(path.name + ".tmp")  # matches *.jsonl.tmp ignores
-                lines = [json.dumps(self._header(name))]
-                for key in sorted(ctx.scores):
-                    record = {_KEY_FIELD: key, _SCORE_FIELD: ctx.scores[key]}
-                    if ctx.configs.get(key) is not None:
-                        record[_CONFIG_FIELD] = ctx.configs[key]
-                    lines.append(json.dumps(record))
+                image = self._load(name)
                 try:
-                    tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
-                    os.replace(tmp, path)
+                    result = self._backend.compact(name, image)
                 except OSError:
                     self.stats.write_errors += 1
                     continue
-                reclaimed += max(0, ctx.live_lines - len(ctx.scores))
-                ctx.live_lines = len(ctx.scores)
-                ctx.header_on_disk = True
+                if result is None:
+                    continue
+                freed, merged = result
+                reclaimed += freed
+                self._contexts[name] = merged
                 self.stats.compactions += 1
             return reclaimed
 
     def clear_memory(self) -> None:
-        """Drop the in-memory images (next access re-reads the disk)."""
-        with self._lock:
-            self._contexts.clear()
+        """Drop the in-memory images (next access re-reads the backend)."""
+        self.refresh()
+
+    def close(self) -> None:
+        """Release backend handles (sqlite connections, sockets)."""
+        self._backend.close()
 
     # -- introspection -----------------------------------------------------------------
     def __contains__(self, context: str) -> bool:
@@ -367,5 +345,14 @@ class ResultStore:
         with self._lock:
             return iter(list(self._load(context).scores.items()))
 
+    def image(self, context: str) -> tuple[dict[str, float], dict[str, dict | None], int]:
+        """Snapshot of the full context image (used by the HTTP store server)."""
+        with self._lock:
+            current = self._load(context)
+            return dict(current.scores), dict(current.configs), current.live_lines
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ResultStore(root={str(self.root)!r}, contexts={len(self._contexts)})"
+        return (
+            f"ResultStore(root={str(self.root)!r}, backend={self._backend.name!r}, "
+            f"contexts={len(self._contexts)})"
+        )

@@ -1,0 +1,591 @@
+"""Pluggable multi-writer storage backends behind :class:`~repro.execution.store.ResultStore`.
+
+The store began life as sharded JSONL behind one in-process lock — perfect
+for one host, a hard ceiling for a fleet.  This module extracts the storage
+layer into a small :class:`StoreBackend` protocol so the same ``ResultStore``
+API (and everything above it: engine write-through, warm starts, cell-level
+resume, the :class:`~repro.execution.coordinator.WorkCoordinator`) can run
+over three very different substrates:
+
+* :class:`JsonlBackend` — the original append-only JSONL shards.  Safe for
+  many *threads* through the store lock, and for many *processes* through
+  O_APPEND line appends plus merge-on-compact (a compaction re-reads the
+  on-disk state before rewriting, so it can never clobber lines another
+  process appended after this one loaded the shard).
+* :class:`SqliteBackend` — one WAL-mode ``sqlite3`` database for many local
+  processes.  Appends are upserts inside sqlite's own locking, so concurrent
+  writers serialise in the database instead of racing on file offsets;
+  format versions are isolated by table name (``results_v1`` …), so a
+  foreign-version database reads as empty and never poisons fresh writes.
+* :class:`HttpStoreBackend` — a stdlib ``urllib`` client for the
+  :mod:`repro.service.store_server` HTTP front end, for writers on other
+  hosts.  The server wraps a local ``ResultStore`` (either backend) and
+  serialises all writers under its lock.
+
+Backends deal in whole-context *images* (``ShardImage``): the store loads a
+context once, serves gets from memory, and writes through on every put.
+``ResultStore.refresh()`` drops an image so the next access re-reads the
+shared substrate — that is how cross-process readers observe each other.
+
+Scores travel as ``repr`` strings wherever the substrate cannot hold every
+IEEE double faithfully (sqlite stores NaN as NULL; strict JSON has no NaN
+literal), and parse back bit-exactly with ``float()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import urllib.request
+from abc import ABC, abstractmethod
+from hashlib import blake2s
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from .store import StoreStats
+
+__all__ = [
+    "ShardImage",
+    "StoreBackend",
+    "JsonlBackend",
+    "SqliteBackend",
+    "HttpStoreBackend",
+    "resolve_backend",
+]
+
+_KEY_FIELD = "k"
+_SCORE_FIELD = "s"
+_CONFIG_FIELD = "c"
+
+#: Rotation ceiling for JSONL sidecar shards (see JsonlBackend._chain).
+_MAX_ROTATIONS = 8
+
+
+class ShardImage:
+    """In-memory image of one context: key → (score, config) plus file state."""
+
+    __slots__ = ("scores", "configs", "live_lines")
+
+    def __init__(self) -> None:
+        self.scores: dict[str, float] = {}
+        self.configs: dict[str, dict | None] = {}
+        self.live_lines = 0  # data records in the write target (incl. superseded)
+
+    def merge_record(self, key: str, score: float, config: dict | None) -> None:
+        """Apply one data record (later records supersede earlier ones)."""
+        self.scores[key] = score
+        if config is not None or key not in self.configs:
+            self.configs[key] = config
+
+
+class StoreBackend(ABC):
+    """Storage substrate behind a :class:`ResultStore`.
+
+    All methods are called under the owning store's lock, so backends need no
+    locking of their own against sibling *threads* — only against sibling
+    *processes* (that is the whole point of the non-JSONL implementations).
+    ``load`` must never raise; ``append`` signals failure with ``OSError``
+    (the store counts it and carries on).
+    """
+
+    name: str = "backend"
+
+    @abstractmethod
+    def load(self, context: str) -> ShardImage:
+        """Read the full image for ``context`` (empty image on any failure)."""
+
+    @abstractmethod
+    def append(self, context: str, key: str, score: float, config: dict | None) -> None:
+        """Write one record through; raises ``OSError`` on failure."""
+
+    @abstractmethod
+    def compact(self, context: str, memory: ShardImage) -> tuple[int, ShardImage] | None:
+        """Reclaim dead storage for ``context``; never lose concurrent writes.
+
+        Implementations must merge the *current on-disk state* with the
+        caller's in-memory ``memory`` image before any rewrite, so records
+        appended by other processes after this store loaded the context
+        survive.  Returns ``(reclaimed, merged image)``, or ``None`` when
+        there is nothing to compact.  ``OSError`` means the rewrite failed.
+        """
+
+    @abstractmethod
+    def contexts(self) -> list[str]:
+        """Every context present in the substrate (best effort, never raises)."""
+
+    def close(self) -> None:
+        """Release substrate handles (idempotent)."""
+
+    def describe(self) -> dict:
+        return {"backend": self.name}
+
+
+class JsonlBackend(StoreBackend):
+    """Append-only JSONL shards, one file per context (the original layout).
+
+    Multi-writer behaviour:
+
+    * many threads — serialised by the owning store's lock;
+    * many processes — appends are single buffered writes to an ``O_APPEND``
+      handle (atomic on POSIX for line-sized writes), duplicate headers from
+      racing first-writers are tolerated on load, and :meth:`compact`
+      re-reads the on-disk state before rewriting so another process's
+      appends are merged instead of clobbered.
+
+    Foreign-version shards never poison fresh writes: when the primary shard
+    carries a mismatched (or truncated-away) header, reads skip it — counted
+    in ``stats.version_skips``, the file is never deleted — and writes rotate
+    to a sidecar shard (``<shard>.r1.jsonl``, ``.r2`` …) with a fresh
+    current-version header, which later loads pick up again.
+    """
+
+    name = "jsonl"
+
+    def __init__(self, root: str | Path, format_version: int, stats: "StoreStats") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.format_version = int(format_version)
+        self.stats = stats
+        # context → (write path, header already on disk) — set by load().
+        self._write_state: dict[str, tuple[Path, bool]] = {}
+
+    # -- layout ------------------------------------------------------------------------
+    def shard_path(self, context: str) -> Path:
+        """Primary shard for ``context``: readable slug + collision-proof digest."""
+        digest = blake2s(context.encode("utf-8"), digest_size=8).hexdigest()
+        slug = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in context)[:48]
+        return self.root / f"{slug or 'shard'}.{digest}.jsonl"
+
+    def _chain(self, context: str) -> list[Path]:
+        """Primary shard plus its rotation sidecars, in supersession order."""
+        primary = self.shard_path(context)
+        stem = primary.name[: -len(".jsonl")]
+        return [primary] + [
+            self.root / f"{stem}.r{n}.jsonl" for n in range(1, _MAX_ROTATIONS + 1)
+        ]
+
+    def _header(self, context: str) -> dict:
+        return {"format_version": self.format_version, "context": context}
+
+    # -- parsing -----------------------------------------------------------------------
+    def _parse_shard(
+        self, raw: str, count_stats: bool = True
+    ) -> tuple[list[tuple[str, float, dict | None]], int, bool, bool]:
+        """``(records, n_data_lines, header_seen, version_ok)`` for one file."""
+        header_seen = False
+        version_ok = True
+        records: list[tuple[str, float, dict | None]] = []
+        n_data_lines = 0
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if count_stats:
+                    self.stats.corrupt_records += 1
+                continue
+            if not isinstance(record, dict):
+                if count_stats:
+                    self.stats.corrupt_records += 1
+                continue
+            if "format_version" in record:
+                header_seen = True
+                if record.get("format_version") != self.format_version:
+                    version_ok = False
+                continue
+            key = record.get(_KEY_FIELD)
+            score = record.get(_SCORE_FIELD)
+            if not isinstance(key, str) or not isinstance(score, (int, float)):
+                if count_stats:
+                    self.stats.corrupt_records += 1
+                continue
+            config = record.get(_CONFIG_FIELD)
+            records.append((key, float(score), config if isinstance(config, dict) else None))
+            n_data_lines += 1
+        return records, n_data_lines, header_seen, version_ok
+
+    def _read_chain(self, context: str, count_stats: bool = True) -> tuple[ShardImage, Path, bool]:
+        """Merge the shard chain; returns ``(image, write_path, header_on_disk)``."""
+        image = ShardImage()
+        chain = self._chain(context)
+        write_path = chain[0]
+        header_on_disk = False
+        read_any = False
+        for index, path in enumerate(chain):
+            try:
+                raw = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            read_any = True
+            records, n_data, header_seen, version_ok = self._parse_shard(
+                raw, count_stats=count_stats
+            )
+            if header_seen and version_ok:
+                # Healthy current-version shard: contributes records and is
+                # the append target (until a later chain file supersedes it).
+                for key, score, config in records:
+                    image.merge_record(key, score, config)
+                image.live_lines = n_data
+                write_path, header_on_disk = path, True
+            elif not header_seen and n_data == 0:
+                # Empty or pure-garbage file: contributes nothing but is safe
+                # to append to (the next put writes a fresh header first).
+                write_path, header_on_disk = path, False
+                image.live_lines = 0
+            else:
+                # Foreign-version or headerless-with-data shard: ignored
+                # wholesale (counted, never deleted) and NEVER appended to —
+                # writes rotate to the next sidecar so they survive reloads.
+                if n_data and count_stats:
+                    self.stats.version_skips += 1
+                rotated = chain[min(index + 1, len(chain) - 1)]
+                if not rotated.exists():
+                    write_path, header_on_disk = rotated, False
+                    image.live_lines = 0
+        if read_any and count_stats:
+            self.stats.contexts_loaded += 1
+        return image, write_path, header_on_disk
+
+    # -- StoreBackend API --------------------------------------------------------------
+    def load(self, context: str) -> ShardImage:
+        image, write_path, header_on_disk = self._read_chain(context)
+        self._write_state[context] = (write_path, header_on_disk)
+        return image
+
+    def append(self, context: str, key: str, score: float, config: dict | None) -> None:
+        state = self._write_state.get(context)
+        if state is None:  # load() not called yet (defensive; store always loads first)
+            _, write_path, header_on_disk = self._read_chain(context, count_stats=False)
+            state = (write_path, header_on_disk)
+        path, header_on_disk = state
+        record = {_KEY_FIELD: key, _SCORE_FIELD: score}
+        if config is not None:
+            record[_CONFIG_FIELD] = config
+        with path.open("a", encoding="utf-8") as handle:
+            if not header_on_disk:
+                handle.write(json.dumps(self._header(context)) + "\n")
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+        self._write_state[context] = (path, True)
+
+    def compact(self, context: str, memory: ShardImage) -> tuple[int, ShardImage] | None:
+        # Merge-on-compact: re-read the on-disk chain so lines other
+        # processes appended after this store loaded the shard survive the
+        # rewrite (the historical lost-update bug).
+        fresh, write_path, _ = self._read_chain(context, count_stats=False)
+        merged = ShardImage()
+        merged.scores.update(fresh.scores)
+        merged.configs.update(fresh.configs)
+        for key, score in memory.scores.items():
+            if key not in merged.scores:
+                merged.scores[key] = score
+                merged.configs[key] = memory.configs.get(key)
+        if not merged.scores:
+            return None
+        lines = [json.dumps(self._header(context))]
+        for key in sorted(merged.scores):
+            record = {_KEY_FIELD: key, _SCORE_FIELD: merged.scores[key]}
+            if merged.configs.get(key) is not None:
+                record[_CONFIG_FIELD] = merged.configs[key]
+            lines.append(json.dumps(record))
+        tmp = write_path.with_name(write_path.name + ".tmp")  # matches *.jsonl.tmp ignores
+        tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        os.replace(tmp, write_path)
+        reclaimed = max(0, fresh.live_lines - len(merged.scores))
+        merged.live_lines = len(merged.scores)
+        self._write_state[context] = (write_path, True)
+        return reclaimed, merged
+
+    def contexts(self) -> list[str]:
+        found = set()
+        for path in sorted(self.root.glob("*.jsonl")):
+            try:
+                with path.open("r", encoding="utf-8", errors="replace") as handle:
+                    first = handle.readline().strip()
+                record = json.loads(first) if first else None
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict) and isinstance(record.get("context"), str):
+                found.add(record["context"])
+        return sorted(found)
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "root": str(self.root)}
+
+
+class SqliteBackend(StoreBackend):
+    """One WAL-mode sqlite database shared by many local processes.
+
+    WAL mode gives single-writer/many-reader concurrency without readers
+    blocking writers; appends are upserts, so idempotent re-puts and
+    superseding re-puts are one primary-key write either way.  Each format
+    version owns its own table (``results_v<N>``), so a database written by
+    a different store version reads as empty instead of poisoning anything.
+
+    NaN cannot live in a sqlite ``REAL`` column (it becomes NULL), so scores
+    are stored as ``repr`` text and parsed back bit-exactly.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        root: str | Path,
+        format_version: int,
+        stats: "StoreStats",
+        filename: str = "results.sqlite3",
+        timeout: float = 30.0,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / filename
+        self.table = f"results_v{int(format_version)}"
+        self.stats = stats
+        self.timeout = float(timeout)
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+
+    def _connection(self) -> sqlite3.Connection:
+        # A connection must never cross a fork: workers spawned from a process
+        # holding one would corrupt the WAL.  Reopen lazily per pid.
+        if self._conn is None or self._pid != os.getpid():
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=self.timeout,
+                check_same_thread=False,  # the store lock serialises threads
+                isolation_level=None,  # autocommit; sqlite transacts per statement
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            try:
+                conn.execute(
+                    f"CREATE TABLE IF NOT EXISTS {self.table} ("
+                    "context TEXT NOT NULL, key TEXT NOT NULL, "
+                    "score TEXT NOT NULL, config TEXT, "
+                    "PRIMARY KEY (context, key))"
+                )
+            except sqlite3.OperationalError:
+                pass  # racing creator already made it
+            self._conn = conn
+            self._pid = os.getpid()
+        return self._conn
+
+    def _select_image(self, context: str) -> ShardImage:
+        image = ShardImage()
+        rows = self._connection().execute(
+            f"SELECT key, score, config FROM {self.table} WHERE context = ?",
+            (context,),
+        )
+        for key, score_repr, config_text in rows:
+            try:
+                score = float(score_repr)
+            except (TypeError, ValueError):
+                self.stats.corrupt_records += 1
+                continue
+            config = None
+            if config_text:
+                try:
+                    parsed = json.loads(config_text)
+                    config = parsed if isinstance(parsed, dict) else None
+                except ValueError:
+                    self.stats.corrupt_records += 1
+            image.merge_record(key, score, config)
+        image.live_lines = len(image.scores)
+        return image
+
+    # -- StoreBackend API --------------------------------------------------------------
+    def load(self, context: str) -> ShardImage:
+        try:
+            image = self._select_image(context)
+        except sqlite3.Error:
+            self.stats.load_errors += 1
+            return ShardImage()
+        self.stats.contexts_loaded += 1
+        return image
+
+    def append(self, context: str, key: str, score: float, config: dict | None) -> None:
+        config_text = json.dumps(config) if config is not None else None
+        try:
+            self._connection().execute(
+                f"INSERT INTO {self.table} (context, key, score, config) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(context, key) DO UPDATE SET "
+                # COALESCE preserves a stored config when a superseding put
+                # carries none — matching the JSONL loader's behaviour.
+                "score = excluded.score, config = COALESCE(excluded.config, config)",
+                (context, key, repr(float(score)), config_text),
+            )
+        except sqlite3.Error as exc:
+            raise OSError(f"sqlite append failed: {exc}") from exc
+
+    def compact(self, context: str, memory: ShardImage) -> tuple[int, ShardImage] | None:
+        # Rows are already one-per-key; compaction just folds fresh
+        # cross-process state into the caller's image and checkpoints the WAL.
+        try:
+            merged = self._select_image(context)
+            for key, score in memory.scores.items():
+                if key not in merged.scores:
+                    self.append(context, key, score, memory.configs.get(key))
+                    merged.merge_record(key, score, memory.configs.get(key))
+            merged.live_lines = len(merged.scores)
+            self._connection().execute("PRAGMA wal_checkpoint(PASSIVE)")
+        except sqlite3.Error as exc:
+            raise OSError(f"sqlite compact failed: {exc}") from exc
+        if not merged.scores:
+            return None
+        return 0, merged
+
+    def contexts(self) -> list[str]:
+        try:
+            rows = self._connection().execute(
+                f"SELECT DISTINCT context FROM {self.table} ORDER BY context"
+            )
+            return [row[0] for row in rows]
+        except sqlite3.Error:
+            return []
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+        self._conn = None
+        self._pid = None
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "path": str(self.path), "table": self.table}
+
+
+class HttpStoreBackend(StoreBackend):
+    """Stdlib HTTP client for a :mod:`repro.service.store_server` endpoint.
+
+    The server owns the authoritative ``ResultStore`` and serialises all
+    writers; this client mirrors one context image per :meth:`load` and
+    writes through per :meth:`append`.  Scores cross the wire as ``repr``
+    strings so the JSON stays strict (no NaN/Infinity literals) and every
+    IEEE double round-trips bit-exactly.
+
+    A dead or unreachable server degrades exactly like a corrupt shard:
+    loads come back empty (counted in ``stats.load_errors``), appends raise
+    ``OSError`` and are counted as write errors by the store — a search can
+    never be broken by its persistence tier.
+    """
+
+    name = "http"
+
+    def __init__(self, url: str, stats: "StoreStats", timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.stats = stats
+        self.timeout = float(timeout)
+
+    # -- wire --------------------------------------------------------------------------
+    def _request(self, route: str, payload: dict | None = None) -> dict:
+        if payload is None:
+            request = urllib.request.Request(self.url + route, method="GET")
+        else:
+            request = urllib.request.Request(
+                self.url + route,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+        if not isinstance(body, dict):
+            raise OSError(f"store server returned non-object body for {route}")
+        return body
+
+    # -- StoreBackend API --------------------------------------------------------------
+    def load(self, context: str) -> ShardImage:
+        image = ShardImage()
+        try:
+            body = self._request("/store/image", {"context": context})
+        except (OSError, ValueError):
+            self.stats.load_errors += 1
+            return image
+        scores = body.get("scores") or {}
+        configs = body.get("configs") or {}
+        for key, score_repr in scores.items():
+            try:
+                score = float(score_repr)
+            except (TypeError, ValueError):
+                self.stats.corrupt_records += 1
+                continue
+            config = configs.get(key)
+            image.merge_record(key, score, config if isinstance(config, dict) else None)
+        image.live_lines = int(body.get("live_lines", len(image.scores)))
+        self.stats.contexts_loaded += 1
+        return image
+
+    def append(self, context: str, key: str, score: float, config: dict | None) -> None:
+        try:
+            self._request(
+                "/store/put",
+                {
+                    "context": context,
+                    "key": key,
+                    "score": repr(float(score)),
+                    "config": config,
+                },
+            )
+        except ValueError as exc:  # unparseable response body
+            raise OSError(f"store server returned invalid response: {exc}") from exc
+
+    def compact(self, context: str, memory: ShardImage) -> tuple[int, ShardImage] | None:
+        try:
+            body = self._request("/store/compact", {"context": context})
+        except ValueError as exc:
+            raise OSError(f"store server returned invalid response: {exc}") from exc
+        merged = self.load(context)
+        for key, score in memory.scores.items():
+            if key not in merged.scores:
+                self.append(context, key, score, memory.configs.get(key))
+                merged.merge_record(key, score, memory.configs.get(key))
+        if not merged.scores:
+            return None
+        merged.live_lines = len(merged.scores)
+        return int(body.get("reclaimed", 0)), merged
+
+    def contexts(self) -> list[str]:
+        try:
+            body = self._request("/store/contexts")
+        except (OSError, ValueError):
+            return []
+        contexts = body.get("contexts")
+        return sorted(str(c) for c in contexts) if isinstance(contexts, list) else []
+
+    def describe(self) -> dict:
+        return {"backend": self.name, "url": self.url}
+
+
+def resolve_backend(
+    root: str | Path,
+    backend: "str | StoreBackend",
+    format_version: int,
+    stats: "StoreStats",
+) -> StoreBackend:
+    """Build the backend a :class:`ResultStore` was asked for.
+
+    ``backend`` may be an instance (used as-is), ``"jsonl"``/``"sqlite"``, or
+    ``"http"`` — for which ``root`` must be the server URL.  An
+    ``http(s)://`` root selects the HTTP backend automatically.
+    """
+    if isinstance(backend, StoreBackend):
+        return backend
+    root_text = str(root)
+    if root_text.startswith(("http://", "https://")):
+        return HttpStoreBackend(root_text, stats)
+    if backend == "jsonl":
+        return JsonlBackend(root, format_version, stats)
+    if backend == "sqlite":
+        return SqliteBackend(root, format_version, stats)
+    if backend == "http":
+        raise ValueError(
+            "backend='http' needs an http(s):// root, e.g. ResultStore('http://host:port')"
+        )
+    raise ValueError(f"unknown store backend {backend!r} (use 'jsonl', 'sqlite' or 'http')")

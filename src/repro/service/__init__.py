@@ -27,6 +27,9 @@ Scale-out and observability ride on top:
   with file-based cross-worker aggregation.
 * :mod:`repro.service.loadgen` — :class:`LoadGenerator`: a stdlib load
   harness for throughput/latency measurement against a running server.
+* :mod:`repro.service.store_server` — :class:`StoreService`: the shared
+  :class:`~repro.execution.store.ResultStore` served over HTTP for
+  cross-host fleet writers (``python -m repro.service store-serve``).
 """
 
 from .dispatcher import (
@@ -53,6 +56,13 @@ from .metrics import (
 )
 from .pool import ServicePool, reuse_port_supported
 from .registry import ModelRegistry, ServableModel, default_registry_root
+from .store_server import (
+    StoreServer,
+    StoreService,
+    make_store_server,
+    serve_store_in_thread,
+    store_route_label,
+)
 
 __all__ = [
     "ModelRegistry",
@@ -78,4 +88,9 @@ __all__ = [
     "LoadGenerator",
     "LoadOp",
     "LoadReport",
+    "StoreServer",
+    "StoreService",
+    "make_store_server",
+    "serve_store_in_thread",
+    "store_route_label",
 ]

@@ -3,7 +3,8 @@
 ``serve`` boots the HTTP/JSON front end over a registry directory —
 single-process by default, a pre-forked multi-process pool with
 ``--workers N``; ``models`` prints the registry listing without starting
-a server.
+a server; ``store-serve`` boots the shared result-store server that
+cross-host fleet workers write their knowledge through.
 """
 
 from __future__ import annotations
@@ -14,9 +15,11 @@ import signal
 import sys
 import time
 
+from ..execution.store import ResultStore
 from .http import RecommendationService, make_http_server
 from .pool import ServicePool
 from .registry import ModelRegistry, default_registry_root
+from .store_server import StoreService, make_store_server
 
 __all__ = ["main"]
 
@@ -65,11 +68,55 @@ def _build_parser() -> argparse.ArgumentParser:
 
     models = sub.add_parser("models", help="print the registry listing as JSON")
     models.add_argument("--registry", default=None)
+
+    store = sub.add_parser(
+        "store-serve", help="serve a shared result store over HTTP for fleet writers"
+    )
+    store.add_argument("--root", required=True, help="store directory on this host")
+    store.add_argument(
+        "--backend", choices=("jsonl", "sqlite"), default="sqlite",
+        help="local substrate behind the served store",
+    )
+    store.add_argument("--host", default="127.0.0.1")
+    store.add_argument(
+        "--port", type=int, default=8081, help="0 binds an ephemeral port"
+    )
+    store.add_argument(
+        "--max-inflight", type=int, default=None, dest="max_inflight",
+        help="admission control: concurrent request bound (unset = unbounded)",
+    )
+    store.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
     return parser
+
+
+def _store_serve(args: argparse.Namespace) -> int:
+    store = ResultStore(args.root, backend=args.backend)
+    service = StoreService(store, max_inflight=args.max_inflight)
+    server = make_store_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[0], server.server_address[1]
+    # The smoke tests parse this line to discover an ephemeral port.
+    print(f"repro-store listening on http://{host}:{port} "
+          f"(root: {args.root}, backend: {args.backend})", flush=True)
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    try:
+        server.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "store-serve":
+        return _store_serve(args)
     registry_root = args.registry if args.registry is not None else default_registry_root()
 
     if args.command == "models":

@@ -1,0 +1,250 @@
+"""WorkCoordinator tests: partitioning, stealing, leases, resume, interop.
+
+The coordinator's contract is that any number of workers — threads here,
+processes/hosts in production — can run the same cell list over a shared
+store and (a) every cell ends up recorded exactly once, (b) duplicated
+effort is bounded by lease races, (c) a crashed worker's cells are requeued
+after its lease expires, and (d) the store image is byte-compatible with
+the serial engine path.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_clusters
+from repro.evaluation import PerformanceTable
+from repro.execution import (
+    EvaluationEngine,
+    ResultStore,
+    WorkCoordinator,
+    claims_context,
+    config_fingerprint,
+    fingerprint_key,
+)
+from repro.learners import default_registry
+
+
+def _cells(n: int) -> list[dict]:
+    return [{"dataset": f"D{i}", "algorithm": "alg", "seed": i} for i in range(n)]
+
+
+def _objective(cell: dict) -> float:
+    return cell["seed"] / 7.0
+
+
+class TestSingleWorker:
+    def test_runs_every_cell_and_returns_scores(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        coordinator = WorkCoordinator(store)
+        cells = _cells(9)
+        scores = coordinator.run("ctx", cells, _objective)
+        assert len(scores) == 9
+        for cell in cells:
+            assert scores[WorkCoordinator.cell_key(cell)] == cell["seed"] / 7.0
+        assert coordinator.stats.n_executed == 9
+        assert coordinator.stats.n_stolen == 0
+
+    def test_results_are_persisted_with_configs(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        WorkCoordinator(store).run("ctx", _cells(3), _objective)
+        fresh = ResultStore(tmp_path / "s")
+        best_config, best_score = fresh.top_k("ctx", 1)[0]
+        assert best_score == 2 / 7.0
+        assert best_config["seed"] == 2
+
+    def test_resume_skips_finished_cells(self, tmp_path):
+        cells = _cells(6)
+        WorkCoordinator(ResultStore(tmp_path / "s")).run("ctx", cells[:4], _objective)
+        resumed = WorkCoordinator(ResultStore(tmp_path / "s"))
+        scores = resumed.run("ctx", cells, _objective)
+        assert len(scores) == 6
+        assert resumed.stats.n_resumed == 4
+        assert resumed.stats.n_executed == 2
+
+    def test_crash_scores_are_recorded_not_raised(self, tmp_path):
+        def crashing(cell):
+            if cell["seed"] == 1:
+                raise RuntimeError("boom")
+            return 1.0
+
+        coordinator = WorkCoordinator(ResultStore(tmp_path / "s"))
+        scores = coordinator.run("ctx", _cells(3), crashing, crash_score=-0.5)
+        assert scores[WorkCoordinator.cell_key(_cells(3)[1])] == -0.5
+        assert coordinator.stats.n_crashes == 1
+        # A rerun does not re-pay the crash: the crash score is knowledge too.
+        rerun = WorkCoordinator(ResultStore(tmp_path / "s"))
+        rerun.run("ctx", _cells(3), crashing, crash_score=-0.5)
+        assert rerun.stats.n_executed == 0
+
+    def test_duplicate_cells_rejected(self, tmp_path):
+        coordinator = WorkCoordinator(ResultStore(tmp_path / "s"))
+        with pytest.raises(ValueError, match="distinct"):
+            coordinator.run("ctx", [_cells(1)[0], _cells(1)[0]], _objective)
+
+    def test_validation(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ValueError):
+            WorkCoordinator(store, n_workers=0)
+        with pytest.raises(ValueError):
+            WorkCoordinator(store, worker_index=2, n_workers=2)
+        with pytest.raises(ValueError):
+            WorkCoordinator(store, lease_seconds=0)
+
+
+class TestFleet:
+    def test_two_workers_split_the_work(self, tmp_path):
+        cells = _cells(20)
+
+        def slow_objective(cell):
+            time.sleep(0.01)
+            return _objective(cell)
+
+        coordinators = [
+            WorkCoordinator(
+                ResultStore(tmp_path / "s"), worker_index=w, n_workers=2,
+                lease_seconds=10.0,
+            )
+            for w in range(2)
+        ]
+        results = [None, None]
+
+        def run(w):
+            results[w] = coordinators[w].run("ctx", cells, slow_objective)
+
+        threads = [threading.Thread(target=run, args=(w,)) for w in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert results[0] == results[1]
+        assert len(results[0]) == 20
+        # Leases keep duplicated effort near zero on a healthy fleet.
+        total = sum(c.stats.n_executed for c in coordinators)
+        assert 20 <= total <= 24
+        assert all(c.stats.n_executed >= 6 for c in coordinators)
+
+    def test_lone_worker_steals_absent_partners_cells(self, tmp_path):
+        # A fleet of 3 is declared but only worker 0 shows up: it must
+        # finish everything, crossing into the missing workers' partitions.
+        coordinator = WorkCoordinator(
+            ResultStore(tmp_path / "s"), worker_index=0, n_workers=3
+        )
+        scores = coordinator.run("ctx", _cells(9), _objective)
+        assert len(scores) == 9
+        assert coordinator.stats.n_executed == 9
+        assert coordinator.stats.n_stolen == 6
+
+    def test_expired_lease_is_requeued(self, tmp_path):
+        # A "crashed" worker left a lease behind; once it expires the cell
+        # must be re-run, not orphaned.
+        store = ResultStore(tmp_path / "s")
+        cells = _cells(2)
+        key = WorkCoordinator.cell_key(cells[1])
+        store.put_key(claims_context("ctx"), key, time.time() + 0.4)
+        coordinator = WorkCoordinator(store, poll_interval=0.05)
+        t0 = time.monotonic()
+        scores = coordinator.run("ctx", cells, _objective)
+        assert len(scores) == 2
+        assert time.monotonic() - t0 >= 0.2  # had to wait the lease out
+        assert coordinator.stats.n_claim_skips >= 1
+        assert coordinator.stats.n_executed == 2
+
+    def test_timeout_when_cell_never_finishes(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        cells = _cells(1)
+        key = WorkCoordinator.cell_key(cells[0])
+        store.put_key(claims_context("ctx"), key, time.time() + 60.0)
+        coordinator = WorkCoordinator(store, poll_interval=0.02, timeout=0.3)
+        with pytest.raises(TimeoutError, match="pending"):
+            coordinator.run("ctx", cells, _objective)
+
+    def test_claims_live_in_a_sidecar_context(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        WorkCoordinator(store).run("ctx", _cells(3), _objective)
+        assert claims_context("ctx") == "ctx#claims"
+        fresh = ResultStore(tmp_path / "s")
+        assert fresh.size("ctx") == 3
+        assert fresh.size(claims_context("ctx")) == 3  # leases persisted apart
+        # top_k of the real context is unpolluted by lease records.
+        assert all("seed" in cfg for cfg, _ in fresh.top_k("ctx", 3))
+
+
+class TestEngineInterop:
+    def test_coordinator_resumes_engine_results(self, tmp_path):
+        cells = _cells(5)
+        store = ResultStore(tmp_path / "s")
+        engine = EvaluationEngine(
+            _objective, store=store, store_context="ctx", warm_start=True
+        )
+        engine.evaluate_many(cells)
+        coordinator = WorkCoordinator(ResultStore(tmp_path / "s"))
+        scores = coordinator.run("ctx", cells, _objective)
+        assert coordinator.stats.n_executed == 0  # engine already paid for all
+        for cell in cells:
+            key = fingerprint_key(config_fingerprint(cell))
+            assert scores[key] == _objective(cell)
+
+    def test_engine_warm_starts_from_coordinator_results(self, tmp_path):
+        cells = _cells(5)
+        WorkCoordinator(ResultStore(tmp_path / "s")).run("ctx", cells, _objective)
+        engine = EvaluationEngine(
+            _objective,
+            store=ResultStore(tmp_path / "s"),
+            store_context="ctx",
+            warm_start=True,
+        )
+        outcomes = engine.evaluate_many(cells)
+        assert engine.stats.n_executions == 0
+        assert engine.stats.n_store_hits == 5
+        assert [o.score for o in outcomes] == [_objective(c) for c in cells]
+
+
+class TestPerformanceTableIntegration:
+    @pytest.fixture(scope="class")
+    def tiny_datasets(self):
+        return [
+            make_gaussian_clusters(
+                f"coord-D{i}", n_records=60, n_numeric=3, n_categorical=0,
+                n_classes=2, random_state=40 + i,
+            )
+            for i in range(2)
+        ]
+
+    @pytest.fixture(scope="class")
+    def tiny_registry(self):
+        return default_registry().subset(["ZeroR", "OneR", "DecisionStump"])
+
+    def test_coordinated_table_identical_to_serial(
+        self, tmp_path, tiny_datasets, tiny_registry
+    ):
+        serial = PerformanceTable.compute(
+            tiny_datasets, registry=tiny_registry, cv=2, max_records=50
+        )
+        coordinator = WorkCoordinator(ResultStore(tmp_path / "fleet"))
+        coordinated = PerformanceTable.compute(
+            tiny_datasets, registry=tiny_registry, cv=2, max_records=50,
+            coordinator=coordinator,
+        )
+        assert coordinated.algorithms == serial.algorithms
+        assert coordinated.datasets == serial.datasets
+        np.testing.assert_array_equal(coordinated.scores, serial.scores)
+        assert "coordinator" in coordinated.metadata
+
+    def test_second_fleet_run_resumes_from_store(
+        self, tmp_path, tiny_datasets, tiny_registry
+    ):
+        first = WorkCoordinator(ResultStore(tmp_path / "fleet"))
+        PerformanceTable.compute(
+            tiny_datasets, registry=tiny_registry, cv=2, max_records=50,
+            coordinator=first,
+        )
+        second = WorkCoordinator(ResultStore(tmp_path / "fleet"))
+        table = PerformanceTable.compute(
+            tiny_datasets, registry=tiny_registry, cv=2, max_records=50,
+            coordinator=second,
+        )
+        assert second.stats.n_executed == 0
+        assert second.stats.n_resumed == len(table.datasets) * len(table.algorithms)

@@ -266,3 +266,139 @@ class TestShardLayout:
         header = json.loads(store.shard_path("my-ctx").read_text().splitlines()[0])
         assert header["format_version"] == FORMAT_VERSION
         assert header["context"] == "my-ctx"
+
+
+class TestConfigBackfillRegression:
+    """An equal-score re-put must backfill a missing config, not skip it.
+
+    The historical idempotence check treated *any* equal-score re-put as a
+    duplicate, so the first config ever offered for a score-only record was
+    dropped on the floor — and ``top_k`` warm-start seeding permanently lost
+    that configuration.
+    """
+
+    def test_equal_score_reput_with_config_appends(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=1), 0.5)  # score-only (e.g. seeded from a peer)
+        assert store.put("ctx", fp(i=1), 0.5, config={"i": 1})  # must append
+        assert store.stats.writes == 2
+        assert store.top_k("ctx") == [({"i": 1}, 0.5)]
+        # The backfilled config is durable, not just an in-memory patch.
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.top_k("ctx") == [({"i": 1}, 0.5)]
+
+    def test_equal_score_reput_without_config_still_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=1), 0.5, config={"i": 1})
+        assert not store.put("ctx", fp(i=1), 0.5)  # nothing new to add
+        assert not store.put("ctx", fp(i=1), 0.5, config={"i": 1})  # true dup
+        assert store.stats.duplicate_writes == 2
+        assert store.stats.writes == 1
+
+    def test_nan_score_config_backfill(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=1), float("nan"))
+        assert store.put("ctx", fp(i=1), float("nan"), config={"i": 1})
+        image_configs = ResultStore(tmp_path / "s")
+        assert np.isnan(image_configs.get("ctx", fp(i=1)))
+
+
+class TestForeignVersionPoisoningRegression:
+    """Writes behind a foreign-version header must survive a reload.
+
+    Historically a version-mismatched shard kept ``header_on_disk=False``,
+    so the next put appended a *second* (current-version) header plus data
+    to the same file — and reload discarded those fresh writes because the
+    first header had already condemned the whole shard.  Writes must rotate
+    to a sidecar shard instead.
+    """
+
+    def test_writes_after_foreign_shard_survive_reload(self, tmp_path):
+        foreign = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        foreign.put("ctx", fp(i=0), 0.25, config={"i": 0})
+        store = ResultStore(tmp_path / "s")
+        assert store.get("ctx", fp(i=0)) is None  # foreign data stays invisible
+        assert store.put("ctx", fp(i=0), 0.75, config={"i": 0})
+        # The write went somewhere a reload actually reads.
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get("ctx", fp(i=0)) == 0.75
+        assert reopened.top_k("ctx") == [({"i": 0}, 0.75)]
+
+    def test_foreign_shard_is_not_modified(self, tmp_path):
+        foreign = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        foreign.put("ctx", fp(i=0), 0.25)
+        primary = foreign.shard_path("ctx")
+        before = primary.read_bytes()
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=1), 0.5)
+        assert primary.read_bytes() == before  # rotated, never appended to
+        # The foreign store still reads its own data cleanly.
+        foreign_again = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        assert foreign_again.get("ctx", fp(i=0)) == 0.25
+
+    def test_sidecar_rotation_chains(self, tmp_path):
+        # Two foreign versions in a row: the current store rotates past both.
+        v2 = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        v2.put("ctx", fp(i=0), 0.1)
+        v3 = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 2)
+        v3.put("ctx", fp(i=0), 0.2)  # lands in the .r1 sidecar
+        store = ResultStore(tmp_path / "s")
+        store.put("ctx", fp(i=0), 0.3)  # must rotate past primary AND .r1
+        assert ResultStore(tmp_path / "s").get("ctx", fp(i=0)) == 0.3
+
+    def test_compaction_repairs_into_the_sidecar(self, tmp_path):
+        foreign = ResultStore(tmp_path / "s", format_version=FORMAT_VERSION + 1)
+        foreign.put("ctx", fp(i=0), 0.25)
+        store = ResultStore(tmp_path / "s")
+        for round_ in range(3):
+            store.put("ctx", fp(i=1), float(round_))
+        assert store.compact("ctx") == 2
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get("ctx", fp(i=1)) == 2.0
+        assert reopened.get("ctx", fp(i=0)) is None
+
+
+class TestCompactLostUpdateRegression:
+    """Compaction must merge on-disk state, not rewrite from memory.
+
+    Historically ``compact`` rewrote the shard from this process's in-memory
+    image, silently deleting every line other processes appended after this
+    process loaded the shard.
+    """
+
+    def test_concurrent_process_writes_survive_compaction(self, tmp_path):
+        ours = ResultStore(tmp_path / "s")
+        ours.put("ctx", fp(i=0), 0.1, config={"i": 0})  # loads + caches ctx
+        theirs = ResultStore(tmp_path / "s")  # a second process
+        theirs.put("ctx", fp(i=1), 0.2, config={"i": 1})
+        theirs.put("ctx", fp(i=0), 0.9)  # also supersedes our key
+        ours.compact("ctx")
+        final = ResultStore(tmp_path / "s")
+        assert final.get("ctx", fp(i=1)) == 0.2  # their new key survived
+        assert final.get("ctx", fp(i=0)) == 0.9  # their supersede won
+        assert final.top_k("ctx", 2) == [({"i": 0}, 0.9), ({"i": 1}, 0.2)]
+
+    def test_compaction_still_reclaims_dead_lines(self, tmp_path):
+        ours = ResultStore(tmp_path / "s")
+        for round_ in range(4):
+            ours.put("ctx", fp(i=0), float(round_))
+        theirs = ResultStore(tmp_path / "s")
+        theirs.put("ctx", fp(i=1), 0.5)
+        reclaimed = ours.compact("ctx")
+        assert reclaimed == 3  # our 4 lines for one key, minus the live one
+        lines = ours.shard_path("ctx").read_text().splitlines()
+        assert len(lines) == 1 + 2  # header + both live keys
+
+    def test_memory_only_records_survive_compaction(self, tmp_path):
+        # The flip side: records we wrote that a racing compactor's disk
+        # re-read cannot see yet (because *it* rewrote first) must be folded
+        # back in from memory, not dropped.
+        ours = ResultStore(tmp_path / "s")
+        ours.put("ctx", fp(i=0), 0.1)
+        theirs = ResultStore(tmp_path / "s")
+        theirs.put("ctx", fp(i=1), 0.2)
+        theirs.compact("ctx")
+        ours.compact("ctx")
+        final = ResultStore(tmp_path / "s")
+        assert final.get("ctx", fp(i=0)) == 0.1
+        assert final.get("ctx", fp(i=1)) == 0.2

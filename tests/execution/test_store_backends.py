@@ -1,0 +1,236 @@
+"""One conformance suite, three backends.
+
+Every :class:`StoreBackend` implementation (JSONL shards, sqlite WAL, the
+HTTP store server/client pair) must honour the same ``ResultStore``
+contract: exact score round-trips (including NaN/-inf), idempotent
+duplicate skips, config preservation and backfill, cross-instance
+visibility through ``refresh``, merge-safe compaction under a concurrent
+writer, and zero lost writes under thread stress.  The suite is
+parametrised so a new backend gets the whole battery for free.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.execution import ResultStore
+from repro.execution.cache import config_fingerprint
+from repro.service.store_server import StoreService, serve_store_in_thread
+
+BACKENDS = ("jsonl", "sqlite", "http")
+
+
+def _fp(i: int) -> tuple:
+    return config_fingerprint({"x": i})
+
+
+@pytest.fixture(params=BACKENDS)
+def store_env(request, tmp_path):
+    """``(kind, factory)`` where each ``factory()`` is a writer on one shared
+    substrate — separate instances model separate processes/hosts."""
+    kind = request.param
+    if kind == "http":
+        authority = ResultStore(tmp_path / "authority", backend="sqlite")
+        server, _ = serve_store_in_thread(StoreService(authority))
+        url = "http://{}:{}".format(*server.server_address[:2])
+        yield kind, lambda: ResultStore(url)
+        server.shutdown()
+        server.server_close()
+        authority.close()
+    else:
+        yield kind, lambda: ResultStore(tmp_path / "store", backend=kind)
+
+
+class TestConformance:
+    def test_roundtrip_exact_scores(self, store_env):
+        kind, make = store_env
+        store = make()
+        values = [0.5, -1.0, 0.1 + 0.2, 1e-300, float("nan"), float("-inf")]
+        for i, value in enumerate(values):
+            assert store.put("ctx", _fp(i), value)
+        fresh = make()
+        for i, value in enumerate(values):
+            got = fresh.get("ctx", _fp(i))
+            if math.isnan(value):
+                assert math.isnan(got)
+            else:
+                assert got == value  # bit-exact, not approx
+
+    def test_missing_key_is_a_miss(self, store_env):
+        _, make = store_env
+        store = make()
+        assert store.get("ctx", _fp(999)) is None
+        assert store.stats.misses == 1
+
+    def test_duplicate_put_is_skipped_and_counted(self, store_env):
+        _, make = store_env
+        store = make()
+        assert store.put("ctx", _fp(1), 0.5, config={"x": 1})
+        assert not store.put("ctx", _fp(1), 0.5, config={"x": 1})
+        assert store.stats.writes == 1
+        assert store.stats.duplicate_writes == 1
+
+    def test_superseding_put_updates_score(self, store_env):
+        _, make = store_env
+        store = make()
+        store.put("ctx", _fp(1), 0.5)
+        assert store.put("ctx", _fp(1), 0.75)
+        assert store.get("ctx", _fp(1)) == 0.75
+        assert make().get("ctx", _fp(1)) == 0.75
+
+    def test_superseding_put_without_config_keeps_config(self, store_env):
+        _, make = store_env
+        store = make()
+        store.put("ctx", _fp(1), 0.5, config={"x": 1})
+        store.put("ctx", _fp(1), 0.9)  # score-only supersede
+        assert make().top_k("ctx") == [({"x": 1}, 0.9)]
+
+    def test_equal_score_reput_backfills_missing_config(self, store_env):
+        # The bug-1 contract, enforced on every backend: a score-only record
+        # must accept the config a later equal-score put finally carries.
+        _, make = store_env
+        store = make()
+        store.put("ctx", _fp(1), 0.5)
+        assert store.top_k("ctx") == []
+        assert store.put("ctx", _fp(1), 0.5, config={"x": 1})
+        assert store.top_k("ctx") == [({"x": 1}, 0.5)]
+        assert make().top_k("ctx") == [({"x": 1}, 0.5)]
+
+    def test_top_k_orders_and_requires_configs(self, store_env):
+        _, make = store_env
+        store = make()
+        for i, score in enumerate([0.3, 0.9, 0.6]):
+            store.put("ctx", _fp(i), score, config={"x": i})
+        store.put("ctx", _fp(7), 1.0)  # no config: never seeds
+        store.put("ctx", _fp(8), float("nan"), config={"x": 8})  # not finite
+        top = make().top_k("ctx", k=2)
+        assert [score for _, score in top] == [0.9, 0.6]
+        assert [config["x"] for config, _ in top] == [1, 2]
+
+    def test_contexts_listing(self, store_env):
+        _, make = store_env
+        store = make()
+        store.put("alpha", _fp(1), 0.1)
+        store.put("beta", _fp(1), 0.2)
+        assert store.contexts() == ["alpha", "beta"]
+        assert make().contexts() == ["alpha", "beta"]
+
+    def test_cross_instance_visibility_via_refresh(self, store_env):
+        _, make = store_env
+        writer, reader = make(), make()
+        assert reader.size("ctx") == 0  # reader has loaded (and cached) empty
+        writer.put("ctx", _fp(1), 0.5)
+        assert reader.get("ctx", _fp(1)) is None  # served from cached image
+        reader.refresh("ctx")
+        assert reader.get("ctx", _fp(1)) == 0.5
+
+    def test_compact_merges_concurrent_writer(self, store_env):
+        # The bug-3 contract, enforced on every backend: records another
+        # instance wrote after this one loaded must survive its compaction.
+        _, make = store_env
+        a, b = make(), make()
+        a.put("ctx", _fp(1), 0.5)
+        a.compact("ctx")  # a's image of ctx is now loaded and cached
+        b.refresh("ctx")
+        b.put("ctx", _fp(2), 0.7)
+        a.compact("ctx")
+        final = make()
+        assert final.get("ctx", _fp(1)) == 0.5
+        assert final.get("ctx", _fp(2)) == 0.7
+
+    def test_compact_preserves_everything(self, store_env):
+        _, make = store_env
+        store = make()
+        for i in range(10):
+            store.put("ctx", _fp(i), float(i), config={"x": i})
+        for i in range(5):
+            store.put("ctx", _fp(i), float(i) + 100.0)  # supersede half
+        store.compact("ctx")
+        fresh = make()
+        for i in range(10):
+            expected = float(i) + (100.0 if i < 5 else 0.0)
+            assert fresh.get("ctx", _fp(i)) == expected
+        assert fresh.top_k("ctx", k=1)[0][0] == {"x": 4}
+
+    def test_threaded_writers_zero_lost_writes(self, store_env):
+        _, make = store_env
+        store = make()
+        n_threads, per_thread = 4, 25
+        start = threading.Barrier(n_threads)
+
+        def writer(worker: int) -> None:
+            start.wait()
+            base = worker * per_thread
+            for i in range(base, base + per_thread):
+                store.put("ctx", _fp(i), i / 7.0, config={"x": i})
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        fresh = make()
+        for i in range(n_threads * per_thread):
+            assert fresh.get("ctx", _fp(i)) == i / 7.0
+        assert store.stats.write_errors == 0
+
+    def test_describe_names_the_backend(self, store_env):
+        kind, make = store_env
+        assert make().describe()["backend"] == kind
+
+
+class TestHttpBackendDegradation:
+    """A dead server must degrade like a corrupt shard, never raise."""
+
+    def test_unreachable_server_counts_errors(self):
+        store = ResultStore("http://127.0.0.1:9")  # discard port: nothing listens
+        assert store.get("ctx", _fp(1)) is None
+        assert store.stats.load_errors == 1
+        assert not store.put("ctx", _fp(1), 0.5)
+        assert store.stats.write_errors == 1
+        assert store.contexts() == []
+
+    def test_compact_failure_is_counted_not_raised(self):
+        store = ResultStore("http://127.0.0.1:9")
+        store.put("ctx", _fp(1), 0.5)  # fails, image stays empty
+        assert store.compact("ctx") == 0
+
+
+class TestBackendSelection:
+    def test_http_root_autoselects_http_backend(self):
+        assert ResultStore("http://example.invalid:1").backend.name == "http"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            ResultStore(tmp_path, backend="etcd")
+
+    def test_http_name_without_url_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="http"):
+            ResultStore(tmp_path, backend="http")
+
+    def test_backend_instance_passthrough(self, tmp_path):
+        from repro.execution import SqliteBackend
+
+        store = ResultStore(tmp_path, backend="sqlite")
+        backend = store.backend
+        assert isinstance(backend, SqliteBackend)
+        again = ResultStore(tmp_path, backend=backend)
+        assert again.backend is backend
+
+    def test_sqlite_shard_path_unsupported(self, tmp_path):
+        store = ResultStore(tmp_path, backend="sqlite")
+        with pytest.raises(NotImplementedError):
+            store.shard_path("ctx")
+
+    def test_sqlite_version_isolation(self, tmp_path):
+        # A database written by another format version reads as empty —
+        # and fresh writes live in their own table, so neither poisons the other.
+        old = ResultStore(tmp_path, backend="sqlite", format_version=99)
+        old.put("ctx", _fp(1), 0.25)
+        new = ResultStore(tmp_path, backend="sqlite")
+        assert new.get("ctx", _fp(1)) is None
+        new.put("ctx", _fp(1), 0.75)
+        assert ResultStore(tmp_path, backend="sqlite").get("ctx", _fp(1)) == 0.75
+        old.refresh()
+        assert old.get("ctx", _fp(1)) == 0.25

@@ -3,15 +3,22 @@
 Interleaves ``append``-style ``put`` traffic from several threads with
 repeated ``compact`` calls and asserts that no record is lost (in memory *and*
 after a cold reload from disk) and that the hit/miss statistics stay
-consistent with the observed lookups.
+consistent with the observed lookups.  The multi-process battery below then
+hammers one context from N real processes through each store backend — the
+distributed-fleet write pattern — and demands zero lost writes and identical
+final scores.
 """
 
+import multiprocessing
 import threading
 
 import pytest
 
 from repro.execution import ResultStore
 from repro.execution.cache import config_fingerprint
+from repro.service.store_server import StoreService, serve_store_in_thread
+
+_FORK = multiprocessing.get_context("fork")
 
 
 def _fingerprint(i: int) -> tuple:
@@ -171,3 +178,81 @@ class TestCompactionUnderWriters:
         data_lines = [line for line in path.read_text().splitlines() if '"k"' in line]
         assert len(data_lines) == 50  # one line per key despite 6 racing writers
         assert store.stats.duplicate_writes == 5 * 50
+
+
+def _process_writer(target, backend, worker, per_worker, context, n_shared, queue):
+    """One fleet process: write a disjoint slice plus the shared keys.
+
+    Module-level so the fork context can run it; each process builds its own
+    ResultStore (its own backend connection) against the shared substrate.
+    """
+    try:
+        store = ResultStore(target, backend=backend)
+        base = worker * per_worker
+        for i in range(base, base + per_worker):
+            store.put(context, _fingerprint(i), i / 7.0, config={"x": i})
+        for i in range(n_shared):
+            # Every process writes these — cross-process idempotence traffic.
+            store.put(context, _fingerprint(90_000 + i), float(i))
+        queue.put(("ok", worker, store.stats.write_errors))
+        store.close()
+    except BaseException as exc:  # pragma: no cover - surfaced in the parent
+        queue.put(("error", worker, repr(exc)))
+
+
+class TestMultiProcessWriters:
+    """N real processes, one context, every backend: zero lost writes."""
+
+    N_PROCS = 4
+    PER_PROC = 40
+    N_SHARED = 10
+
+    def _run_fleet(self, target, backend):
+        queue = _FORK.Queue()
+        procs = [
+            _FORK.Process(
+                target=_process_writer,
+                args=(target, backend, w, self.PER_PROC, "mp-ctx", self.N_SHARED, queue),
+            )
+            for w in range(self.N_PROCS)
+        ]
+        for proc in procs:
+            proc.start()
+        results = [queue.get(timeout=90) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=90)
+        failures = [r for r in results if r[0] != "ok"]
+        assert not failures, failures
+        assert all(write_errors == 0 for _, _, write_errors in results)
+
+    def _assert_complete(self, target, backend):
+        final = ResultStore(target, backend=backend)
+        expected = {i: i / 7.0 for i in range(self.N_PROCS * self.PER_PROC)}
+        expected.update({90_000 + i: float(i) for i in range(self.N_SHARED)})
+        assert final.size("mp-ctx") == len(expected)
+        for i, score in expected.items():
+            assert final.get("mp-ctx", _fingerprint(i)) == score
+        assert final.stats.corrupt_records == 0
+        # And the image survives a compaction + another cold reload.
+        final.compact("mp-ctx")
+        again = ResultStore(target, backend=backend)
+        for i, score in expected.items():
+            assert again.get("mp-ctx", _fingerprint(i)) == score
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_local_backends_zero_lost_writes(self, tmp_path, backend):
+        target = tmp_path / "store"
+        self._run_fleet(target, backend)
+        self._assert_complete(target, backend)
+
+    def test_http_backend_zero_lost_writes(self, tmp_path):
+        authority = ResultStore(tmp_path / "authority", backend="sqlite")
+        server, _ = serve_store_in_thread(StoreService(authority))
+        url = "http://{}:{}".format(*server.server_address[:2])
+        try:
+            self._run_fleet(url, "jsonl")  # backend name ignored for URLs
+            self._assert_complete(url, "jsonl")
+        finally:
+            server.shutdown()
+            server.server_close()
+            authority.close()

@@ -185,6 +185,62 @@ class TestFitJobQueue:
         jobs.shutdown()
 
 
+class TestWaitPruneRaceRegression:
+    """``wait`` must return the final snapshot even when a concurrent submit
+    prunes the finished job between the event firing and the table lookup.
+
+    Historically the waiter crashed with ``KeyError`` — rare with a big
+    ``max_finished_jobs``, routine once many coordinator workers funnel
+    through one queue.
+    """
+
+    def test_wait_returns_snapshot_after_prune(self):
+        queue = JobQueue(n_workers=1, name="t", max_finished_jobs=0)
+        job_id = queue.submit("demo", lambda: 41)
+        event = queue._events[job_id]
+        original_wait = event.wait
+
+        def racing_wait(timeout=None):
+            done = original_wait(timeout)
+            # The waiter has woken but not yet read the table: a concurrent
+            # submit prunes every finished record (bound is zero).
+            queue.submit("interloper", lambda: None)
+            assert job_id not in queue._jobs
+            return done
+
+        event.wait = racing_wait
+        record = queue.wait(job_id, timeout=10)
+        assert record.status == "done"
+        assert record.result == 41
+        # The record really is gone from the table — only wait() recovers it.
+        with pytest.raises(KeyError):
+            queue.get(job_id)
+        queue.shutdown()
+
+    def test_wait_snapshot_for_failed_job_after_prune(self):
+        queue = JobQueue(n_workers=1, name="t", max_finished_jobs=0)
+        job_id = queue.submit("demo", lambda: 1 / 0)
+        event = queue._events[job_id]
+        original_wait = event.wait
+
+        def racing_wait(timeout=None):
+            done = original_wait(timeout)
+            queue.submit("interloper", lambda: None)
+            return done
+
+        event.wait = racing_wait
+        record = queue.wait(job_id, timeout=10)
+        assert record.status == "failed"
+        assert "ZeroDivisionError" in record.error
+        queue.shutdown()
+
+    def test_wait_unknown_job_still_raises(self):
+        queue = JobQueue(n_workers=1, name="t")
+        with pytest.raises(KeyError):
+            queue.wait("t-9999", timeout=0.1)
+        queue.shutdown()
+
+
 class TestJobHistoryBound:
     def test_finished_jobs_are_pruned(self):
         queue = JobQueue(n_workers=1, name="t", max_finished_jobs=3)

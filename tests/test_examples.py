@@ -81,6 +81,23 @@ class TestExamples:
         assert "scope=pool, workers=2" in output
         assert "load test quickstart complete" in output
 
+    def test_distributed_quickstart_runs(self, capsys):
+        path = EXAMPLES_DIR / "distributed_quickstart.py"
+        spec = importlib.util.spec_from_file_location("distributed_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "store server on http://" in output
+        assert "fleet of 2 workers built 24 cells" in output
+        assert "tables identical across workers: True" in output
+        assert "resume: 24 cells already in the store, 0 executed" in output
+        assert "resumed table identical: True" in output
+
     def test_serve_quickstart_runs(self, capsys):
         path = EXAMPLES_DIR / "serve_quickstart.py"
         spec = importlib.util.spec_from_file_location("serve_quickstart", path)
