@@ -1,0 +1,72 @@
+"""Benchmark: exported single-row predict vs in-process Pipeline.predict.
+
+The acceptance bar for the export compiler: on small batches the compiled
+artifact (pure-python interpreter, no numpy) must not be slower than the live
+pipeline, whose per-call cost is dominated by numpy array plumbing (asarray,
+column splits, small-matrix ops) rather than arithmetic.  The bench times
+single-row predicts for a representative entry per exportable family and
+asserts the exported path wins on each.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.export import compile_model
+from repro.learners import default_registry
+from repro.learners.pipeline import pipeline_registry
+
+FAMILIES = ["J48", "RandomForest", "NaiveBayes", "IBk", "Logistic", "MLP"]
+SINGLE_ROW_CALLS = 300
+
+
+def _make_data(random_state: int = 0):
+    rng = np.random.default_rng(random_state)
+    n, n_numeric = 150, 5
+    numeric = rng.normal(size=(n, n_numeric))
+    numeric[rng.random(numeric.shape) < 0.1] = np.nan
+    X = np.empty((n, n_numeric + 1), dtype=object)
+    X[:, :n_numeric] = numeric
+    X[:, n_numeric] = rng.choice(["a", "b", "c"], size=n)
+    return X, rng.integers(0, 3, size=n)
+
+
+def _time_single_rows(predict, rows) -> float:
+    start = time.perf_counter()
+    for row in rows:
+        predict(row)
+    return (time.perf_counter() - start) / len(rows)
+
+
+def test_bench_exported_beats_live_on_single_rows(benchmark):
+    X, y = _make_data()
+    queries = X[:SINGLE_ROW_CALLS % len(X) or len(X)]
+    results = {}
+
+    def run():
+        for name in FAMILIES:
+            registry = pipeline_registry(default_registry().subset([name]))
+            pipeline = registry.build(name, {}).fit(X, y)
+            exported = compile_model(pipeline)
+            live_rows = [row.reshape(1, -1) for row in queries]
+            art_rows = [[row.tolist()] for row in queries]
+            # Warm both paths once, then time per-row calls.
+            pipeline.predict(live_rows[0])
+            exported.predict(art_rows[0])
+            live = _time_single_rows(pipeline.predict, live_rows)
+            art = _time_single_rows(exported.predict, art_rows)
+            results[name] = (live, art)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    for name, (live, art) in results.items():
+        print(
+            f"{name:<14} live={live * 1e6:8.1f}us  exported={art * 1e6:8.1f}us  "
+            f"speedup={live / art:5.1f}x"
+        )
+    slow = {name for name, (live, art) in results.items() if art > live}
+    assert not slow, f"exported single-row predict slower than live for {slow}"

@@ -1,0 +1,40 @@
+"""repro.export — compile tuned pipelines to dependency-free predict artifacts.
+
+The sklearn-porter direction from the ROADMAP: a fitted
+:class:`~repro.learners.pipeline.Pipeline` (or bare estimator, or the DMD
+decision model behind a registry version) compiles into
+
+* a JSON weights document + the tiny numpy-free
+  :class:`~repro.export.interpreter.ExportedModel` interpreter, or
+* one generated pure-python source file with the parameters inlined,
+
+with predictions byte-identical to the live model.
+"""
+
+from .compiler import (
+    ExportError,
+    compile_model,
+    export_decision_model,
+    export_document,
+    exportable_algorithms,
+    generate_source,
+    load_artifact,
+    save_artifact,
+    write_source,
+)
+from .interpreter import FORMAT, FORMAT_VERSION, ExportedModel
+
+__all__ = [
+    "ExportError",
+    "ExportedModel",
+    "FORMAT",
+    "FORMAT_VERSION",
+    "compile_model",
+    "export_decision_model",
+    "export_document",
+    "exportable_algorithms",
+    "generate_source",
+    "load_artifact",
+    "save_artifact",
+    "write_source",
+]

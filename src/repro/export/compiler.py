@@ -1,0 +1,119 @@
+"""Compile fitted pipelines and estimators into dependency-free artifacts.
+
+The compiler is the numpy side of the export subsystem (the ROADMAP's
+sklearn-porter direction): it extracts the learned parameters of a fitted
+:class:`~repro.learners.pipeline.Pipeline` (or bare estimator, or decision
+model) through the ``export_params()`` contract and wraps them in a JSON
+weights document that the numpy-free :mod:`~repro.export.interpreter`
+replays with byte-identical predictions.
+
+Artifacts come in two shapes:
+
+* ``save_artifact`` — the JSON document on disk, loaded back with
+  ``load_artifact`` into an :class:`~repro.export.interpreter.ExportedModel`
+  (tiny interpreter, no numpy);
+* ``write_source`` (:mod:`~repro.export.codegen`) — one generated pure-python
+  source file with the parameters inlined, runnable anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..learners.pipeline import Pipeline
+from .codegen import generate_source, write_source
+from .interpreter import FORMAT, FORMAT_VERSION, ExportedModel
+
+__all__ = [
+    "ExportError",
+    "export_document",
+    "export_decision_model",
+    "compile_model",
+    "save_artifact",
+    "load_artifact",
+    "exportable_algorithms",
+    "generate_source",
+    "write_source",
+]
+
+
+class ExportError(TypeError):
+    """The model (or its final estimator) does not support export."""
+
+
+def _envelope(kind: str) -> dict[str, Any]:
+    return {"format": FORMAT, "version": FORMAT_VERSION, "kind": kind}
+
+
+def _estimator_params(estimator: Any) -> dict[str, Any]:
+    export = getattr(estimator, "export_params", None)
+    if export is None:
+        raise ExportError(
+            f"{type(estimator).__name__} does not support export: no "
+            "export_params() — only the linear, tree/forest, kNN, naive-bayes "
+            "and MLP families compile to artifacts"
+        )
+    return export()
+
+
+def export_document(model: Any) -> dict[str, Any]:
+    """The JSON weights document for a fitted pipeline or bare estimator."""
+    if isinstance(model, Pipeline):
+        document = _envelope("pipeline")
+        document["pipeline"] = model.export_params()
+        document["estimator"] = _estimator_params(model.estimator)
+        return document
+    document = _envelope("estimator")
+    document["estimator"] = _estimator_params(model)
+    return document
+
+
+def export_decision_model(decision_model: Any) -> dict[str, Any]:
+    """Export a fitted DMD decision model (SNA regressor + algorithm labels).
+
+    The artifact maps meta-feature rows to per-algorithm scores; its
+    ``predict`` returns the argmax algorithm name, matching
+    ``DecisionModel.scores_matrix`` + first-maximum selection exactly.
+    """
+    document = _envelope("decision_model")
+    document["regressor"] = _estimator_params(decision_model.regressor)
+    document["labels"] = list(decision_model.labels)
+    return document
+
+
+def compile_model(model: Any) -> ExportedModel:
+    """One-step export → interpreter, via a JSON round trip.
+
+    The round trip guarantees the in-memory model sees exactly the same
+    parameters a persisted artifact would.
+    """
+    return ExportedModel(json.loads(json.dumps(export_document(model))))
+
+
+def save_artifact(document: dict[str, Any], path: str | Path) -> Path:
+    """Write an export document as a JSON artifact file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+    return path
+
+
+def load_artifact(path: str | Path) -> ExportedModel:
+    """Load a JSON artifact file into a numpy-free predictor."""
+    return ExportedModel.from_file(str(path))
+
+
+def exportable_algorithms(registry: Any) -> list[str]:
+    """Catalogue entries whose default-configured estimator supports export."""
+    names = []
+    for spec in registry:
+        try:
+            built = registry.build(spec.name, {})
+        except Exception:
+            continue
+        estimator = built.estimator if isinstance(built, Pipeline) else built
+        if hasattr(estimator, "export_params"):
+            names.append(spec.name)
+    return names

@@ -32,7 +32,18 @@ __all__ = [
     "check_array",
     "check_is_fitted",
     "clone",
+    "export_labels",
 ]
+
+
+def export_labels(classes: Any) -> list:
+    """JSON-able copy of a fitted ``classes_`` vector (numpy scalars → python).
+
+    Part of the ``export_params()`` contract implemented by the exportable
+    learner families (see :mod:`repro.export`): every exported label must
+    survive a JSON round trip and compare equal to the live prediction.
+    """
+    return np.asarray(classes).tolist()
 
 
 class NotFittedError(RuntimeError):

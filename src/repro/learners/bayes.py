@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import BaseClassifier
+from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = [
     "NaiveBayes",
@@ -62,6 +62,23 @@ class NaiveBayes(BaseClassifier):
         proba = np.exp(jll)
         return proba / proba.sum(axis=1, keepdims=True)
 
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        # The per-class normalisation constant is precomputed with the exact
+        # numpy expression the live joint-log-likelihood evaluates.
+        log_norm = [
+            float(-0.5 * np.sum(np.log(2.0 * np.pi * self.var_[k])))
+            for k in range(len(self.classes_))
+        ]
+        return {
+            "kind": "gaussian_nb",
+            "theta": self.theta_.tolist(),
+            "var": self.var_.tolist(),
+            "class_log_prior": self.class_log_prior_.tolist(),
+            "log_norm": log_norm,
+            "classes": export_labels(self.classes_),
+        }
+
 
 class NaiveBayesMultinomial(BaseClassifier):
     """Multinomial naive Bayes over non-negative (count-like) features.
@@ -97,6 +114,16 @@ class NaiveBayesMultinomial(BaseClassifier):
         jll -= jll.max(axis=1, keepdims=True)
         proba = np.exp(jll)
         return proba / proba.sum(axis=1, keepdims=True)
+
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        return {
+            "kind": "multinomial_nb",
+            "shift": self.shift_.tolist(),
+            "feature_log_prob": self.feature_log_prob_.tolist(),
+            "class_log_prior": self.class_log_prior_.tolist(),
+            "classes": export_labels(self.classes_),
+        }
 
 
 class _Discretizer:

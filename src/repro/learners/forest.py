@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import BaseClassifier
+from .base import BaseClassifier, check_is_fitted, export_labels
 from .tree import DecisionTreeClassifier, RandomTree
 
 __all__ = ["RandomForest", "ExtraTrees"]
@@ -71,6 +71,25 @@ class RandomForest(BaseClassifier):
             for local_index, label in enumerate(tree.classes_):
                 votes[:, int(label)] += proba[:, local_index]
         return votes / len(self.estimators_)
+
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        trees = []
+        for tree in self.estimators_:
+            member = tree.export_params()
+            # Member trees were fitted on already-encoded labels; their local
+            # classes_ are the vote indices into the forest's outer classes.
+            trees.append(
+                {
+                    "tree": member["tree"],
+                    "classes": [int(label) for label in tree.classes_],
+                }
+            )
+        return {
+            "kind": "forest",
+            "trees": trees,
+            "classes": export_labels(self.classes_),
+        }
 
 
 class ExtraTrees(RandomForest):

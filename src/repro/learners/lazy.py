@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import BaseClassifier
+from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = ["IBk", "IB1", "KStar", "LWL"]
 
@@ -65,6 +65,25 @@ class IBk(BaseClassifier):
             for j, w in zip(idx, weights):
                 proba[i, self._y[j]] += w
         return proba / proba.sum(axis=1, keepdims=True)
+
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        params = {
+            "kind": "knn",
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+            "X": self._X.tolist(),
+            "y": [int(label) for label in self._y],
+            "n_neighbors": int(self.n_neighbors),
+            "weighting": self.weighting,
+            "p": int(self.p),
+            "classes": export_labels(self.classes_),
+        }
+        if self.p != 1:
+            # Precomputed squared norms of the training rows, with the same
+            # numpy reduction the live distance kernel performs.
+            params["b2"] = np.sum(self._X * self._X, axis=1).tolist()
+        return params
 
 
 class IB1(IBk):

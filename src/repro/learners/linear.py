@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import BaseClassifier
+from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = ["LogisticRegression", "SimpleLogistic", "LDA"]
 
@@ -77,6 +77,17 @@ class LogisticRegression(BaseClassifier):
         Xs = self._prepare(X, fit=False)
         return _softmax(Xs @ self.coef_)
 
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        return {
+            "kind": "logistic",
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+            "coef": self.coef_.tolist(),
+            "fit_intercept": bool(self.fit_intercept),
+            "classes": export_labels(self.classes_),
+        }
+
 
 class SimpleLogistic(LogisticRegression):
     """Heavily regularised, short-horizon logistic model (Weka SimpleLogistic)."""
@@ -127,3 +138,20 @@ class LDA(BaseClassifier):
                 + np.log(self.priors_[k])
             )
         return _softmax(scores)
+
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        # half_terms/log_priors are precomputed with the exact numpy
+        # expressions the live score uses, so the exported constants carry
+        # the same rounding as a live predict call.
+        half_terms = [
+            float(0.5 * mean @ self.precision_ @ mean) for mean in self.means_
+        ]
+        return {
+            "kind": "lda",
+            "means": self.means_.tolist(),
+            "precision": self.precision_.tolist(),
+            "half_terms": half_terms,
+            "log_priors": np.log(self.priors_).tolist(),
+            "classes": export_labels(self.classes_),
+        }

@@ -10,9 +10,11 @@ momentum, validation_fraction, beta_1, beta_2) so the architecture-search step
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from .base import BaseClassifier, check_array
+from .base import BaseClassifier, check_array, check_is_fitted, export_labels
 
 __all__ = ["MLPNetwork", "MLPClassifier", "MLPRegressor", "MultilayerPerceptron", "RBFNetwork"]
 
@@ -299,6 +301,19 @@ class MLPClassifier(BaseClassifier):
         Xs = (X - self._mean) / self._scale
         return self.network_.forward(Xs)
 
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+        return {
+            "kind": "mlp_classifier",
+            "task": "classification",
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+            "weights": [W.tolist() for W in self.network_.weights_],
+            "biases": [b.tolist() for b in self.network_.biases_],
+            "activation": self.activation,
+            "classes": export_labels(self.classes_),
+        }
+
 
 class MultilayerPerceptron(MLPClassifier):
     """Weka-catalogue alias: a 2-hidden-layer sigmoid MLP trained with SGD."""
@@ -392,10 +407,16 @@ class MLPRegressor:
         Y = np.asarray(Y, dtype=np.float64)
         if Y.ndim == 1:
             Y = Y.reshape(-1, 1)
-        self._mean = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale == 0] = 1.0
-        self._scale = scale
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            # NaN-aware statistics, consistent with the preprocessing
+            # scalers: meta-feature matrices may carry NaN cells, and plain
+            # mean/std would poison the whole column (the ``scale == 0``
+            # guard never matches NaN).
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            mean = np.nanmean(X, axis=0)
+            scale = np.nanstd(X, axis=0)
+        self._mean = np.where(np.isnan(mean), 0.0, mean)
+        self._scale = np.where(np.isnan(scale) | (scale == 0), 1.0, scale)
         layers = [int(self.hidden_layer_size)] * max(1, int(self.hidden_layer))
         self.network_ = MLPNetwork(
             layer_sizes=layers,
@@ -424,6 +445,20 @@ class MLPRegressor:
             X = X.reshape(1, -1)
         output = self.network_.forward((X - self._mean) / self._scale)
         return output if self.n_outputs_ > 1 else output.ravel()
+
+    def export_params(self) -> dict:
+        if self.network_ is None:
+            raise RuntimeError("MLPRegressor is not fitted")
+        return {
+            "kind": "mlp_regressor",
+            "task": "regression",
+            "mean": self._mean.tolist(),
+            "scale": self._scale.tolist(),
+            "weights": [W.tolist() for W in self.network_.weights_],
+            "biases": [b.tolist() for b in self.network_.biases_],
+            "activation": self.activation,
+            "n_outputs": int(self.n_outputs_),
+        }
 
 
 class RBFNetwork(BaseClassifier):

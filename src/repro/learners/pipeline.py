@@ -129,6 +129,10 @@ class ImputerStep:
     def transform(self, X: np.ndarray) -> np.ndarray:
         return X if self._imputer is None else self._imputer.transform(X)
 
+    def export_params(self) -> dict[str, Any] | None:
+        """Fitted-state export: ``None`` when the step is a pass-through."""
+        return None if self._imputer is None else self._imputer.export_params()
+
     def get_params(self) -> dict[str, Any]:
         return {"enabled": self.enabled, "strategy": self.strategy, "fill_value": self.fill_value}
 
@@ -156,6 +160,10 @@ class ScalerStep:
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         return X if self._scaler is None else self._scaler.transform(X)
+
+    def export_params(self) -> dict[str, Any] | None:
+        """Fitted-state export: ``None`` when the step is a pass-through."""
+        return None if self._scaler is None else self._scaler.export_params()
 
     def get_params(self) -> dict[str, Any]:
         return {"kind": self.kind}
@@ -191,6 +199,10 @@ class EncoderStep:
         if self._encoder is None:
             raise NotFittedError("EncoderStep is not fitted yet; call fit_transform first")
         return self._encoder.transform(X)
+
+    def export_params(self) -> dict[str, Any] | None:
+        """Fitted-state export: ``None`` when no categorical block exists."""
+        return None if self._encoder is None else self._encoder.export_params()
 
     def get_params(self) -> dict[str, Any]:
         return {"group_rare": self.group_rare, "min_frequency": self.min_frequency}
@@ -304,11 +316,33 @@ class Pipeline:
 
     def predict_proba(self, X: Any) -> np.ndarray:
         self._check_fitted()
+        if not hasattr(self.estimator, "predict_proba"):
+            raise AttributeError(
+                f"estimator {type(self.estimator).__name__} does not implement "
+                "predict_proba (regression estimators predict values, not class "
+                "probabilities); use Pipeline.predict instead"
+            )
         return self.estimator.predict_proba(self._transform(self._as_matrix(X), fit=False))
 
     def score(self, X: Any, y: Any) -> float:
         self._check_fitted()
         return float(self.estimator.score(self._transform(self._as_matrix(X), fit=False), y))
+
+    def export_params(self) -> dict[str, Any]:
+        """Step-by-step transform export consumed by :mod:`repro.export`.
+
+        Returns the fitted preprocessing state (column split + per-step
+        parameters); the final estimator exports separately through its own
+        ``export_params()``.
+        """
+        self._check_fitted()
+        return {
+            "numeric_columns": list(self.numeric_columns_),
+            "categorical_columns": list(self.categorical_columns_),
+            "imputer": self.imputer.export_params(),
+            "scaler": self.scaler.export_params(),
+            "encoder": self.encoder.export_params(),
+        }
 
     @property
     def classes_(self):

@@ -42,10 +42,17 @@ class StandardScaler:
 
     def fit(self, X) -> "StandardScaler":
         X = np.asarray(X, dtype=np.float64)
-        self.mean_ = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale == 0] = 1.0
-        self.scale_ = scale
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            # NaN cells are legitimate input on the imputer-disabled pipeline
+            # path, where missing values flow through to the scaler.  Plain
+            # mean/std would propagate a single NaN into the whole column's
+            # statistics, silently poisoning every row (the ``scale == 0``
+            # guard never matches NaN).
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            mean = np.nanmean(X, axis=0)
+            scale = np.nanstd(X, axis=0)
+        self.mean_ = np.where(np.isnan(mean), 0.0, mean)
+        self.scale_ = np.where(np.isnan(scale) | (scale == 0), 1.0, scale)
         return self
 
     def transform(self, X) -> np.ndarray:
@@ -62,6 +69,15 @@ class StandardScaler:
             raise RuntimeError("StandardScaler is not fitted")
         return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
 
+    def export_params(self) -> dict:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return {
+            "kind": "standard",
+            "center": self.mean_.tolist(),
+            "scale": self.scale_.tolist(),
+        }
+
 
 class MinMaxScaler:
     """Scale each column to the [0, 1] interval."""
@@ -72,10 +88,18 @@ class MinMaxScaler:
 
     def fit(self, X) -> "MinMaxScaler":
         X = np.asarray(X, dtype=np.float64)
-        self.min_ = X.min(axis=0)
-        value_range = X.max(axis=0) - self.min_
-        value_range[value_range == 0] = 1.0
-        self.range_ = value_range
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            # Same NaN honesty as StandardScaler.fit: min/max over a column
+            # with even one NaN is NaN, which used to poison every row of
+            # that column at transform time.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            low = np.nanmin(X, axis=0) if X.size else np.zeros(X.shape[-1])
+            high = np.nanmax(X, axis=0) if X.size else np.zeros(X.shape[-1])
+        low = np.where(np.isnan(low), 0.0, low)
+        high = np.where(np.isnan(high), 0.0, high)
+        value_range = high - low
+        self.min_ = low
+        self.range_ = np.where(value_range == 0, 1.0, value_range)
         return self
 
     def transform(self, X) -> np.ndarray:
@@ -87,6 +111,37 @@ class MinMaxScaler:
     def fit_transform(self, X) -> np.ndarray:
         return self.fit(X).transform(X)
 
+    def inverse_transform(self, X) -> np.ndarray:
+        # Zero-range columns were scaled by the protective 1.0, so the
+        # round trip maps their (always 0) transform back to the constant.
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.range_ + self.min_
+
+    def export_params(self) -> dict:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        return {
+            "kind": "minmax",
+            "min": self.min_.tolist(),
+            "range": self.range_.tolist(),
+        }
+
+
+def _label_sort_key(value):
+    """Deterministic label ordering: group by type name, numerics by value.
+
+    Sorting by ``str(v)`` alone ordered numeric labels lexicographically
+    (10 before 2), which diverges from sklearn's ``np.unique`` convention
+    and scrambles ``classes_``/proba-column order.  Values of the same
+    numeric type now compare numerically; the type-name prefix keeps
+    mixed-type label sets deterministic without cross-type comparisons
+    (bools have their own type name, so they never collide with ints).
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (str(type(value)), float(value), str(value))
+    return (str(type(value)), str(value))
+
 
 class LabelEncoder:
     """Map arbitrary hashable labels to ``0..n_classes-1`` and back."""
@@ -96,7 +151,7 @@ class LabelEncoder:
         self._index: dict | None = None
 
     def fit(self, y) -> "LabelEncoder":
-        seen = sorted(set(np.asarray(y).tolist()), key=lambda v: (str(type(v)), str(v)))
+        seen = sorted(set(np.asarray(y).tolist()), key=_label_sort_key)
         self.classes_ = seen
         self._index = {label: i for i, label in enumerate(seen)}
         return self
@@ -224,6 +279,19 @@ class OneHotEncoder:
             raise RuntimeError("OneHotEncoder is not fitted")
         return sum(len(c) for c in self.categories_)
 
+    def export_params(self) -> dict:
+        if self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        return {
+            "categories": [
+                [
+                    value.item() if hasattr(value, "item") else value
+                    for value in column
+                ]
+                for column in self.categories_
+            ]
+        }
+
 
 class SimpleImputer:
     """Replace NaNs column-wise with the mean, median or a constant."""
@@ -266,6 +334,11 @@ class SimpleImputer:
 
     def fit_transform(self, X) -> np.ndarray:
         return self.fit(X).transform(X)
+
+    def export_params(self) -> dict:
+        if self.statistics_ is None:
+            raise RuntimeError("SimpleImputer is not fitted")
+        return {"statistics": self.statistics_.tolist()}
 
 
 def encode_mixed_matrix(

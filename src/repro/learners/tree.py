@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .base import BaseClassifier
+from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = [
     "DecisionTreeClassifier",
@@ -217,6 +217,26 @@ class DecisionTreeClassifier(BaseClassifier):
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         return np.vstack([self._predict_row(self.tree_, row) for row in X])
+
+    def export_params(self) -> dict:
+        check_is_fitted(self)
+
+        def _export_node(node: _Node) -> dict:
+            if node.is_leaf:
+                return {"prediction": node.prediction.tolist()}
+            return {
+                "prediction": node.prediction.tolist(),
+                "feature": int(node.feature),
+                "threshold": float(node.threshold),
+                "left": _export_node(node.left),
+                "right": _export_node(node.right),
+            }
+
+        return {
+            "kind": "tree",
+            "tree": _export_node(self.tree_),
+            "classes": export_labels(self.classes_),
+        }
 
     # -- introspection ---------------------------------------------------------------
     def depth(self) -> int:

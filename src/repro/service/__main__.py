@@ -3,8 +3,10 @@
 ``serve`` boots the HTTP/JSON front end over a registry directory —
 single-process by default, a pre-forked multi-process pool with
 ``--workers N``; ``models`` prints the registry listing without starting
-a server; ``store-serve`` boots the shared result-store server that
-cross-host fleet workers write their knowledge through.
+a server; ``export`` compiles one model version's decision model to
+dependency-free artifacts next to its version directory; ``store-serve``
+boots the shared result-store server that cross-host fleet workers write
+their knowledge through.
 """
 
 from __future__ import annotations
@@ -69,6 +71,17 @@ def _build_parser() -> argparse.ArgumentParser:
     models = sub.add_parser("models", help="print the registry listing as JSON")
     models.add_argument("--registry", default=None)
 
+    export = sub.add_parser(
+        "export",
+        help="compile one model version's decision model to dependency-free "
+        "artifacts next to the version directory",
+    )
+    export.add_argument("name", help="registry model name")
+    export.add_argument(
+        "--version", default=None, help="version to export (default: current)"
+    )
+    export.add_argument("--registry", default=None)
+
     store = sub.add_parser(
         "store-serve", help="serve a shared result store over HTTP for fleet writers"
     )
@@ -122,6 +135,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "models":
         registry = ModelRegistry(registry_root)
         print(json.dumps({"registry": str(registry.root), "models": registry.describe()}, indent=2))
+        return 0
+
+    if args.command == "export":
+        registry = ModelRegistry(registry_root)
+        try:
+            info = registry.export(args.name, args.version)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(info, indent=2))
         return 0
 
     if args.workers > 1:

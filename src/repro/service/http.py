@@ -14,6 +14,8 @@ GET       ``/metrics``           per-endpoint counters, latency quantiles, QPS,
                                  batch-size histogram, cache hit rates (pool
                                  deployments answer with the all-worker aggregate)
 GET       ``/models``            registry listing (names, versions, tasks, labels)
+GET       ``/models/<n>/export`` compile ``<n>``'s decision model to artifacts
+                                 (``?version=`` pins one; default: current)
 POST      ``/models/promote``    ``{"name", "version"}`` — atomic hot-swap
 POST      ``/models/rollback``   ``{"name"}`` — flip back to the previous version
 POST      ``/recommend``         ``{"dataset": {...}, "model"?, "version"?}``
@@ -90,6 +92,8 @@ def route_label(path: str) -> str:
     path = path.partition("?")[0]
     if path.startswith("/jobs/"):
         return "/jobs/{id}"
+    if path.startswith("/models/") and path.endswith("/export"):
+        return "/models/{name}/export"
     known = {
         "/healthz", "/metrics", "/models", "/models/promote",
         "/models/rollback", "/recommend", "/jobs",
@@ -236,6 +240,15 @@ class RecommendationService:
 
     def models_payload(self) -> dict:
         return {"models": self.registry.describe()}
+
+    def export_payload(self, name: str, version: str | None = None) -> dict:
+        """Compile ``name``'s decision model to on-disk artifacts (tentpole)."""
+        try:
+            return self.registry.export(name, version)
+        except KeyError as exc:
+            raise ServiceError(404, str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, str(exc)) from exc
 
     def recommend_payload(self, body: Any) -> dict:
         if not isinstance(body, dict):
@@ -480,6 +493,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             self._dispatch(lambda: service.job_payload(job_id))
+        elif path.startswith("/models/") and path.endswith("/export"):
+            name = path[len("/models/"):-len("/export")]
+            version = None
+            for part in query.split("&"):
+                if part.startswith("version="):
+                    version = part.split("=", 1)[1] or None
+            self._dispatch(lambda: service.export_payload(name, version))
         else:
             self._send_json(404, {"error": f"unknown path {path!r}"})
 

@@ -434,6 +434,41 @@ class ModelRegistry:
                 raise KeyError(f"model {name!r} has no promoted version")
         return ServableModel(name=name, version=version, model=self._load(name, version))
 
+    # -- export ------------------------------------------------------------------------
+    def export(self, name: str, version: str | None = None) -> dict:
+        """Compile one version's decision model to dependency-free artifacts.
+
+        Writes an ``export/`` directory next to the version's saved caches:
+        ``decision_model.export.json`` (the JSON weights document) and
+        ``exported_model.py`` (a standalone pure-python module — no repro, no
+        numpy).  The artifact predicts the argmax algorithm label for
+        meta-feature rows, byte-identical to the live decision model.
+        Returns a summary dict (paths, labels) for callers and the HTTP/CLI
+        surfaces; re-exporting overwrites the previous artifacts.
+        """
+        from ..export import export_decision_model, save_artifact, write_source
+
+        servable = self.resolve(name, version)
+        document = export_decision_model(servable.model.decision_model)
+        document["model"] = {
+            "name": servable.name,
+            "version": servable.version,
+            "task": servable.task,
+        }
+        export_dir = self._version_dir(servable.name, servable.version) / "export"
+        artifact = save_artifact(document, export_dir / "decision_model.export.json")
+        module = write_source(
+            document, export_dir / "exported_model.py", name=servable.name
+        )
+        return {
+            "name": servable.name,
+            "version": servable.version,
+            "task": servable.task,
+            "labels": list(servable.model.decision_model.labels),
+            "artifact": str(artifact),
+            "module": str(module),
+        }
+
     def stats(self) -> dict:
         n_models = len(self.names())  # generation-cached listing
         with self._lock:

@@ -1,0 +1,50 @@
+"""Shared helpers for the export-compiler tests (importable module).
+
+The sweep data deliberately mixes the three input regimes the acceptance bar
+names — dense numeric rows, NaN-corrupted rows and categorical columns — so
+every exportable catalogue entry is compared against its compiled artifact on
+all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learners import default_registry
+from repro.learners.pipeline import pipeline_registry
+
+CATEGORIES = ["red", "green", "blue", "teal"]
+
+
+def make_raw_matrix(
+    n: int = 90,
+    n_numeric: int = 4,
+    n_categorical: int = 2,
+    n_classes: int = 3,
+    missing_rate: float = 0.15,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A raw object matrix (numeric block with NaNs + categorical block).
+
+    Targets are integers ``0..n_classes-1`` — the encoded form every
+    estimator in the system actually sees (``Dataset.to_raw_matrix`` pairs
+    the raw attributes with the *encoded* target).
+    """
+    rng = np.random.default_rng(random_state)
+    numeric = rng.normal(size=(n, n_numeric)) * rng.uniform(0.5, 3.0, size=n_numeric)
+    numeric += rng.uniform(-2.0, 2.0, size=n_numeric)
+    if missing_rate:
+        numeric[rng.random(numeric.shape) < missing_rate] = np.nan
+    X = np.empty((n, n_numeric + n_categorical), dtype=object)
+    X[:, :n_numeric] = numeric
+    if n_categorical:
+        X[:, n_numeric:] = rng.choice(CATEGORIES, size=(n, n_categorical))
+    y = rng.integers(0, n_classes, size=n)
+    return X, y
+
+
+def fit_default_pipeline(name: str, X: np.ndarray, y: np.ndarray):
+    """Build ``name``'s pipeline twin with default config and fit it."""
+    registry = pipeline_registry(default_registry().subset([name]))
+    pipeline = registry.build(name, {})
+    return pipeline.fit(X, y)

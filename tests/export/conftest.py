@@ -1,0 +1,24 @@
+"""Fixtures for the export-compiler tests (helpers live in _export_helpers.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _export_helpers import make_raw_matrix
+
+
+@pytest.fixture(scope="session")
+def train_matrix() -> tuple[np.ndarray, np.ndarray]:
+    return make_raw_matrix(random_state=0)
+
+
+@pytest.fixture(scope="session")
+def query_regimes() -> dict[str, np.ndarray]:
+    """Fresh rows in the three regimes the acceptance bar names."""
+    dense, _ = make_raw_matrix(n=25, missing_rate=0.0, random_state=7)
+    corrupted, _ = make_raw_matrix(n=25, missing_rate=0.35, random_state=8)
+    categorical, _ = make_raw_matrix(n=25, missing_rate=0.1, random_state=9)
+    # Unseen categories exercise the encoder's unknown-value path.
+    categorical[::5, -1] = "magenta"
+    return {"dense": dense, "nan": corrupted, "categorical": categorical}

@@ -1,0 +1,164 @@
+"""Artifact-level guarantees: goldens, JSON stability, codegen purity, errors.
+
+* **Golden fixtures** — committed artifacts with committed query rows and
+  expected labels pin the interpreter's behaviour: a change to the numpy-free
+  predict path that alters any prediction fails here without retraining
+  anything (the interpreter is pure python, so goldens are platform-stable).
+* **Round-trip stability** — an export document survives JSON serialisation
+  byte-for-byte, twice (floats use shortest-exact repr, no drift).
+* **Purity** — the generated source file mentions neither numpy nor repro and
+  runs as a bare subprocess with a scrubbed environment.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.export import (
+    ExportedModel,
+    ExportError,
+    FORMAT,
+    FORMAT_VERSION,
+    compile_model,
+    export_document,
+    exportable_algorithms,
+    generate_source,
+    load_artifact,
+    save_artifact,
+    write_source,
+)
+from repro.learners import default_registry
+from repro.learners.pipeline import pipeline_registry
+
+from _export_helpers import fit_default_pipeline, make_raw_matrix
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_NAMES = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize("slug", GOLDEN_NAMES)
+def test_golden_artifacts_predict_expected_labels(slug):
+    payload = json.loads((GOLDEN_DIR / f"{slug}.json").read_text(encoding="utf-8"))
+    artifact = payload["artifact"]
+    assert artifact["format"] == FORMAT
+    assert artifact["version"] == FORMAT_VERSION
+    assert artifact["kind"] == "pipeline"
+    model = ExportedModel(artifact)
+    assert model.predict(payload["rows"]) == payload["expected"]
+
+
+def test_golden_directory_covers_three_families():
+    assert len(GOLDEN_NAMES) >= 3
+
+
+def test_document_round_trips_through_json(train_matrix):
+    X, y = train_matrix
+    document = export_document(fit_default_pipeline("NaiveBayes", X, y))
+    once = json.loads(json.dumps(document))
+    assert once == document  # only JSON-native types in the document
+    assert json.dumps(json.loads(json.dumps(once)), sort_keys=True) == json.dumps(
+        once, sort_keys=True
+    )
+
+
+def test_save_and_load_artifact(tmp_path, train_matrix):
+    X, y = train_matrix
+    pipeline = fit_default_pipeline("LDA", X, y)
+    document = export_document(pipeline)
+    path = save_artifact(document, tmp_path / "nested" / "lda.json")
+    assert path.exists()
+    loaded = load_artifact(path)
+    queries, _ = make_raw_matrix(n=15, random_state=33)
+    assert loaded.predict(queries.tolist()) == pipeline.predict(queries).tolist()
+
+
+def test_generated_source_is_pure(tmp_path, train_matrix):
+    X, y = train_matrix
+    pipeline = fit_default_pipeline("RandomForest", X, y)
+    document = export_document(pipeline)
+    source = generate_source(document, name="forest-artifact")
+    imported = set()
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name.partition(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            imported.add((node.module or "").partition(".")[0])
+    assert "numpy" not in imported and "repro" not in imported
+    assert imported <= {"json", "math", "operator", "sys", ""}
+
+    module_path = write_source(document, tmp_path / "forest_artifact.py")
+    queries, _ = make_raw_matrix(n=12, random_state=44)
+    rows = [
+        [None if isinstance(v, float) and v != v else v for v in row]
+        for row in queries.tolist()
+    ]
+    rows_file = tmp_path / "rows.json"
+    rows_file.write_text(json.dumps(rows), encoding="utf-8")
+    # Scrubbed environment: no PYTHONPATH, so the artifact can only use stdlib.
+    proc = subprocess.run(
+        [sys.executable, str(module_path), str(rows_file)],
+        capture_output=True, text=True, timeout=120,
+        env={"PATH": os.environ.get("PATH", "/usr/bin:/bin")},
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == pipeline.predict(queries).tolist()
+
+
+def test_generated_source_reads_stdin(tmp_path, train_matrix):
+    X, y = train_matrix
+    pipeline = fit_default_pipeline("DecisionStump", X, y)
+    module_path = write_source(export_document(pipeline), tmp_path / "stump.py")
+    queries, _ = make_raw_matrix(n=8, missing_rate=0.0, random_state=55)
+    proc = subprocess.run(
+        [sys.executable, str(module_path)],
+        input=json.dumps({"rows": queries.tolist()}),
+        capture_output=True, text=True, timeout=120,
+        env={"PATH": os.environ.get("PATH", "/usr/bin:/bin")},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout) == pipeline.predict(queries).tolist()
+
+
+def test_unsupported_estimator_raises_export_error(train_matrix):
+    X, y = train_matrix
+    pipeline = fit_default_pipeline("ZeroR", X, y)
+    with pytest.raises(ExportError, match="does not support export"):
+        compile_model(pipeline)
+
+
+def test_exportable_algorithms_excludes_unsupported_families():
+    names = exportable_algorithms(pipeline_registry(default_registry()))
+    assert "ZeroR" not in names and "SMO" not in names
+    assert "J48" in names and "Logistic" in names
+
+
+def test_interpreter_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        ExportedModel({"format": "something-else", "version": 1, "kind": "pipeline"})
+    with pytest.raises(ValueError):
+        ExportedModel({"format": FORMAT, "version": FORMAT_VERSION + 1, "kind": "pipeline"})
+
+
+def test_exported_handles_none_as_missing(train_matrix):
+    # JSON has no NaN literal: clients send null. The interpreter must treat
+    # None exactly as the live pipeline treats NaN.
+    X, y = train_matrix
+    pipeline = fit_default_pipeline("NaiveBayes", X, y)
+    exported = compile_model(pipeline)
+    queries, _ = make_raw_matrix(n=15, missing_rate=0.4, random_state=66)
+    rows = [
+        [None if isinstance(v, float) and v != v else v for v in row]
+        for row in queries.tolist()
+    ]
+    assert exported.predict(rows) == pipeline.predict(queries).tolist()
+    arr = np.asarray(exported.predict_proba(rows))
+    np.testing.assert_allclose(arr, pipeline.predict_proba(queries), rtol=1e-9)

@@ -1,0 +1,154 @@
+"""Regression tests for the preprocessing correctness sweep.
+
+Each test here fails on the pre-fix code:
+
+* ``StandardScaler.fit`` / ``MinMaxScaler.fit`` used plain ``mean``/``std``
+  (``min``/``max``), so one NaN cell poisoned the whole column's statistics —
+  the ``scale == 0`` guard never matches NaN — and every row of that column
+  became NaN at transform time.
+* ``MLPRegressor.fit`` standardised with the same NaN-propagating statistics.
+* ``LabelEncoder.fit`` sorted labels by ``str(value)``, ordering numeric
+  labels lexicographically (10 before 2) and scrambling ``classes_``.
+* ``MinMaxScaler`` had no ``inverse_transform``; ``Pipeline.predict_proba``
+  raised a bare ``AttributeError`` from deep inside the estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_gaussian_clusters
+from repro.learners.regression import RidgeRegressor
+from repro.learners.neural import MLPRegressor
+from repro.learners.pipeline import Pipeline
+from repro.learners.preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestNaNAwareScalers:
+    def test_standard_scaler_ignores_nan_cells(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=3.0, size=(50, 3))
+        X[5, 0] = np.nan
+        X[7, 0] = np.nan
+        scaler = StandardScaler().fit(X)
+        assert np.isfinite(scaler.mean_).all()
+        assert np.isfinite(scaler.scale_).all()
+        observed = X[~np.isnan(X[:, 0]), 0]
+        assert scaler.mean_[0] == pytest.approx(observed.mean())
+        assert scaler.scale_[0] == pytest.approx(observed.std())
+        # Non-missing entries transform finitely; only NaN cells stay NaN.
+        out = scaler.transform(X)
+        assert np.isfinite(out[~np.isnan(X)]).all()
+        assert np.isnan(out[5, 0])
+
+    def test_standard_scaler_all_nan_column_degrades_to_identity(self):
+        X = np.column_stack([np.full(10, np.nan), np.arange(10.0)])
+        scaler = StandardScaler().fit(X)
+        assert scaler.mean_[0] == 0.0 and scaler.scale_[0] == 1.0
+
+    def test_minmax_scaler_ignores_nan_cells(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(2.0, 9.0, size=(40, 2))
+        X[3, 1] = np.nan
+        scaler = MinMaxScaler().fit(X)
+        assert np.isfinite(scaler.min_).all()
+        assert np.isfinite(scaler.range_).all()
+        observed = X[~np.isnan(X[:, 1]), 1]
+        assert scaler.min_[1] == pytest.approx(observed.min())
+        assert scaler.range_[1] == pytest.approx(observed.max() - observed.min())
+        out = scaler.transform(X)
+        assert np.isfinite(out[~np.isnan(X)]).all()
+
+    def test_scalers_unchanged_on_clean_data(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 4))
+        standard = StandardScaler().fit(X)
+        np.testing.assert_allclose(standard.mean_, X.mean(axis=0))
+        np.testing.assert_allclose(standard.scale_, X.std(axis=0))
+        minmax = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(minmax.min_, X.min(axis=0))
+        np.testing.assert_allclose(minmax.range_, X.max(axis=0) - X.min(axis=0))
+
+
+class TestMLPRegressorNaNStatistics:
+    def test_fit_statistics_survive_nan_cells(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 5))
+        X[4, 2] = np.nan
+        y = rng.normal(size=60)
+        regressor = MLPRegressor(max_iter=5, random_state=0).fit(X, y)
+        assert np.isfinite(regressor._mean).all()
+        assert np.isfinite(regressor._scale).all()
+        observed = X[~np.isnan(X[:, 2]), 2]
+        assert regressor._mean[2] == pytest.approx(observed.mean())
+
+
+class TestLabelEncoderNumericOrdering:
+    def test_numeric_labels_sort_numerically(self):
+        encoder = LabelEncoder().fit([10, 2, 1, 33])
+        assert encoder.classes_ == [1, 2, 10, 33]
+        np.testing.assert_array_equal(
+            encoder.transform([1, 2, 10, 33]), [0, 1, 2, 3]
+        )
+
+    def test_float_labels_sort_numerically(self):
+        encoder = LabelEncoder().fit([10.0, 2.5, -1.0])
+        assert encoder.classes_ == [-1.0, 2.5, 10.0]
+
+    def test_round_trip_with_numeric_labels(self):
+        y = np.array([33, 1, 10, 2, 10, 33])
+        encoder = LabelEncoder()
+        np.testing.assert_array_equal(encoder.inverse_transform(encoder.fit_transform(y)), y)
+
+    def test_string_label_contexts_keep_their_encoding(self):
+        # Store fingerprints hash encoded matrices: for the contexts the store
+        # already holds — all-string labels, and integer labels 0..k-1 — the
+        # encoding must be exactly what the old str(value) sort produced.
+        old_key = lambda v: (str(type(v)), str(v))  # noqa: E731 — the pre-fix sort
+        strings = ["setosa", "virginica", "versicolor", "setosa"]
+        assert LabelEncoder().fit(strings).classes_ == sorted(set(strings), key=old_key)
+        small_ints = list(range(10))
+        assert LabelEncoder().fit(small_ints).classes_ == sorted(
+            set(small_ints), key=old_key
+        )
+
+    def test_encoded_target_unchanged_for_standard_datasets(self):
+        dataset = make_gaussian_clusters(
+            "enc", n_records=60, n_numeric=3, n_categorical=0, n_classes=3,
+            random_state=0,
+        )
+        _, y = dataset.to_raw_matrix()
+        assert sorted(set(np.asarray(y).tolist())) == list(range(3))
+
+
+class TestMinMaxInverseTransform:
+    def test_round_trip(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-4.0, 7.0, size=(30, 3))
+        scaler = MinMaxScaler()
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.fit_transform(X)), X
+        )
+
+    def test_zero_range_column_maps_back_to_constant(self):
+        X = np.column_stack([np.full(8, 2.5), np.arange(8.0)])
+        scaler = MinMaxScaler()
+        restored = scaler.inverse_transform(scaler.fit_transform(X))
+        np.testing.assert_allclose(restored[:, 0], 2.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MinMaxScaler().inverse_transform(np.zeros((2, 2)))
+
+
+class TestPipelinePredictProbaError:
+    def test_regressor_pipeline_explains_missing_predict_proba(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(40, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        pipeline = Pipeline(RidgeRegressor()).fit(X, y)
+        with pytest.raises(AttributeError, match="RidgeRegressor does not implement"):
+            pipeline.predict_proba(X)
+        with pytest.raises(AttributeError, match="use Pipeline.predict instead"):
+            pipeline.predict_proba(X)

@@ -1,0 +1,116 @@
+"""Serving-layer export surfaces: registry method, HTTP route, CLI subcommand.
+
+``ModelRegistry.export`` compiles a version's decision model into artifacts
+next to that version directory; the ``GET /models/<name>/export`` route and
+``python -m repro.service export`` expose the same operation.  The exported
+artifact must select the same algorithm as the live decision model for any
+meta-feature row.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.export import load_artifact
+from repro.service import RecommendationService, serve_in_thread
+from repro.service.__main__ import main as service_main
+from repro.service.http import route_label
+
+from _helpers import constant_automodel
+
+
+def _live_choices(model, rows: np.ndarray) -> list[str]:
+    scores = model.decision_model.regressor.predict(rows)
+    return [model.decision_model.labels[i] for i in np.argmax(scores, axis=1)]
+
+
+class TestRegistryExport:
+    def test_export_writes_artifacts_next_to_version(self, registry, clf_model):
+        version = registry.publish(clf_model, "demo")
+        info = registry.export("demo")
+        assert info["name"] == "demo" and info["version"] == version
+        artifact = Path(info["artifact"])
+        module = Path(info["module"])
+        version_dir = registry._version_dir("demo", version)
+        assert artifact.parent == version_dir / "export"
+        assert artifact.exists() and module.exists()
+        assert info["labels"] == list(clf_model.decision_model.labels)
+
+    def test_exported_artifact_matches_live_decision_model(self, registry, clf_model):
+        registry.publish(clf_model, "demo")
+        exported = load_artifact(registry.export("demo")["artifact"])
+        rows = np.random.default_rng(0).normal(size=(12, 5))
+        assert exported.predict(rows.tolist()) == _live_choices(clf_model, rows)
+
+    def test_export_pins_a_version(self, registry, clf_model, clf_model_alt):
+        registry.publish(clf_model, "demo", activate=True)
+        registry.publish(clf_model_alt, "demo", activate=True)
+        info = registry.export("demo", "v0001")
+        assert info["version"] == "v0001"
+        exported = load_artifact(info["artifact"])
+        rows = np.zeros((3, 5))
+        assert exported.predict(rows.tolist()) == _live_choices(clf_model, rows)
+
+    def test_export_unknown_model_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.export("nope")
+
+
+class TestExportRoute:
+    @pytest.fixture
+    def served(self, registry, clf_model):
+        registry.publish(clf_model, "demo")
+        service = RecommendationService(registry, batching=False)
+        server, _ = serve_in_thread(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield base
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def test_route_label_folds_model_name(self):
+        assert route_label("/models/demo/export") == "/models/{name}/export"
+        assert route_label("/models/other/export?version=v0001") == "/models/{name}/export"
+
+    def test_get_export_compiles_artifacts(self, served):
+        with urllib.request.urlopen(f"{served}/models/demo/export") as response:
+            payload = json.loads(response.read())
+        assert payload["name"] == "demo" and payload["version"] == "v0001"
+        assert Path(payload["artifact"]).exists()
+        assert Path(payload["module"]).exists()
+
+    def test_get_export_honours_version_query(self, served):
+        url = f"{served}/models/demo/export?version=v0001"
+        with urllib.request.urlopen(url) as response:
+            assert json.loads(response.read())["version"] == "v0001"
+
+    def test_get_export_unknown_model_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{served}/models/missing/export")
+        assert excinfo.value.code == 404
+
+    def test_get_export_unknown_version_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{served}/models/demo/export?version=v9999")
+        assert excinfo.value.code == 404
+
+
+class TestExportCli:
+    def test_export_subcommand_prints_info(self, registry, clf_model, capsys):
+        registry.publish(clf_model, "demo")
+        rc = service_main(["export", "demo", "--registry", str(registry.root)])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["name"] == "demo"
+        assert Path(info["artifact"]).exists()
+
+    def test_export_subcommand_unknown_model_fails(self, registry, capsys):
+        rc = service_main(["export", "ghost", "--registry", str(registry.root)])
+        assert rc == 1
+        assert "ghost" in capsys.readouterr().err

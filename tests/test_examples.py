@@ -98,6 +98,25 @@ class TestExamples:
         assert "resume: 24 cells already in the store, 0 executed" in output
         assert "resumed table identical: True" in output
 
+    def test_export_quickstart_runs(self, capsys):
+        path = EXAMPLES_DIR / "export_quickstart.py"
+        spec = importlib.util.spec_from_file_location("export_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+        output = capsys.readouterr().out
+        assert "tuned pipeline:" in output
+        assert "compiled artifact predictions byte-identical" in output
+        assert "standalone module predicted" in output
+        assert "with no numpy import" in output
+        assert "registry export: quickstart v0001" in output
+        assert "decision-model artifact selects:" in output
+        assert "export quickstart complete" in output
+
     def test_serve_quickstart_runs(self, capsys):
         path = EXAMPLES_DIR / "serve_quickstart.py"
         spec = importlib.util.spec_from_file_location("serve_quickstart", path)
