@@ -1,0 +1,105 @@
+"""Benchmark: tracing must be near-free when off, cheap when on.
+
+``repro.obs`` instruments the engine's hottest path — every trial of every
+``evaluate_many`` batch — so its cost discipline is part of the contract:
+
+* **Disabled** (the default): each call site is one ``enabled`` attribute
+  check and a shared no-op span.  Floor: ≤ 3% over a raw ``timed_call``
+  loop on a realistic (~2 ms) objective.
+* **Enabled**: per-trial span bookkeeping plus one JSONL line per event.
+  Floor: ≤ 15% over the disabled path.
+
+Times are best-of-``N_REPEATS`` so scheduler noise shrinks rather than
+accumulates; the objective is deterministic CPU work (an SVD), not sleep,
+so the overhead ratio is measured against real computation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.execution import EvaluationEngine
+from repro.execution.engine import timed_call
+
+N_TRIALS = 24
+N_REPEATS = 5
+DISABLED_OVERHEAD_CEILING = 1.03
+ENABLED_OVERHEAD_CEILING = 1.15
+
+_MATRIX = np.random.RandomState(0).rand(160, 160)
+
+
+def _objective(config: dict) -> float:
+    """~2 ms of deterministic numerical work, distinct per config."""
+    return float(
+        np.linalg.svd(_MATRIX + config["x"] * 1e-9, compute_uv=False)[0]
+    )
+
+
+def _configs() -> list[dict]:
+    return [{"x": i} for i in range(N_TRIALS)]
+
+
+def _time_raw_loop() -> float:
+    configs = _configs()
+    started = time.perf_counter()
+    for config in configs:
+        timed_call(_objective, config)
+    return time.perf_counter() - started
+
+
+def _time_evaluate_many() -> float:
+    engine = EvaluationEngine(_objective, backend="serial")
+    configs = _configs()
+    started = time.perf_counter()
+    engine.evaluate_many(configs)
+    return time.perf_counter() - started
+
+
+def _best_of(fn) -> float:
+    return min(fn() for _ in range(N_REPEATS))
+
+
+class TestObsOverhead:
+    def test_disabled_and_enabled_overhead_floors(self, tmp_path, capsys):
+        obs.disable()
+        try:
+            # Warm up numpy/the allocator so the first mode isn't penalised.
+            _time_raw_loop()
+
+            t_raw = _best_of(_time_raw_loop)
+            t_off = _best_of(_time_evaluate_many)
+
+            obs.configure(tmp_path / "journal")
+            assert obs.enabled()
+            t_on = _best_of(_time_evaluate_many)
+            events = obs.read_events(tmp_path / "journal")
+        finally:
+            obs.disable()
+
+        off_ratio = t_off / t_raw
+        on_ratio = t_on / t_off
+        with capsys.disabled():
+            print()
+            print(f"raw timed_call loop      {t_raw * 1000:8.2f} ms")
+            print(f"evaluate_many (obs off)  {t_off * 1000:8.2f} ms  ({off_ratio:.3f}x raw)")
+            print(f"evaluate_many (obs on)   {t_on * 1000:8.2f} ms  ({on_ratio:.3f}x off)")
+
+        # The enabled run really traced: one batch span + one trial event per
+        # config per repetition.
+        spans = [e for e in events if e.get("type") == "span"]
+        trials = [e for e in events if e.get("type") == "trial_finish"]
+        assert len(spans) >= N_REPEATS
+        assert len(trials) == N_TRIALS * N_REPEATS
+
+        assert off_ratio <= DISABLED_OVERHEAD_CEILING, (
+            f"disabled tracing costs {(off_ratio - 1) * 100:.1f}% over the raw "
+            f"loop (ceiling {(DISABLED_OVERHEAD_CEILING - 1) * 100:.0f}%)"
+        )
+        assert on_ratio <= ENABLED_OVERHEAD_CEILING, (
+            f"enabled tracing costs {(on_ratio - 1) * 100:.1f}% over disabled "
+            f"(ceiling {(ENABLED_OVERHEAD_CEILING - 1) * 100:.0f}%)"
+        )

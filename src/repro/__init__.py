@@ -45,7 +45,7 @@ from .datasets.task import TaskType
 from .execution import Budget, EvaluationEngine, ResultStore
 from .learners.pipeline import Pipeline, make_pipeline_spec, pipeline_registry
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AutoModel",

@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
 from ..execution import EvaluationEngine, estimator_engine
@@ -221,7 +222,8 @@ class AutoWekaBaseline:
             try:
                 estimator = self.registry.build(algorithm, params)
                 estimator.fit(X, y)
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 — a failed final fit returns no estimator
+                obs.error_event("autoweka.final_fit", exc)
                 estimator = None
         return CASHBaselineSolution(
             algorithm=algorithm,

@@ -20,6 +20,8 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
+from ..obs.profiler import profiled
 from ..datasets.dataset import Dataset
 from ..hpo.base import Budget, HPOProblem
 from ..hpo.genetic import GeneticAlgorithm
@@ -163,7 +165,8 @@ class ArchitectureSearch:
                 predictions = model.predict(X[test_idx])
                 predictions = predictions.reshape(len(test_idx), -1)
                 errors.append(float(np.mean((predictions - Y[test_idx]) ** 2)))
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 — a failed fold scores worst
+                obs.error_event("architecture.cv_fold", exc)
                 errors.append(float("inf"))
         mse = float(np.mean(errors)) if errors else float("inf")
         return -mse
@@ -247,8 +250,9 @@ class DecisionModel:
         """
         if not datasets:
             return np.zeros((0, len(self.labels)), dtype=np.float64)
-        matrix = self.extractor.transform_many(datasets)
-        return np.asarray(self.regressor.predict(matrix)).reshape(len(datasets), -1)
+        with profiled("scores_matrix"):
+            matrix = self.extractor.transform_many(datasets)
+            return np.asarray(self.regressor.predict(matrix)).reshape(len(datasets), -1)
 
     def scores_many(self, datasets: list[Dataset]) -> list[dict[str, float]]:
         """Per-algorithm score dicts for a batch of datasets (one forward pass)."""

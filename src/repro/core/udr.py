@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
 from ..execution import (
@@ -282,7 +283,8 @@ class UserDemandResponser:
             estimator = self.registry.build(algorithm, config)
             try:
                 estimator.fit(X, y)
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 — a failed refit returns no estimator
+                obs.error_event("udr.final_fit", exc)
                 estimator = None
         if np.isfinite(history.best_score):
             cv_score = history.best_score

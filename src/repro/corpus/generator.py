@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dataset import Dataset
 from ..evaluation.performance import PerformanceTable
 from ..execution import ResultStore, WorkCoordinator
@@ -189,20 +190,24 @@ def generate_corpus(
     """
     registry = registry if registry is not None else registry_for_task(task)
     config = config or CorpusConfig()
-    if performance is None:
-        performance = PerformanceTable.compute(
-            datasets,
-            registry=registry,
-            tune=False,
-            cv=cv,
-            max_records=max_records,
-            random_state=config.random_state,
-            n_workers=n_workers,
-            store=store,
-            warm_start=warm_start,
-            task=task,
-            metric=metric,
-            coordinator=coordinator,
-        )
-    generator = CorpusGenerator(performance, config)
-    return generator.generate(), performance
+    with obs.span(
+        "corpus.generate",
+        attrs={"n_datasets": len(datasets), "measured": performance is None},
+    ):
+        if performance is None:
+            performance = PerformanceTable.compute(
+                datasets,
+                registry=registry,
+                tune=False,
+                cv=cv,
+                max_records=max_records,
+                random_state=config.random_state,
+                n_workers=n_workers,
+                store=store,
+                warm_start=warm_start,
+                task=task,
+                metric=metric,
+                coordinator=coordinator,
+            )
+        generator = CorpusGenerator(performance, config)
+        return generator.generate(), performance

@@ -16,6 +16,7 @@ from typing import Protocol
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dataset import Dataset
 from ..learners.pipeline import training_matrix
 from ..learners.registry import AlgorithmRegistry, default_registry
@@ -77,7 +78,8 @@ def evaluate_cash_tool(
         X, y = training_matrix(data, registry.get(solution.algorithm))
         estimator = registry.build(solution.algorithm, solution.config)
         f_score = cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
-    except Exception:
+    except Exception as exc:  # noqa: BLE001 — a failed re-evaluation scores 0
+        obs.error_event("cash.evaluate", exc)
         f_score = 0.0
     return CASHEvaluation(
         tool=tool_name,

@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
 from ..execution import EvaluationEngine, ResultStore, WorkCoordinator, estimator_engine
@@ -80,7 +81,8 @@ def evaluate_algorithm(
         try:
             estimator = registry.build(algorithm, config)
             return cross_val_accuracy(estimator, X, y, cv=cv, random_state=random_state)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — failed algorithms score worst
+            obs.error_event("performance.evaluate", exc)
             return 0.0
     scorer = resolve_scorer(metric, task)
     try:
@@ -95,7 +97,8 @@ def evaluate_algorithm(
             estimator, X, y, folds, scorer, error_score=scorer.error_score
         )
         return float(scores.mean())
-    except Exception:
+    except Exception as exc:  # noqa: BLE001 — failed algorithms score worst
+        obs.error_event("performance.evaluate", exc)
         return _worst_score(task, metric)
 
 
@@ -289,30 +292,39 @@ class PerformanceTable:
         )
         dataset_index = {dataset.name: i for i, dataset in enumerate(datasets)}
         scores = np.zeros((len(datasets), len(names)))
-        if coordinator is not None:
-            by_key = coordinator.run(
-                context, cells, cell_objective, crash_score=_worst_score(task, metric)
-            )
-            for cell in cells:
-                j = names.index(cell["algorithm"])
-                score = by_key[WorkCoordinator.cell_key(cell)]
-                scores[dataset_index[cell["dataset"]], j] = score
-            execution_stats = {"coordinator": coordinator.stats.as_dict()}
-        else:
-            engine = EvaluationEngine(
-                cell_objective,
-                n_workers=n_workers,
-                crash_score=_worst_score(task, metric),
-                name="performance-table",
-                store=store,
-                store_context=context,
-                warm_start=warm_start,
-            )
-            outcomes = engine.evaluate_many(cells)
-            for cell, outcome in zip(cells, outcomes):
-                j = names.index(cell["algorithm"])
-                scores[dataset_index[cell["dataset"]], j] = outcome.score
-            execution_stats = {"engine": engine.stats.as_dict()}
+        with obs.span(
+            "table.compute",
+            attrs={
+                "n_datasets": len(datasets),
+                "n_algorithms": len(names),
+                "tuned": tune,
+                "mode": "coordinator" if coordinator is not None else "engine",
+            },
+        ):
+            if coordinator is not None:
+                by_key = coordinator.run(
+                    context, cells, cell_objective, crash_score=_worst_score(task, metric)
+                )
+                for cell in cells:
+                    j = names.index(cell["algorithm"])
+                    score = by_key[WorkCoordinator.cell_key(cell)]
+                    scores[dataset_index[cell["dataset"]], j] = score
+                execution_stats = {"coordinator": coordinator.stats.as_dict()}
+            else:
+                engine = EvaluationEngine(
+                    cell_objective,
+                    n_workers=n_workers,
+                    crash_score=_worst_score(task, metric),
+                    name="performance-table",
+                    store=store,
+                    store_context=context,
+                    warm_start=warm_start,
+                )
+                outcomes = engine.evaluate_many(cells)
+                for cell, outcome in zip(cells, outcomes):
+                    j = names.index(cell["algorithm"])
+                    scores[dataset_index[cell["dataset"]], j] = outcome.score
+                execution_stats = {"engine": engine.stats.as_dict()}
         table_metadata = {
             "tuned": tune,
             "cv": cv,

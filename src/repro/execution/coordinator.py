@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from .. import obs
 from .cache import config_fingerprint
 from .engine import timed_call
 from .store import ResultStore, fingerprint_key
@@ -173,6 +174,33 @@ class WorkCoordinator:
         claims = claims_context(context)
         self.stats.n_cells_seen += len(cells)
         deadline = None if self.timeout is None else t0 + self.timeout
+        worker = f"w{self.worker_index}"
+        tr = obs.tracer()
+        with tr.span(
+            "coordinator.run",
+            attrs={"worker": worker, "context": context, "n_cells": len(cells)},
+        ) as run_span:
+            result = self._run(
+                context, cells, objective, crash_score, t0, keys, claims,
+                deadline, worker, tr,
+            )
+            run_span.set_attribute("n_executed", self.stats.n_executed)
+            run_span.set_attribute("n_stolen", self.stats.n_stolen)
+            return result
+
+    def _run(
+        self,
+        context: str,
+        cells: Sequence[dict[str, Any]],
+        objective: Callable[[dict[str, Any]], float],
+        crash_score: float,
+        t0: float,
+        keys: list[str],
+        claims: str,
+        deadline: float | None,
+        worker: str,
+        tr: "obs.Tracer",
+    ) -> dict[str, float]:
 
         # Own partition first (in order), then everyone else's — the steal
         # scan starts just past our slot so workers fan out over different
@@ -196,6 +224,20 @@ class WorkCoordinator:
             pending = [j for j in order if keys[j] not in done]
             if first_round:
                 self.stats.n_resumed += len(cells) - len(pending)
+                if tr.enabled:
+                    # Resumed cells are the fleet's cache hits: account for
+                    # them so a report sees every trial's status.
+                    resumed = set(keys) - {keys[j] for j in pending}
+                    for key in sorted(resumed):
+                        tr.emit(
+                            "trial_finish",
+                            worker=worker,
+                            context=context,
+                            key=key,
+                            status="cached",
+                            score=done.get(key),
+                            cached=True,
+                        )
                 first_round = False
             if not pending:
                 break
@@ -219,18 +261,63 @@ class WorkCoordinator:
                 if lease is not None and now < lease:
                     self.stats.n_claim_skips += 1
                     continue  # live lease — its holder gets lease_seconds
+                stolen = j not in own_set
+                if tr.enabled and lease is not None:
+                    # Dead lease: its holder crashed or stalled past expiry.
+                    tr.emit("claim_expired", worker=worker, key=key)
                 # Claim, then execute.  The put is advisory (last writer
                 # wins); a lost race costs duplicate effort, never a wrong
                 # record.
                 self.store.put_key(claims, key, now + self.lease_seconds)
-                score, elapsed, error = timed_call(objective, cells[j])
+                if tr.enabled:
+                    tr.emit("claim_lease", worker=worker, key=key, stolen=stolen)
+                    if stolen:
+                        tr.emit("claim_steal", worker=worker, key=key)
+                with tr.span(
+                    "coordinator.cell", attrs={"worker": worker, "key": key}
+                ):
+                    score, elapsed, error = timed_call(objective, cells[j])
                 self.stats.n_executed += 1
                 self.stats.objective_time += elapsed
-                if j not in own_set:
+                if stolen:
                     self.stats.n_stolen += 1
                 if error is not None:
                     self.stats.n_crashes += 1
                     score = crash_score
+                if tr.enabled:
+                    if error is not None:
+                        exc_class = (
+                            error.partition("(")[0].rpartition(".")[2]
+                            or "Exception"
+                        )
+                        tr.emit(
+                            "error",
+                            site="coordinator.cell",
+                            exc_class=exc_class,
+                            message=error[:200],
+                        )
+                        tr.emit(
+                            "trial_finish",
+                            worker=worker,
+                            context=context,
+                            key=key,
+                            status="crashed",
+                            exc_class=exc_class,
+                            score=float(score),
+                            elapsed=round(elapsed, 6),
+                            cached=False,
+                        )
+                    else:
+                        tr.emit(
+                            "trial_finish",
+                            worker=worker,
+                            context=context,
+                            key=key,
+                            status="ok",
+                            score=float(score),
+                            elapsed=round(elapsed, 6),
+                            cached=False,
+                        )
                 self.store.put_key(context, key, float(score), dict(cells[j]))
                 progressed = True
             if progressed:

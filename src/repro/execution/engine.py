@@ -35,11 +35,18 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from .. import obs
 from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
-from .store import ResultStore
+from .store import ResultStore, fingerprint_key
 
-__all__ = ["EvalOutcome", "EngineStats", "EvaluationEngine", "timed_call"]
+__all__ = [
+    "EvalOutcome",
+    "EngineStats",
+    "EvaluationEngine",
+    "timed_call",
+    "traced_timed_call",
+]
 
 _BACKENDS = ("serial", "thread", "process")
 
@@ -61,6 +68,22 @@ def timed_call(objective: Callable[[dict], float], config: dict) -> tuple[float 
 
 
 _timed_call = timed_call  # historical private name, kept for callers/tests
+
+
+def traced_timed_call(
+    objective: Callable[[dict], float], config: dict, header: str | None
+) -> tuple[float | None, float, str | None]:
+    """:func:`timed_call` under the submitting batch's trace context.
+
+    Executor workers — thread pools do not inherit contextvars, process
+    pools not even memory — re-establish the caller's span from the header
+    and record their own child span, so per-trial work lands in the trace
+    tree under ``evaluate_many``.  Module-level so the process backend can
+    pickle it.
+    """
+    with obs.attach(obs.parse_header(header)):
+        with obs.span("engine.trial"):
+            return timed_call(objective, config)
 
 
 @dataclass
@@ -94,6 +117,7 @@ class EngineStats:
     backend: str = "serial"
     requested_backend: str = "serial"
     n_workers: int = 1
+    crash_classes: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_evaluations(self) -> int:
@@ -124,6 +148,7 @@ class EngineStats:
             "n_store_hits": self.n_store_hits,
             "cache_hit_rate": round(self.hit_rate, 4),
             "n_crashes": self.n_crashes,
+            "crash_taxonomy": dict(self.crash_classes),
             "n_batches": self.n_batches,
             "largest_batch": self.largest_batch,
             "objective_time": round(self.objective_time, 4),
@@ -208,9 +233,10 @@ class EvaluationEngine:
         if backend == "process":
             try:
                 pickle.dumps(objective)
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 — probe, not control flow
                 # Closures over datasets are not picklable; threads still help
                 # because numpy releases the GIL during the heavy linear algebra.
+                obs.error_event("engine.pickle_probe", exc)
                 return "thread"
         return backend
 
@@ -285,6 +311,7 @@ class EvaluationEngine:
             if hit is not None:
                 self._stats.n_cache_hits += 1
                 self._stats.wall_time += time.monotonic() - t0
+                self._emit_cached(fingerprint, hit)
                 return EvalOutcome(config=dict(config), score=hit, cached=True)
         outcome = self._execute(config, fingerprint)
         self._stats.wall_time += time.monotonic() - t0
@@ -304,9 +331,16 @@ class EvaluationEngine:
     ) -> EvalOutcome:
         self._stats.n_executions += 1
         self._stats.objective_time += elapsed
+        exc_class: str | None = None
         if error is not None:
             self._stats.n_crashes += 1
             self._stats.last_error = error
+            # ``error`` is repr(exc) — "ValueError('bad')" — so the class
+            # name is the prefix before the first parenthesis.
+            exc_class = error.partition("(")[0].rpartition(".")[2] or "Exception"
+            self._stats.crash_classes[exc_class] = (
+                self._stats.crash_classes.get(exc_class, 0) + 1
+            )
             score = self.crash_score
         # Crashes are cached too: re-proposing a known-bad configuration
         # should not pay for the crash twice.
@@ -317,9 +351,33 @@ class EvaluationEngine:
             self.store.put(
                 self.store_context, fingerprint, float(score), config=config
             )
+        if obs.enabled():
+            fields = {
+                "engine": self.name,
+                "key": fingerprint_key(fingerprint),
+                "status": "crashed" if error is not None else "ok",
+                "score": float(score),
+                "elapsed": round(elapsed, 6),
+                "cached": False,
+            }
+            if exc_class is not None:
+                fields["exc_class"] = exc_class
+            obs.emit("trial_finish", **fields)
         return EvalOutcome(
             config=dict(config), score=float(score), elapsed=elapsed, error=error
         )
+
+    def _emit_cached(self, fingerprint: tuple, score: float) -> None:
+        """Cache hits are trials too: record their status when tracing."""
+        if obs.enabled():
+            obs.emit(
+                "trial_finish",
+                engine=self.name,
+                key=fingerprint_key(fingerprint),
+                status="cached",
+                score=float(score),
+                cached=True,
+            )
 
     # -- batch evaluation ----------------------------------------------------------------
     def evaluate_many(
@@ -341,14 +399,25 @@ class EvaluationEngine:
         configs = [dict(config) for config in configs]
         outcomes: list[EvalOutcome | None] = [None] * len(configs)
         t0 = time.monotonic()
-        executor = self._get_executor(len(configs))
-        index = 0
-        while index < len(configs):
-            if budget is not None and budget.exhausted():
-                break
-            index = self._run_wave(
-                configs, outcomes, index, budget, read_cache, executor
-            )
+        # tracer().span is a no-op singleton when tracing is off, so the
+        # disabled path costs one attribute check per *batch*, not per trial.
+        tr = obs.tracer()
+        with tr.span(
+            "engine.evaluate_many",
+            attrs={
+                "engine": self.name,
+                "n_configs": len(configs),
+                "backend": self.backend,
+            },
+        ):
+            executor = self._get_executor(len(configs))
+            index = 0
+            while index < len(configs):
+                if budget is not None and budget.exhausted():
+                    break
+                index = self._run_wave(
+                    configs, outcomes, index, budget, read_cache, executor
+                )
         self._stats.n_batches += 1
         self._stats.largest_batch = max(self._stats.largest_batch, len(configs))
         self._stats.wall_time += time.monotonic() - t0
@@ -383,8 +452,8 @@ class EvaluationEngine:
         try:
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
-        except Exception:
-            pass
+        except Exception as exc:  # noqa: BLE001 — teardown must stay silent
+            obs.error_event("engine.del", exc)
 
     def _run_wave(
         self,
@@ -402,6 +471,7 @@ class EvaluationEngine:
         exhaustion cuts the batch at a deterministic point.  Returns the index
         of the first unscheduled configuration.
         """
+        trace_on = obs.enabled()
         wave: list[tuple[int, tuple]] = []
         wave_by_fp: dict[tuple, int] = {}
         duplicates: list[tuple[int, tuple]] = []
@@ -418,6 +488,8 @@ class EvaluationEngine:
                 if hit is not None:
                     self._stats.n_cache_hits += 1
                     outcomes[index] = EvalOutcome(config=config, score=hit, cached=True)
+                    if trace_on:
+                        self._emit_cached(fingerprint, hit)
                     index += 1
                     continue
             if fingerprint in wave_by_fp:
@@ -434,9 +506,19 @@ class EvaluationEngine:
                 _timed_call(self.objective, configs[i]) for i, _ in wave
             ]
         else:
-            futures = [
-                executor.submit(_timed_call, self.objective, configs[i]) for i, _ in wave
-            ]
+            # Pool workers do not inherit the batch span's contextvar, so
+            # when tracing is on the trial call re-attaches it from a header.
+            header = obs.trace_header() if trace_on else None
+            if header is not None:
+                futures = [
+                    executor.submit(traced_timed_call, self.objective, configs[i], header)
+                    for i, _ in wave
+                ]
+            else:
+                futures = [
+                    executor.submit(_timed_call, self.objective, configs[i])
+                    for i, _ in wave
+                ]
             executed = [future.result() for future in futures]
         for (i, fingerprint), (score, elapsed, error) in zip(wave, executed):
             outcomes[i] = self._record_execution(
@@ -449,4 +531,6 @@ class EvaluationEngine:
                 score=self.crash_score if score is None else score,
                 cached=True,
             )
+            if trace_on:
+                self._emit_cached(fingerprint, outcomes[i].score)
         return index

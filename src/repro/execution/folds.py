@@ -18,6 +18,7 @@ import numpy as np
 
 from ..learners.metrics import accuracy_score
 from ..learners.validation import cross_val_score_folds, plain_folds, stratified_folds
+from ..obs.profiler import profiled
 
 __all__ = ["FoldPlan"]
 
@@ -76,7 +77,8 @@ class FoldPlan:
         error_score: float = 0.0,
     ) -> np.ndarray:
         """Per-fold scores of ``estimator`` (crashing folds score ``error_score``)."""
-        return cross_val_score_folds(estimator, X, y, self.folds, scoring, error_score)
+        with profiled("cv_folds"):
+            return cross_val_score_folds(estimator, X, y, self.folds, scoring, error_score)
 
     def score(
         self,

@@ -24,6 +24,8 @@ import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
+from .. import obs
+
 __all__ = ["JobRecord", "JobQueueStats", "JobQueue"]
 
 _STATUSES = ("queued", "running", "done", "failed", "cancelled")
@@ -133,6 +135,7 @@ class JobQueue:
         self._lock = threading.RLock()
         self._jobs: dict[str, JobRecord] = {}
         self._functions: dict[str, Callable[[], Any]] = {}
+        self._trace_headers: dict[str, str | None] = {}
         self._events: dict[str, _JobEvent] = {}
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._counter = itertools.count(1)
@@ -169,9 +172,14 @@ class JobQueue:
                 detail=dict(detail or {}),
             )
             self._functions[job_id] = fn
+            # Jobs run on long-lived worker threads that never inherit the
+            # submitter's context — carry the trace header alongside the fn.
+            self._trace_headers[job_id] = obs.trace_header()
             self._events[job_id] = _JobEvent()
             self.stats.n_submitted += 1
             self._prune_finished()
+        if obs.enabled():
+            obs.emit("job_submitted", job_id=job_id, kind=kind, queue=self.name)
         self._queue.put(job_id)
         return job_id
 
@@ -254,6 +262,7 @@ class JobQueue:
             record.status = "cancelled"
             record.finished_at = time.time()
             self._functions.pop(job_id, None)
+            self._trace_headers.pop(job_id, None)
             self.stats.n_cancelled += 1
             self._finish(job_id, record)
             return True
@@ -286,13 +295,26 @@ class JobQueue:
             with self._lock:
                 record = self._jobs.get(job_id)
                 fn = self._functions.pop(job_id, None)
+                header = self._trace_headers.pop(job_id, None)
                 if record is None or fn is None or record.status != "queued":
                     continue  # cancelled (or shut down) before starting
                 record.status = "running"
                 record.started_at = time.time()
+            if obs.enabled():
+                with obs.attach(obs.parse_header(header)):
+                    self._run_job(job_id, record, fn)
+            else:
+                self._run_job(job_id, record, fn)
+
+    def _run_job(self, job_id: str, record: JobRecord, fn: Callable[[], Any]) -> None:
+        """Execute one claimed job under the submitter's trace context."""
+        if obs.enabled():
+            obs.emit("job_start", job_id=job_id, kind=record.kind, queue=self.name)
+        with obs.span("job", attrs={"job_id": job_id, "kind": record.kind}):
             try:
                 result = fn()
-            except Exception:  # noqa: BLE001 — crash containment is the contract
+            except Exception as exc:  # noqa: BLE001 — crash containment is the contract
+                obs.error_event("jobs.worker", exc)
                 with self._lock:
                     record.status = "failed"
                     record.error = traceback.format_exc(limit=20)
@@ -306,6 +328,14 @@ class JobQueue:
                     record.finished_at = time.time()
                     self.stats.n_done += 1
                     self._finish(job_id, record)
+        if obs.enabled():
+            obs.emit(
+                "job_finish",
+                job_id=job_id,
+                kind=record.kind,
+                queue=self.name,
+                status=record.status,
+            )
 
     def __len__(self) -> int:
         with self._lock:

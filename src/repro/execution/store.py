@@ -53,6 +53,8 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from .. import obs
+from ..obs.profiler import profiled
 from .store_backends import ShardImage, StoreBackend, resolve_backend
 
 __all__ = ["FORMAT_VERSION", "StoreStats", "ResultStore", "fingerprint_key"]
@@ -255,10 +257,19 @@ class ResultStore:
                     self.stats.duplicate_writes += 1
                     return False
             try:
-                self._backend.append(context, key, score, stored_config)
-            except OSError:
+                with profiled("store_put"):
+                    self._backend.append(context, key, score, stored_config)
+            except OSError as exc:
                 self.stats.write_errors += 1
+                obs.error_event("store.append", exc)
                 return False
+            if obs.enabled():
+                obs.emit(
+                    "store_put",
+                    context=context,
+                    key=key,
+                    backend=self._backend.name,
+                )
             image.scores[key] = score
             if stored_config is not None or key not in image.configs:
                 image.configs[key] = stored_config
@@ -316,8 +327,9 @@ class ResultStore:
                 image = self._load(name)
                 try:
                     result = self._backend.compact(name, image)
-                except OSError:
+                except OSError as exc:
                     self.stats.write_errors += 1
+                    obs.error_event("store.compact", exc)
                     continue
                 if result is None:
                     continue
@@ -325,6 +337,13 @@ class ResultStore:
                 reclaimed += freed
                 self._contexts[name] = merged
                 self.stats.compactions += 1
+                if obs.enabled():
+                    obs.emit(
+                        "store_compact",
+                        context=name,
+                        reclaimed=freed,
+                        backend=self._backend.name,
+                    )
             return reclaimed
 
     def clear_memory(self) -> None:
@@ -348,8 +367,9 @@ class ResultStore:
     def image(self, context: str) -> tuple[dict[str, float], dict[str, dict | None], int]:
         """Snapshot of the full context image (used by the HTTP store server)."""
         with self._lock:
-            current = self._load(context)
-            return dict(current.scores), dict(current.configs), current.live_lines
+            with profiled("store_image"):
+                current = self._load(context)
+                return dict(current.scores), dict(current.configs), current.live_lines
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

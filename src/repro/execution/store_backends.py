@@ -43,6 +43,8 @@ from hashlib import blake2s
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from .. import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
     from .store import StoreStats
 
@@ -494,6 +496,11 @@ class HttpStoreBackend(StoreBackend):
                 headers={"Content-Type": "application/json"},
                 method="POST",
             )
+        header = obs.trace_header()
+        if header is not None:
+            # Carry the caller's trace across the wire so the store server's
+            # request spans join the client's trace tree.
+            request.add_header(obs.TRACE_HEADER, header)
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             body = json.loads(response.read().decode("utf-8"))
         if not isinstance(body, dict):

@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from .. import obs
 from ..learners.pipeline import Pipeline
 from .codegen import generate_source, write_source
 from .interpreter import FORMAT, FORMAT_VERSION, ExportedModel
@@ -111,7 +112,8 @@ def exportable_algorithms(registry: Any) -> list[str]:
     for spec in registry:
         try:
             built = registry.build(spec.name, {})
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — unbuildable specs are not exportable
+            obs.error_event("export.exportable", exc)
             continue
         estimator = built.estimator if isinstance(built, Pipeline) else built
         if hasattr(estimator, "export_params"):

@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..execution.budget import Budget
 from ..execution.cache import config_fingerprint
 from ..execution.engine import EvaluationEngine
@@ -140,7 +141,14 @@ class BaseOptimizer:
         the budget (e.g. the UDR's probe evaluations) keep counting.
         """
         budget.start()
-        return self._optimize(problem, budget)
+        with obs.span(
+            "optimizer.run",
+            attrs={"optimizer": self.name, "problem": problem.name},
+        ) as span:
+            result = self._optimize(problem, budget)
+            span.set_attribute("best_score", result.best_score)
+            span.set_attribute("n_trials", result.n_evaluations)
+            return result
 
     def _optimize(self, problem: HPOProblem, budget: Budget) -> OptimizationResult:
         raise NotImplementedError
@@ -176,7 +184,11 @@ class BaseOptimizer:
         trials: list[Trial],
         iteration: int,
     ) -> float:
-        outcome = problem.engine.evaluate(config, budget=budget)
+        with obs.span(
+            "optimizer.iteration",
+            attrs={"optimizer": self.name, "iteration": iteration, "n_configs": 1},
+        ):
+            outcome = problem.engine.evaluate(config, budget=budget)
         trials.append(
             Trial(
                 config=dict(config),
@@ -207,7 +219,15 @@ class BaseOptimizer:
             if isinstance(iteration, Sequence)
             else [iteration] * len(configs)
         )
-        outcomes = problem.engine.evaluate_many(configs, budget=budget)
+        with obs.span(
+            "optimizer.iteration",
+            attrs={
+                "optimizer": self.name,
+                "iteration": iterations[0] if iterations else 0,
+                "n_configs": len(configs),
+            },
+        ):
+            outcomes = problem.engine.evaluate_many(configs, budget=budget)
         scores: list[float | None] = []
         for config, outcome, it in zip(configs, outcomes, iterations):
             if outcome is None:

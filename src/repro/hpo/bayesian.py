@@ -15,6 +15,7 @@ from typing import Any
 import numpy as np
 from scipy import stats
 
+from .. import obs
 from .base import BaseOptimizer, Budget, HPOProblem, OptimizationResult, Trial
 from .gp import GaussianProcess
 
@@ -89,7 +90,8 @@ class BayesianOptimization(BaseOptimizer):
         y = np.array([y for _, y in finite])
         try:
             surrogate = GaussianProcess(kernel=self.kernel).fit(X, y)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — fall back to random sampling
+            obs.error_event("bayesian.surrogate_fit", exc)
             return space.sample(rng)
         candidates = [space.sample(rng) for _ in range(self.n_candidates)]
         # Local perturbations of the incumbent sharpen exploitation.

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from .. import obs
 from ..execution.budget import Budget
 from ..execution.engine import EvaluationEngine
 from .bayesian import BayesianOptimization
@@ -93,8 +94,8 @@ class HPOTechniqueSelector:
             start = time.monotonic()
             try:
                 objective(config)
-            except Exception:
-                pass
+            except Exception as exc:  # noqa: BLE001 — probe cost, not control flow
+                obs.error_event("selector.probe", exc)
             total += time.monotonic() - start
         return total / self.n_probes
 

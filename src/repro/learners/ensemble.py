@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .base import BaseClassifier, clone
 from .tree import DecisionStump, DecisionTreeClassifier, J48, RandomTree
 
@@ -115,7 +116,8 @@ class AdaBoostM1(BaseClassifier):
             model = clone(base)
             try:
                 model.fit(X[idx], y[idx])
-            except Exception:
+            except Exception as exc:  # noqa: BLE001 — boosting stops at the failed round
+                obs.error_event("ensemble.boost_fit", exc)
                 break
             predictions = np.zeros(n, dtype=np.int64)
             raw = model.predict(X)
@@ -432,7 +434,8 @@ class StackingC(BaseClassifier):
                 try:
                     model.fit(X[train_idx], y[train_idx])
                     block = _aligned_proba(model, X[test_idx], n_classes)
-                except Exception:
+                except Exception as exc:  # noqa: BLE001 — a failed base yields uniform meta-features
+                    obs.error_event("ensemble.stack_fit", exc)
                     block = np.full((len(test_idx), n_classes), 1.0 / n_classes)
                 meta_features[test_idx, b * n_classes : (b + 1) * n_classes] = block
         self.base_models_ = []

@@ -11,6 +11,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from .. import obs
 from .base import BaseClassifier, clone
 from .metrics import accuracy_score
 
@@ -193,7 +194,8 @@ def cross_val_score_folds(
             model.fit(X[train_idx], y[train_idx])
             predictions = model.predict(X[test_idx])
             scores.append(float(scoring(y[test_idx], predictions)))
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — a failed fold takes error_score
+            obs.error_event("validation.fold", exc)
             scores.append(float(error_score))
     if not scores:
         return np.array([float(error_score)])

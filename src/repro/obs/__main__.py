@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m repro.obs report <journal-or-dir>``."""
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

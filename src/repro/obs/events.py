@@ -1,0 +1,162 @@
+"""Structured JSONL event journal — the durable half of the obs subsystem.
+
+Every traced span, trial, claim, store write and contained error becomes one
+JSON object on one line of a per-process journal file.  The design mirrors
+the result store's corruption discipline:
+
+* **Per-process files.**  Each writer appends to ``events-<pid>.jsonl`` in
+  the journal directory, so concurrent processes (fleet workers, pre-forked
+  pool workers) never interleave bytes.  A forked child detects the pid
+  change on its first emit and switches to its own file.
+* **Atomic appends.**  Lines are written with a single ``os.write`` on an
+  ``O_APPEND`` descriptor — the strongest same-file atomicity POSIX offers —
+  so even two threads racing one file produce whole lines.
+* **Bounded size.**  When the active file would exceed ``max_bytes`` it is
+  rotated to ``events-<pid>.r<k>.jsonl`` and a fresh file is started; the
+  reader merges rotations transparently.
+* **Corrupt-line tolerance.**  :func:`read_events` skips truncated or
+  garbage lines instead of raising, and merges every journal file in the
+  directory sorted by timestamp — the same "bad data degrades, never
+  breaks" contract as :class:`~repro.execution.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["EventJournal", "read_events", "count_by_type", "JOURNAL_GLOB"]
+
+JOURNAL_GLOB = "events-*.jsonl"
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class EventJournal:
+    """Append-only, rotation-safe JSONL sink for one process's events."""
+
+    def __init__(self, directory: str | Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.directory = Path(directory)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+        self._pid: int | None = None
+        self._size = 0
+        self._rotations = 0
+
+    # -- writing -----------------------------------------------------------------------
+    def path_for_pid(self, pid: int) -> Path:
+        return self.directory / f"events-{pid}.jsonl"
+
+    def _open(self, pid: int) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for_pid(pid)
+        self._fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._pid = pid
+        self._size = os.fstat(self._fd).st_size
+        self._rotations = 0
+
+    def _rotate(self, pid: int) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        self._rotations += 1
+        target = self.directory / f"events-{pid}.r{self._rotations}.jsonl"
+        try:
+            os.replace(self.path_for_pid(pid), target)
+        except OSError:
+            pass  # someone removed the file; just start a fresh one
+        path = self.path_for_pid(pid)
+        self._fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._size = 0
+
+    def emit(self, event: dict[str, Any]) -> bool:
+        """Append one event; returns False (never raises) when the write fails."""
+        try:
+            line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+            data = line.encode("utf-8")
+            pid = os.getpid()
+            with self._lock:
+                if self._fd is None or self._pid != pid:
+                    # First write, or we are a fork of the opener: a child
+                    # sharing the parent's descriptor would interleave into
+                    # the parent's file, so switch to our own.
+                    if self._fd is not None and self._pid == pid:
+                        os.close(self._fd)
+                    self._fd = None
+                    self._open(pid)
+                elif self._size + len(data) > self.max_bytes and self._size > 0:
+                    self._rotate(pid)
+                os.write(self._fd, data)
+                self._size += len(data)
+            return True
+        except (OSError, ValueError, TypeError):
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None and self._pid == os.getpid():
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+            self._fd = None
+            self._pid = None
+
+
+def _iter_lines(path: Path) -> Iterable[str]:
+    try:
+        with path.open("r", encoding="utf-8", errors="replace") as handle:
+            yield from handle
+    except OSError:
+        return
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Merged, timestamp-sorted events from a journal directory or one file.
+
+    Corrupt lines (truncated writes, garbage bytes, non-object JSON) are
+    skipped silently; unreadable files contribute nothing.  Events missing a
+    numeric ``ts`` sort first, preserving file order among themselves.
+    """
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(path.glob(JOURNAL_GLOB))
+    else:
+        files = [path]
+    events: list[dict[str, Any]] = []
+    for file in files:
+        for line in _iter_lines(file):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    events.sort(key=_sort_key)
+    return events
+
+
+def _sort_key(event: dict[str, Any]) -> float:
+    ts = event.get("ts")
+    return float(ts) if isinstance(ts, (int, float)) else 0.0
+
+
+def count_by_type(events: Iterable[dict[str, Any]]) -> dict[str, int]:
+    """``{event_type: count}`` over ``events`` (the /metrics ``events`` section)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("type", "(untyped)"))
+        counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def now() -> float:
+    """Wall-clock timestamp used for every event (one place to stub in tests)."""
+    return time.time()

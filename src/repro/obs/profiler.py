@@ -1,0 +1,65 @@
+"""Opt-in timing and cProfile hooks for the hot paths.
+
+:func:`profiled` wraps a named hot block (the CV fold loop, the decision
+model's ``scores_matrix``, store ``image``/``put``).  With tracing enabled it
+times the block and attaches ``<name>_seconds`` to the active span; with
+``REPRO_OBS_PROFILE=1`` it additionally runs the block under :mod:`cProfile`
+and emits a ``profile`` event carrying the top cumulative-time functions.
+With tracing disabled the wrapper is a bare ``yield`` — no timers, no
+attribute writes — so instrumented code pays nothing by default.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+
+__all__ = ["profiled", "top_functions"]
+
+
+def top_functions(profile: cProfile.Profile, k: int = 5) -> list[str]:
+    """The ``k`` largest cumulative-time entries of a finished profile."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer).sort_stats("cumulative")
+    out: list[str] = []
+    for func in stats.fcn_list[:k]:  # (file, line, name) in sorted order
+        cc, nc, tt, ct, _ = stats.stats[func]
+        file, line, name = func
+        out.append(f"{name} ({file}:{line}) calls={nc} cum={ct:.4f}s")
+    return out
+
+
+@contextmanager
+def profiled(name: str):
+    """Time (and optionally cProfile) a named hot block under the tracer."""
+    from . import current_span, tracer  # resolve the live process tracer lazily
+
+    tr = tracer()
+    if not tr.enabled:
+        yield
+        return
+    profile = None
+    if tr.profile:
+        profile = cProfile.Profile()
+        profile.enable()
+    start = time.monotonic()
+    try:
+        yield
+    finally:
+        elapsed = time.monotonic() - start
+        if profile is not None:
+            profile.disable()
+        span = current_span()
+        if span is not None:
+            key = f"{name}_seconds"
+            span.set_attribute(key, round(span.attributes.get(key, 0.0) + elapsed, 6))
+        if profile is not None:
+            tr.emit(
+                "profile",
+                name=name,
+                seconds=round(elapsed, 6),
+                top=top_functions(profile),
+            )

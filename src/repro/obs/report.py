@@ -1,0 +1,362 @@
+"""Offline aggregation over an event journal — ``python -m repro.obs report``.
+
+The journal is flat (one JSON object per line, many processes interleaved);
+this module reconstructs structure from it:
+
+* **Trace trees** — spans reassembled by ``trace_id``/``parent_id``,
+  tolerant of orphans (a parent whose span event was lost promotes its
+  children to roots rather than dropping them).
+* **Critical path** — from the root, repeatedly descend into the
+  largest-duration child: the chain that bounded the wall time.
+* **Coverage** — how much of the root span's wall time is accounted for by
+  its children (union of child intervals, clipped to the root).
+* **Per-phase rollup** — total/self time by span name.
+* **Fleet timeline** — per-worker lanes (spans attributed ``worker=wN`` by
+  the coordinator, falling back to one lane per pid) as ASCII bars.
+* **Crash taxonomy** — exception classes from crashed trials and contained
+  ``error`` events.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Any, Iterable
+
+from .events import count_by_type, read_events
+
+__all__ = [
+    "SpanNode",
+    "TraceTree",
+    "build_traces",
+    "phase_rollup",
+    "slowest_spans",
+    "crash_taxonomy",
+    "trial_summary",
+    "worker_lanes",
+    "span_tree_payload",
+    "render_report",
+    "main",
+]
+
+
+class SpanNode:
+    """One reconstructed span and its children."""
+
+    __slots__ = (
+        "span_id", "parent_id", "trace_id", "name", "start",
+        "duration", "status", "attrs", "pid", "children",
+    )
+
+    def __init__(self, event: dict[str, Any]) -> None:
+        self.span_id = str(event.get("span_id", ""))
+        self.parent_id = event.get("parent_id")
+        self.trace_id = str(event.get("trace_id", ""))
+        self.name = str(event.get("name", "(unnamed)"))
+        self.start = float(event.get("ts", 0.0) or 0.0)
+        self.duration = float(event.get("duration", 0.0) or 0.0)
+        self.status = str(event.get("status", "ok"))
+        attrs = event.get("attrs")
+        self.attrs = attrs if isinstance(attrs, dict) else {}
+        self.pid = event.get("pid")
+        self.children: list[SpanNode] = []
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += current_end - current_start
+    return total
+
+
+class TraceTree:
+    """All spans of one trace, linked parent → children."""
+
+    def __init__(self, trace_id: str, spans: list[SpanNode]) -> None:
+        self.trace_id = trace_id
+        self.spans = {span.span_id: span for span in spans}
+        self.roots: list[SpanNode] = []
+        for span in spans:
+            parent = self.spans.get(span.parent_id) if span.parent_id else None
+            if parent is not None and parent is not span:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+        for span in spans:
+            span.children.sort(key=lambda s: s.start)
+        self.roots.sort(key=lambda s: s.start)
+
+    @property
+    def root(self) -> SpanNode | None:
+        """The dominant root: the longest top-level span of the trace."""
+        return max(self.roots, key=lambda s: s.duration, default=None)
+
+    def walk(self) -> Iterable[SpanNode]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def coverage(self) -> float:
+        """Fraction of the root's wall time its children account for."""
+        root = self.root
+        if root is None or root.duration <= 0.0:
+            return 0.0
+        clipped = [
+            (max(c.start, root.start), min(c.end, root.end))
+            for c in root.children
+            if min(c.end, root.end) > max(c.start, root.start)
+        ]
+        return min(1.0, _union_seconds(clipped) / root.duration)
+
+    def critical_path(self) -> list[SpanNode]:
+        """Root → largest child → … — the chain that bounded the wall time."""
+        root = self.root
+        if root is None:
+            return []
+        path = [root]
+        node = root
+        while node.children:
+            node = max(node.children, key=lambda s: s.duration)
+            path.append(node)
+        return path
+
+
+def build_traces(events: list[dict[str, Any]]) -> dict[str, TraceTree]:
+    """Reassemble every trace present in ``events`` (span events only)."""
+    by_trace: dict[str, list[SpanNode]] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        node = SpanNode(event)
+        if node.span_id and node.trace_id:
+            by_trace.setdefault(node.trace_id, []).append(node)
+    return {
+        trace_id: TraceTree(trace_id, spans) for trace_id, spans in by_trace.items()
+    }
+
+
+def phase_rollup(spans: Iterable[SpanNode]) -> list[dict[str, Any]]:
+    """Per-span-name totals, largest total time first."""
+    rollup: dict[str, dict[str, float]] = {}
+    for span in spans:
+        entry = rollup.setdefault(
+            span.name, {"count": 0, "total": 0.0, "self": 0.0, "errors": 0}
+        )
+        entry["count"] += 1
+        entry["total"] += span.duration
+        entry["self"] += span.self_time
+        if span.status != "ok":
+            entry["errors"] += 1
+    return [
+        {"name": name, **values}
+        for name, values in sorted(
+            rollup.items(), key=lambda item: -item[1]["total"]
+        )
+    ]
+
+
+def slowest_spans(spans: Iterable[SpanNode], k: int = 10) -> list[SpanNode]:
+    return sorted(spans, key=lambda s: -s.duration)[: max(0, k)]
+
+
+def crash_taxonomy(events: list[dict[str, Any]]) -> dict[str, dict[str, int]]:
+    """Exception-class counts from crashed trials and contained errors."""
+    trials: dict[str, int] = {}
+    errors: dict[str, int] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "trial_finish" and event.get("status") == "crashed":
+            cls = str(event.get("exc_class") or "(unknown)")
+            trials[cls] = trials.get(cls, 0) + 1
+        elif kind == "error":
+            cls = str(event.get("exc_class") or "(unknown)")
+            errors[cls] = errors.get(cls, 0) + 1
+    return {
+        "crashed_trials": dict(sorted(trials.items(), key=lambda kv: -kv[1])),
+        "contained_errors": dict(sorted(errors.items(), key=lambda kv: -kv[1])),
+    }
+
+
+def trial_summary(events: list[dict[str, Any]]) -> dict[str, int]:
+    """Trial counts by status (``ok`` / ``cached`` / ``crashed``)."""
+    summary = {"total": 0, "ok": 0, "cached": 0, "crashed": 0}
+    for event in events:
+        if event.get("type") != "trial_finish":
+            continue
+        summary["total"] += 1
+        status = str(event.get("status", "ok"))
+        summary[status] = summary.get(status, 0) + 1
+    return summary
+
+
+def worker_lanes(tree: TraceTree) -> dict[str, list[SpanNode]]:
+    """Spans grouped into per-worker lanes (``worker`` attr, else pid)."""
+    lanes: dict[str, list[SpanNode]] = {}
+    for span in tree.walk():
+        lane = span.attrs.get("worker")
+        if lane is None:
+            lane = f"pid-{span.pid}" if span.pid is not None else "(unknown)"
+        lanes.setdefault(str(lane), []).append(span)
+    for members in lanes.values():
+        members.sort(key=lambda s: s.start)
+    return dict(sorted(lanes.items()))
+
+
+def span_tree_payload(node: SpanNode) -> dict[str, Any]:
+    """JSON-safe nested view of one span subtree (the /trace/<id> body)."""
+    return {
+        "name": node.name,
+        "span_id": node.span_id,
+        "parent_id": node.parent_id,
+        "start": node.start,
+        "duration": node.duration,
+        "status": node.status,
+        "attrs": dict(node.attrs),
+        "children": [span_tree_payload(child) for child in node.children],
+    }
+
+
+# -- text rendering --------------------------------------------------------------------
+
+
+def _lane_bar(spans: list[SpanNode], t0: float, t1: float, width: int = 48) -> str:
+    window = max(t1 - t0, 1e-9)
+    cells = [" "] * width
+    for span in spans:
+        lo = int((max(span.start, t0) - t0) / window * width)
+        hi = int((min(span.end, t1) - t0) / window * width)
+        for i in range(max(lo, 0), min(max(hi, lo + 1), width)):
+            cells[i] = "#" if span.status == "ok" else "!"
+    return "".join(cells)
+
+
+def _render_tree(node: SpanNode, lines: list[str], depth: int, max_depth: int) -> None:
+    attrs = ""
+    if node.attrs:
+        shown = ", ".join(f"{k}={v}" for k, v in list(node.attrs.items())[:4])
+        attrs = f"  [{shown}]"
+    marker = "" if node.status == "ok" else f" !{node.status}"
+    lines.append(f"{'  ' * depth}{node.name}  {node.duration * 1000.0:.1f}ms{marker}{attrs}")
+    if depth + 1 >= max_depth:
+        if node.children:
+            lines.append(f"{'  ' * (depth + 1)}… {len(node.children)} children")
+        return
+    for child in node.children:
+        _render_tree(child, lines, depth + 1, max_depth)
+
+
+def render_report(
+    path: str | Path, trace_id: str | None = None, max_depth: int = 4
+) -> str:
+    """The full text report over a journal directory (or one journal file)."""
+    events = read_events(path)
+    lines: list[str] = []
+    lines.append(f"journal: {path} ({len(events)} events)")
+    counts = count_by_type(events)
+    if counts:
+        lines.append("event counts: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    summary = trial_summary(events)
+    if summary["total"]:
+        lines.append(
+            f"trials: {summary['total']} total, {summary['ok']} ok, "
+            f"{summary['cached']} cached, {summary['crashed']} crashed"
+        )
+    traces = build_traces(events)
+    if not traces:
+        lines.append("no spans recorded (tracing disabled?)")
+        return "\n".join(lines)
+    if trace_id is None:
+        tree = max(
+            traces.values(),
+            key=lambda t: t.root.duration if t.root is not None else 0.0,
+        )
+    else:
+        if trace_id not in traces:
+            raise KeyError(f"trace {trace_id!r} not present in {path}")
+        tree = traces[trace_id]
+    root = tree.root
+    lines.append(f"traces: {len(traces)}; showing {tree.trace_id}")
+    if root is not None:
+        lines.append(
+            f"root: {root.name}  {root.duration * 1000.0:.1f}ms  "
+            f"coverage={tree.coverage() * 100.0:.1f}%"
+        )
+        lines.append("")
+        lines.append("trace tree:")
+        for top in tree.roots:
+            _render_tree(top, lines, 1, max_depth)
+        lines.append("")
+        lines.append("critical path:")
+        for node in tree.critical_path():
+            share = node.duration / root.duration * 100.0 if root.duration else 0.0
+            lines.append(f"  {node.name}  {node.duration * 1000.0:.1f}ms  ({share:.1f}%)")
+        lanes = worker_lanes(tree)
+        if len(lanes) > 1:
+            lines.append("")
+            lines.append(f"fleet timeline ({len(lanes)} lanes):")
+            for lane, members in lanes.items():
+                bar = _lane_bar(members, root.start, root.end)
+                lines.append(f"  {lane:<10} |{bar}| {len(members)} spans")
+    lines.append("")
+    lines.append("phase rollup:")
+    for entry in phase_rollup(tree.walk())[:12]:
+        lines.append(
+            f"  {entry['name']:<28} n={entry['count']:<5} "
+            f"total={entry['total'] * 1000.0:.1f}ms self={entry['self'] * 1000.0:.1f}ms"
+            + (f" errors={entry['errors']}" if entry["errors"] else "")
+        )
+    lines.append("")
+    lines.append("slowest spans:")
+    for node in slowest_spans(tree.walk(), 8):
+        lines.append(f"  {node.name:<28} {node.duration * 1000.0:.1f}ms  [{node.span_id}]")
+    taxonomy = crash_taxonomy(events)
+    if taxonomy["crashed_trials"] or taxonomy["contained_errors"]:
+        lines.append("")
+        lines.append("crash taxonomy:")
+        for cls, n in taxonomy["crashed_trials"].items():
+            lines.append(f"  trial crash  {cls:<24} x{n}")
+        for cls, n in taxonomy["contained_errors"].items():
+            lines.append(f"  contained    {cls:<24} x{n}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Offline reports over a repro.obs event journal.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="render the aggregate text report")
+    report.add_argument("path", help="journal directory (or one events-*.jsonl file)")
+    report.add_argument("--trace", default=None, help="trace id to focus on")
+    report.add_argument("--max-depth", type=int, default=4, help="tree render depth")
+    args = parser.parse_args(argv)
+    if not Path(args.path).exists():
+        parser.error(f"no such journal: {args.path}")
+    try:
+        print(render_report(args.path, trace_id=args.trace, max_depth=args.max_depth))
+    except KeyError as exc:
+        parser.error(str(exc))
+    return 0

@@ -1,0 +1,279 @@
+"""Spans, the tracer, and context propagation across threads/processes/HTTP.
+
+A :class:`Span` is one timed unit of work: it carries a ``trace_id`` shared
+by every span of one logical operation, its own ``span_id``, and the
+``parent_id`` linking it into the trace tree.  Entering a span makes it the
+*active* span of the current execution context (a :mod:`contextvars`
+variable, so concurrent server threads never see each other's spans);
+exiting records its duration and writes one ``span`` event to the journal.
+
+Propagation — how a child execution context inherits the caller's trace:
+
+========  ==========================================================
+threads   executors do **not** inherit contextvars, so call sites
+          capture :func:`current_context` and re-establish it in the
+          worker with :func:`attach` (the engine's traced wrapper).
+process   ``propagation_env()`` snapshots the obs env vars plus a
+          ``REPRO_TRACE`` header of the active span; forked/spawned
+          children pick it up as the *ambient* parent of their first
+          root span.
+HTTP      the same header travels as ``X-Repro-Trace:
+          <trace_id>-<span_id>``; servers :func:`attach_header` it so
+          their request spans parent under the remote client's span.
+========  ==========================================================
+
+The disabled path is a shared :data:`NOOP_SPAN` singleton: ``tracer.span``
+costs one attribute check and no allocation, so instrumented hot paths stay
+near-free when tracing is off (benchmarked in ``benchmarks/test_bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, NamedTuple
+
+from .events import EventJournal
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "Tracer",
+    "TRACE_HEADER",
+    "ENV_TRACE",
+    "current_context",
+    "attach",
+    "parse_header",
+    "new_id",
+]
+
+TRACE_HEADER = "X-Repro-Trace"
+ENV_TRACE = "REPRO_TRACE"
+
+_ACTIVE: ContextVar["SpanContext | None"] = ContextVar("repro_obs_active", default=None)
+_ACTIVE_SPAN: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+
+def new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext(NamedTuple):
+    """The propagatable identity of a span: which trace, which parent."""
+
+    trace_id: str
+    span_id: str
+
+    def header(self) -> str:
+        return f"{self.trace_id}-{self.span_id}"
+
+
+def parse_header(value: str | None) -> SpanContext | None:
+    """Parse an ``X-Repro-Trace`` / ``REPRO_TRACE`` value; None on junk."""
+    if not value or not isinstance(value, str):
+        return None
+    trace_id, sep, span_id = value.strip().partition("-")
+    if not sep or not trace_id or not span_id:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+def current_context() -> SpanContext | None:
+    """The active span's context in this thread/task, if any."""
+    return _ACTIVE.get()
+
+
+def current_span() -> "Span | None":
+    """The active real span in this thread/task (None under NOOP or no span)."""
+    return _ACTIVE_SPAN.get()
+
+
+@contextmanager
+def attach(context: SpanContext | None):
+    """Make ``context`` the active parent for spans opened inside the block.
+
+    ``attach(None)`` is a no-op block, so call sites can attach an optional
+    incoming header unconditionally.
+    """
+    if context is None:
+        yield
+        return
+    token = _ACTIVE.set(context)
+    span_token = _ACTIVE_SPAN.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+        _ACTIVE_SPAN.reset(span_token)
+
+
+class Span:
+    """One timed, attributed unit of work; records itself on exit."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "status",
+        "start_ts",
+        "duration",
+        "_journal",
+        "_start_mono",
+        "_token",
+        "_span_token",
+    )
+
+    def __init__(
+        self,
+        journal: EventJournal,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_id()
+        self.parent_id = parent_id
+        self.attributes: dict[str, Any] = dict(attrs) if attrs else {}
+        self.status = "ok"
+        self.start_ts = 0.0
+        self.duration = 0.0
+        self._journal = journal
+        self._start_mono = 0.0
+        self._token = None
+        self._span_token = None
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start_ts = time.time()
+        self._start_mono = time.monotonic()
+        self._token = _ACTIVE.set(self.context)
+        self._span_token = _ACTIVE_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.monotonic() - self._start_mono
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("exc_class", exc_type.__name__)
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+        if self._span_token is not None:
+            _ACTIVE_SPAN.reset(self._span_token)
+            self._span_token = None
+        self._journal.emit(
+            {
+                "type": "span",
+                "ts": self.start_ts,
+                "pid": os.getpid(),
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "name": self.name,
+                "duration": round(self.duration, 6),
+                "status": self.status,
+                "attrs": self.attributes,
+            }
+        )
+        return False
+
+
+class NoopSpan:
+    """Shared do-nothing span for the disabled path (no allocation per call)."""
+
+    __slots__ = ()
+
+    @property
+    def context(self) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Tracer:
+    """Span factory + event sink bound to one journal directory.
+
+    A disabled tracer (``enabled=False`` or no journal) hands out
+    :data:`NOOP_SPAN` and drops events — instrumented code needs no
+    branching of its own, though hot loops may still guard on
+    ``tracer.enabled`` to skip argument building.
+    """
+
+    __slots__ = ("journal", "enabled", "profile")
+
+    def __init__(
+        self,
+        journal: EventJournal | None = None,
+        enabled: bool = False,
+        profile: bool = False,
+    ) -> None:
+        self.journal = journal
+        self.enabled = bool(enabled) and journal is not None
+        self.profile = bool(profile)
+
+    @property
+    def journal_dir(self):
+        return self.journal.directory if self.journal is not None else None
+
+    def span(
+        self,
+        name: str,
+        parent: SpanContext | Span | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> Span | NoopSpan:
+        """A new span under ``parent`` > the active span > the ambient env
+        context (``REPRO_TRACE``, set for forked fleet/pool workers) > a
+        fresh root."""
+        if not self.enabled:
+            return NOOP_SPAN
+        if isinstance(parent, Span):
+            context = parent.context
+        else:
+            context = parent
+        if context is None:
+            context = _ACTIVE.get()
+        if context is None:
+            context = parse_header(os.environ.get(ENV_TRACE))
+        if context is None:
+            return Span(self.journal, name, new_id(), None, attrs)
+        return Span(self.journal, name, context.trace_id, context.span_id, attrs)
+
+    def emit(self, event_type: str, **fields: Any) -> None:
+        """Write one typed event (no-op when disabled); never raises."""
+        if not self.enabled:
+            return
+        context = _ACTIVE.get()
+        event: dict[str, Any] = {
+            "type": event_type,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        if context is not None:
+            event["trace_id"] = context.trace_id
+            event["span_id"] = context.span_id
+        event.update(fields)
+        self.journal.emit(event)

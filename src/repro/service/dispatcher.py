@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import obs
 from ..core.udr import first_supported_algorithm
 from ..datasets.dataset import Dataset
 from ..metafeatures.extractor import feature_cache
@@ -298,6 +299,12 @@ class RecommendationDispatcher:
                 and self._pending_count >= self.max_queue_depth
             ):
                 self.stats.n_shed += 1
+                if obs.enabled():
+                    obs.emit(
+                        "request_shed",
+                        dataset=pending.dataset.name,
+                        depth=self._pending_count,
+                    )
                 raise DispatcherOverloaded(
                     f"dispatcher overloaded: {self._pending_count} requests pending "
                     f"(max_queue_depth={self.max_queue_depth})",
@@ -305,6 +312,12 @@ class RecommendationDispatcher:
                 )
             pending.admitted = True
             self._pending_count += 1
+            if obs.enabled():
+                obs.emit(
+                    "request_admitted",
+                    dataset=pending.dataset.name,
+                    depth=self._pending_count,
+                )
             self.stats.max_queue_depth_seen = max(
                 self.stats.max_queue_depth_seen, self._pending_count
             )
@@ -370,12 +383,17 @@ class RecommendationDispatcher:
             try:
                 self._process_batch(batch)
             except Exception as exc:  # noqa: BLE001 — the serve loop must survive
+                obs.error_event("dispatcher.serve_loop", exc)
                 self._fail([p for p in batch if not p.event.is_set()], exc)
             if stop:
                 return
 
     # -- batch execution ---------------------------------------------------------------
     def _process_batch(self, batch: list[_Pending]) -> None:
+        with obs.span("dispatcher.batch", attrs={"batch_size": len(batch)}):
+            self._process_batch_inner(batch)
+
+    def _process_batch_inner(self, batch: list[_Pending]) -> None:
         start = time.monotonic()
         abandoned = [pending for pending in batch if pending.abandoned]
         if abandoned:
@@ -414,6 +432,7 @@ class RecommendationDispatcher:
                 servable = self.registry.resolve(name, version)
                 self._serve_group(servable, members, start, len(batch))
             except Exception as exc:  # noqa: BLE001 — one group never kills the loop
+                obs.error_event("dispatcher.group", exc)
                 self._fail([p for p in members if not p.event.is_set()], exc)
 
     def _serve_group(
@@ -446,6 +465,7 @@ class RecommendationDispatcher:
             with self._stats_lock:
                 self.stats.forward_passes += 1
         except Exception as exc:  # noqa: BLE001 — contained per group
+            obs.error_event("dispatcher.forward_pass", exc)
             self._fail(ready, exc)
             return
         for pending, scores in zip(ready, score_dicts):
@@ -454,6 +474,7 @@ class RecommendationDispatcher:
                     servable, pending, scores, start, batch_size
                 )
             except Exception as exc:  # noqa: BLE001 — contained per request
+                obs.error_event("dispatcher.build", exc)
                 self._fail([pending], exc)
                 continue
             self._release([pending])

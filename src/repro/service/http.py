@@ -50,6 +50,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..core.dmd import DecisionMakingModelDesigner
 from ..datasets.dataset import Dataset
 from ..datasets.task import resolve_task
@@ -92,6 +93,8 @@ def route_label(path: str) -> str:
     path = path.partition("?")[0]
     if path.startswith("/jobs/"):
         return "/jobs/{id}"
+    if path.startswith("/trace/"):
+        return "/trace/{id}"
     if path.startswith("/models/") and path.endswith("/export"):
         return "/models/{name}/export"
     known = {
@@ -151,6 +154,7 @@ def dataset_from_json(payload: Any) -> Dataset:
     except ServiceError:
         raise
     except Exception as exc:  # noqa: BLE001 — surface malformed payloads as 400s
+        obs.error_event("http.dataset", exc)
         raise ServiceError(400, f"invalid dataset: {exc}") from exc
 
 
@@ -232,11 +236,35 @@ class RecommendationService:
         if self.metrics_store is None:
             own = self.metrics_payload(include_samples=True)
             aggregate = aggregate_worker_payloads([own])
-            return {"scope": "process", **aggregate}
-        self.flush_metrics()
-        payloads = self.metrics_store.read_all()
-        aggregate = aggregate_worker_payloads(payloads)
-        return {"scope": "pool", **aggregate}
+            response = {"scope": "process", **aggregate}
+        else:
+            self.flush_metrics()
+            payloads = self.metrics_store.read_all()
+            aggregate = aggregate_worker_payloads(payloads)
+            response = {"scope": "pool", **aggregate}
+        if obs.enabled():
+            # Computed once over the shared journal, *after* aggregation —
+            # pool workers share one journal dir, so folding counts into each
+            # worker's payload would double-count every event.
+            response["events"] = obs.event_counts()
+        return response
+
+    def trace_payload(self, trace_id: str) -> dict:
+        """The ``GET /trace/<id>`` body: the assembled span tree."""
+        from ..obs.report import build_traces, span_tree_payload
+
+        journal = obs.journal_dir()
+        if journal is None:
+            raise ServiceError(404, "tracing is not configured (no journal)")
+        traces = build_traces(obs.read_events(journal))
+        tree = traces.get(trace_id)
+        if tree is None:
+            raise ServiceError(404, f"unknown trace {trace_id!r}")
+        return {
+            "trace_id": trace_id,
+            "coverage": round(tree.coverage(), 4),
+            "roots": [span_tree_payload(root) for root in tree.roots],
+        }
 
     def models_payload(self) -> dict:
         return {"models": self.registry.describe()}
@@ -464,14 +492,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise ServiceError(400, f"invalid JSON body: {exc}") from exc
 
     def _dispatch(self, fn) -> None:
-        try:
-            payload = fn()
-        except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)}, retry_after=exc.retry_after)
-        except Exception as exc:  # noqa: BLE001 — one request never kills the server
-            self._send_json(500, {"error": f"internal error: {exc}"})
-        else:
-            self._send_json(200, payload)
+        with obs.attach_header(self.headers.get(obs.TRACE_HEADER)):
+            with obs.span(
+                "service.request",
+                attrs={"route": route_label(self.path), "method": self.command},
+            ):
+                try:
+                    payload = fn()
+                except ServiceError as exc:
+                    self._send_json(
+                        exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+                    )
+                except Exception as exc:  # noqa: BLE001 — one request never kills the server
+                    obs.error_event("service.dispatch", exc)
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+                else:
+                    self._send_json(200, payload)
 
     # -- routes ------------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
@@ -493,6 +529,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             self._dispatch(lambda: service.job_payload(job_id))
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            self._dispatch(lambda: service.trace_payload(trace_id))
         elif path.startswith("/models/") and path.endswith("/export"):
             name = path[len("/models/"):-len("/export")]
             version = None

@@ -84,8 +84,9 @@ class LoadReport:
     def throughput_rps(self) -> float:
         return self.n_requests / self.duration_seconds if self.duration_seconds else 0.0
 
-    def latency_ms(self, q: float) -> float:
-        return round(quantile(self.latencies, q) * 1000.0, 3)
+    def latency_ms(self, q: float) -> float | None:
+        value = quantile(self.latencies, q)
+        return round(value * 1000.0, 3) if value is not None else None
 
     def as_dict(self) -> dict:
         return {

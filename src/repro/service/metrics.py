@@ -47,10 +47,14 @@ __all__ = [
 QPS_WINDOW_SECONDS = 60
 
 
-def quantile(samples: list[float], q: float) -> float:
-    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation."""
+def quantile(samples: list[float], q: float) -> float | None:
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation.
+
+    An empty sample set has no quantiles: the result is ``None``, never a
+    fabricated 0.0 that a dashboard would read as a measured latency.
+    """
     if not samples:
-        return 0.0
+        return None
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
@@ -59,6 +63,12 @@ def quantile(samples: list[float], q: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     frac = pos - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _quantile_ms(samples: list[float], q: float) -> float | None:
+    """A reservoir quantile in rounded milliseconds (``None`` when empty)."""
+    value = quantile(samples, q)
+    return round(value * 1000.0, 3) if value is not None else None
 
 
 class LatencyReservoir:
@@ -99,11 +109,11 @@ class LatencyReservoir:
     def summary(self, include_samples: bool = False) -> dict:
         out = {
             "count": self.count,
-            "mean_ms": round(self.total / self.count * 1000.0, 3) if self.count else 0.0,
-            "max_ms": round(self.max_value * 1000.0, 3),
-            "p50_ms": round(quantile(self._samples, 0.50) * 1000.0, 3),
-            "p95_ms": round(quantile(self._samples, 0.95) * 1000.0, 3),
-            "p99_ms": round(quantile(self._samples, 0.99) * 1000.0, 3),
+            "mean_ms": round(self.total / self.count * 1000.0, 3) if self.count else None,
+            "max_ms": round(self.max_value * 1000.0, 3) if self.count else None,
+            "p50_ms": _quantile_ms(self._samples, 0.50),
+            "p95_ms": _quantile_ms(self._samples, 0.95),
+            "p99_ms": _quantile_ms(self._samples, 0.99),
         }
         if include_samples:
             out["samples_ms"] = [round(s * 1000.0, 3) for s in self._samples]
@@ -293,16 +303,21 @@ def _merge_endpoint_latency(summaries: Iterable[dict]) -> dict:
     max_ms = 0.0
     for summary in summaries:
         count += summary.get("count", 0)
-        total_ms += summary.get("mean_ms", 0.0) * summary.get("count", 0)
-        max_ms = max(max_ms, summary.get("max_ms", 0.0))
-        samples.extend(summary.get("samples_ms", []))
+        total_ms += (summary.get("mean_ms") or 0.0) * summary.get("count", 0)
+        max_ms = max(max_ms, summary.get("max_ms") or 0.0)
+        samples.extend(summary.get("samples_ms") or [])
+
+    def merged_quantile(q: float) -> float | None:
+        value = quantile(samples, q)
+        return round(value, 3) if value is not None else None
+
     return {
         "count": count,
-        "mean_ms": round(total_ms / count, 3) if count else 0.0,
-        "max_ms": round(max_ms, 3),
-        "p50_ms": round(quantile(samples, 0.50), 3),
-        "p95_ms": round(quantile(samples, 0.95), 3),
-        "p99_ms": round(quantile(samples, 0.99), 3),
+        "mean_ms": round(total_ms / count, 3) if count else None,
+        "max_ms": round(max_ms, 3) if count else None,
+        "p50_ms": merged_quantile(0.50),
+        "p95_ms": merged_quantile(0.95),
+        "p99_ms": merged_quantile(0.99),
     }
 
 

@@ -52,6 +52,7 @@ import threading
 import time
 from pathlib import Path
 
+from .. import obs
 from .http import RecommendationService, make_http_server
 from .metrics import MetricsDirectory
 
@@ -248,8 +249,8 @@ class ServicePool:
         finally:
             try:
                 service.close()  # final metrics flush included
-            except Exception:  # noqa: BLE001 — shutting down anyway
-                pass
+            except Exception as exc:  # noqa: BLE001 — shutting down anyway
+                obs.error_event("pool.worker_close", exc)
 
     def _worker_socket(self) -> socket.socket:
         """The socket a worker accepts on (per-mode, see module docstring)."""
@@ -268,8 +269,8 @@ class ServicePool:
             time.sleep(self.flush_interval)
             try:
                 service.flush_metrics()
-            except Exception:  # noqa: BLE001 — metrics must never kill a worker
-                pass
+            except Exception as exc:  # noqa: BLE001 — metrics must never kill a worker
+                obs.error_event("pool.flush", exc)
 
     # -- supervision -------------------------------------------------------------------
     def _supervise(self) -> None:
@@ -287,7 +288,8 @@ class ServicePool:
                 if slot.pid is None and now >= slot.next_spawn_at:
                     try:
                         self._spawn(slot, ready_deadline=time.monotonic() + 30.0)
-                    except Exception:  # noqa: BLE001 — retry on the next tick
+                    except Exception as exc:  # noqa: BLE001 — retry on the next tick
+                        obs.error_event("pool.spawn", exc)
                         slot.next_spawn_at = time.monotonic() + max(
                             slot.backoff, self.respawn_backoff
                         )

@@ -35,6 +35,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from .. import obs
 from ..execution.store import ResultStore
 from .http import ServiceError
 from .metrics import ServiceMetrics
@@ -222,15 +223,26 @@ class _StoreHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, fn) -> None:
         service = self.server.service
-        try:
-            with service.admit():
-                payload = fn()
-        except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)}, retry_after=exc.retry_after)
-        except Exception as exc:  # noqa: BLE001 — one request never kills the server
-            self._send_json(500, {"error": f"internal error: {exc}"})
-        else:
-            self._send_json(200, payload)
+        with obs.attach_header(self.headers.get(obs.TRACE_HEADER)):
+            with obs.span(
+                "store.request",
+                attrs={
+                    "route": store_route_label(self.path),
+                    "method": self.command,
+                },
+            ):
+                try:
+                    with service.admit():
+                        payload = fn()
+                except ServiceError as exc:
+                    self._send_json(
+                        exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+                    )
+                except Exception as exc:  # noqa: BLE001 — one request never kills the server
+                    obs.error_event("store_server.dispatch", exc)
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+                else:
+                    self._send_json(200, payload)
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         self._started = time.monotonic()

@@ -1,0 +1,19 @@
+"""Obs-test isolation: every test starts and ends with tracing fully off.
+
+``repro.obs`` configuration travels through process-wide environment
+variables (by design — forked workers must inherit it), so without this
+fixture one test's ``configure`` would silently trace its neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    obs.disable()
+    yield
+    obs.disable()

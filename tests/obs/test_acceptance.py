@@ -1,0 +1,115 @@
+"""The issue's acceptance scenario: a traced two-worker coordinated build.
+
+One root span, two :class:`WorkCoordinator` workers on threads sharing one
+store, a crashing cell, then a resumed run — the journal alone must
+reconstruct a single trace tree covering ≥ 95% of the build's wall time,
+with per-worker lanes and a recorded status for every trial.
+"""
+
+import threading
+import time
+
+import repro.obs as obs
+from repro.execution import ResultStore, WorkCoordinator
+from repro.obs.report import (
+    build_traces,
+    render_report,
+    trial_summary,
+    worker_lanes,
+)
+
+N_CELLS = 16
+CRASH_SEED = 3
+
+
+def _cells():
+    return [{"dataset": f"D{i}", "algorithm": "alg", "seed": i} for i in range(N_CELLS)]
+
+
+def _objective(cell):
+    time.sleep(0.01)  # a real (if tiny) unit of work, so spans have width
+    if cell["seed"] == CRASH_SEED:
+        raise RuntimeError("injected crash")
+    return cell["seed"] / 7.0
+
+
+class TestTracedFleetBuild:
+    def test_journal_reconstructs_the_whole_build(self, tmp_path):
+        journal = tmp_path / "journal"
+        obs.configure(journal)
+        store_path = tmp_path / "store"
+        coordinators = [
+            WorkCoordinator(ResultStore(store_path), worker_index=i, n_workers=2)
+            for i in range(2)
+        ]
+        cells = _cells()
+
+        def worker(coordinator, context):
+            # Threads do not inherit contextvars: each worker re-attaches the
+            # builder's root context, exactly like a forked fleet member
+            # picking up REPRO_TRACE.
+            with obs.attach(context):
+                coordinator.run("ctx", cells, _objective, crash_score=-1.0)
+
+        with obs.span("corpus.build") as root:
+            threads = [
+                threading.Thread(target=worker, args=(c, root.context))
+                for c in coordinators
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # A third worker resumes the finished build: every cell is a
+            # fleet cache hit and must be accounted as such.
+            with obs.attach(root.context):
+                resumed = WorkCoordinator(ResultStore(store_path))
+                resumed.run("ctx", cells, _objective, crash_score=-1.0)
+
+        events = obs.read_events(journal)
+        traces = build_traces(events)
+        assert set(traces) == {root.trace_id}  # one trace covers everything
+        tree = traces[root.trace_id]
+        assert tree.root.name == "corpus.build"
+
+        # >= 95% of the build's wall time is accounted for by its children.
+        assert tree.coverage() >= 0.95
+
+        # Per-worker lanes: both fleet workers plus the resume pass.
+        lanes = worker_lanes(tree)
+        assert {"w0", "w1"}.issubset(lanes)
+        assert all(spans for spans in lanes.values())
+
+        # Every trial has a recorded status; the fleet as a whole executed
+        # each cell at least once (lease races may retry, never lose).
+        summary = trial_summary(events)
+        trials = [e for e in events if e.get("type") == "trial_finish"]
+        executed_keys = {
+            e["key"] for e in trials if e["status"] in ("ok", "crashed")
+        }
+        cached_keys = {e["key"] for e in trials if e["status"] == "cached"}
+        all_keys = {WorkCoordinator.cell_key(cell) for cell in cells}
+        assert executed_keys == all_keys
+        assert cached_keys == all_keys  # the resume saw every cell as cached
+        assert summary["crashed"] >= 1
+        assert summary["ok"] >= N_CELLS - summary["crashed"]
+        assert summary["cached"] >= N_CELLS
+
+        # The fleet protocol itself is visible: one lease per executed cell.
+        leases = [e for e in events if e.get("type") == "claim_lease"]
+        assert {e["key"] for e in leases} == all_keys
+        assert {e["worker"] for e in leases}.issubset({"w0", "w1"})
+
+        # The crash is classified, with the exception class preserved.
+        (crash,) = [e for e in trials if e["status"] == "crashed"][:1]
+        assert crash["exc_class"] == "RuntimeError"
+
+        # And the rendered report shows the whole story in one page.
+        text = render_report(journal)
+        assert "corpus.build" in text
+        assert "coordinator.run" in text
+        assert "fleet timeline" in text
+        assert " w0 " in text and " w1 " in text
+        assert "crash taxonomy:" in text
+        assert "RuntimeError" in text
+        assert f"{summary['total']} total" in text

@@ -1,0 +1,120 @@
+"""Satellite: contained failures become structured ``error`` events.
+
+Every ``except Exception`` swallow site now reports through
+``obs.error_event`` — these tests pin the two that matter most operationally
+(a poisoned serve-loop batch, a crashed fleet worker) plus the engine's
+per-exception-class crash taxonomy.
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.datasets import make_gaussian_clusters
+from repro.execution import EvaluationEngine, ResultStore, WorkCoordinator
+from repro.service import ModelRegistry
+from repro.service.dispatcher import RecommendationDispatcher
+from repro.service.http import ServiceError, dataset_from_json
+
+
+def _errors(journal, site=None):
+    errors = [e for e in obs.read_events(journal) if e.get("type") == "error"]
+    if site is not None:
+        errors = [e for e in errors if e.get("site") == site]
+    return errors
+
+
+class TestPoisonedServeLoop:
+    def test_batch_crash_leaves_an_error_event_and_the_loop_survives(
+        self, tmp_path, monkeypatch
+    ):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        dispatcher = RecommendationDispatcher(ModelRegistry(tmp_path / "reg"))
+        dataset = make_gaussian_clusters(
+            "poison", n_records=40, n_numeric=3, n_categorical=0, n_classes=2,
+            random_state=0,
+        )
+        monkeypatch.setattr(
+            dispatcher,
+            "_process_batch_inner",
+            lambda batch: (_ for _ in ()).throw(RuntimeError("poisoned batch")),
+        )
+        try:
+            with pytest.raises(RuntimeError, match="poisoned batch"):
+                dispatcher.recommend(dataset, timeout=30.0)
+            # The serve loop survived the poison: a second request still gets
+            # an answer (here: the same injected crash, not a hang).
+            with pytest.raises(RuntimeError, match="poisoned batch"):
+                dispatcher.recommend(dataset, timeout=30.0)
+        finally:
+            dispatcher.close()
+        events = _errors(journal, "dispatcher.serve_loop")
+        assert len(events) == 2
+        assert events[0]["exc_class"] == "RuntimeError"
+        assert "poisoned batch" in events[0]["message"]
+
+    def test_malformed_dataset_payload_is_an_error_event(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with pytest.raises(ServiceError):
+            dataset_from_json({"target": [0, 1], "numeric": [["x"], ["y"]]})
+        (event,) = _errors(tmp_path / "j", "http.dataset")
+        assert event["exc_class"] == "ValueError"
+
+
+class TestCrashedFleetWorker:
+    def test_crashed_cell_leaves_error_and_crashed_trial_events(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+
+        def objective(cell):
+            if cell["seed"] == 1:
+                raise ValueError("bad cell")
+            return 1.0
+
+        cells = [{"dataset": f"D{i}", "seed": i} for i in range(3)]
+        coordinator = WorkCoordinator(ResultStore(tmp_path / "s"))
+        coordinator.run("ctx", cells, objective, crash_score=-1.0)
+
+        (error,) = _errors(journal, "coordinator.cell")
+        assert error["exc_class"] == "ValueError"
+        assert "bad cell" in error["message"]
+        trials = [
+            e for e in obs.read_events(journal) if e.get("type") == "trial_finish"
+        ]
+        by_status = {e["status"] for e in trials}
+        assert by_status == {"ok", "crashed"}
+        (crashed,) = [e for e in trials if e["status"] == "crashed"]
+        assert crashed["exc_class"] == "ValueError"
+        assert crashed["score"] == -1.0
+        assert crashed["worker"] == "w0"
+
+
+class TestEngineCrashTaxonomy:
+    def test_stats_count_crashes_per_exception_class(self):
+        def objective(config):
+            if config["x"] < 2:
+                raise ValueError("small")
+            if config["x"] == 2:
+                raise TypeError("two")
+            return float(config["x"])
+
+        engine = EvaluationEngine(objective, crash_score=-1.0)
+        engine.evaluate_many([{"x": i} for i in range(4)])
+        taxonomy = engine.stats.as_dict()["crash_taxonomy"]
+        assert taxonomy == {"ValueError": 2, "TypeError": 1}
+        assert engine.stats.n_crashes == 3
+
+    def test_taxonomy_matches_the_journal_when_tracing(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+
+        def objective(config):
+            raise KeyError(config["x"])
+
+        engine = EvaluationEngine(objective, crash_score=0.0)
+        engine.evaluate_many([{"x": 1}, {"x": 2}])
+        from repro.obs.report import crash_taxonomy
+
+        taxonomy = crash_taxonomy(obs.read_events(journal))
+        assert taxonomy["crashed_trials"] == {"KeyError": 2}
+        assert engine.stats.crash_classes == {"KeyError": 2}

@@ -1,0 +1,117 @@
+"""EventJournal durability: atomic appends, rotation, corrupt-line tolerance."""
+
+import json
+import os
+
+import repro.obs as obs
+from repro.obs import EventJournal, read_events
+from repro.obs.events import count_by_type
+
+
+class TestEmitAndRead:
+    def test_round_trip_preserves_fields(self, tmp_path):
+        journal = EventJournal(tmp_path / "j")
+        assert journal.emit({"type": "trial_finish", "ts": 2.0, "key": "b"}) is True
+        assert journal.emit({"type": "span", "ts": 1.0, "name": "a"}) is True
+        events = read_events(tmp_path / "j")
+        # Sorted by ts regardless of write order.
+        assert [e["ts"] for e in events] == [1.0, 2.0]
+        assert events[0]["name"] == "a"
+        assert events[1]["key"] == "b"
+
+    def test_reader_accepts_directory_or_single_file(self, tmp_path):
+        journal = EventJournal(tmp_path / "j")
+        journal.emit({"type": "x", "ts": 1.0})
+        path = journal.path_for_pid(os.getpid())
+        assert read_events(path) == read_events(tmp_path / "j")
+
+    def test_unserialisable_values_degrade_to_strings(self, tmp_path):
+        journal = EventJournal(tmp_path / "j")
+        assert journal.emit({"type": "x", "ts": 1.0, "obj": object()}) is True
+        (event,) = read_events(tmp_path / "j")
+        assert "object" in event["obj"]
+
+    def test_emit_returns_false_when_the_dir_is_unwritable(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        journal = EventJournal(blocker / "j")
+        assert journal.emit({"type": "x", "ts": 1.0}) is False
+
+    def test_close_then_emit_reopens(self, tmp_path):
+        journal = EventJournal(tmp_path / "j")
+        journal.emit({"type": "x", "ts": 1.0})
+        journal.close()
+        journal.emit({"type": "x", "ts": 2.0})
+        assert len(read_events(tmp_path / "j")) == 2
+
+
+class TestCorruptTolerance:
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        journal = EventJournal(tmp_path / "j")
+        journal.emit({"type": "good", "ts": 1.0})
+        path = journal.path_for_pid(os.getpid())
+        with path.open("a") as handle:
+            handle.write('{"type": "truncat')  # torn write
+            handle.write("\n\x00garbage\n")
+            handle.write('"not-an-object"\n')
+            handle.write("[1, 2, 3]\n")
+        journal.emit({"type": "good", "ts": 2.0})
+        events = read_events(tmp_path / "j")
+        assert [e["type"] for e in events] == ["good", "good"]
+
+    def test_missing_directory_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+
+class TestRotation:
+    def test_rotates_at_max_bytes_and_reader_merges(self, tmp_path):
+        journal = EventJournal(tmp_path / "j", max_bytes=200)
+        for i in range(20):
+            journal.emit({"type": "x", "ts": float(i), "pad": "p" * 40})
+        files = sorted((tmp_path / "j").glob("events-*.jsonl"))
+        assert len(files) > 1  # at least one rotation happened
+        assert any(".r" in f.name for f in files)
+        events = read_events(tmp_path / "j")
+        assert len(events) == 20  # nothing lost across rotations
+        assert [e["ts"] for e in events] == [float(i) for i in range(20)]
+        # No single live file exceeds the cap by more than one record.
+        for file in files:
+            assert file.stat().st_size <= 200 + 100
+
+    def test_multi_process_files_merge_by_timestamp(self, tmp_path):
+        directory = tmp_path / "j"
+        directory.mkdir()
+        (directory / "events-111.jsonl").write_text(
+            json.dumps({"type": "a", "ts": 2.0}) + "\n"
+        )
+        (directory / "events-222.jsonl").write_text(
+            json.dumps({"type": "b", "ts": 1.0}) + "\n"
+        )
+        events = read_events(directory)
+        assert [e["type"] for e in events] == ["b", "a"]
+
+
+class TestCounts:
+    def test_count_by_type_is_sorted(self):
+        events = [{"type": "b"}, {"type": "a"}, {"type": "b"}, {}]
+        assert count_by_type(events) == {"(untyped)": 1, "a": 1, "b": 2}
+
+    def test_event_counts_over_the_active_journal(self, tmp_path):
+        assert obs.event_counts() == {}
+        obs.configure(tmp_path / "j")
+        with obs.span("root"):
+            obs.emit("trial_finish", key="k")
+            obs.emit("trial_finish", key="k2")
+        assert obs.event_counts() == {"span": 1, "trial_finish": 2}
+
+    def test_emitted_events_carry_the_active_trace(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with obs.span("root") as span:
+            obs.emit("claim_lease", key="k")
+        obs.emit("orphan")
+        events = read_events(tmp_path / "j")
+        claim = next(e for e in events if e["type"] == "claim_lease")
+        orphan = next(e for e in events if e["type"] == "orphan")
+        assert claim["trace_id"] == span.trace_id
+        assert claim["span_id"] == span.span_id
+        assert "trace_id" not in orphan

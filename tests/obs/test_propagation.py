@@ -1,0 +1,152 @@
+"""Trace propagation across the three hops: thread pools, processes, HTTP.
+
+Executor threads do not inherit contextvars, child processes do not inherit
+memory at all, and HTTP peers share nothing but bytes — each hop has its own
+carrier (captured header, ``propagation_env()``, ``X-Repro-Trace``) and each
+is pinned here by asserting the remote span's ``trace_id``/``parent_id``
+link back to the local caller's span.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro.obs as obs
+from repro.execution import EvaluationEngine, ResultStore
+from repro.service import StoreService, serve_store_in_thread
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spans(journal, name=None):
+    spans = [e for e in obs.read_events(journal) if e.get("type") == "span"]
+    if name is not None:
+        spans = [e for e in spans if e.get("name") == name]
+    return spans
+
+
+def _wait_spans(journal, name, n=1, timeout=10.0):
+    """Server-side spans land just after the response bytes; poll, don't race."""
+    deadline = time.monotonic() + timeout
+    while True:
+        spans = _spans(journal, name)
+        if len(spans) >= n or time.monotonic() >= deadline:
+            return spans
+        time.sleep(0.01)
+
+
+class TestThreadPoolPropagation:
+    def test_trial_spans_parent_under_the_batch_span(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+
+        def objective(config):
+            time.sleep(0.002)
+            return config["x"] / 10.0
+
+        engine = EvaluationEngine(objective, backend="thread", n_workers=2)
+        with engine:
+            with obs.span("search") as root:
+                engine.evaluate_many([{"x": i} for i in range(4)])
+        batch = _spans(journal, "engine.evaluate_many")
+        assert len(batch) == 1
+        assert batch[0]["trace_id"] == root.trace_id
+        assert batch[0]["parent_id"] == root.span_id
+        trials = _spans(journal, "engine.trial")
+        assert len(trials) == 4
+        for trial in trials:
+            # The pool worker re-attached the caller's context from the
+            # captured header: same trace, parented under the batch span.
+            assert trial["trace_id"] == root.trace_id
+            assert trial["parent_id"] == batch[0]["span_id"]
+
+    def test_trial_finish_events_carry_the_trace(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        engine = EvaluationEngine(lambda c: float(c["x"]), backend="serial")
+        with obs.span("search") as root:
+            engine.evaluate_many([{"x": 1}, {"x": 1}])  # execute + duplicate
+        trials = [
+            e for e in obs.read_events(journal) if e.get("type") == "trial_finish"
+        ]
+        assert [t["status"] for t in trials] == ["ok", "cached"]
+        assert all(t["trace_id"] == root.trace_id for t in trials)
+
+
+class TestProcessPropagation:
+    def test_child_process_worker_lands_under_the_builder_trace(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        script = (
+            "import sys\n"
+            "from repro.execution import ResultStore, WorkCoordinator\n"
+            "cells = [{'dataset': f'D{i}', 'seed': i} for i in range(3)]\n"
+            "WorkCoordinator(ResultStore(sys.argv[1])).run(\n"
+            "    'ctx', cells, lambda cell: cell['seed'] / 7.0)\n"
+        )
+        with obs.span("fleet.build") as root:
+            env = dict(os.environ)
+            env.update(obs.propagation_env())
+            env["PYTHONPATH"] = SRC_DIR + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path / "store")],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+        assert result.returncode == 0, result.stderr
+        runs = _spans(journal, "coordinator.run")
+        assert len(runs) == 1
+        # The child's root span picked up the ambient REPRO_TRACE parent.
+        assert runs[0]["trace_id"] == root.trace_id
+        assert runs[0]["parent_id"] == root.span_id
+        assert runs[0]["pid"] != os.getpid()
+        trials = [
+            e for e in obs.read_events(journal) if e.get("type") == "trial_finish"
+        ]
+        assert len(trials) == 3
+        assert all(t["trace_id"] == root.trace_id for t in trials)
+
+
+class TestHttpPropagation:
+    def test_store_server_request_span_parents_under_the_client(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        authority = ResultStore(tmp_path / "authority", backend="sqlite")
+        server, _thread = serve_store_in_thread(StoreService(authority))
+        port = server.server_address[1]
+        try:
+            client = ResultStore(f"http://127.0.0.1:{port}")
+            with obs.span("client.put") as client_span:
+                client.put_key("ctx", "k1", 0.5, {"algorithm": "J48"})
+        finally:
+            server.shutdown()
+        requests = _wait_spans(journal, "store.request")
+        assert len(requests) >= 1
+        for request in requests:
+            # The X-Repro-Trace header crossed the socket: the server-side
+            # span joins the client's trace as a child of the client span.
+            assert request["trace_id"] == client_span.trace_id
+            assert request["parent_id"] == client_span.span_id
+            assert request["attrs"]["route"].startswith("/")
+
+    def test_requests_without_a_header_stay_independent(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        authority = ResultStore(tmp_path / "authority", backend="sqlite")
+        server, _thread = serve_store_in_thread(StoreService(authority))
+        port = server.server_address[1]
+        try:
+            # No active span on the client side: no header is sent.
+            client = ResultStore(f"http://127.0.0.1:{port}")
+            client.put_key("ctx", "k1", 0.5)
+        finally:
+            server.shutdown()
+        requests = _wait_spans(journal, "store.request")
+        assert len(requests) >= 1
+        assert all(r["parent_id"] is None for r in requests)

@@ -1,0 +1,228 @@
+"""Report reconstruction: trace trees, coverage, critical path, rollups, CLI."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.report import (
+    build_traces,
+    crash_taxonomy,
+    main,
+    phase_rollup,
+    render_report,
+    slowest_spans,
+    span_tree_payload,
+    trial_summary,
+    worker_lanes,
+)
+
+
+def _span(trace, sid, parent, name, ts, dur, status="ok", attrs=None, pid=1):
+    return {
+        "type": "span",
+        "trace_id": trace,
+        "span_id": sid,
+        "parent_id": parent,
+        "name": name,
+        "ts": ts,
+        "duration": dur,
+        "status": status,
+        "attrs": attrs or {},
+        "pid": pid,
+    }
+
+
+class TestBuildTraces:
+    def test_groups_by_trace_and_links_children(self):
+        events = [
+            _span("t1", "a", None, "root", 0.0, 10.0),
+            _span("t1", "b", "a", "late-child", 6.0, 2.0),
+            _span("t1", "c", "a", "early-child", 1.0, 2.0),
+            _span("t2", "d", None, "other", 0.0, 1.0),
+            {"type": "trial_finish", "ts": 0.5},  # non-span events ignored
+        ]
+        traces = build_traces(events)
+        assert set(traces) == {"t1", "t2"}
+        root = traces["t1"].root
+        assert root.name == "root"
+        # Children sorted by start time.
+        assert [c.name for c in root.children] == ["early-child", "late-child"]
+
+    def test_orphans_are_promoted_to_roots(self):
+        events = [
+            _span("t1", "a", "lost-parent", "orphan", 0.0, 2.0),
+            _span("t1", "b", "a", "child-of-orphan", 0.5, 1.0),
+        ]
+        tree = build_traces(events)["t1"]
+        assert [r.name for r in tree.roots] == ["orphan"]
+        assert tree.root.children[0].name == "child-of-orphan"
+
+    def test_dominant_root_is_the_longest_top_level_span(self):
+        events = [
+            _span("t1", "a", None, "short", 0.0, 1.0),
+            _span("t1", "b", None, "long", 0.5, 5.0),
+        ]
+        assert build_traces(events)["t1"].root.name == "long"
+
+
+class TestCoverage:
+    def test_union_of_child_intervals_over_root(self):
+        events = [
+            _span("t1", "r", None, "root", 0.0, 10.0),
+            _span("t1", "a", "r", "a", 0.0, 4.0),
+            _span("t1", "b", "r", "b", 2.0, 4.0),  # overlaps a: union [0, 6]
+            _span("t1", "c", "r", "c", 7.0, 2.0),  # disjoint: union += 2
+        ]
+        assert build_traces(events)["t1"].coverage() == pytest.approx(0.8)
+
+    def test_children_clip_to_the_root_window(self):
+        events = [
+            _span("t1", "r", None, "root", 5.0, 2.0),
+            _span("t1", "a", "r", "a", 0.0, 100.0),  # sloppy clock: clipped
+        ]
+        assert build_traces(events)["t1"].coverage() == pytest.approx(1.0)
+
+    def test_childless_or_zero_duration_root_is_zero(self):
+        assert build_traces([_span("t", "r", None, "r", 0.0, 1.0)])["t"].coverage() == 0.0
+        assert build_traces([_span("t", "r", None, "r", 0.0, 0.0)])["t"].coverage() == 0.0
+
+
+class TestCriticalPath:
+    def test_descends_the_largest_child(self):
+        events = [
+            _span("t1", "r", None, "root", 0.0, 10.0),
+            _span("t1", "a", "r", "small", 0.0, 2.0),
+            _span("t1", "b", "r", "big", 2.0, 7.0),
+            _span("t1", "c", "b", "leaf", 2.0, 6.0),
+        ]
+        path = build_traces(events)["t1"].critical_path()
+        assert [n.name for n in path] == ["root", "big", "leaf"]
+
+
+class TestRollups:
+    def test_phase_rollup_totals_and_self_time(self):
+        events = [
+            _span("t1", "r", None, "phase", 0.0, 10.0),
+            _span("t1", "a", "r", "work", 0.0, 3.0),
+            _span("t1", "b", "r", "work", 3.0, 4.0, status="error"),
+        ]
+        rollup = phase_rollup(build_traces(events)["t1"].walk())
+        assert rollup[0]["name"] == "phase"
+        assert rollup[0]["self"] == pytest.approx(3.0)  # 10 - (3 + 4)
+        work = rollup[1]
+        assert work == {"name": "work", "count": 2, "total": 7.0, "self": 7.0, "errors": 1}
+
+    def test_slowest_spans(self):
+        events = [
+            _span("t1", "r", None, "root", 0.0, 10.0),
+            _span("t1", "a", "r", "a", 0.0, 1.0),
+            _span("t1", "b", "r", "b", 0.0, 5.0),
+        ]
+        tree = build_traces(events)["t1"]
+        assert [s.name for s in slowest_spans(tree.walk(), 2)] == ["root", "b"]
+
+    def test_crash_taxonomy_splits_trials_from_contained_errors(self):
+        events = [
+            {"type": "trial_finish", "status": "crashed", "exc_class": "ValueError"},
+            {"type": "trial_finish", "status": "crashed", "exc_class": "ValueError"},
+            {"type": "trial_finish", "status": "ok"},
+            {"type": "error", "exc_class": "OSError"},
+            {"type": "error"},
+        ]
+        taxonomy = crash_taxonomy(events)
+        assert taxonomy["crashed_trials"] == {"ValueError": 2}
+        assert taxonomy["contained_errors"] == {"OSError": 1, "(unknown)": 1}
+
+    def test_trial_summary_counts_statuses(self):
+        events = [
+            {"type": "trial_finish", "status": "ok"},
+            {"type": "trial_finish", "status": "cached"},
+            {"type": "trial_finish", "status": "cached"},
+            {"type": "trial_finish", "status": "crashed"},
+        ]
+        assert trial_summary(events) == {"total": 4, "ok": 1, "cached": 2, "crashed": 1}
+
+
+class TestWorkerLanes:
+    def test_lanes_by_worker_attr_with_pid_fallback(self):
+        events = [
+            _span("t1", "r", None, "root", 0.0, 10.0, pid=42),
+            _span("t1", "a", "r", "cell", 0.0, 1.0, attrs={"worker": "w0"}),
+            _span("t1", "b", "r", "cell", 1.0, 1.0, attrs={"worker": "w1"}),
+            _span("t1", "c", "r", "cell", 2.0, 1.0, attrs={"worker": "w0"}),
+        ]
+        lanes = worker_lanes(build_traces(events)["t1"])
+        assert list(lanes) == ["pid-42", "w0", "w1"]
+        assert len(lanes["w0"]) == 2
+
+
+class TestPayload:
+    def test_span_tree_payload_nests_children(self):
+        events = [
+            _span("t1", "r", None, "root", 0.0, 10.0),
+            _span("t1", "a", "r", "child", 1.0, 2.0, attrs={"k": "v"}),
+        ]
+        payload = span_tree_payload(build_traces(events)["t1"].root)
+        assert payload["name"] == "root"
+        assert payload["children"][0]["name"] == "child"
+        assert payload["children"][0]["attrs"] == {"k": "v"}
+        assert payload["children"][0]["children"] == []
+
+
+class TestRenderAndCli:
+    def _populate(self, journal):
+        obs.configure(journal)
+        with obs.span("build", attrs={"worker": "w0"}):
+            with obs.span("cell", attrs={"worker": "w0"}):
+                obs.emit("trial_finish", status="ok", key="k1")
+            with obs.span("cell", attrs={"worker": "w1"}):
+                obs.emit(
+                    "trial_finish", status="crashed", key="k2", exc_class="RuntimeError"
+                )
+
+    def test_render_report_covers_every_section(self, tmp_path):
+        journal = tmp_path / "j"
+        self._populate(journal)
+        text = render_report(journal)
+        assert "event counts:" in text
+        assert "trials: 2 total, 1 ok, 0 cached, 1 crashed" in text
+        assert "trace tree:" in text
+        assert "critical path:" in text
+        assert "fleet timeline (2 lanes):" in text
+        assert "phase rollup:" in text
+        assert "slowest spans:" in text
+        assert "crash taxonomy:" in text
+        assert "RuntimeError" in text
+
+    def test_render_report_without_spans(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        obs.emit("trial_finish", status="ok")
+        assert "no spans recorded" in render_report(tmp_path / "j")
+
+    def test_render_report_unknown_trace_raises(self, tmp_path):
+        journal = tmp_path / "j"
+        self._populate(journal)
+        with pytest.raises(KeyError):
+            render_report(journal, trace_id="nope")
+
+    def test_max_depth_elides_deep_children(self, tmp_path):
+        journal = tmp_path / "j"
+        self._populate(journal)
+        text = render_report(journal, max_depth=1)
+        assert "… 2 children" in text
+
+    def test_cli_report_prints_the_rollup(self, tmp_path, capsys):
+        journal = tmp_path / "j"
+        self._populate(journal)
+        assert main(["report", str(journal)]) == 0
+        output = capsys.readouterr().out
+        assert "trace tree:" in output
+        assert "build" in output
+
+    def test_cli_rejects_missing_journal_and_unknown_trace(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "missing")])
+        journal = tmp_path / "j"
+        self._populate(journal)
+        with pytest.raises(SystemExit):
+            main(["report", str(journal), "--trace", "nope"])
+        capsys.readouterr()

@@ -1,0 +1,113 @@
+"""The serving stack's obs surface: request spans, /metrics events, /trace."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import SpanContext
+from repro.obs.trace import new_id
+from repro.service import ModelRegistry, RecommendationService, serve_in_thread
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = RecommendationService(ModelRegistry(tmp_path / "reg"))
+    server, _thread = serve_in_thread(service)
+    yield service, server.server_address[1]
+    server.shutdown()
+    service.close()
+
+
+def _get(port, path, headers=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers=headers or {}
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _wait_spans(journal, name, n=1, timeout=10.0):
+    """Spans are journaled just *after* the response bytes hit the socket, so
+    a reader racing the handler thread polls briefly instead of flaking."""
+    deadline = time.monotonic() + timeout
+    while True:
+        spans = [
+            e for e in obs.read_events(journal)
+            if e.get("type") == "span" and e.get("name") == name
+        ]
+        if len(spans) >= n or time.monotonic() >= deadline:
+            return spans
+        time.sleep(0.01)
+
+
+class TestRequestSpans:
+    def test_every_request_records_a_service_span(self, tmp_path, served):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        _service, port = served
+        _get(port, "/healthz")
+        spans = _wait_spans(journal, "service.request")
+        assert len(spans) == 1
+        assert spans[0]["attrs"] == {"route": "/healthz", "method": "GET"}
+        assert spans[0]["parent_id"] is None
+
+    def test_incoming_header_parents_the_request_span(self, tmp_path, served):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        _service, port = served
+        remote = SpanContext(new_id(), new_id())
+        _get(port, "/healthz", headers={obs.TRACE_HEADER: remote.header()})
+        (span,) = _wait_spans(journal, "service.request")
+        assert span["trace_id"] == remote.trace_id
+        assert span["parent_id"] == remote.span_id
+
+
+class TestMetricsEvents:
+    def test_metrics_gains_an_events_section_when_tracing(self, tmp_path, served):
+        obs.configure(tmp_path / "j")
+        _service, port = served
+        _get(port, "/healthz")
+        assert _wait_spans(tmp_path / "j", "service.request")
+        body = _get(port, "/metrics")
+        assert body["events"]["span"] >= 1  # at least the /healthz request
+
+    def test_metrics_has_no_events_section_when_disabled(self, served):
+        _service, port = served
+        body = _get(port, "/metrics")
+        assert "events" not in body
+
+
+class TestTraceEndpoint:
+    def test_trace_returns_the_assembled_span_tree(self, tmp_path, served):
+        obs.configure(tmp_path / "j")
+        _service, port = served
+        with obs.span("client.request") as client_span:
+            _get(port, "/healthz", headers={obs.TRACE_HEADER: obs.trace_header()})
+        assert _wait_spans(tmp_path / "j", "service.request")
+        body = _get(port, f"/trace/{client_span.trace_id}")
+        assert body["trace_id"] == client_span.trace_id
+        # Server and client share one journal here, so the tree assembles the
+        # full hop: the client span is the root, the request span its child.
+        (root,) = body["roots"]
+        assert root["name"] == "client.request"
+        (request,) = root["children"]
+        assert request["name"] == "service.request"
+        assert request["parent_id"] == client_span.span_id
+        assert body["coverage"] > 0.0
+
+    def test_unknown_trace_is_404(self, tmp_path, served):
+        obs.configure(tmp_path / "j")
+        _service, port = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(port, "/trace/doesnotexist")
+        assert excinfo.value.code == 404
+
+    def test_unconfigured_tracing_is_404(self, served):
+        _service, port = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(port, "/trace/any")
+        assert excinfo.value.code == 404

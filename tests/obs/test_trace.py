@@ -1,0 +1,180 @@
+"""Span identity, nesting, parent resolution and header round-trips."""
+
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import NOOP_SPAN, SpanContext, parse_header
+from repro.obs.trace import new_id
+
+
+def _spans(journal):
+    return [e for e in obs.read_events(journal) if e.get("type") == "span"]
+
+
+class TestDisabled:
+    def test_span_is_the_shared_noop_singleton(self):
+        assert obs.span("anything") is NOOP_SPAN
+        assert obs.span("other") is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with obs.span("x") as span:
+            span.set_attribute("k", "v")
+            assert span.context is None
+        assert obs.current_context() is None
+        assert obs.current_span() is None
+
+    def test_enabled_and_journal_dir_reflect_state(self, tmp_path):
+        assert obs.enabled() is False
+        assert obs.journal_dir() is None
+        obs.configure(tmp_path / "j")
+        assert obs.enabled() is True
+        assert obs.journal_dir() == tmp_path / "j"
+        obs.disable()
+        assert obs.enabled() is False
+
+    def test_emit_and_error_event_are_silent_noops(self, tmp_path):
+        obs.emit("trial_finish", key="k")
+        obs.error_event("site", ValueError("x"))
+        assert not list(tmp_path.glob("**/*.jsonl"))
+
+    def test_configure_enabled_false_stays_off(self, tmp_path):
+        obs.configure(tmp_path / "j", enabled=False)
+        assert obs.enabled() is False
+        assert obs.span("x") is NOOP_SPAN
+
+
+class TestSpanIdentity:
+    def test_root_span_has_fresh_trace_and_no_parent(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        with obs.span("root") as span:
+            assert span.trace_id and span.span_id
+            assert span.parent_id is None
+            assert obs.current_context() == span.context
+            assert obs.current_span() is span
+        assert obs.current_context() is None
+        (event,) = _spans(journal)
+        assert event["name"] == "root"
+        assert event["trace_id"] == span.trace_id
+        assert event["span_id"] == span.span_id
+        assert event["parent_id"] is None
+        assert event["status"] == "ok"
+        assert event["pid"] == os.getpid()
+
+    def test_nested_spans_share_trace_and_link_parent(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+                with obs.span("grandchild") as grand:
+                    assert grand.parent_id == child.span_id
+            # After the child closes, new spans parent under the root again.
+            with obs.span("sibling") as sibling:
+                assert sibling.parent_id == root.span_id
+
+    def test_exception_marks_span_error_with_exc_class(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        with pytest.raises(RuntimeError):
+            with obs.span("work"):
+                raise RuntimeError("boom")
+        (event,) = _spans(journal)
+        assert event["status"] == "error"
+        assert event["attrs"]["exc_class"] == "RuntimeError"
+
+    def test_attributes_land_in_the_span_event(self, tmp_path):
+        journal = tmp_path / "j"
+        obs.configure(journal)
+        with obs.span("work", attrs={"a": 1}) as span:
+            span.set_attribute("b", "two")
+        (event,) = _spans(journal)
+        assert event["attrs"] == {"a": 1, "b": "two"}
+        assert event["duration"] >= 0.0
+
+
+class TestParentResolution:
+    def test_explicit_parent_beats_active_span(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        remote = SpanContext(new_id(), new_id())
+        with obs.span("active"):
+            with obs.span("child", parent=remote) as child:
+                assert child.trace_id == remote.trace_id
+                assert child.parent_id == remote.span_id
+
+    def test_span_object_accepted_as_parent(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with obs.span("a") as a:
+            pass
+        with obs.span("b", parent=a) as b:
+            assert b.trace_id == a.trace_id
+            assert b.parent_id == a.span_id
+
+    def test_ambient_env_trace_parents_orphan_roots(self, tmp_path, monkeypatch):
+        """A forked worker's first span lands under the REPRO_TRACE parent."""
+        obs.configure(tmp_path / "j")
+        ambient = SpanContext(new_id(), new_id())
+        monkeypatch.setenv(obs.ENV_TRACE, ambient.header())
+        with obs.span("worker-root") as span:
+            assert span.trace_id == ambient.trace_id
+            assert span.parent_id == ambient.span_id
+        # An active span still wins over the ambient env.
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+
+
+class TestHeader:
+    def test_header_round_trip(self):
+        context = SpanContext(new_id(), new_id())
+        assert parse_header(context.header()) == context
+
+    @pytest.mark.parametrize("junk", [None, "", "   ", "nodash", "-x", "x-", 7])
+    def test_junk_headers_parse_to_none(self, junk):
+        assert parse_header(junk) is None
+
+    def test_trace_header_reflects_active_span(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        assert obs.trace_header() is None
+        with obs.span("root") as span:
+            assert obs.trace_header() == f"{span.trace_id}-{span.span_id}"
+        assert obs.trace_header() is None
+
+
+class TestAttach:
+    def test_attach_none_is_a_transparent_block(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with obs.span("root") as root:
+            with obs.attach(None):
+                with obs.span("child") as child:
+                    assert child.parent_id == root.span_id
+
+    def test_attach_establishes_the_parent(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        context = SpanContext(new_id(), new_id())
+        with obs.attach(context):
+            assert obs.current_context() == context
+            with obs.span("child") as child:
+                assert child.trace_id == context.trace_id
+                assert child.parent_id == context.span_id
+        assert obs.current_context() is None
+
+    def test_attach_header_is_attach_of_parsed_header(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        context = SpanContext(new_id(), new_id())
+        with obs.attach_header(context.header()):
+            assert obs.current_context() == context
+        with obs.attach_header("garbage"):
+            assert obs.current_context() is None
+
+    def test_propagation_env_snapshots_config_and_trace(self, tmp_path):
+        obs.configure(tmp_path / "j")
+        with obs.span("root") as span:
+            env = obs.propagation_env()
+        assert env[obs.ENV_DIR] == str(tmp_path / "j")
+        assert env[obs.ENV_ENABLED] == "1"
+        assert env[obs.ENV_TRACE] == f"{span.trace_id}-{span.span_id}"
+        # Outside any span there is nothing to propagate but the config.
+        assert obs.ENV_TRACE not in obs.propagation_env()

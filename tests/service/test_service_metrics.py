@@ -18,8 +18,9 @@ from repro.service.metrics import quantile
 
 
 class TestQuantile:
-    def test_empty_is_zero(self):
-        assert quantile([], 0.5) == 0.0
+    def test_empty_is_none(self):
+        # No samples means no quantile — never a fabricated 0.0 "latency".
+        assert quantile([], 0.5) is None
 
     def test_single_sample(self):
         assert quantile([7.0], 0.99) == 7.0
@@ -64,6 +65,29 @@ class TestLatencyReservoir:
         summary = reservoir.summary()
         assert 350.0 < summary["p50_ms"] < 650.0
         assert summary["p95_ms"] > summary["p50_ms"]
+
+    def test_empty_reservoir_reports_none_not_zero(self):
+        summary = LatencyReservoir(size=8).summary()
+        assert summary["count"] == 0
+        for key in ("mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] is None
+
+    def test_single_sample_is_every_percentile(self):
+        reservoir = LatencyReservoir(size=8)
+        reservoir.add(0.007)
+        summary = reservoir.summary()
+        for key in ("mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert summary[key] == pytest.approx(7.0)
+
+    def test_exactly_at_capacity_keeps_every_sample(self):
+        reservoir = LatencyReservoir(size=4)
+        for value in (0.001, 0.002, 0.003, 0.004):
+            reservoir.add(value)
+        assert sorted(reservoir.samples) == [0.001, 0.002, 0.003, 0.004]
+        summary = reservoir.summary()
+        assert summary["count"] == 4
+        assert summary["p50_ms"] == pytest.approx(2.5)
+        assert summary["p99_ms"] == pytest.approx(3.97)
 
     def test_samples_travel_in_summary(self):
         reservoir = LatencyReservoir()
@@ -165,9 +189,9 @@ class TestMetricsDirectory:
 def _worker_payload(worker_id, n_requests, samples_ms, n_shed=0, batches=None):
     latency = {
         "count": len(samples_ms),
-        "mean_ms": sum(samples_ms) / len(samples_ms) if samples_ms else 0.0,
-        "max_ms": max(samples_ms, default=0.0),
-        "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        "mean_ms": sum(samples_ms) / len(samples_ms) if samples_ms else None,
+        "max_ms": max(samples_ms) if samples_ms else None,
+        "p50_ms": None, "p95_ms": None, "p99_ms": None,
         "samples_ms": list(samples_ms),
     }
     return {
@@ -305,6 +329,52 @@ class TestLoadGenerator:
             assert snap["n_requests"] == 12
             assert snap["endpoints"]["POST /recommend"]["n_ok"] == 8
         finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_metrics_reconcile_with_tracing_enabled(
+        self, registry, clf_model, clf_dataset, tmp_path
+    ):
+        """The load-smoke bar with the obs journal on: same zero-failure
+        reconciliation, plus /metrics reporting the traced request spans."""
+        import time
+
+        import repro.obs as obs
+        from _helpers import dataset_payload
+        from repro.service import RecommendationService, serve_in_thread
+
+        registry.publish(clf_model, "clf")
+        service = RecommendationService(registry)
+        server, _ = serve_in_thread(service)
+        obs.configure(tmp_path / "journal")
+        try:
+            ops = [
+                LoadOp("POST", "/recommend",
+                       {"dataset": dataset_payload(clf_dataset), "model": "clf"},
+                       weight=2),
+                LoadOp("GET", "/healthz"),
+            ]
+            gen = LoadGenerator(
+                "127.0.0.1", server.server_address[1], ops,
+                n_clients=2, requests_per_client=6,
+            )
+            report = gen.run()
+            assert report.n_requests == 12
+            assert report.n_failed == 0
+            snap = service.metrics.snapshot()
+            assert snap["n_requests"] == 12
+            # Request spans land in the journal just after each response, so
+            # give the handler threads a moment before reconciling.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                events = service.metrics_response().get("events", {})
+                if events.get("span", 0) >= 12:
+                    break
+                time.sleep(0.01)
+            assert events["span"] >= 12  # one service.request span per request
+        finally:
+            obs.disable()
             server.shutdown()
             server.server_close()
             service.close()

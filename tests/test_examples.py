@@ -117,6 +117,29 @@ class TestExamples:
         assert "decision-model artifact selects:" in output
         assert "export quickstart complete" in output
 
+    def test_tracing_quickstart_runs(self, capsys):
+        import repro.obs as obs
+
+        path = EXAMPLES_DIR / "tracing_quickstart.py"
+        spec = importlib.util.spec_from_file_location("tracing_quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        try:
+            spec.loader.exec_module(module)
+            module.main()
+        finally:
+            sys.modules.pop(spec.name, None)
+            obs.disable()  # the example configures tracing via os.environ
+        output = capsys.readouterr().out
+        assert "fleet of 2 workers built 12 cells under one trace" in output
+        assert "coverage" in output
+        assert "trace tree:" in output
+        assert "critical path:" in output
+        assert "fleet timeline" in output
+        assert "crash taxonomy:" in output
+        assert "RuntimeError" in output
+        assert "tracing quickstart complete" in output
+
     def test_serve_quickstart_runs(self, capsys):
         path = EXAMPLES_DIR / "serve_quickstart.py"
         spec = importlib.util.spec_from_file_location("serve_quickstart", path)
