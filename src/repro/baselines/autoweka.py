@@ -36,7 +36,13 @@ from ..learners.pipeline import registry_training_matrix, training_matrix
 from ..learners.registry import AlgorithmRegistry
 from ..learners.regression_registry import registry_for_task
 
-__all__ = ["joint_space", "split_joint_config", "AutoWekaBaseline", "CASHBaselineSolution"]
+__all__ = [
+    "joint_space",
+    "split_joint_config",
+    "JointBuilder",
+    "AutoWekaBaseline",
+    "CASHBaselineSolution",
+]
 
 ALGORITHM_KEY = "__algorithm__"
 _SEPARATOR = "::"
@@ -86,6 +92,22 @@ def split_joint_config(config: dict[str, Any]) -> tuple[str, dict[str, Any]]:
         key[len(prefix):]: value for key, value in config.items() if key.startswith(prefix)
     }
     return algorithm, params
+
+
+class JointBuilder:
+    """Picklable joint-space builder: config → estimator of the chosen branch.
+
+    A class rather than a local closure so the evaluation engine's process
+    backend (and its zero-copy data plane) can pickle the CV objective instead
+    of silently falling back to threads.
+    """
+
+    def __init__(self, registry: AlgorithmRegistry) -> None:
+        self.registry = registry
+
+    def __call__(self, config: dict[str, Any]) -> BaseClassifier:
+        algorithm, params = split_joint_config(config)
+        return self.registry.build(algorithm, params)
 
 
 @dataclass
@@ -170,13 +192,8 @@ class AutoWekaBaseline:
             else dataset
         )
         X, y = registry_training_matrix(data, self.registry)
-
-        def build(config: dict[str, Any]):
-            algorithm, params = split_joint_config(config)
-            return self.registry.build(algorithm, params)
-
         return estimator_engine(
-            build,
+            JointBuilder(self.registry),
             X,
             y,
             cv=self.cv,

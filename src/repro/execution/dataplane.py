@@ -1,0 +1,73 @@
+"""Worker-local payload registry — the engine's zero-copy data plane.
+
+The process backend historically pickled the whole objective — fold matrices
+included — into every ``submit`` call, so a 100-trial batch shipped the same
+dataset to the pool 100 times.  The data plane splits an objective into a
+*light* part (config handling, fold plan, scorer) and a *payload* part (the
+dataset arrays), and ships the payload to each worker exactly once:
+
+* the parent computes a content :func:`fingerprint` of the payload arrays,
+* the pool is created with :func:`seed_worker` as its initializer, which
+  installs the payload in this module's process-global registry,
+* per-trial submits pickle only the light objective (its ``__getstate__``
+  drops the arrays), and the worker re-binds them from the registry by key.
+
+The registry is keyed by content, so engines over the same dataset share one
+block, and a stale worker can never silently compute against the wrong data —
+a missing key raises instead of recomputing.  Workers die with their pool,
+which bounds the registry's lifetime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import numpy as np
+
+__all__ = ["fingerprint", "seed_worker", "local_block", "register", "registered_keys"]
+
+#: Process-global payload registry: key -> dict of named arrays.  In the
+#: parent it stays empty; in pool workers it is seeded by the initializer.
+_LOCAL: dict[str, dict[str, np.ndarray]] = {}
+
+
+def fingerprint(arrays: dict[str, np.ndarray]) -> str:
+    """Content hash of a payload block (names, dtypes, shapes and bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        if array.dtype == object:
+            # Object matrices (raw pipeline inputs) hold python scalars whose
+            # ``tobytes`` would hash pointers; pickle is content-stable.
+            digest.update(pickle.dumps(array, protocol=4))
+        else:
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def register(key: str, arrays: dict[str, np.ndarray]) -> None:
+    """Install one payload block in this process's registry."""
+    _LOCAL[key] = arrays
+
+
+def seed_worker(blocks: dict[str, dict[str, np.ndarray]]) -> None:
+    """Pool initializer: install every payload block in the new worker.
+
+    ``initargs`` are pickled once per spawned worker — this is the only time
+    the engine ships dataset bytes across the process boundary.
+    """
+    _LOCAL.update(blocks)
+
+
+def local_block(key: str) -> dict[str, np.ndarray] | None:
+    """The payload block for ``key`` in this process, or ``None``."""
+    return _LOCAL.get(key)
+
+
+def registered_keys() -> list[str]:
+    """Keys present in this process's registry (diagnostics/tests)."""
+    return sorted(_LOCAL)

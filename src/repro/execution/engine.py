@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from .. import obs
+from . import dataplane
 from .budget import Budget
 from .cache import EvaluationCache, config_fingerprint
 from .store import ResultStore, fingerprint_key
@@ -46,6 +47,8 @@ __all__ = [
     "EvaluationEngine",
     "timed_call",
     "traced_timed_call",
+    "plane_timed_call",
+    "traced_plane_timed_call",
 ]
 
 _BACKENDS = ("serial", "thread", "process")
@@ -86,6 +89,29 @@ def traced_timed_call(
             return timed_call(objective, config)
 
 
+def plane_timed_call(
+    objective: Callable[[dict], float], config: dict
+) -> tuple[float | None, float, str | None, bool]:
+    """:func:`timed_call` plus a data-plane flag (4-tuple).
+
+    The final element reports whether the objective re-bound its dataset
+    payload from the worker-local registry — i.e. the submit pickled only
+    the light config machinery and no dataset bytes crossed the process
+    boundary.  The parent aggregates it into ``EngineStats.data_plane_hits``.
+    """
+    score, elapsed, error = timed_call(objective, config)
+    return score, elapsed, error, bool(getattr(objective, "plane_attached", False))
+
+
+def traced_plane_timed_call(
+    objective: Callable[[dict], float], config: dict, header: str | None
+) -> tuple[float | None, float, str | None, bool]:
+    """:func:`plane_timed_call` under the submitting batch's trace context."""
+    with obs.attach(obs.parse_header(header)):
+        with obs.span("engine.trial"):
+            return plane_timed_call(objective, config)
+
+
 @dataclass
 class EvalOutcome:
     """Result of evaluating one configuration through the engine."""
@@ -118,6 +144,12 @@ class EngineStats:
     requested_backend: str = "serial"
     n_workers: int = 1
     crash_classes: dict[str, int] = field(default_factory=dict)
+    # Data-plane accounting (process backend): payload blocks registered with
+    # the pool initializer (shipped at most once per worker spawn) and trials
+    # whose submit carried no dataset bytes because the worker re-bound its
+    # payload from the process-local registry.
+    data_plane_payloads: int = 0
+    data_plane_hits: int = 0
 
     @property
     def n_evaluations(self) -> int:
@@ -156,6 +188,9 @@ class EngineStats:
             "evals_per_second": round(self.evals_per_second, 2),
             "parallel_speedup": round(self.parallel_speedup, 2),
         }
+        if self.data_plane_payloads:
+            out["data_plane_payloads"] = self.data_plane_payloads
+            out["data_plane_hits"] = self.data_plane_hits
         if self.backend != self.requested_backend:
             out["backend_fallback_from"] = self.requested_backend
         return out
@@ -225,6 +260,7 @@ class EvaluationEngine:
             n_workers=self.n_workers,
         )
         self._executor: Executor | None = None
+        self._plane_active = False
 
     @staticmethod
     def _resolve_backend(backend: str, n_workers: int, objective: Callable) -> str:
@@ -431,10 +467,41 @@ class EvaluationEngine:
             return None
         if self._executor is None:
             if self.backend == "process":
-                self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+                blocks = self._plane_blocks()
+                if blocks:
+                    # Zero-copy data plane: the payload rides the pool
+                    # initializer (pickled once per spawned worker); every
+                    # per-trial submit afterwards pickles the objective
+                    # *without* its matrices.
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.n_workers,
+                        initializer=dataplane.seed_worker,
+                        initargs=(blocks,),
+                    )
+                    self.objective.detach_payload = True
+                    self._plane_active = True
+                    self._stats.data_plane_payloads += len(blocks)
+                else:
+                    self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
             else:
                 self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
         return self._executor
+
+    def _plane_blocks(self) -> dict[str, dict] | None:
+        """The objective's data-plane payload, if it participates.
+
+        An objective opts in by exposing ``data_key``/``payload()`` and a
+        ``detach_payload`` switch (see
+        :class:`~repro.execution.objectives.CrossValObjective`).
+        """
+        obj = self.objective
+        if (
+            hasattr(obj, "data_key")
+            and hasattr(obj, "payload")
+            and hasattr(obj, "detach_payload")
+        ):
+            return {obj.data_key: obj.payload()}
+        return None
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial engines)."""
@@ -509,17 +576,40 @@ class EvaluationEngine:
             # Pool workers do not inherit the batch span's contextvar, so
             # when tracing is on the trial call re-attaches it from a header.
             header = obs.trace_header() if trace_on else None
-            if header is not None:
+            if self._plane_active:
+                # Light submits: the objective pickles without its matrices;
+                # the 4th tuple element confirms the worker re-bound them
+                # from its process-local registry.
+                if header is not None:
+                    futures = [
+                        executor.submit(
+                            traced_plane_timed_call, self.objective, configs[i], header
+                        )
+                        for i, _ in wave
+                    ]
+                else:
+                    futures = [
+                        executor.submit(plane_timed_call, self.objective, configs[i])
+                        for i, _ in wave
+                    ]
+                executed = []
+                for future in futures:
+                    score, elapsed, error, plane_hit = future.result()
+                    if plane_hit:
+                        self._stats.data_plane_hits += 1
+                    executed.append((score, elapsed, error))
+            elif header is not None:
                 futures = [
                     executor.submit(traced_timed_call, self.objective, configs[i], header)
                     for i, _ in wave
                 ]
+                executed = [future.result() for future in futures]
             else:
                 futures = [
                     executor.submit(_timed_call, self.objective, configs[i])
                     for i, _ in wave
                 ]
-            executed = [future.result() for future in futures]
+                executed = [future.result() for future in futures]
         for (i, fingerprint), (score, elapsed, error) in zip(wave, executed):
             outcomes[i] = self._record_execution(
                 configs[i], fingerprint, score, elapsed, error

@@ -22,11 +22,17 @@ import numpy as np
 
 from ..datasets.task import resolve_task
 from ..learners.metrics import Scorer, resolve_scorer
+from . import dataplane
 from .engine import EvaluationEngine
 from .folds import FoldPlan
 from .store import ResultStore
 
-__all__ = ["cross_val_objective", "estimator_engine", "objective_context_suffix"]
+__all__ = [
+    "CrossValObjective",
+    "cross_val_objective",
+    "estimator_engine",
+    "objective_context_suffix",
+]
 
 
 def objective_context_suffix(task: str = "classification", metric: str | Scorer | None = None) -> str:
@@ -44,6 +50,100 @@ def objective_context_suffix(task: str = "classification", metric: str | Scorer 
     return f"-task{task}-metric{scorer.name}"
 
 
+class CrossValObjective:
+    """Objective ``f(config) = mean CV score of build(config)`` on ``(X, y)``.
+
+    The fold plan is computed once at construction and shared by every
+    configuration, so repeated evaluations skip the per-call re-splitting of
+    the seed code while producing bit-identical scores.  Estimator
+    *construction* errors propagate to the engine's crash accounting;
+    per-fold fit/predict errors score the metric's worst value on that fold
+    (0.0 for accuracy — the Auto-WEKA convention — as before).
+
+    The objective is a *class* (not a closure) so the engine's process
+    backend can pickle it, and it participates in the engine's zero-copy
+    data plane: ``data_key`` content-fingerprints the dataset payload, and
+    with ``detach_payload`` set (by the engine, once it has seeded its pool
+    via :func:`repro.execution.dataplane.seed_worker`) pickling drops the
+    matrices — per-trial submits carry only the config machinery, and the
+    worker re-binds the arrays from its process-local registry.
+    """
+
+    def __init__(
+        self,
+        build: Callable[[dict[str, Any]], Any],
+        X,
+        y,
+        cv: int = 5,
+        random_state: int | None = None,
+        task: str = "classification",
+        metric: str | Scorer | None = None,
+    ) -> None:
+        X = np.asarray(X)
+        if X.dtype != object:
+            X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.build = build
+        self.task = resolve_task(task).value
+        if self.task == "classification" and metric is None:
+            # The paper's default objective, untouched: stratified folds +
+            # accuracy with 0.0 crash folds, bit-identical to earlier releases.
+            self.scorer: Scorer | None = None
+            self.fold_plan = FoldPlan.stratified(y, cv=cv, random_state=random_state)
+        else:
+            self.scorer = resolve_scorer(metric, self.task)
+            self.fold_plan = FoldPlan.for_task(
+                y, task=self.task, cv=cv, random_state=random_state
+            )
+        self._X = X
+        self._y = y
+        self.data_key = dataplane.fingerprint({"X": X, "y": y})
+        #: Set by the engine after seeding its worker pool with the payload;
+        #: from then on ``pickle`` ships this objective without the matrices.
+        self.detach_payload = False
+        #: Per-unpickled-copy flag: True once this copy re-bound its arrays
+        #: from the worker-local registry (read back by ``plane_timed_call``).
+        self.plane_attached = False
+
+    def payload(self) -> dict[str, np.ndarray]:
+        """The dataset arrays the data plane ships once per worker."""
+        return {"X": self._X, "y": self._y}
+
+    def _bind_payload(self) -> None:
+        if self._X is not None:
+            return
+        block = dataplane.local_block(self.data_key)
+        if block is None:
+            raise RuntimeError(
+                f"data-plane payload {self.data_key[:12]}… is not registered in "
+                "this process; the objective was pickled without its matrices "
+                "but the worker pool was not seeded with them"
+            )
+        self._X = block["X"]
+        self._y = block["y"]
+        self.plane_attached = True
+
+    def __call__(self, config: dict[str, Any]) -> float:
+        self._bind_payload()
+        if self.scorer is None:
+            return self.fold_plan.score(self.build(config), self._X, self._y)
+        return self.fold_plan.score(
+            self.build(config),
+            self._X,
+            self._y,
+            scoring=self.scorer,
+            error_score=self.scorer.error_score,
+        )
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        if state.get("detach_payload"):
+            state["_X"] = None
+            state["_y"] = None
+        state["plane_attached"] = False
+        return state
+
+
 def cross_val_objective(
     build: Callable[[dict[str, Any]], Any],
     X,
@@ -52,15 +152,8 @@ def cross_val_objective(
     random_state: int | None = None,
     task: str = "classification",
     metric: str | Scorer | None = None,
-) -> Callable[[dict[str, Any]], float]:
-    """Objective ``f(config) = mean CV score of build(config)`` on ``(X, y)``.
-
-    The fold plan is computed once here and shared by every configuration, so
-    repeated evaluations skip the per-call re-splitting of the seed code while
-    producing bit-identical scores.  Estimator *construction* errors propagate
-    to the engine's crash accounting; per-fold fit/predict errors score the
-    metric's worst value on that fold (0.0 for accuracy — the Auto-WEKA
-    convention — as before).
+) -> CrossValObjective:
+    """Construct the standard CV objective (see :class:`CrossValObjective`).
 
     ``task="regression"`` switches to unstratified folds and the regression
     default metric (R²); ``metric`` picks any registered scorer by name.
@@ -69,31 +162,9 @@ def cross_val_objective(
     own steps impute/encode per fold) are passed through as-is; float input
     keeps the historical coercion so bare-estimator scores are unchanged.
     """
-    X = np.asarray(X)
-    if X.dtype != object:
-        X = np.asarray(X, dtype=np.float64)
-    y = np.asarray(y)
-    task = resolve_task(task).value
-    if task == "classification" and metric is None:
-        # The paper's default objective, untouched: stratified folds +
-        # accuracy with 0.0 crash folds, bit-identical to earlier releases.
-        plan = FoldPlan.stratified(y, cv=cv, random_state=random_state)
-
-        def objective(config: dict[str, Any]) -> float:
-            return plan.score(build(config), X, y)
-
-    else:
-        scorer = resolve_scorer(metric, task)
-        plan = FoldPlan.for_task(y, task=task, cv=cv, random_state=random_state)
-
-        def objective(config: dict[str, Any]) -> float:
-            return plan.score(
-                build(config), X, y, scoring=scorer, error_score=scorer.error_score
-            )
-
-    objective.fold_plan = plan  # type: ignore[attr-defined] — introspection hook
-    objective.task = task  # type: ignore[attr-defined]
-    return objective
+    return CrossValObjective(
+        build, X, y, cv=cv, random_state=random_state, task=task, metric=metric
+    )
 
 
 def estimator_engine(

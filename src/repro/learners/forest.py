@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .base import BaseClassifier, check_is_fitted, export_labels
 from .tree import DecisionTreeClassifier, RandomTree
 
@@ -47,6 +48,13 @@ class RandomForest(BaseClassifier):
             raise ValueError("n_estimators must be >= 1")
         rng = np.random.default_rng(self.random_state)
         n = X.shape[0]
+        # The per-feature stable sort orders are computed ONCE per forest and
+        # shared by every member: each tree expands them by its bootstrap
+        # multiplicities instead of re-sorting its sampled matrix at every
+        # node.  Split scores only read cumulative label counts at value-run
+        # boundaries, which are permutation invariant, so the fitted members
+        # are identical to refitting on the materialised ``X[idx]``.
+        base_orders = kernels.feature_orders(X)
         self.estimators_: list[DecisionTreeClassifier] = []
         for _ in range(int(self.n_estimators)):
             seed = int(rng.integers(0, 2**31 - 1))
@@ -61,7 +69,9 @@ class RandomForest(BaseClassifier):
             else:
                 idx = np.arange(n)
             tree = self._make_tree(seed)
-            tree.fit(X[idx], y[idx])
+            tree._fit_from_base(
+                X, y, np.bincount(idx, minlength=n), base_orders, len(self.classes_)
+            )
             self.estimators_.append(tree)
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:

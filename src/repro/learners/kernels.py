@@ -1,0 +1,352 @@
+"""Vectorized numpy kernels shared by the learner catalogue.
+
+The paper's headline claim is about *trials per wall-clock second*: Auto-Model
+wins under a time budget because it spends its seconds tuning one good
+algorithm.  That makes the learners' inner loops the hottest code in the whole
+system — every CV fold of every trial of every optimizer runs them.  This
+module collects those loops as array kernels:
+
+* **Split search** (:func:`best_split_classification`,
+  :func:`best_split_regression`) — a LightGBM-style cumulative-count scan:
+  one-hot label counts are cumulatively summed along a feature's sort order so
+  the impurity of *every* candidate threshold is evaluated in one vectorized
+  pass instead of a Python loop over ``n_samples - 1`` positions.
+* **Sort-order reuse** (:func:`feature_orders`, :func:`filter_orders`,
+  :func:`expand_orders`) — per-feature stable sort orders are computed once
+  per fit (once per *forest*, shared by every member tree) and filtered down
+  recursively; no node ever calls ``argsort`` again.  Filtering a stable
+  full-dataset order by a membership mask yields exactly the stable argsort of
+  the subset, so splits are bit-identical to the per-node-sort implementation.
+* **Flat tree inference** (:class:`FlatTree`, :func:`flat_predict_indices`) —
+  fitted trees are flattened into feature/threshold/child arrays and a whole
+  matrix is walked iteratively, level by level, replacing the per-row
+  ``_predict_row`` walk + ``np.vstack``.  The layout mirrors the export
+  interpreter's array form (``repro.export``), which proved the approach.
+* **Distance kernels** (:func:`pairwise_sq_distances`, :func:`query_chunks`,
+  :func:`knn_vote`) — batched neighbour search with *chunked* pairwise
+  distances so a large predict never materialises an ``O(n·m)`` float64
+  intermediate at once, plus per-row class voting via one flattened
+  ``bincount`` (accumulation order matches the historical per-row loop, so
+  scores are identical).
+
+Every kernel is gated on score-identical results versus the frozen pre-kernel
+implementations in :mod:`repro.learners._reference` — see
+``tests/learners/test_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "feature_orders",
+    "filter_orders",
+    "expand_orders",
+    "best_split_classification",
+    "best_split_regression",
+    "FlatTree",
+    "flatten_tree",
+    "flat_predict_indices",
+    "pairwise_sq_distances",
+    "query_chunks",
+    "knn_vote",
+    "DEFAULT_CHUNK_ELEMENTS",
+]
+
+#: Upper bound on the number of float64 elements a chunked distance pass may
+#: materialise at once (~32 MB).  Tests shrink it to force multi-chunk paths.
+DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+
+# ---------------------------------------------------------------------------
+# Sort-order management
+# ---------------------------------------------------------------------------
+
+def feature_orders(X: np.ndarray) -> list[np.ndarray]:
+    """Stable per-feature sort orders of ``X``, computed once per fit.
+
+    Returns one ``int64`` index array per column.  A list (rather than one
+    ``(F, n)`` matrix) lets the recursion shrink each feature independently.
+    """
+    return [np.argsort(X[:, j], kind="stable") for j in range(X.shape[1])]
+
+
+def filter_orders(orders: list[np.ndarray], keep: np.ndarray) -> list[np.ndarray]:
+    """Restrict every feature order to the rows where ``keep`` is True.
+
+    ``keep`` is indexed by the *base-row ids stored in the orders*.  Because
+    the parent orders are stable, the filtered arrays are exactly the stable
+    argsort of the surviving rows — equal feature values keep their original
+    relative order.
+    """
+    return [order[keep[order]] for order in orders]
+
+
+def expand_orders(orders: list[np.ndarray], counts: np.ndarray) -> list[np.ndarray]:
+    """Expand base-row orders by bootstrap multiplicity ``counts``.
+
+    Rows with ``counts[i] == 0`` drop out; rows drawn ``c`` times appear ``c``
+    times consecutively.  Within a run of equal feature values the resulting
+    permutation can differ from a stable sort of the materialised bootstrap
+    matrix (base order vs draw order), but split scores only ever inspect
+    cumulative label counts at run *boundaries*, which are permutation
+    invariant — so the chosen splits, and therefore the fitted tree, are
+    identical.
+    """
+    return [
+        np.repeat(kept, counts[kept])
+        for kept in (order[counts[order] > 0] for order in orders)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Split search
+# ---------------------------------------------------------------------------
+
+def _impurity_matrix(counts: np.ndarray, totals: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity of each row of ``counts`` (one candidate split side per row).
+
+    Replicates the scalar helpers of :mod:`repro.learners.tree` operation for
+    operation — ``gini``: ``1 - Σ (c/t)²``; ``entropy``: ``-Σ p·log2(p)`` over
+    the positive entries (zeros contribute an exact ``0.0``).
+    """
+    p = counts / totals[:, None]
+    if criterion == "gini":
+        return 1.0 - np.sum(p * p, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(counts > 0, p * np.log2(p), 0.0)
+    return -np.sum(terms, axis=1)
+
+
+def best_split_classification(
+    values: np.ndarray,
+    labels: np.ndarray,
+    parent_counts: np.ndarray,
+    parent_impurity: float,
+    criterion: str,
+    min_samples_leaf: int,
+    min_impurity_decrease: float,
+) -> tuple[float, float, float] | None:
+    """Best threshold on one feature via a cumulative-bincount scan.
+
+    ``values``/``labels`` are the node's samples in (stable) feature-sorted
+    order.  Returns ``(score, threshold, decrease)`` for the first-best valid
+    position, or ``None`` — matching the historical Python loop's strict
+    ``score > best`` update rule, which keeps the earliest position among
+    equal scores.
+    """
+    n = values.shape[0]
+    n_classes = parent_counts.shape[0]
+    if n < 2:
+        return None
+    # Cumulative one-hot label counts: left side of split position i holds
+    # samples 0..i, exactly the loop's running ``left_counts``.
+    one_hot = np.zeros((n, n_classes), dtype=np.float64)
+    one_hot[np.arange(n), labels] = 1.0
+    cum = np.cumsum(one_hot, axis=0)
+    left = cum[:-1]
+    right = parent_counts.astype(np.float64)[None, :] - left
+
+    n_left = np.arange(1, n, dtype=np.float64)
+    n_right = n - n_left
+    valid = values[:-1] != values[1:]
+    if min_samples_leaf > 1:
+        valid &= (n_left >= min_samples_leaf) & (n_right >= min_samples_leaf)
+    if not valid.any():
+        return None
+
+    weighted = (
+        n_left * _impurity_matrix(left, n_left, criterion)
+        + n_right * _impurity_matrix(right, n_right, criterion)
+    ) / n
+    decrease = parent_impurity - weighted
+    if criterion == "gain_ratio":
+        p_left = n_left / n
+        p_right = n_right / n
+        split_info = -(p_left * np.log2(p_left) + p_right * np.log2(p_right))
+        score = np.where(split_info > 0, decrease / split_info, 0.0)
+    else:
+        score = decrease
+    valid &= decrease > min_impurity_decrease
+    if not valid.any():
+        return None
+    masked = np.where(valid, score, -np.inf)
+    i = int(np.argmax(masked))  # first maximum — the loop's tie-breaking rule
+    threshold = float((values[i] + values[i + 1]) / 2.0)
+    return float(masked[i]), threshold, float(decrease[i])
+
+
+def best_split_regression(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    min_samples_leaf: int,
+    best_sse: float,
+) -> tuple[float, float] | None:
+    """Best variance-reduction threshold on one feature (vectorized prefix sums).
+
+    Returns ``(sse, threshold)`` for the first position strictly better than
+    ``best_sse``, or ``None`` — the same ``sse < best`` / first-of-equals rule
+    as the historical loop.
+    """
+    n = xs.shape[0]
+    min_leaf = max(1, int(min_samples_leaf))
+    if n - 2 * min_leaf < 0:
+        return None
+    csum = np.cumsum(ys)
+    csum_sq = np.cumsum(ys**2)
+    total, total_sq = csum[-1], csum_sq[-1]
+    # Candidate left sizes i in [min_leaf, n - min_leaf], positions i-1 of the
+    # prefix arrays; a position is splittable only across distinct values.
+    i = np.arange(min_leaf, n - min_leaf + 1)
+    valid = xs[i - 1] != xs[np.minimum(i, n - 1)]
+    if not valid.any():
+        return None
+    left_sum, left_sq = csum[i - 1], csum_sq[i - 1]
+    right_sum, right_sq = total - left_sum, total_sq - left_sq
+    left_term = left_sum * left_sum / i
+    right_term = right_sum * right_sum / (n - i)
+    sse = (left_sq - left_term) + (right_sq - right_term)
+    masked = np.where(valid, sse, np.inf)
+    # The historical loop squared ``left_sum``/``right_sum`` as np.float64
+    # *scalars*, whose ``**2`` routes through libm pow and can differ by one
+    # ulp from the correctly-rounded product the array sweep uses.  After
+    # cancellation that ulp can flip a near-tie, so re-score every candidate
+    # within the propagated-rounding band of the sweep minimum with the
+    # loop's exact scalar expression and pick the first exact minimum.
+    tol = 8.0 * (
+        np.spacing(np.abs(left_sq) + np.abs(left_term))
+        + np.spacing(np.abs(right_sq) + np.abs(right_term))
+    )
+    band = masked.min() + 2.0 * float(np.where(valid, tol, 0.0).max())
+    best_exact = np.inf
+    best_pos = -1
+    for j in np.flatnonzero(valid & (masked <= band)):
+        pos = int(i[j])
+        ls, lq = csum[pos - 1], csum_sq[pos - 1]
+        rs, rq = total - ls, total_sq - lq
+        exact = (lq - ls**2 / pos) + (rq - rs**2 / (n - pos))
+        if exact < best_exact:  # strict: earliest position wins exact ties
+            best_exact = float(exact)
+            best_pos = pos
+    if not best_exact < best_sse:
+        return None
+    return best_exact, float((xs[best_pos - 1] + xs[best_pos]) / 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Flat tree inference
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlatTree:
+    """A fitted binary tree flattened into arrays for batch inference.
+
+    ``feature[i] < 0`` marks node ``i`` as a leaf; ``prediction[i]`` is the
+    leaf payload (a class distribution row, or a 1-vector for regression).
+    The layout is the array twin of the export interpreter's node walk.
+    """
+
+    feature: np.ndarray  # int64, -1 for leaves
+    threshold: np.ndarray  # float64
+    left: np.ndarray  # int64 child indices
+    right: np.ndarray
+    prediction: np.ndarray  # (n_nodes, n_outputs) float64
+
+
+def flatten_tree(root, n_outputs: int) -> FlatTree:
+    """Flatten a ``_Node``-style tree (``feature``/``threshold``/``left``/
+    ``right``/``prediction`` attributes) into a :class:`FlatTree`."""
+    nodes: list = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if node.feature is not None:
+            stack.append(node.right)
+            stack.append(node.left)
+    index = {id(node): i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    feature = np.full(n, -1, dtype=np.int64)
+    threshold = np.zeros(n, dtype=np.float64)
+    left = np.zeros(n, dtype=np.int64)
+    right = np.zeros(n, dtype=np.int64)
+    prediction = np.zeros((n, n_outputs), dtype=np.float64)
+    for i, node in enumerate(nodes):
+        prediction[i] = node.prediction
+        if node.feature is not None:
+            feature[i] = node.feature
+            threshold[i] = node.threshold
+            left[i] = index[id(node.left)]
+            right[i] = index[id(node.right)]
+    return FlatTree(feature, threshold, left, right, prediction)
+
+
+def flat_predict_indices(flat: FlatTree, X: np.ndarray) -> np.ndarray:
+    """Leaf index reached by every row of ``X`` — an iterative batch walk.
+
+    Each pass advances every still-internal row one level, so the loop runs
+    ``depth`` times over shrinking index sets instead of ``n_rows`` times over
+    the tree.  Comparisons are the same ``<=`` as the row walk, so the reached
+    leaves are identical.
+    """
+    node = np.zeros(X.shape[0], dtype=np.int64)
+    active = np.flatnonzero(flat.feature[node] >= 0)
+    while active.size:
+        current = node[active]
+        go_left = X[active, flat.feature[current]] <= flat.threshold[current]
+        node[active] = np.where(go_left, flat.left[current], flat.right[current])
+        active = active[flat.feature[node[active]] >= 0]
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Distance kernels
+# ---------------------------------------------------------------------------
+
+def pairwise_sq_distances(A: np.ndarray, B: np.ndarray, b2: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``A`` and rows of ``B``.
+
+    ``b2`` (``Σ B²`` per row) can be precomputed once by callers that chunk
+    ``A``; the per-element arithmetic is unchanged from the historical helper.
+    """
+    a2 = np.sum(A * A, axis=1)[:, None]
+    if b2 is None:
+        b2 = np.sum(B * B, axis=1)
+    d2 = a2 + b2[None, :] - 2.0 * (A @ B.T)
+    return np.clip(d2, 0.0, None)
+
+
+def query_chunks(n_rows: int, n_cols: int, max_elements: int | None = None):
+    """Yield ``slice`` objects over query rows bounding ``rows × n_cols``.
+
+    With the default budget a 50k-row predict against a 50k-row training set
+    walks ~80 chunks of ~80 rows instead of materialising a 20 GB matrix.
+    Inputs that fit the budget yield one full slice, keeping small predicts
+    on the exact single-shot path.
+    """
+    budget = DEFAULT_CHUNK_ELEMENTS if max_elements is None else int(max_elements)
+    rows = max(1, budget // max(1, n_cols))
+    for start in range(0, n_rows, rows):
+        yield slice(start, min(start + rows, n_rows))
+
+
+def knn_vote(
+    labels: np.ndarray,
+    weights: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """Per-row weighted class votes via one flattened ``bincount``.
+
+    ``labels``/``weights`` are ``(n_rows, k)``; ``bincount`` accumulates in
+    scan order, i.e. per row in neighbour order — the exact addition sequence
+    of the historical ``proba[i, y[j]] += w`` loop, so results are
+    bit-identical.
+    """
+    n_rows, k = labels.shape
+    flat = np.arange(n_rows, dtype=np.int64)[:, None] * n_classes + labels
+    votes = np.bincount(
+        flat.ravel(), weights=weights.ravel(), minlength=n_rows * n_classes
+    )
+    return votes.reshape(n_rows, n_classes)

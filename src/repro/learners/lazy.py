@@ -1,9 +1,18 @@
-"""Lazy (instance-based) learners: IBk, IB1, KStar and LWL analogues."""
+"""Lazy (instance-based) learners: IBk, IB1, KStar and LWL analogues.
+
+Prediction runs on the batched distance kernels of
+:mod:`repro.learners.kernels`: queries are processed in chunks that bound the
+pairwise-distance intermediate (a large predict no longer materialises the
+full ``O(n_queries * n_train)`` matrix at once) and neighbour votes are
+accumulated with one flattened ``bincount`` per chunk instead of a Python
+loop per query row.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = ["IBk", "IB1", "KStar", "LWL"]
@@ -11,10 +20,12 @@ __all__ = ["IBk", "IB1", "KStar", "LWL"]
 
 def _pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances between rows of ``A`` and rows of ``B``."""
-    a2 = np.sum(A * A, axis=1)[:, None]
-    b2 = np.sum(B * B, axis=1)[None, :]
-    d2 = a2 + b2 - 2.0 * (A @ B.T)
-    return np.clip(d2, 0.0, None)
+    return kernels.pairwise_sq_distances(A, B)
+
+
+#: The historical helper, unchanged operation for operation — frozen for the
+#: equivalence oracle in :mod:`repro.learners._reference`.
+_pairwise_sq_distances_exact = _pairwise_sq_distances
 
 
 class IBk(BaseClassifier):
@@ -44,26 +55,28 @@ class IBk(BaseClassifier):
         self._X = (X - self._mean) / self._scale
         self._y = y
 
-    def _distances(self, X: np.ndarray) -> np.ndarray:
-        Xs = (X - self._mean) / self._scale
+    def _chunk_distances(self, Xs_chunk: np.ndarray, b2: np.ndarray | None) -> np.ndarray:
         if self.p == 1:
-            return np.abs(Xs[:, None, :] - self._X[None, :, :]).sum(axis=2)
-        return np.sqrt(_pairwise_sq_distances(Xs, self._X))
+            return np.abs(Xs_chunk[:, None, :] - self._X[None, :, :]).sum(axis=2)
+        return np.sqrt(kernels.pairwise_sq_distances(Xs_chunk, self._X, b2))
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         k = min(int(self.n_neighbors), self._X.shape[0])
-        distances = self._distances(X)
         n_classes = len(self.classes_)
-        proba = np.zeros((X.shape[0], n_classes))
-        neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
-        for i in range(X.shape[0]):
-            idx = neighbor_idx[i]
+        Xs = (X - self._mean) / self._scale
+        b2 = None if self.p == 1 else np.sum(self._X * self._X, axis=1)
+        # The Manhattan path broadcasts a (rows, train, d) diff tensor, so its
+        # chunk budget accounts for the feature dimension as well.
+        cols = self._X.shape[0] * (self._X.shape[1] if self.p == 1 else 1)
+        proba = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for rows in kernels.query_chunks(X.shape[0], cols):
+            distances = self._chunk_distances(Xs[rows], b2)
+            neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
             if self.weighting == "distance":
-                weights = 1.0 / (distances[i, idx] + 1e-8)
+                weights = 1.0 / (np.take_along_axis(distances, neighbor_idx, axis=1) + 1e-8)
             else:
-                weights = np.ones(k)
-            for j, w in zip(idx, weights):
-                proba[i, self._y[j]] += w
+                weights = np.ones(neighbor_idx.shape, dtype=np.float64)
+            proba[rows] = kernels.knn_vote(self._y[neighbor_idx], weights, n_classes)
         return proba / proba.sum(axis=1, keepdims=True)
 
     def export_params(self) -> dict:
@@ -123,12 +136,15 @@ class KStar(BaseClassifier):
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         Xs = (X - self._mean) / self._scale
-        distances = np.sqrt(_pairwise_sq_distances(Xs, self._X))
-        kernel = np.exp(-0.5 * (distances / self._bandwidth) ** 2) + 1e-12
         n_classes = len(self.classes_)
-        proba = np.zeros((X.shape[0], n_classes))
-        for k in range(n_classes):
-            proba[:, k] = kernel[:, self._y == k].sum(axis=1)
+        class_masks = [self._y == k for k in range(n_classes)]
+        b2 = np.sum(self._X * self._X, axis=1)
+        proba = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for rows in kernels.query_chunks(X.shape[0], self._X.shape[0]):
+            distances = np.sqrt(kernels.pairwise_sq_distances(Xs[rows], self._X, b2))
+            kernel = np.exp(-0.5 * (distances / self._bandwidth) ** 2) + 1e-12
+            for k in range(n_classes):
+                proba[rows, k] = kernel[:, class_masks[k]].sum(axis=1)
         return proba / proba.sum(axis=1, keepdims=True)
 
 
@@ -157,17 +173,15 @@ class LWL(BaseClassifier):
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         Xs = (X - self._mean) / self._scale
         k = min(int(self.n_neighbors), self._X.shape[0])
-        distances = np.sqrt(_pairwise_sq_distances(Xs, self._X))
         n_classes = len(self.classes_)
-        proba = np.zeros((X.shape[0], n_classes))
-        neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
-        for i in range(X.shape[0]):
-            idx = neighbor_idx[i]
-            local_d = distances[i, idx]
-            bandwidth = local_d.max() + 1e-8
+        b2 = np.sum(self._X * self._X, axis=1)
+        proba = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        for rows in kernels.query_chunks(X.shape[0], self._X.shape[0]):
+            distances = np.sqrt(kernels.pairwise_sq_distances(Xs[rows], self._X, b2))
+            neighbor_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+            local_d = np.take_along_axis(distances, neighbor_idx, axis=1)
+            bandwidth = local_d.max(axis=1, keepdims=True) + 1e-8
             weights = np.clip(1.0 - (local_d / bandwidth) ** 2, 0.0, None) + 1e-8
-            for k_label in range(n_classes):
-                mask = self._y[idx] == k_label
-                proba[i, k_label] = weights[mask].sum()
+            proba[rows] = kernels.knn_vote(self._y[neighbor_idx], weights, n_classes)
         proba += 1e-8
         return proba / proba.sum(axis=1, keepdims=True)

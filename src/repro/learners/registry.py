@@ -60,7 +60,15 @@ class AlgorithmSpec:
         unknown = [k for k in config if k not in self.space.names]
         if unknown:
             raise ValueError(f"{self.name}: unknown hyperparameters {unknown}")
-        return self.factory(**config)
+        estimator = self.factory(**config)
+        if getattr(estimator, "random_state", 0) is None:
+            # An unseeded stochastic learner draws fresh OS entropy on every
+            # fit, so identical configurations score differently across
+            # engines, workers and warm restarts — breaking the evaluation
+            # layer's replay-equivalence contract.  Catalogue builds pin a
+            # fixed seed; an explicit integer seed is never overridden.
+            estimator.random_state = 0
+        return estimator
 
     def default_config(self) -> dict[str, Any]:
         return self.space.default_configuration()

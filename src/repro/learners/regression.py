@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from . import kernels
 from .base import NotFittedError, check_array
 from .metrics import r2_score
 
@@ -273,18 +274,22 @@ class KNeighborsRegressor(BaseRegressor):
     def _predict(self, X: np.ndarray) -> np.ndarray:
         k = min(int(self.n_neighbors), self._X.shape[0])
         out = np.empty(X.shape[0])
-        for i, row in enumerate(X):
-            diff = self._X - row
+        # Chunks bound the (rows, train, d) broadcast diff tensor; the
+        # per-row arithmetic is elementwise, so chunking is value-neutral.
+        cols = self._X.shape[0] * self._X.shape[1]
+        for rows in kernels.query_chunks(X.shape[0], cols):
+            diff = X[rows, None, :] - self._X[None, :, :]
             if self.p == 1:
-                distances = np.abs(diff).sum(axis=1)
+                distances = np.abs(diff).sum(axis=2)
             else:
-                distances = np.sqrt((diff**2).sum(axis=1))
-            neighbor_idx = np.argpartition(distances, k - 1)[:k]
+                distances = np.sqrt((diff**2).sum(axis=2))
+            neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            vals = self._y[neighbor_idx]
             if self.weighting == "distance":
-                weights = 1.0 / (distances[neighbor_idx] + 1e-9)
-                out[i] = float(np.average(self._y[neighbor_idx], weights=weights))
+                weights = 1.0 / (np.take_along_axis(distances, neighbor_idx, axis=1) + 1e-9)
+                out[rows] = (vals * weights).sum(axis=1) / weights.sum(axis=1)
             else:
-                out[i] = float(self._y[neighbor_idx].mean())
+                out[rows] = vals.mean(axis=1)
         return out
 
 
@@ -338,9 +343,14 @@ class DecisionTreeRegressor(BaseRegressor):
         return max(1, min(int(self.max_features), n_features))
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        orders: list[np.ndarray],
+        rng: np.random.Generator,
     ) -> tuple[int, float] | None:
-        n, n_features = X.shape
+        n_features = X.shape[1]
         min_leaf = max(1, int(self.min_samples_leaf))
         k = self._n_candidate_features(n_features)
         candidates = (
@@ -349,61 +359,70 @@ class DecisionTreeRegressor(BaseRegressor):
             else rng.choice(n_features, size=k, replace=False)
         )
         best: tuple[int, float] | None = None
-        best_sse = float(np.sum((y - y.mean()) ** 2)) - 1e-12
+        # ``idx`` holds the node's members in base-row order — the same order
+        # the historical implementation reduced over, so the SSE floor (and
+        # every prefix sum below, which runs in stable sorted order) is
+        # bit-identical to the per-node-sort code path.
+        node_y = y[idx]
+        best_sse = float(np.sum((node_y - node_y.mean()) ** 2)) - 1e-12
         for j in candidates:
-            order = np.argsort(X[:, j], kind="stable")
-            xs, ys = X[order, j], y[order]
-            # Prefix sums let every split position be scored in O(1):
-            # SSE(side) = Σy² - (Σy)²/n.
-            csum = np.cumsum(ys)
-            csum_sq = np.cumsum(ys**2)
-            total, total_sq = csum[-1], csum_sq[-1]
-            for i in range(min_leaf, n - min_leaf + 1):
-                if i == n or xs[i - 1] == xs[min(i, n - 1)]:
-                    continue
-                left_sum, left_sq = csum[i - 1], csum_sq[i - 1]
-                right_sum, right_sq = total - left_sum, total_sq - left_sq
-                sse = (left_sq - left_sum**2 / i) + (right_sq - right_sum**2 / (n - i))
-                if sse < best_sse:
-                    best_sse = sse
-                    best = (int(j), float((xs[i - 1] + xs[i]) / 2.0))
+            order = orders[j]
+            result = kernels.best_split_regression(
+                X[order, j], y[order], min_leaf, best_sse
+            )
+            if result is None:
+                continue
+            best_sse, threshold = result
+            best = (int(j), threshold)
         return best
 
     def _grow(
-        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        orders: list[np.ndarray],
+        depth: int,
+        rng: np.random.Generator,
     ) -> _RegressionNode:
-        node = _RegressionNode(float(y.mean()))
+        node_y = y[idx]
+        node = _RegressionNode(float(node_y.mean()))
         if (
             (self.max_depth is not None and depth >= int(self.max_depth))
-            or len(y) < max(2, int(self.min_samples_split))
-            or np.all(y == y[0])
+            or len(node_y) < max(2, int(self.min_samples_split))
+            or np.all(node_y == node_y[0])
         ):
             return node
-        split = self._best_split(X, y, rng)
+        split = self._best_split(X, y, idx, orders, rng)
         if split is None:
             return node
         feature, threshold = split
-        left_mask = X[:, feature] <= threshold
-        if not left_mask.any() or left_mask.all():
+        mask = X[:, feature] <= threshold
+        node_mask = mask[idx]
+        if not node_mask.any() or node_mask.all():
             return node
         node.feature = feature
         node.threshold = threshold
-        node.left = self._grow(X[left_mask], y[left_mask], depth + 1, rng)
-        node.right = self._grow(X[~left_mask], y[~left_mask], depth + 1, rng)
+        node.left = self._grow(
+            X, y, idx[node_mask], kernels.filter_orders(orders, mask), depth + 1, rng
+        )
+        node.right = self._grow(
+            X, y, idx[~node_mask], kernels.filter_orders(orders, ~mask), depth + 1, rng
+        )
         return node
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         rng = np.random.default_rng(self.random_state)
-        self.root_ = self._grow(X, y, depth=0, rng=rng)
+        # Per-feature stable sort orders, computed once per fit and filtered
+        # down the recursion — no node ever sorts again.
+        orders = kernels.feature_orders(X)
+        idx = np.arange(X.shape[0], dtype=np.int64)
+        self.root_ = self._grow(X, y, idx, orders, depth=0, rng=rng)
+        self._flat = kernels.flatten_tree(self.root_, 1)
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
-        out = np.empty(X.shape[0])
-        for i, row in enumerate(X):
-            node = self.root_
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.prediction
-        return out
+        leaves = kernels.flat_predict_indices(self._flat, X)
+        return self._flat.prediction[leaves, 0]
 
 
 class RandomForestRegressor(BaseRegressor):

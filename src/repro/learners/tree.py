@@ -7,6 +7,15 @@ express the Weka tree family referenced by the paper's catalogue (Table IV):
 style: information gain + strong size limits), ``RandomTree`` (random feature
 subsets per split), ``BFTree`` (best-first expansion approximated by a node
 budget) and ``DecisionStump`` (depth 1).
+
+The fitting and prediction inner loops run on the vectorized kernels of
+:mod:`repro.learners.kernels`: per-feature stable sort orders are computed
+once per fit (and shared across a whole forest) instead of re-sorting at
+every node, every candidate threshold of a feature is scored in one
+cumulative-bincount pass, and prediction walks the flattened tree arrays for
+a whole matrix at a time.  Results are identical to the historical pure-Python
+implementation (frozen in :mod:`repro.learners._reference` and pinned by
+``tests/learners/test_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from . import kernels
 from .base import BaseClassifier, check_is_fitted, export_labels
 
 __all__ = [
@@ -126,11 +136,23 @@ class DecisionTreeClassifier(BaseClassifier):
         return max(1, min(int(self.max_features), n_features))
 
     def _best_split(
-        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        orders: list[np.ndarray],
+        rng: np.random.Generator,
     ) -> tuple[int, float, float] | None:
-        """Return ``(feature, threshold, impurity_decrease)`` or ``None``."""
-        n_samples, n_features = X.shape
-        parent_counts = np.bincount(y, minlength=self._n_classes)
+        """Return ``(feature, threshold, impurity_decrease)`` or ``None``.
+
+        ``orders`` holds the node's sample ids (into ``X``/``y``) in stable
+        sorted order, one array per feature, so the kernel scores every
+        candidate threshold of a feature in one cumulative-bincount pass and
+        no ``argsort`` happens here.  Feature candidates are drawn with the
+        same RNG calls as the historical per-node loop; ties keep the
+        earliest feature and earliest position, as before.
+        """
+        n_features = X.shape[1]
+        parent_counts = np.bincount(y[orders[0]], minlength=self._n_classes)
         parent_impurity = self._impurity(parent_counts)
         k = self._n_candidate_features(n_features)
         candidates = (
@@ -141,82 +163,108 @@ class DecisionTreeClassifier(BaseClassifier):
         best: tuple[int, float, float] | None = None
         best_score = -np.inf
         for feature in candidates:
-            order = np.argsort(X[:, feature], kind="stable")
-            values = X[order, feature]
-            labels = y[order]
-            left_counts = np.zeros(self._n_classes)
-            right_counts = parent_counts.astype(np.float64).copy()
-            for i in range(n_samples - 1):
-                label = labels[i]
-                left_counts[label] += 1
-                right_counts[label] -= 1
-                if values[i] == values[i + 1]:
-                    continue
-                n_left = i + 1
-                n_right = n_samples - n_left
-                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
-                    continue
-                weighted = (
-                    n_left * self._impurity(left_counts)
-                    + n_right * self._impurity(right_counts)
-                ) / n_samples
-                decrease = parent_impurity - weighted
-                score = decrease
-                if self.criterion == "gain_ratio":
-                    split_counts = np.array([n_left, n_right], dtype=np.float64)
-                    split_info = _entropy(split_counts)
-                    score = decrease / split_info if split_info > 0 else 0.0
-                if score > best_score and decrease > self.min_impurity_decrease:
-                    best_score = score
-                    threshold = float((values[i] + values[i + 1]) / 2.0)
-                    best = (int(feature), threshold, float(decrease))
+            order = orders[feature]
+            result = kernels.best_split_classification(
+                X[order, feature],
+                y[order],
+                parent_counts,
+                parent_impurity,
+                self.criterion,
+                int(self.min_samples_leaf),
+                self.min_impurity_decrease,
+            )
+            if result is None:
+                continue
+            score, threshold, decrease = result
+            if score > best_score:
+                best_score = score
+                best = (int(feature), threshold, decrease)
         return best
 
     def _build(
-        self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        orders: list[np.ndarray],
+        depth: int,
+        rng: np.random.Generator,
     ) -> _Node:
-        distribution = _class_distribution(y, self._n_classes)
+        node_y = y[orders[0]]
+        counts = np.bincount(node_y, minlength=self._n_classes)
         node = _Node(
-            prediction=distribution,
-            n_samples=len(y),
+            prediction=_class_distribution(node_y, self._n_classes),
+            n_samples=len(node_y),
             depth=depth,
-            impurity=self._impurity(np.bincount(y, minlength=self._n_classes)),
+            impurity=self._impurity(counts),
         )
         if (
-            len(np.unique(y)) <= 1
-            or len(y) < self.min_samples_split
+            np.count_nonzero(counts) <= 1
+            or len(node_y) < self.min_samples_split
             or (self.max_depth is not None and depth >= self.max_depth)
             or (self.max_nodes is not None and self._n_internal >= self.max_nodes)
         ):
             return node
-        split = self._best_split(X, y, rng)
+        split = self._best_split(X, y, orders, rng)
         if split is None:
             return node
         feature, threshold, _ = split
+        # Base-level membership mask of the left child; node orders only hold
+        # node members, so filtering by it partitions exactly this node.
         mask = X[:, feature] <= threshold
-        if mask.all() or not mask.any():
+        node_mask = mask[orders[0]]
+        if node_mask.all() or not node_mask.any():
             return node
         self._n_internal += 1
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(X[mask], y[mask], depth + 1, rng)
-        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        node.left = self._build(X, y, kernels.filter_orders(orders, mask), depth + 1, rng)
+        node.right = self._build(X, y, kernels.filter_orders(orders, ~mask), depth + 1, rng)
         return node
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         self._n_classes = int(len(self.classes_))
         self._n_internal = 0
         rng = np.random.default_rng(self.random_state)
-        self.tree_ = self._build(X, y, depth=0, rng=rng)
+        # Per-feature stable sort orders, computed once per fit and filtered
+        # down the recursion — no node ever sorts again.
+        orders = kernels.feature_orders(X)
+        self.tree_ = self._build(X, y, orders, depth=0, rng=rng)
+        self._flat = kernels.flatten_tree(self.tree_, self._n_classes)
+
+    def _fit_from_base(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        counts: np.ndarray,
+        base_orders: list[np.ndarray],
+        n_classes: int,
+    ) -> "DecisionTreeClassifier":
+        """Forest fast path: fit on a bootstrap multiset of pre-validated rows.
+
+        ``X``/``y`` are the forest's already-encoded training arrays;
+        ``counts[i]`` is how many times base row ``i`` appears in this
+        member's sample, and ``base_orders`` are the forest-wide sort orders
+        computed once per ensemble fit.  The forest guarantees every class
+        appears in the sample, so the member's label encoding is the
+        identity — exactly what refitting on ``X[idx]`` used to produce.
+        """
+        self.classes_ = np.arange(n_classes, dtype=np.int64)
+        self.n_features_in_ = X.shape[1]
+        self._n_classes = int(n_classes)
+        self._n_internal = 0
+        rng = np.random.default_rng(self.random_state)
+        if counts.min() == 1 and counts.max() == 1:
+            orders = list(base_orders)
+        else:
+            orders = kernels.expand_orders(base_orders, counts)
+        self.tree_ = self._build(X, y, orders, depth=0, rng=rng)
+        self._flat = kernels.flatten_tree(self.tree_, self._n_classes)
+        return self
 
     # -- prediction ----------------------------------------------------------------
-    def _predict_row(self, node: _Node, row: np.ndarray) -> np.ndarray:
-        while not node.is_leaf:
-            node = node.left if row[node.feature] <= node.threshold else node.right
-        return node.prediction
-
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
-        return np.vstack([self._predict_row(self.tree_, row) for row in X])
+        leaves = kernels.flat_predict_indices(self._flat, X)
+        return self._flat.prediction[leaves]
 
     def export_params(self) -> dict:
         check_is_fitted(self)

@@ -84,3 +84,40 @@ class TestRegistryConstruction:
         assert "RandomForest" in registry
         assert "Nope" not in registry
         assert len(list(iter(registry))) == len(registry)
+
+
+class TestBuildSeeding:
+    """Catalogue builds must be deterministic: the evaluation layer's
+    replay-equivalence contract (identical config -> identical score across
+    engines, workers and warm restarts) breaks if a stochastic learner is
+    left drawing fresh OS entropy on every fit."""
+
+    def test_stochastic_learners_get_a_pinned_seed(self, registry):
+        for name in ("Bagging", "RandomForest", "AdaBoostM1"):
+            estimator = registry.get(name).build({})
+            assert estimator.random_state == 0, name
+
+    def test_explicit_seed_is_never_overridden(self, registry):
+        # JRip's space only offers random_state=None, so build() pins it...
+        spec = registry.get("JRip")
+        assert spec.build({"random_state": None}).random_state == 0
+        # ...but a spec whose space admits integer seeds keeps them verbatim.
+        from repro.learners.registry import AlgorithmSpec, CategoricalParam, _space
+
+        factory = registry.get("Bagging").factory
+        seeded = AlgorithmSpec(
+            "SeededBagging", "meta", factory,
+            _space(CategoricalParam("random_state", [7, None])),
+        )
+        assert seeded.build({"random_state": 7}).random_state == 7
+
+    def test_repeated_builds_fit_identically(self, registry, simple_xy):
+        X, y = simple_xy
+        X, y = X[:80], y[:80]
+        spec = registry.get("Bagging")
+        probas = []
+        for _ in range(2):
+            estimator = spec.build({})
+            estimator.fit(X, y)
+            probas.append(estimator.predict_proba(X[:20]))
+        assert np.array_equal(probas[0], probas[1])
